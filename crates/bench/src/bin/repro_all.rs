@@ -1,0 +1,58 @@
+//! Run every figure reproduction in sequence.
+//!
+//! `cargo run -p bench --release --bin repro_all [-- --quick]`
+//!
+//! Prints each figure's tables and leaves the raw series under `results/`.
+//! This is the one-command path to regenerate everything EXPERIMENTS.md
+//! reports.
+
+use std::process::Command;
+
+const BINS: &[&str] = &[
+    "fig2_theory",
+    "fig3_unity_trace",
+    "fig4_synthetic",
+    "fig5_production",
+    "fig6_cpu_breakdown",
+    "fig7_rich_objects",
+    "fig8_delayed_writes",
+    "ablation_eviction",
+    "ablation_serialization",
+    "ablation_consistency",
+    "ablation_ttl",
+    "ablation_churn",
+    "ablation_failover",
+    "exp_sessions",
+];
+
+fn main() {
+    let quick = std::env::args().any(|a| a == "--quick");
+    let self_path = std::env::current_exe().expect("own path");
+    let bin_dir = self_path.parent().expect("bin dir");
+
+    let mut failed = Vec::new();
+    for bin in BINS {
+        println!("\n################ {bin} ################");
+        let mut cmd = Command::new(bin_dir.join(bin));
+        if quick {
+            cmd.arg("--quick");
+        }
+        match cmd.status() {
+            Ok(status) if status.success() => {}
+            Ok(status) => {
+                eprintln!("{bin} exited with {status}");
+                failed.push(*bin);
+            }
+            Err(e) => {
+                eprintln!("{bin} failed to start: {e} (build with `cargo build --release -p bench` first)");
+                failed.push(*bin);
+            }
+        }
+    }
+    if failed.is_empty() {
+        println!("\nAll reproductions completed; series written to results/.");
+    } else {
+        eprintln!("\nFailed: {failed:?}");
+        std::process::exit(1);
+    }
+}

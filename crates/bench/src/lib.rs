@@ -1,0 +1,118 @@
+//! Shared plumbing for the figure-reproduction binaries.
+//!
+//! Every `fig*` binary prints a human-readable table of the series the
+//! paper plots and writes the raw numbers as JSON under `results/` so
+//! EXPERIMENTS.md can cite them. Binaries accept `--quick` to run a reduced
+//! request budget (useful in CI; the shapes survive, the noise grows).
+
+use serde::Serialize;
+use std::io::Write;
+use std::path::PathBuf;
+
+/// Parse the common CLI convention: `--quick` shrinks the run.
+pub fn quick_mode() -> bool {
+    std::env::args().any(|a| a == "--quick")
+}
+
+/// Request budget scaling: (warmup, measured) for a full or quick run.
+pub fn request_budget(full_warmup: u64, full_measured: u64) -> (u64, u64) {
+    if quick_mode() {
+        (full_warmup / 10, full_measured / 10)
+    } else {
+        (full_warmup, full_measured)
+    }
+}
+
+/// Where result JSON lands (repo-root `results/`, created on demand).
+pub fn results_dir() -> PathBuf {
+    let mut dir = std::env::current_dir().expect("cwd");
+    // Walk up until we find the workspace root (Cargo.toml with [workspace]).
+    loop {
+        let manifest = dir.join("Cargo.toml");
+        if manifest.exists() {
+            if let Ok(text) = std::fs::read_to_string(&manifest) {
+                if text.contains("[workspace]") {
+                    break;
+                }
+            }
+        }
+        if !dir.pop() {
+            dir = std::env::current_dir().expect("cwd");
+            break;
+        }
+    }
+    let results = dir.join("results");
+    std::fs::create_dir_all(&results).expect("create results dir");
+    results
+}
+
+/// Serialize `value` to `results/<name>.json`.
+pub fn write_json<T: Serialize>(name: &str, value: &T) {
+    let path = results_dir().join(format!("{name}.json"));
+    let file = std::fs::File::create(&path).expect("create results file");
+    let mut w = std::io::BufWriter::new(file);
+    serde_json::to_writer_pretty(&mut w, value).expect("serialize results");
+    w.flush().expect("flush results");
+    println!("\n[results written to {}]", path.display());
+}
+
+/// Print a fixed-width table: header row then data rows.
+pub fn print_table(title: &str, header: &[&str], rows: &[Vec<String>]) {
+    println!("\n=== {title} ===");
+    let mut widths: Vec<usize> = header.iter().map(|h| h.len()).collect();
+    for row in rows {
+        for (i, cell) in row.iter().enumerate() {
+            if i < widths.len() {
+                widths[i] = widths[i].max(cell.len());
+            }
+        }
+    }
+    let fmt_row = |cells: &[String]| {
+        cells
+            .iter()
+            .zip(&widths)
+            .map(|(c, w)| format!("{c:>w$}", w = w))
+            .collect::<Vec<_>>()
+            .join("  ")
+    };
+    let header_cells: Vec<String> = header.iter().map(|h| h.to_string()).collect();
+    println!("{}", fmt_row(&header_cells));
+    println!("{}", "-".repeat(widths.iter().sum::<usize>() + 2 * widths.len()));
+    for row in rows {
+        println!("{}", fmt_row(row));
+    }
+}
+
+/// Format a dollar amount.
+pub fn usd(x: f64) -> String {
+    format!("${x:.2}")
+}
+
+/// Format a ratio as `N.NNx`.
+pub fn ratio(x: f64) -> String {
+    format!("{x:.2}x")
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn results_dir_is_created() {
+        let dir = results_dir();
+        assert!(dir.ends_with("results"));
+        assert!(dir.exists());
+    }
+
+    #[test]
+    fn budget_scales_in_quick_mode() {
+        // Not in quick mode during tests (no --quick arg).
+        assert_eq!(request_budget(100, 200), (100, 200));
+    }
+
+    #[test]
+    fn formatting_helpers() {
+        assert_eq!(usd(3.456), "$3.46");
+        assert_eq!(ratio(2.0), "2.00x");
+    }
+}

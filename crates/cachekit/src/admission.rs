@@ -1,0 +1,269 @@
+//! TinyLFU admission control.
+//!
+//! Eviction decides who *leaves*; admission decides who may *enter*. Under
+//! scan-heavy or long-tailed traffic (the Meta trace's one-hit wonders),
+//! plain LRU lets cold keys wash hot ones out. TinyLFU (Einziger et al.)
+//! keeps an approximate frequency history — a count-min sketch of 4-bit
+//! counters with periodic halving, fronted by a doorkeeper Bloom filter —
+//! and admits a candidate only if it is historically more popular than the
+//! eviction victim it would displace.
+//!
+//! Everything here is hash-based and O(1); the sketch uses ~8 bits per
+//! expected cache entry, negligible next to the entries themselves.
+
+use cachekit_hash::spread;
+use serde::{Deserialize, Serialize};
+
+mod cachekit_hash {
+    /// Re-derive independent hash functions from one 64-bit key hash.
+    pub fn spread(hash: u64, i: u64) -> u64 {
+        crate::ring::splitmix64(hash ^ (i.wrapping_mul(0x9E3779B97F4A7C15)))
+    }
+}
+
+/// Count-min sketch with 4-bit counters packed 16 per `u64`, 4 hash rows in
+/// one flat table, and halving-based aging every `sample_size` increments.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct FrequencySketch {
+    table: Vec<u64>,
+    /// Mask for slot selection (table length is a power of two).
+    mask: u64,
+    additions: u64,
+    sample_size: u64,
+}
+
+const ROWS: u64 = 4;
+const COUNTER_MAX: u64 = 15;
+
+impl FrequencySketch {
+    /// Size the sketch for roughly `capacity` distinct hot items.
+    pub fn new(capacity: usize) -> Self {
+        let slots = (capacity.max(16)).next_power_of_two();
+        FrequencySketch {
+            table: vec![0; slots],
+            mask: (slots - 1) as u64,
+            additions: 0,
+            sample_size: (slots as u64) * 10,
+        }
+    }
+
+    fn slot_of(&self, hash: u64, row: u64) -> (usize, u32) {
+        let h = spread(hash, row);
+        let index = (h & self.mask) as usize;
+        // 16 4-bit counters per word; pick one from the upper hash bits.
+        let counter = ((h >> 32) & 0xF) as u32;
+        (index, counter * 4)
+    }
+
+    fn counter_at(&self, index: usize, shift: u32) -> u64 {
+        (self.table[index] >> shift) & COUNTER_MAX
+    }
+
+    /// Record one occurrence of `hash`.
+    pub fn increment(&mut self, hash: u64) {
+        let mut incremented = false;
+        for row in 0..ROWS {
+            let (index, shift) = self.slot_of(hash, row);
+            let current = self.counter_at(index, shift);
+            if current < COUNTER_MAX {
+                self.table[index] += 1u64 << shift;
+                incremented = true;
+            }
+        }
+        if incremented {
+            self.additions += 1;
+            if self.additions >= self.sample_size {
+                self.age();
+            }
+        }
+    }
+
+    /// Estimated frequency of `hash` (min over rows; ≤ 15).
+    pub fn estimate(&self, hash: u64) -> u64 {
+        (0..ROWS)
+            .map(|row| {
+                let (index, shift) = self.slot_of(hash, row);
+                self.counter_at(index, shift)
+            })
+            .min()
+            .unwrap_or(0)
+    }
+
+    /// Halve every counter — the aging step that keeps the sketch tracking
+    /// *recent* popularity rather than all-time counts.
+    fn age(&mut self) {
+        for word in &mut self.table {
+            // Halve each 4-bit lane: shift right then clear carried-in bits.
+            *word = (*word >> 1) & 0x7777_7777_7777_7777;
+        }
+        self.additions /= 2;
+    }
+
+    pub fn additions(&self) -> u64 {
+        self.additions
+    }
+}
+
+/// A small Bloom filter in front of the sketch: the first occurrence of a
+/// key only sets doorkeeper bits, so one-hit wonders never pollute the
+/// sketch counters. Reset on each aging cycle.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct Doorkeeper {
+    bits: Vec<u64>,
+    mask: u64,
+    set_count: u64,
+    reset_at: u64,
+}
+
+impl Doorkeeper {
+    pub fn new(capacity: usize) -> Self {
+        let words = (capacity.max(64) / 8).next_power_of_two();
+        Doorkeeper {
+            bits: vec![0; words],
+            mask: (words as u64 * 64) - 1,
+            set_count: 0,
+            reset_at: words as u64 * 16, // ~25% fill before reset
+        }
+    }
+
+    /// Insert; returns true if the key was (probably) already present.
+    pub fn insert(&mut self, hash: u64) -> bool {
+        let mut present = true;
+        for i in 0..2u64 {
+            let bit = spread(hash, 100 + i) & self.mask;
+            let (word, offset) = ((bit / 64) as usize, bit % 64);
+            if self.bits[word] >> offset & 1 == 0 {
+                present = false;
+                self.bits[word] |= 1 << offset;
+                self.set_count += 1;
+            }
+        }
+        if self.set_count >= self.reset_at {
+            self.bits.iter_mut().for_each(|w| *w = 0);
+            self.set_count = 0;
+        }
+        present
+    }
+}
+
+/// The TinyLFU admission policy.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct TinyLfu {
+    sketch: FrequencySketch,
+    doorkeeper: Doorkeeper,
+}
+
+impl TinyLfu {
+    pub fn new(expected_entries: usize) -> Self {
+        TinyLfu {
+            sketch: FrequencySketch::new(expected_entries),
+            doorkeeper: Doorkeeper::new(expected_entries),
+        }
+    }
+
+    /// Record one access to `hash` (call on every lookup and insert).
+    pub fn record(&mut self, hash: u64) {
+        if self.doorkeeper.insert(hash) {
+            self.sketch.increment(hash);
+        }
+    }
+
+    /// Frequency estimate including the doorkeeper's implicit +1.
+    pub fn estimate(&self, hash: u64) -> u64 {
+        self.sketch.estimate(hash)
+    }
+
+    /// Should `candidate` displace `victim`? Admit ties in favor of the
+    /// candidate only when strictly more popular — conservative, matching
+    /// the original TinyLFU design (protects the resident working set).
+    pub fn admit(&self, candidate: u64, victim: u64) -> bool {
+        self.estimate(candidate) > self.estimate(victim)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::ring::stable_hash;
+
+    fn h(s: &str) -> u64 {
+        stable_hash(s.as_bytes())
+    }
+
+    #[test]
+    fn sketch_counts_frequencies_approximately() {
+        let mut sk = FrequencySketch::new(1024);
+        for _ in 0..10 {
+            sk.increment(h("hot"));
+        }
+        sk.increment(h("cold"));
+        assert!(sk.estimate(h("hot")) >= 8, "hot underestimated");
+        assert!(sk.estimate(h("cold")) <= 3, "cold overestimated");
+        assert_eq!(sk.estimate(h("never")), 0);
+    }
+
+    #[test]
+    fn counters_saturate_at_fifteen() {
+        let mut sk = FrequencySketch::new(64);
+        for _ in 0..100 {
+            sk.increment(h("k"));
+        }
+        assert!(sk.estimate(h("k")) <= 15);
+    }
+
+    #[test]
+    fn aging_halves_counts() {
+        let mut sk = FrequencySketch::new(16);
+        for _ in 0..12 {
+            sk.increment(h("a"));
+        }
+        let before = sk.estimate(h("a"));
+        sk.age();
+        let after = sk.estimate(h("a"));
+        assert_eq!(after, before / 2);
+    }
+
+    #[test]
+    fn doorkeeper_absorbs_first_touch() {
+        let mut tl = TinyLfu::new(256);
+        tl.record(h("one-hit"));
+        // First touch lives only in the doorkeeper; sketch stays clean.
+        assert_eq!(tl.estimate(h("one-hit")), 0);
+        tl.record(h("one-hit"));
+        assert!(tl.estimate(h("one-hit")) >= 1, "second touch reaches the sketch");
+    }
+
+    #[test]
+    fn admit_prefers_frequent_candidates() {
+        let mut tl = TinyLfu::new(1024);
+        for _ in 0..8 {
+            tl.record(h("popular"));
+        }
+        tl.record(h("rare"));
+        assert!(tl.admit(h("popular"), h("rare")));
+        assert!(!tl.admit(h("rare"), h("popular")));
+        // Ties (both unknown) reject the candidate: protect residents.
+        assert!(!tl.admit(h("x"), h("y")));
+    }
+
+    #[test]
+    fn sketch_distinguishes_many_keys() {
+        let mut sk = FrequencySketch::new(4096);
+        for i in 0..200u32 {
+            let key = format!("hot{i}");
+            for _ in 0..9 {
+                sk.increment(h(&key));
+            }
+        }
+        for i in 0..2000u32 {
+            sk.increment(h(&format!("cold{i}")));
+        }
+        let mut hot_wins = 0;
+        for i in 0..200u32 {
+            if sk.estimate(h(&format!("hot{i}"))) > sk.estimate(h(&format!("cold{}", i * 7))) {
+                hot_wins += 1;
+            }
+        }
+        assert!(hot_wins > 180, "sketch collisions too damaging: {hot_wins}/200");
+    }
+}

@@ -1,0 +1,262 @@
+//! An intrusive doubly-linked list over slot indices.
+//!
+//! Eviction policies (LRU, FIFO, SLRU) need O(1) "move to front", "remove
+//! arbitrary", and "pop back" over the cache's entry slots. Rather than
+//! allocating per-node, the list stores `prev`/`next` arrays indexed by slot
+//! id; slot ids are handed out by the cache's slab and reused after removal.
+
+use serde::{Deserialize, Serialize};
+
+const NIL: usize = usize::MAX;
+
+/// Doubly-linked list whose nodes are external slot ids.
+///
+/// A slot may be in at most one list at a time; the caller is responsible for
+/// not inserting a slot twice (debug assertions catch it).
+#[derive(Debug, Clone, Default, Serialize, Deserialize)]
+pub struct SlotList {
+    prev: Vec<usize>,
+    next: Vec<usize>,
+    /// Membership flag per slot, so `contains` and debug checks are O(1).
+    member: Vec<bool>,
+    head: Option<usize>,
+    tail: Option<usize>,
+    len: usize,
+}
+
+impl SlotList {
+    pub fn new() -> Self {
+        SlotList {
+            prev: Vec::new(),
+            next: Vec::new(),
+            member: Vec::new(),
+            head: None,
+            tail: None,
+            len: 0,
+        }
+    }
+
+    fn ensure(&mut self, slot: usize) {
+        if self.prev.len() <= slot {
+            self.prev.resize(slot + 1, NIL);
+            self.next.resize(slot + 1, NIL);
+            self.member.resize(slot + 1, false);
+        }
+    }
+
+    pub fn len(&self) -> usize {
+        self.len
+    }
+
+    pub fn is_empty(&self) -> bool {
+        self.len == 0
+    }
+
+    pub fn contains(&self, slot: usize) -> bool {
+        self.member.get(slot).copied().unwrap_or(false)
+    }
+
+    /// Most-recently-touched end.
+    pub fn front(&self) -> Option<usize> {
+        self.head
+    }
+
+    /// Least-recently-touched end (the eviction end).
+    pub fn back(&self) -> Option<usize> {
+        self.tail
+    }
+
+    pub fn push_front(&mut self, slot: usize) {
+        self.ensure(slot);
+        debug_assert!(!self.member[slot], "slot {slot} already in list");
+        self.member[slot] = true;
+        self.prev[slot] = NIL;
+        self.next[slot] = self.head.unwrap_or(NIL);
+        if let Some(h) = self.head {
+            self.prev[h] = slot;
+        }
+        self.head = Some(slot);
+        if self.tail.is_none() {
+            self.tail = Some(slot);
+        }
+        self.len += 1;
+    }
+
+    pub fn push_back(&mut self, slot: usize) {
+        self.ensure(slot);
+        debug_assert!(!self.member[slot], "slot {slot} already in list");
+        self.member[slot] = true;
+        self.next[slot] = NIL;
+        self.prev[slot] = self.tail.unwrap_or(NIL);
+        if let Some(t) = self.tail {
+            self.next[t] = slot;
+        }
+        self.tail = Some(slot);
+        if self.head.is_none() {
+            self.head = Some(slot);
+        }
+        self.len += 1;
+    }
+
+    /// Remove `slot` from the list. No-op if it is not a member.
+    pub fn remove(&mut self, slot: usize) {
+        if !self.contains(slot) {
+            return;
+        }
+        let p = self.prev[slot];
+        let n = self.next[slot];
+        if p == NIL {
+            self.head = (n != NIL).then_some(n);
+        } else {
+            self.next[p] = n;
+        }
+        if n == NIL {
+            self.tail = (p != NIL).then_some(p);
+        } else {
+            self.prev[n] = p;
+        }
+        self.prev[slot] = NIL;
+        self.next[slot] = NIL;
+        self.member[slot] = false;
+        self.len -= 1;
+    }
+
+    /// Remove and return the back (LRU end).
+    pub fn pop_back(&mut self) -> Option<usize> {
+        let t = self.tail?;
+        self.remove(t);
+        Some(t)
+    }
+
+    /// Move an existing member to the front; inserts if absent.
+    pub fn move_to_front(&mut self, slot: usize) {
+        self.remove(slot);
+        self.push_front(slot);
+    }
+
+    /// Iterate front→back (for tests and invariant checks).
+    pub fn iter(&self) -> SlotListIter<'_> {
+        SlotListIter {
+            list: self,
+            cur: self.head,
+        }
+    }
+}
+
+pub struct SlotListIter<'a> {
+    list: &'a SlotList,
+    cur: Option<usize>,
+}
+
+impl Iterator for SlotListIter<'_> {
+    type Item = usize;
+    fn next(&mut self) -> Option<usize> {
+        let c = self.cur?;
+        let n = self.list.next[c];
+        self.cur = (n != NIL).then_some(n);
+        Some(c)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn collect(l: &SlotList) -> Vec<usize> {
+        l.iter().collect()
+    }
+
+    #[test]
+    fn push_and_pop_ordering() {
+        let mut l = SlotList::new();
+        l.push_front(1);
+        l.push_front(2);
+        l.push_front(3);
+        assert_eq!(collect(&l), vec![3, 2, 1]);
+        assert_eq!(l.pop_back(), Some(1));
+        assert_eq!(l.pop_back(), Some(2));
+        assert_eq!(l.pop_back(), Some(3));
+        assert_eq!(l.pop_back(), None);
+        assert!(l.is_empty());
+    }
+
+    #[test]
+    fn push_back_appends() {
+        let mut l = SlotList::new();
+        l.push_back(5);
+        l.push_back(6);
+        assert_eq!(collect(&l), vec![5, 6]);
+        assert_eq!(l.front(), Some(5));
+        assert_eq!(l.back(), Some(6));
+    }
+
+    #[test]
+    fn remove_middle_relinks() {
+        let mut l = SlotList::new();
+        for s in [0, 1, 2, 3] {
+            l.push_back(s);
+        }
+        l.remove(2);
+        assert_eq!(collect(&l), vec![0, 1, 3]);
+        assert!(!l.contains(2));
+        assert_eq!(l.len(), 3);
+    }
+
+    #[test]
+    fn remove_head_and_tail() {
+        let mut l = SlotList::new();
+        for s in [0, 1, 2] {
+            l.push_back(s);
+        }
+        l.remove(0);
+        assert_eq!(l.front(), Some(1));
+        l.remove(2);
+        assert_eq!(l.back(), Some(1));
+        assert_eq!(collect(&l), vec![1]);
+    }
+
+    #[test]
+    fn remove_absent_is_noop() {
+        let mut l = SlotList::new();
+        l.push_back(1);
+        l.remove(999);
+        l.remove(0);
+        assert_eq!(l.len(), 1);
+    }
+
+    #[test]
+    fn move_to_front_reorders() {
+        let mut l = SlotList::new();
+        for s in [0, 1, 2] {
+            l.push_back(s);
+        }
+        l.move_to_front(2);
+        assert_eq!(collect(&l), vec![2, 0, 1]);
+        l.move_to_front(1);
+        assert_eq!(collect(&l), vec![1, 2, 0]);
+        // moving the current front keeps order
+        l.move_to_front(1);
+        assert_eq!(collect(&l), vec![1, 2, 0]);
+    }
+
+    #[test]
+    fn slots_can_be_reused_after_removal() {
+        let mut l = SlotList::new();
+        l.push_front(7);
+        l.remove(7);
+        l.push_back(7);
+        assert_eq!(collect(&l), vec![7]);
+    }
+
+    #[test]
+    fn singleton_list_invariants() {
+        let mut l = SlotList::new();
+        l.push_front(4);
+        assert_eq!(l.front(), l.back());
+        l.move_to_front(4);
+        assert_eq!(l.len(), 1);
+        assert_eq!(l.pop_back(), Some(4));
+        assert_eq!(l.front(), None);
+        assert_eq!(l.back(), None);
+    }
+}

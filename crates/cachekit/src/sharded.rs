@@ -1,0 +1,151 @@
+//! A cache partitioned across shards by consistent hashing.
+//!
+//! This models the paper's linked-cache deployment: each application server
+//! holds one shard of the cache, and a request for a key is routed to the
+//! server owning that key (§2.4, citing Slicer-style auto-sharding). The
+//! total memory bill is the sum of shard capacities; the hit ratio is that
+//! of whichever shard owns the key.
+
+use crate::cache::{Cache, InsertOutcome};
+use crate::policy::PolicyKind;
+use crate::ring::HashRing;
+use crate::stats::CacheStats;
+
+/// Keys are byte strings here because routing hashes bytes; higher layers
+/// provide typed wrappers.
+pub struct ShardedCache<V> {
+    shards: Vec<Cache<Vec<u8>, V>>,
+    ring: HashRing,
+}
+
+impl<V> ShardedCache<V> {
+    /// `shard_count` shards of `per_shard_bytes` each.
+    pub fn new(shard_count: u32, per_shard_bytes: u64, policy: PolicyKind) -> Self {
+        let shards = (0..shard_count)
+            .map(|_| Cache::new(per_shard_bytes, policy))
+            .collect();
+        ShardedCache {
+            shards,
+            ring: HashRing::with_shards(shard_count, 128),
+        }
+    }
+
+    pub fn shard_count(&self) -> usize {
+        self.shards.len()
+    }
+
+    /// Total capacity across shards (the DRAM that gets billed).
+    pub fn total_capacity_bytes(&self) -> u64 {
+        self.shards.iter().map(|s| s.capacity_bytes()).sum()
+    }
+
+    pub fn total_used_bytes(&self) -> u64 {
+        self.shards.iter().map(|s| s.used_bytes()).sum()
+    }
+
+    /// Which shard owns `key`.
+    pub fn owner(&self, key: &[u8]) -> usize {
+        self.ring
+            .shard_for(key)
+            .expect("ShardedCache always has shards") as usize
+    }
+
+    pub fn get(&mut self, key: &[u8], now: u64) -> Option<&V> {
+        let shard = self.owner(key);
+        self.shards[shard].get(key, now)
+    }
+
+    pub fn insert(&mut self, key: &[u8], value: V, value_bytes: u64, now: u64) -> InsertOutcome {
+        let shard = self.owner(key);
+        self.shards[shard].insert(key.to_vec(), value, value_bytes, now)
+    }
+
+    pub fn remove(&mut self, key: &[u8]) -> Option<V> {
+        let shard = self.owner(key);
+        self.shards[shard].remove(key)
+    }
+
+    pub fn contains(&self, key: &[u8], now: u64) -> bool {
+        self.shards[self.owner(key)].contains(key, now)
+    }
+
+    /// Aggregate statistics across shards.
+    pub fn stats(&self) -> CacheStats {
+        let mut total = CacheStats::default();
+        for s in &self.shards {
+            total += *s.stats();
+        }
+        total
+    }
+
+    /// Statistics of one shard (for imbalance analysis).
+    pub fn shard_stats(&self, shard: usize) -> &CacheStats {
+        self.shards[shard].stats()
+    }
+
+    pub fn reset_stats(&mut self) {
+        for s in &mut self.shards {
+            s.reset_stats();
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn routing_is_stable_per_key() {
+        let c: ShardedCache<u32> = ShardedCache::new(4, 1 << 20, PolicyKind::Lru);
+        for i in 0..100 {
+            let k = format!("key{i}").into_bytes();
+            assert_eq!(c.owner(&k), c.owner(&k));
+        }
+    }
+
+    #[test]
+    fn get_after_insert_across_shards() {
+        let mut c: ShardedCache<u32> = ShardedCache::new(4, 1 << 20, PolicyKind::Lru);
+        for i in 0..100u32 {
+            let k = format!("key{i}").into_bytes();
+            c.insert(&k, i, 100, 0);
+        }
+        for i in 0..100u32 {
+            let k = format!("key{i}").into_bytes();
+            assert_eq!(c.get(&k, 0), Some(&i));
+        }
+        assert_eq!(c.stats().hits, 100);
+    }
+
+    #[test]
+    fn shards_fill_roughly_evenly() {
+        let mut c: ShardedCache<()> = ShardedCache::new(4, 1 << 30, PolicyKind::Lru);
+        for i in 0..4_000u32 {
+            let k = format!("key{i}").into_bytes();
+            c.insert(&k, (), 100, 0);
+        }
+        for shard in 0..4 {
+            let inserts = c.shard_stats(shard).inserts;
+            assert!(
+                (500..=1_500).contains(&inserts),
+                "shard {shard} got {inserts} inserts"
+            );
+        }
+    }
+
+    #[test]
+    fn total_capacity_sums_shards() {
+        let c: ShardedCache<()> = ShardedCache::new(3, 1_000, PolicyKind::Lru);
+        assert_eq!(c.total_capacity_bytes(), 3_000);
+    }
+
+    #[test]
+    fn remove_invalidates_only_owner_shard() {
+        let mut c: ShardedCache<u32> = ShardedCache::new(4, 1 << 20, PolicyKind::Lru);
+        c.insert(b"k", 7, 10, 0);
+        assert!(c.contains(b"k", 0));
+        assert_eq!(c.remove(b"k"), Some(7));
+        assert!(!c.contains(b"k", 0));
+        assert_eq!(c.stats().invalidations, 1);
+    }
+}

@@ -1,0 +1,209 @@
+//! Property-based tests for cachekit's core invariants.
+//!
+//! These are the "cannot be wrong" guarantees every architecture in the cost
+//! study leans on: capacity is never exceeded, LRU matches a reference model
+//! operation-for-operation, rings rebalance minimally, and the analytic MRC
+//! agrees with brute force.
+
+use cachekit::cache::ENTRY_OVERHEAD_BYTES;
+use cachekit::{Cache, HashRing, PolicyKind, StackDistance};
+use proptest::prelude::*;
+use std::collections::VecDeque;
+
+/// Reference LRU: a deque of (key, charge), most recent at the front.
+struct ModelLru {
+    items: VecDeque<(u16, u64)>,
+    capacity: u64,
+}
+
+impl ModelLru {
+    fn used(&self) -> u64 {
+        self.items.iter().map(|&(_, c)| c).sum()
+    }
+
+    fn get(&mut self, key: u16) -> bool {
+        if let Some(pos) = self.items.iter().position(|&(k, _)| k == key) {
+            let e = self.items.remove(pos).unwrap();
+            self.items.push_front(e);
+            true
+        } else {
+            false
+        }
+    }
+
+    fn insert(&mut self, key: u16, charge: u64) {
+        if charge > self.capacity {
+            return;
+        }
+        if let Some(pos) = self.items.iter().position(|&(k, _)| k == key) {
+            self.items.remove(pos);
+        }
+        while self.used() + charge > self.capacity {
+            self.items.pop_back();
+        }
+        self.items.push_front((key, charge));
+    }
+
+    fn remove(&mut self, key: u16) -> bool {
+        if let Some(pos) = self.items.iter().position(|&(k, _)| k == key) {
+            self.items.remove(pos);
+            true
+        } else {
+            false
+        }
+    }
+}
+
+#[derive(Debug, Clone)]
+enum Op {
+    Get(u16),
+    Insert(u16, u64),
+    Remove(u16),
+}
+
+fn op_strategy() -> impl Strategy<Value = Op> {
+    prop_oneof![
+        (0u16..64).prop_map(Op::Get),
+        ((0u16..64), (1u64..400)).prop_map(|(k, sz)| Op::Insert(k, sz)),
+        (0u16..64).prop_map(Op::Remove),
+    ]
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(256))]
+
+    /// The cache agrees with a brute-force LRU model on every observable:
+    /// hit/miss per get, membership per remove, and byte usage throughout.
+    #[test]
+    fn lru_matches_reference_model(ops in proptest::collection::vec(op_strategy(), 1..300)) {
+        let capacity = 2_000u64;
+        let mut cache: Cache<u16, ()> = Cache::lru(capacity);
+        let mut model = ModelLru { items: VecDeque::new(), capacity };
+        for op in ops {
+            match op {
+                Op::Get(k) => {
+                    let real = cache.get(&k, 0).is_some();
+                    let expect = model.get(k);
+                    prop_assert_eq!(real, expect, "get({}) mismatch", k);
+                }
+                Op::Insert(k, sz) => {
+                    cache.insert(k, (), sz, 0);
+                    model.insert(k, sz + ENTRY_OVERHEAD_BYTES);
+                }
+                Op::Remove(k) => {
+                    let real = cache.remove(&k).is_some();
+                    let expect = model.remove(k);
+                    prop_assert_eq!(real, expect, "remove({}) mismatch", k);
+                }
+            }
+            prop_assert_eq!(cache.used_bytes(), model.used());
+            prop_assert_eq!(cache.len(), model.items.len());
+            prop_assert!(cache.used_bytes() <= capacity);
+        }
+    }
+
+    /// No policy ever exceeds capacity, loses a just-inserted hot key
+    /// spuriously, or miscounts bytes, under arbitrary workloads.
+    #[test]
+    fn every_policy_respects_capacity(
+        ops in proptest::collection::vec(op_strategy(), 1..200),
+        policy_idx in 0usize..PolicyKind::ALL.len(),
+    ) {
+        let kind = PolicyKind::ALL[policy_idx];
+        let capacity = 1_500u64;
+        let mut cache: Cache<u16, u16> = Cache::new(capacity, kind);
+        for op in &ops {
+            match *op {
+                Op::Get(k) => { cache.get(&k, 0); }
+                Op::Insert(k, sz) => {
+                    cache.insert(k, k, sz, 0);
+                    if sz + ENTRY_OVERHEAD_BYTES <= capacity {
+                        // An entry that fits must be resident immediately
+                        // after its own insert, under every policy.
+                        prop_assert_eq!(cache.peek(&k), Some(&k), "{:?}", kind);
+                    }
+                }
+                Op::Remove(k) => { cache.remove(&k); }
+            }
+            prop_assert!(cache.used_bytes() <= capacity, "{:?}", kind);
+        }
+        // Byte accounting must agree with per-entry charges.
+        let sum: u64 = cache.keys().map(|k| cache.charge_of(k).unwrap()).sum();
+        prop_assert_eq!(sum, cache.used_bytes());
+    }
+
+    /// Get after insert always returns the latest value (until eviction),
+    /// and values never cross keys.
+    #[test]
+    fn get_returns_latest_value(keys in proptest::collection::vec(0u16..32, 1..100)) {
+        let mut cache: Cache<u16, u64> = Cache::lru(1 << 20);
+        let mut latest = std::collections::HashMap::new();
+        for (i, k) in keys.iter().enumerate() {
+            cache.insert(*k, i as u64, 10, 0);
+            latest.insert(*k, i as u64);
+        }
+        for (k, v) in latest {
+            prop_assert_eq!(cache.get(&k, 0), Some(&v));
+        }
+    }
+
+    /// Ring: every key routes to a live shard, and removing one shard moves
+    /// only the keys it owned.
+    #[test]
+    fn ring_reshard_moves_minimum(
+        shards in 2u32..12,
+        remove in 0u32..12,
+        keys in proptest::collection::vec(proptest::collection::vec(any::<u8>(), 1..20), 1..200),
+    ) {
+        let remove = remove % shards;
+        let before = HashRing::with_shards(shards, 64);
+        let mut after = before.clone();
+        after.remove_shard(remove);
+        for k in &keys {
+            let a = before.shard_for(k).unwrap();
+            let b = after.shard_for(k).unwrap();
+            prop_assert!(a < shards);
+            prop_assert_ne!(b, remove);
+            if a != remove {
+                prop_assert_eq!(a, b, "key moved that was not on removed shard");
+            }
+        }
+    }
+
+    /// Mattson's stack distances agree with direct LRU simulation at
+    /// arbitrary cache sizes on arbitrary traces.
+    #[test]
+    fn mattson_equals_lru_simulation(
+        trace in proptest::collection::vec(0u32..50, 10..400),
+        entries in 1u64..60,
+    ) {
+        let mut sd = StackDistance::new();
+        for &k in &trace {
+            sd.access(k);
+        }
+        let curve = sd.curve();
+
+        let per_entry = 100 + ENTRY_OVERHEAD_BYTES;
+        let mut cache: Cache<u32, ()> = Cache::lru(entries * per_entry);
+        let mut misses = 0u64;
+        for &k in &trace {
+            if cache.get(&k, 0).is_none() {
+                misses += 1;
+                cache.insert(k, (), 100, 0);
+            }
+        }
+        let sim = misses as f64 / trace.len() as f64;
+        let analytic = curve.miss_ratio(entries);
+        prop_assert!((sim - analytic).abs() < 1e-9,
+            "entries={} sim={} mattson={}", entries, sim, analytic);
+    }
+
+    /// TTL: an entry is visible strictly before expiry and never after.
+    #[test]
+    fn ttl_boundary_is_exact(ttl in 1u64..1_000_000, probe in 0u64..2_000_000) {
+        let mut cache: Cache<u8, ()> = Cache::lru(10_000);
+        cache.insert_with_ttl(1, (), 10, 0, ttl);
+        let visible = cache.get(&1, probe).is_some();
+        prop_assert_eq!(visible, probe < ttl);
+    }
+}

@@ -1,0 +1,24 @@
+//! # costmodel — dollars from resources, and the §4 analytical model
+//!
+//! Two halves:
+//!
+//! * [`pricing`] — the paper's §3 cloud unit prices (≈$17/vCPU-month,
+//!   ≈$2/GB-month DRAM, ≈$2/100GB-month disk) and helpers turning measured
+//!   `(cores, GB)` usage into monthly dollar costs with per-component
+//!   breakdowns.
+//! * [`ssd`] — the §7 extension: a flash tier between DRAM and the network
+//!   path, with a joint DRAM+SSD allocation optimizer.
+//! * [`theory`] — the §4 model
+//!   `T = QPS·(MR(s_A)·c_A + MR(s_A+s_D)·c_D) + c_M·(s_A·N_r + s_D)`,
+//!   its partial derivatives in the two cache-size knobs, the optimal
+//!   allocation rule (grow the linked cache until marginal benefit equals
+//!   the marginal cost of DRAM), and the Figure 2 sweeps over Zipf α,
+//!   replica count, and memory-price multipliers.
+
+pub mod pricing;
+pub mod ssd;
+pub mod theory;
+
+pub use pricing::{CostBreakdown, Pricing, ResourceUsage};
+pub use ssd::{HybridModel, SsdTier};
+pub use theory::{TheoryModel, TheoryParams};

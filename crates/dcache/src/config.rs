@@ -1,0 +1,294 @@
+//! Deployment configuration: architecture choice, tier sizing, and the
+//! application-side CPU cost constants.
+
+use serde::{Deserialize, Serialize};
+use simnet::SimDuration;
+use storekit::cluster::ClusterConfig;
+
+/// The §2.4 architectures plus the §6 extension.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub enum ArchKind {
+    /// Storage-layer cache only (Figure 1a).
+    Base,
+    /// Remote lookaside cache tier (Figure 1b).
+    Remote,
+    /// Application-linked sharded cache (Figure 1c).
+    Linked,
+    /// Linked cache + per-read version check (Figure 1d).
+    LinkedVersion,
+    /// Linked cache + ownership leases + write fencing (§6 future work).
+    LeaseOwned,
+    /// TTL-freshness extension (paper §7 related work): every app server
+    /// caches independently (no ownership routing — requests round-robin),
+    /// and entries expire after a TTL that bounds staleness. Models the
+    /// common deployment where invalidation is unavailable; costs more
+    /// memory (duplication across servers) and serves boundedly-stale data.
+    LinkedTtl,
+}
+
+impl ArchKind {
+    pub const ALL: [ArchKind; 6] = [
+        ArchKind::Base,
+        ArchKind::Remote,
+        ArchKind::Linked,
+        ArchKind::LinkedVersion,
+        ArchKind::LeaseOwned,
+        ArchKind::LinkedTtl,
+    ];
+
+    /// The four the paper evaluates (Figures 4–7).
+    pub const PAPER: [ArchKind; 4] = [
+        ArchKind::Base,
+        ArchKind::Remote,
+        ArchKind::Linked,
+        ArchKind::LinkedVersion,
+    ];
+
+    pub const fn label(self) -> &'static str {
+        match self {
+            ArchKind::Base => "base",
+            ArchKind::Remote => "remote",
+            ArchKind::Linked => "linked",
+            ArchKind::LinkedVersion => "linked+version",
+            ArchKind::LeaseOwned => "lease-owned",
+            ArchKind::LinkedTtl => "linked+ttl",
+        }
+    }
+
+    /// Whether this architecture deploys an app-side (linked) cache.
+    pub const fn has_linked_cache(self) -> bool {
+        matches!(
+            self,
+            ArchKind::Linked
+                | ArchKind::LinkedVersion
+                | ArchKind::LeaseOwned
+                | ArchKind::LinkedTtl
+        )
+    }
+
+    /// Whether the linked cache is sharded by key ownership (one copy
+    /// cluster-wide) or replicated per server (TTL-freshness deployments).
+    pub const fn linked_cache_is_sharded(self) -> bool {
+        !matches!(self, ArchKind::LinkedTtl)
+    }
+
+    /// Whether reads are linearizable under this architecture.
+    pub const fn is_consistent(self) -> bool {
+        matches!(
+            self,
+            ArchKind::Base | ArchKind::LinkedVersion | ArchKind::LeaseOwned
+        )
+    }
+}
+
+impl std::fmt::Display for ArchKind {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.write_str(self.label())
+    }
+}
+
+/// Application-server CPU cost constants (calibrated alongside
+/// [`storekit::cost::StorageCostConfig`]; see DESIGN.md §5).
+#[derive(Debug, Clone, Copy, Serialize, Deserialize)]
+pub struct AppCostConfig {
+    /// Handling one client request/response pair (socket + framing).
+    pub client_rpc_fixed_us: f64,
+    /// Per byte of response streamed to the client.
+    pub client_rpc_per_byte_ns: f64,
+    /// Proto-style (de)serialization of *storage/cache responses* into
+    /// application objects, per byte per direction. Responses to the end
+    /// client are covered by `client_rpc_per_byte_ns` instead (they stream
+    /// the already-encoded representation).
+    pub serialize_per_byte_ns: f64,
+    /// Fixed cost of one serialization/deserialization call.
+    pub serialize_fixed_us: f64,
+    /// Preparing and issuing a request to a remote tier (cache or storage).
+    pub request_prep_us: f64,
+    /// RPC stack cost per message side (app ↔ remote cache).
+    pub rpc_fixed_us: f64,
+    pub rpc_per_byte_ns: f64,
+    /// A linked-cache lookup (hash + policy touch), no serialization.
+    pub local_cache_op_us: f64,
+    /// Remote cache server's per-operation cost (lookup/insert bookkeeping).
+    pub cache_server_op_us: f64,
+    /// Rich-object assembly: per constituent query result folded in.
+    pub object_assemble_per_part_us: f64,
+    /// Rich-object assembly: per byte of object material handled.
+    pub object_assemble_per_byte_ns: f64,
+    /// Validating a local ownership lease (LeaseOwned reads).
+    pub lease_validate_us: f64,
+}
+
+impl Default for AppCostConfig {
+    fn default() -> Self {
+        AppCostConfig {
+            client_rpc_fixed_us: 105.0,
+            client_rpc_per_byte_ns: 0.13,
+            serialize_per_byte_ns: 0.4,
+            serialize_fixed_us: 2.0,
+            request_prep_us: 45.0,
+            rpc_fixed_us: 35.0,
+            rpc_per_byte_ns: 0.9,
+            local_cache_op_us: 1.2,
+            cache_server_op_us: 6.0,
+            object_assemble_per_part_us: 6.0,
+            object_assemble_per_byte_ns: 0.3,
+            lease_validate_us: 0.4,
+        }
+    }
+}
+
+impl AppCostConfig {
+    /// (De)serialization of `bytes` in one direction.
+    pub fn serialize_cost(&self, bytes: u64) -> SimDuration {
+        SimDuration::from_micros_f64(
+            self.serialize_fixed_us + self.serialize_per_byte_ns * bytes as f64 / 1e3,
+        )
+    }
+
+    /// One RPC message side of `bytes` between app and a remote tier.
+    pub fn rpc_side_cost(&self, bytes: u64) -> SimDuration {
+        SimDuration::from_micros_f64(self.rpc_fixed_us + self.rpc_per_byte_ns * bytes as f64 / 1e3)
+    }
+
+    /// Serving `bytes` back to the end client.
+    pub fn client_reply_cost(&self, bytes: u64) -> SimDuration {
+        SimDuration::from_micros_f64(
+            self.client_rpc_fixed_us + self.client_rpc_per_byte_ns * bytes as f64 / 1e3,
+        )
+    }
+}
+
+/// Full deployment shape.
+#[derive(Debug, Clone)]
+pub struct DeploymentConfig {
+    pub arch: ArchKind,
+    /// Application server count.
+    pub app_servers: usize,
+    /// Linked-cache capacity per app server, bytes (the paper provisions
+    /// 6 GB per app server, §5.1). Ignored by Base/Remote.
+    pub linked_cache_bytes_per_server: u64,
+    /// Remote cache node count (Remote only).
+    pub remote_cache_nodes: usize,
+    /// Remote cache capacity per node, bytes.
+    pub remote_cache_bytes_per_node: u64,
+    /// Non-cache memory provisioned per app server (runtime heap).
+    pub app_base_mem_bytes: u64,
+    /// Eviction policy for the external caches (LRU in the paper; the
+    /// eviction ablation sweeps the rest).
+    pub cache_policy: cachekit::PolicyKind,
+    /// Time-to-live for LinkedTtl cache entries (bounds staleness).
+    pub linked_ttl: SimDuration,
+    /// Enable TinyLFU admission on the external caches (scan resistance;
+    /// off by default to match the paper's plain-LRU deployments).
+    pub cache_admission: bool,
+    pub app_cost: AppCostConfig,
+    pub cluster: ClusterConfig,
+    /// Deterministic seed for the deployment's internals.
+    pub seed: u64,
+}
+
+impl DeploymentConfig {
+    /// The paper's §5.1 shape: 3 app servers with 6 GB cache each, 3 TiDB +
+    /// 3 TiKV pods (15 GB each), remote tier sized like the linked tier.
+    pub fn paper(arch: ArchKind) -> Self {
+        DeploymentConfig {
+            arch,
+            app_servers: 3,
+            linked_cache_bytes_per_server: 6 << 30,
+            remote_cache_nodes: 3,
+            remote_cache_bytes_per_node: 6 << 30,
+            app_base_mem_bytes: 2 << 30,
+            cache_policy: cachekit::PolicyKind::Lru,
+            linked_ttl: SimDuration::from_secs(1),
+            cache_admission: false,
+            app_cost: AppCostConfig::default(),
+            cluster: ClusterConfig::default(),
+            seed: 42,
+        }
+    }
+
+    /// A small shape for unit tests: tiny caches force evictions, and the
+    /// fixed memory footprint shrinks so that per-request compute (the
+    /// quantity under test) dominates total cost as it does in the paper's
+    /// high-QPS regime.
+    pub fn test_small(arch: ArchKind) -> Self {
+        let mut cfg = Self::paper(arch);
+        cfg.app_servers = 2;
+        cfg.linked_cache_bytes_per_server = 1 << 20;
+        cfg.remote_cache_nodes = 2;
+        cfg.remote_cache_bytes_per_node = 1 << 20;
+        cfg.app_base_mem_bytes = 256 << 20;
+        cfg.cluster.regions = 4;
+        cfg.cluster.block_cache_bytes = 4 << 20;
+        cfg.cluster.base_mem_bytes = 256 << 20;
+        cfg.cluster.frontend_mem_bytes = 256 << 20;
+        cfg
+    }
+
+    /// Total linked-cache capacity across the app tier.
+    pub fn total_linked_bytes(&self) -> u64 {
+        if self.arch.has_linked_cache() {
+            self.linked_cache_bytes_per_server * self.app_servers as u64
+        } else {
+            0
+        }
+    }
+
+    /// Total remote-cache capacity.
+    pub fn total_remote_bytes(&self) -> u64 {
+        if self.arch == ArchKind::Remote {
+            self.remote_cache_bytes_per_node * self.remote_cache_nodes as u64
+        } else {
+            0
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn arch_properties() {
+        assert!(!ArchKind::Base.has_linked_cache());
+        assert!(ArchKind::Linked.has_linked_cache());
+        assert!(ArchKind::LinkedVersion.is_consistent());
+        assert!(ArchKind::LeaseOwned.is_consistent());
+        assert!(!ArchKind::Linked.is_consistent());
+        assert!(ArchKind::Base.is_consistent(), "reading storage is linearizable");
+        assert!(!ArchKind::LinkedTtl.is_consistent());
+        assert!(ArchKind::LinkedTtl.has_linked_cache());
+        assert!(!ArchKind::LinkedTtl.linked_cache_is_sharded());
+        assert!(ArchKind::Linked.linked_cache_is_sharded());
+        assert_eq!(ArchKind::PAPER.len(), 4);
+    }
+
+    #[test]
+    fn cost_helpers_scale_with_bytes() {
+        let c = AppCostConfig::default();
+        assert!(c.serialize_cost(1 << 20) > c.serialize_cost(1 << 10));
+        assert!(c.rpc_side_cost(0) >= SimDuration::from_micros(8));
+        assert!(c.client_reply_cost(1_000_000) > c.client_reply_cost(0));
+    }
+
+    #[test]
+    fn paper_shape_matches_section_5_1() {
+        let d = DeploymentConfig::paper(ArchKind::Linked);
+        assert_eq!(d.app_servers, 3);
+        assert_eq!(d.linked_cache_bytes_per_server, 6 << 30);
+        assert_eq!(d.cluster.frontends, 3);
+        assert_eq!(d.cluster.storage_nodes, 3);
+        assert_eq!(d.total_linked_bytes(), 18 << 30);
+        assert_eq!(d.total_remote_bytes(), 0);
+    }
+
+    #[test]
+    fn capacity_accessors_respect_arch() {
+        let base = DeploymentConfig::paper(ArchKind::Base);
+        assert_eq!(base.total_linked_bytes(), 0);
+        let remote = DeploymentConfig::paper(ArchKind::Remote);
+        assert_eq!(remote.total_remote_bytes(), 18 << 30);
+        assert_eq!(remote.total_linked_bytes(), 0);
+    }
+}

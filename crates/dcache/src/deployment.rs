@@ -1,0 +1,973 @@
+//! A deployed service: app servers + (maybe) a cache tier + the database.
+//!
+//! [`Deployment::serve_kv_read`] / [`serve_kv_write`](Deployment::serve_kv_write)
+//! implement the §2.4 serving paths, charging CPU to the tier that does each
+//! piece of work:
+//!
+//! ```text
+//! Base:           client → app ───────────────→ SQL frontend → storage
+//! Remote:         client → app → cache server ↘ (miss) ──────→ …
+//! Linked:         client → app(owner shard) cache hit | miss → …
+//! Linked+Version: client → app cache hit + version check ────→ …
+//! LeaseOwned:     client → app cache hit + local lease check
+//! ```
+//!
+//! Every path ends with the app serializing the response to the client —
+//! that cost is common to all architectures; what differs is the storage-
+//! and cache-side work, which is exactly the paper's point.
+
+use crate::config::{ArchKind, DeploymentConfig};
+use crate::lease::AutoSharder;
+use cachekit::Cache;
+use simnet::{CpuCategory, CpuMeter, SimDuration, SimTime};
+use storekit::cluster::{QueryReceipt, SqlCluster};
+use storekit::error::StoreResult;
+use storekit::schema::Catalog;
+use storekit::value::Datum;
+
+/// What the cache stores per key: enough to serve (and verify) a value
+/// without materializing payload bytes.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct CachedVal {
+    /// MVCC version of the row this value came from.
+    pub version: u64,
+    /// Logical value size (drives serving costs and cache charge).
+    pub bytes: u64,
+    /// Content identity (Payload seed), used by staleness checks.
+    pub seed: u64,
+}
+
+/// Per-request outcome, consumed by the experiment runner.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct ServeOutcome {
+    pub latency: SimDuration,
+    /// Whether an external cache (remote or linked) served the value.
+    pub cache_hit: bool,
+    /// Logical bytes returned to the client.
+    pub bytes: u64,
+    /// Content identity of the served value (None for writes/missing keys).
+    pub seed: Option<u64>,
+    /// MVCC version served or written.
+    pub version: Option<u64>,
+    /// Version-check round trips performed.
+    pub version_checks: u64,
+    /// SQL statements executed against the database.
+    pub sql_statements: u64,
+    /// True when the key was not found anywhere.
+    pub not_found: bool,
+}
+
+/// One deployed architecture.
+pub struct Deployment {
+    pub config: DeploymentConfig,
+    pub cluster: SqlCluster,
+    /// CPU meters, one per app server.
+    pub app_cpu: Vec<CpuMeter>,
+    /// CPU meters, one per remote cache node (empty unless Remote).
+    pub cache_cpu: Vec<CpuMeter>,
+    /// Linked cache shards, one per app server (linked-family archs).
+    pub(crate) linked: Vec<Cache<Vec<u8>, CachedVal>>,
+    /// Remote cache nodes (Remote only).
+    pub(crate) remote: Vec<Cache<Vec<u8>, CachedVal>>,
+    /// Key → shard routing for both cache families, plus lease state.
+    pub sharder: AutoSharder,
+    remote_ring: cachekit::HashRing,
+    /// Round-robin app-server pointer for unsharded request routing.
+    rr: usize,
+}
+
+impl Deployment {
+    /// Build a deployment serving data described by `catalog`.
+    pub fn new(config: DeploymentConfig, catalog: Catalog) -> Self {
+        let cluster = SqlCluster::new(catalog, config.cluster.clone());
+        let build_cache = |capacity: u64| {
+            let cache = Cache::new(capacity, config.cache_policy);
+            if config.cache_admission {
+                // Sketch sized for entries of ~1 KB and up; smaller entries
+                // just share counters a little more.
+                cache.with_tinylfu((capacity / 1024).clamp(1_024, 4 << 20) as usize)
+            } else {
+                cache
+            }
+        };
+        let linked = if config.arch.has_linked_cache() {
+            (0..config.app_servers)
+                .map(|_| build_cache(config.linked_cache_bytes_per_server))
+                .collect()
+        } else {
+            Vec::new()
+        };
+        let remote = if config.arch == ArchKind::Remote {
+            (0..config.remote_cache_nodes)
+                .map(|_| build_cache(config.remote_cache_bytes_per_node))
+                .collect()
+        } else {
+            Vec::new()
+        };
+        let sharder = AutoSharder::new(
+            config.app_servers as u32,
+            SimDuration::from_secs(10),
+            SimTime::ZERO,
+        );
+        let remote_ring =
+            cachekit::HashRing::with_shards(config.remote_cache_nodes.max(1) as u32, 128);
+        Deployment {
+            app_cpu: (0..config.app_servers).map(|_| CpuMeter::new()).collect(),
+            cache_cpu: (0..config.remote_cache_nodes)
+                .map(|_| CpuMeter::new())
+                .collect(),
+            linked,
+            remote,
+            sharder,
+            remote_ring,
+            rr: 0,
+            cluster,
+            config,
+        }
+    }
+
+    /// Reset all CPU meters and cache statistics (between warmup and
+    /// measurement); cached data stays resident.
+    pub fn reset_metrics(&mut self) {
+        for m in &mut self.app_cpu {
+            m.reset();
+        }
+        for m in &mut self.cache_cpu {
+            m.reset();
+        }
+        for c in &mut self.linked {
+            c.reset_stats();
+        }
+        for c in &mut self.remote {
+            c.reset_stats();
+        }
+        self.cluster.reset_metrics();
+    }
+
+    /// Aggregate linked-cache statistics.
+    pub fn linked_stats(&self) -> cachekit::CacheStats {
+        let mut s = cachekit::CacheStats::default();
+        for c in &self.linked {
+            s += *c.stats();
+        }
+        s
+    }
+
+    /// Aggregate remote-cache statistics.
+    pub fn remote_stats(&self) -> cachekit::CacheStats {
+        let mut s = cachekit::CacheStats::default();
+        for c in &self.remote {
+            s += *c.stats();
+        }
+        s
+    }
+
+    /// Bytes currently resident in the external caches.
+    pub fn cache_resident_bytes(&self) -> u64 {
+        self.linked.iter().map(|c| c.used_bytes()).sum::<u64>()
+            + self.remote.iter().map(|c| c.used_bytes()).sum::<u64>()
+    }
+
+    pub(crate) fn cache_key(table: &str, key: i64) -> Vec<u8> {
+        let mut k = Vec::with_capacity(table.len() + 9);
+        k.extend_from_slice(table.as_bytes());
+        k.push(b'/');
+        k.extend_from_slice(&key.to_be_bytes());
+        k
+    }
+
+    /// The app server handling this request: the shard owner for sharded
+    /// linked architectures (Slicer-style client routing), round-robin
+    /// otherwise — including LinkedTtl, where every server caches its own
+    /// replica of whatever it serves.
+    pub(crate) fn route_app(&mut self, cache_key: &[u8]) -> usize {
+        if self.config.arch.has_linked_cache() && self.config.arch.linked_cache_is_sharded() {
+            self.sharder.owner(cache_key) as usize % self.config.app_servers
+        } else {
+            self.rr = self.rr.wrapping_add(1);
+            self.rr % self.config.app_servers
+        }
+    }
+
+    pub(crate) fn charge_app(&mut self, app: usize, cat: CpuCategory, cost: SimDuration) {
+        self.app_cpu[app].charge(cat, cost);
+    }
+
+    /// App-side costs of one database statement round trip.
+    pub(crate) fn charge_app_db_rpc(&mut self, app: usize, receipt: &QueryReceipt) -> SimDuration {
+        let cost = &self.config.app_cost;
+        let prep = SimDuration::from_micros_f64(cost.request_prep_us);
+        let rpc = cost.rpc_side_cost(receipt.request_bytes)
+            + cost.rpc_side_cost(receipt.response_bytes);
+        let deser = cost.serialize_cost(receipt.response_bytes);
+        self.charge_app(app, CpuCategory::AppLogic, prep);
+        self.charge_app(app, CpuCategory::RpcStack, rpc);
+        self.charge_app(app, CpuCategory::Serialization, deser);
+        let link = &self.config.cluster.link;
+        prep + rpc
+            + deser
+            + link.delivery_time(receipt.request_bytes)
+            + link.delivery_time(receipt.response_bytes)
+            + receipt.latency
+    }
+
+    /// The common tail: serve `bytes` back to the client. Framing and copy
+    /// costs are folded into `client_rpc_per_byte_ns`; no proto re-encode is
+    /// charged because responses stream the stored representation.
+    pub(crate) fn charge_client_reply(&mut self, app: usize, bytes: u64) -> SimDuration {
+        let comm = self.config.app_cost.client_reply_cost(bytes);
+        self.charge_app(app, CpuCategory::ClientComm, comm);
+        comm + self.config.cluster.link.delivery_time(bytes)
+    }
+
+    /// Fetch `(value, version)` from the database through the SQL path.
+    pub(crate) fn storage_read(
+        &mut self,
+        app: usize,
+        table: &str,
+        key: i64,
+        now: SimTime,
+    ) -> StoreResult<(Option<CachedVal>, SimDuration, QueryReceipt)> {
+        let sql = format!("SELECT v, _version FROM {table} WHERE k = ?");
+        let receipt = self.cluster.execute(&sql, &[Datum::Int(key)], now)?;
+        let latency = self.charge_app_db_rpc(app, &receipt);
+        let val = receipt.rows.first().map(|row| {
+            let (bytes, seed) = payload_identity(row.get(0).unwrap_or(&Datum::Null));
+            let version = row.get(1).and_then(|d| d.as_int()).unwrap_or(0) as u64;
+            CachedVal {
+                version,
+                bytes,
+                seed,
+            }
+        });
+        Ok((val, latency, receipt))
+    }
+
+    /// Write `value` under `key` through the SQL path.
+    pub(crate) fn storage_write(
+        &mut self,
+        app: usize,
+        table: &str,
+        key: i64,
+        value: Datum,
+        now: SimTime,
+    ) -> StoreResult<(CachedVal, SimDuration)> {
+        let (bytes, seed) = payload_identity(&value);
+        // The app serializes the value into the write request.
+        let ser = self.config.app_cost.serialize_cost(bytes);
+        self.charge_app(app, CpuCategory::Serialization, ser);
+        let sql = format!("REPLACE INTO {table} VALUES (?, ?)");
+        let receipt = self.cluster.execute(&sql, &[Datum::Int(key), value], now)?;
+        let latency = ser + self.charge_app_db_rpc(app, &receipt);
+        let version = receipt.write_version.unwrap_or(0);
+        Ok((
+            CachedVal {
+                version,
+                bytes,
+                seed,
+            },
+            latency,
+        ))
+    }
+
+    /// Remote-cache lookup: returns the value if cached, charging both the
+    /// app side and the cache node. `resp_bytes` covers hit and miss sizes.
+    pub(crate) fn remote_lookup(
+        &mut self,
+        app: usize,
+        cache_key: &[u8],
+        now: SimTime,
+    ) -> (Option<CachedVal>, SimDuration) {
+        let node = self.remote_ring.shard_for(cache_key).unwrap_or(0) as usize
+            % self.remote.len().max(1);
+        let found = self.remote[node].get(cache_key, now.as_nanos()).copied();
+        let resp_bytes = found.map(|v| v.bytes).unwrap_or(8);
+        let cost = self.config.app_cost;
+        let app_rpc = cost.rpc_side_cost(32) + cost.rpc_side_cost(resp_bytes);
+        let node_rpc = app_rpc;
+        let op = SimDuration::from_micros_f64(cost.cache_server_op_us);
+        let deser = if found.is_some() {
+            cost.serialize_cost(resp_bytes)
+        } else {
+            SimDuration::ZERO
+        };
+        self.charge_app(app, CpuCategory::RpcStack, app_rpc);
+        self.charge_app(app, CpuCategory::Serialization, deser);
+        self.cache_cpu[node].charge(CpuCategory::RpcStack, node_rpc);
+        self.cache_cpu[node].charge(CpuCategory::CacheOp, op);
+        let link = &self.config.cluster.link;
+        let latency = app_rpc
+            + node_rpc
+            + op
+            + deser
+            + link.delivery_time(32)
+            + link.delivery_time(resp_bytes);
+        (found, latency)
+    }
+
+    /// Remote-cache fill or invalidation (value = None ⇒ delete).
+    pub(crate) fn remote_update(
+        &mut self,
+        app: usize,
+        cache_key: &[u8],
+        value: Option<CachedVal>,
+        now: SimTime,
+    ) -> SimDuration {
+        let node = self.remote_ring.shard_for(cache_key).unwrap_or(0) as usize
+            % self.remote.len().max(1);
+        let bytes = value.map(|v| v.bytes).unwrap_or(0);
+        let cost = self.config.app_cost;
+        let app_rpc = cost.rpc_side_cost(32 + bytes) + cost.rpc_side_cost(8);
+        let ser = if value.is_some() {
+            cost.serialize_cost(bytes)
+        } else {
+            SimDuration::ZERO
+        };
+        let node_rpc = app_rpc;
+        let op = SimDuration::from_micros_f64(cost.cache_server_op_us);
+        self.charge_app(app, CpuCategory::RpcStack, app_rpc);
+        self.charge_app(app, CpuCategory::Serialization, ser);
+        self.cache_cpu[node].charge(CpuCategory::RpcStack, node_rpc);
+        self.cache_cpu[node].charge(CpuCategory::CacheOp, op);
+        match value {
+            Some(v) => {
+                self.remote[node].insert(cache_key.to_vec(), v, v.bytes, now.as_nanos());
+            }
+            None => {
+                self.remote[node].remove(cache_key);
+            }
+        }
+        let link = &self.config.cluster.link;
+        app_rpc + ser + node_rpc + op + link.delivery_time(32 + bytes) + link.delivery_time(8)
+    }
+
+    /// Linked-cache op on `shard` (lookup cost model; no serialization).
+    pub(crate) fn charge_linked_op(&mut self, app: usize) -> SimDuration {
+        let op = SimDuration::from_micros_f64(self.config.app_cost.local_cache_op_us);
+        self.charge_app(app, CpuCategory::CacheOp, op);
+        op
+    }
+
+    /// Serve one read. See module docs for the per-architecture paths.
+    pub fn serve_kv_read(
+        &mut self,
+        table: &str,
+        key: i64,
+        now: SimTime,
+    ) -> StoreResult<ServeOutcome> {
+        let ckey = Self::cache_key(table, key);
+        let app = self.route_app(&ckey);
+        let mut out = ServeOutcome::default();
+
+        match self.config.arch {
+            ArchKind::Base => {
+                let (val, lat, _r) = self.storage_read(app, table, key, now)?;
+                out.sql_statements += 1;
+                out.latency += lat;
+                self.finish_read(app, val, &mut out);
+            }
+            ArchKind::Remote => {
+                let (hit, lat) = self.remote_lookup(app, &ckey, now);
+                out.latency += lat;
+                match hit {
+                    Some(v) => {
+                        out.cache_hit = true;
+                        self.finish_read(app, Some(v), &mut out);
+                    }
+                    None => {
+                        let (val, lat, _r) = self.storage_read(app, table, key, now)?;
+                        out.sql_statements += 1;
+                        out.latency += lat;
+                        if let Some(v) = val {
+                            out.latency += self.remote_update(app, &ckey, Some(v), now);
+                        }
+                        self.finish_read(app, val, &mut out);
+                    }
+                }
+            }
+            ArchKind::Linked => {
+                out.latency += self.charge_linked_op(app);
+                let hit = self.linked[app].get(&ckey, now.as_nanos()).copied();
+                match hit {
+                    Some(v) => {
+                        out.cache_hit = true;
+                        self.finish_read(app, Some(v), &mut out);
+                    }
+                    None => {
+                        let (val, lat, _r) = self.storage_read(app, table, key, now)?;
+                        out.sql_statements += 1;
+                        out.latency += lat;
+                        if let Some(v) = val {
+                            self.linked[app].insert(ckey, v, v.bytes, now.as_nanos());
+                        }
+                        self.finish_read(app, val, &mut out);
+                    }
+                }
+            }
+            ArchKind::LinkedTtl => {
+                // Unsharded per-server cache: this server may hold a stale
+                // replica (another server wrote since). TTL bounds the
+                // staleness window; expiry shows up as a miss.
+                out.latency += self.charge_linked_op(app);
+                let hit = self.linked[app].get(&ckey, now.as_nanos()).copied();
+                match hit {
+                    Some(v) => {
+                        out.cache_hit = true;
+                        self.finish_read(app, Some(v), &mut out);
+                    }
+                    None => {
+                        let (val, lat, _r) = self.storage_read(app, table, key, now)?;
+                        out.sql_statements += 1;
+                        out.latency += lat;
+                        if let Some(v) = val {
+                            let ttl = self.config.linked_ttl.as_nanos();
+                            self.linked[app].insert_with_ttl(
+                                ckey,
+                                v,
+                                v.bytes,
+                                now.as_nanos(),
+                                ttl,
+                            );
+                        }
+                        self.finish_read(app, val, &mut out);
+                    }
+                }
+            }
+            ArchKind::LinkedVersion => {
+                out.latency += self.charge_linked_op(app);
+                let hit = self.linked[app].get(&ckey, now.as_nanos()).copied();
+                match hit {
+                    Some(v) => {
+                        // §5.5: a consistent read must verify the version in
+                        // storage before returning the cached value.
+                        let (latest, lat) = self.version_check(app, table, key, now)?;
+                        out.version_checks += 1;
+                        out.sql_statements += 1;
+                        out.latency += lat;
+                        if latest == Some(v.version) {
+                            out.cache_hit = true;
+                            self.finish_read(app, Some(v), &mut out);
+                        } else {
+                            // Stale (or deleted): refresh from storage.
+                            self.linked[app].remove(&ckey);
+                            let (val, lat, _r) = self.storage_read(app, table, key, now)?;
+                            out.sql_statements += 1;
+                            out.latency += lat;
+                            if let Some(fresh) = val {
+                                self.linked[app].insert(ckey, fresh, fresh.bytes, now.as_nanos());
+                            }
+                            self.finish_read(app, val, &mut out);
+                        }
+                    }
+                    None => {
+                        let (val, lat, _r) = self.storage_read(app, table, key, now)?;
+                        out.sql_statements += 1;
+                        out.latency += lat;
+                        if let Some(v) = val {
+                            self.linked[app].insert(ckey, v, v.bytes, now.as_nanos());
+                        }
+                        self.finish_read(app, val, &mut out);
+                    }
+                }
+            }
+            ArchKind::LeaseOwned => {
+                let shard = self.sharder.owner(&ckey);
+                let lease_cost =
+                    SimDuration::from_micros_f64(self.config.app_cost.lease_validate_us);
+                self.charge_app(app, CpuCategory::TxnLease, lease_cost);
+                out.latency += lease_cost;
+                out.latency += self.charge_linked_op(app);
+                let lease_ok = self.sharder.lease_valid(shard, now);
+                let hit = self.linked[app].get(&ckey, now.as_nanos()).copied();
+                match hit {
+                    Some(v) if lease_ok => {
+                        // Ownership makes the cached value linearizable
+                        // without any storage contact.
+                        out.cache_hit = true;
+                        self.finish_read(app, Some(v), &mut out);
+                    }
+                    Some(v) => {
+                        // Lease lapsed: fall back to a version check, then
+                        // renew the lease.
+                        let (latest, lat) = self.version_check(app, table, key, now)?;
+                        out.version_checks += 1;
+                        out.sql_statements += 1;
+                        out.latency += lat;
+                        self.sharder.renew(shard, now);
+                        if latest == Some(v.version) {
+                            out.cache_hit = true;
+                            self.finish_read(app, Some(v), &mut out);
+                        } else {
+                            self.linked[app].remove(&ckey);
+                            let (val, lat, _r) = self.storage_read(app, table, key, now)?;
+                            out.sql_statements += 1;
+                            out.latency += lat;
+                            if let Some(fresh) = val {
+                                self.linked[app].insert(ckey, fresh, fresh.bytes, now.as_nanos());
+                            }
+                            self.finish_read(app, val, &mut out);
+                        }
+                    }
+                    None => {
+                        let (val, lat, _r) = self.storage_read(app, table, key, now)?;
+                        out.sql_statements += 1;
+                        out.latency += lat;
+                        if !lease_ok {
+                            self.sharder.renew(shard, now);
+                        }
+                        if let Some(v) = val {
+                            self.linked[app].insert(ckey, v, v.bytes, now.as_nanos());
+                        }
+                        self.finish_read(app, val, &mut out);
+                    }
+                }
+            }
+        }
+        Ok(out)
+    }
+
+    /// The §5.5 version check plus the app-side RPC around it.
+    pub(crate) fn version_check(
+        &mut self,
+        app: usize,
+        table: &str,
+        key: i64,
+        now: SimTime,
+    ) -> StoreResult<(Option<u64>, SimDuration)> {
+        let (version, receipt) = self.cluster.version_check(table, &Datum::Int(key), now)?;
+        let latency = self.charge_app_db_rpc(app, &receipt);
+        Ok((version, latency))
+    }
+
+    pub(crate) fn finish_read(&mut self, app: usize, val: Option<CachedVal>, out: &mut ServeOutcome) {
+        match val {
+            Some(v) => {
+                out.bytes = v.bytes;
+                out.seed = Some(v.seed);
+                out.version = Some(v.version);
+                out.latency += self.charge_client_reply(app, v.bytes);
+            }
+            None => {
+                out.not_found = true;
+                out.latency += self.charge_client_reply(app, 0);
+            }
+        }
+    }
+
+    /// Serve one write: write-through to storage, then per-architecture
+    /// cache maintenance (update linked shards, invalidate remote entries).
+    pub fn serve_kv_write(
+        &mut self,
+        table: &str,
+        key: i64,
+        value: Datum,
+        now: SimTime,
+    ) -> StoreResult<ServeOutcome> {
+        let ckey = Self::cache_key(table, key);
+        let app = self.route_app(&ckey);
+        let mut out = ServeOutcome::default();
+
+        if self.config.arch == ArchKind::LeaseOwned {
+            // The owner validates its own lease/epoch before accepting the
+            // write (fencing is enforced at commit; see `consistency`).
+            let lease_cost = SimDuration::from_micros_f64(self.config.app_cost.lease_validate_us);
+            self.charge_app(app, CpuCategory::TxnLease, lease_cost);
+            out.latency += lease_cost;
+        }
+
+        let (written, lat) = self.storage_write(app, table, key, value, now)?;
+        out.sql_statements += 1;
+        out.latency += lat;
+        out.version = Some(written.version);
+        out.bytes = written.bytes;
+
+        match self.config.arch {
+            ArchKind::Base => {}
+            ArchKind::Remote => {
+                // Classic lookaside: invalidate after write; the next read
+                // misses and refills.
+                out.latency += self.remote_update(app, &ckey, None, now);
+            }
+            ArchKind::Linked | ArchKind::LinkedVersion | ArchKind::LeaseOwned => {
+                // The owner shard updates its copy in place.
+                out.latency += self.charge_linked_op(app);
+                self.linked[app].insert(ckey, written, written.bytes, now.as_nanos());
+            }
+            ArchKind::LinkedTtl => {
+                // Only the server that handled the write refreshes its
+                // replica; other servers keep serving their cached copy
+                // until the TTL expires — the staleness the TTL bounds.
+                out.latency += self.charge_linked_op(app);
+                let ttl = self.config.linked_ttl.as_nanos();
+                self.linked[app].insert_with_ttl(ckey, written, written.bytes, now.as_nanos(), ttl);
+            }
+        }
+        // Ack to the client.
+        out.latency += self.charge_client_reply(app, 16);
+        Ok(out)
+    }
+
+    /// Serve one delete: remove from storage, then per-architecture cache
+    /// maintenance (sessions and other lifecycle-heavy services need this).
+    pub fn serve_kv_delete(
+        &mut self,
+        table: &str,
+        key: i64,
+        now: SimTime,
+    ) -> StoreResult<ServeOutcome> {
+        let ckey = Self::cache_key(table, key);
+        let app = self.route_app(&ckey);
+        let mut out = ServeOutcome::default();
+
+        if self.config.arch == ArchKind::LeaseOwned {
+            let lease_cost = SimDuration::from_micros_f64(self.config.app_cost.lease_validate_us);
+            self.charge_app(app, CpuCategory::TxnLease, lease_cost);
+            out.latency += lease_cost;
+        }
+
+        let sql = format!("DELETE FROM {table} WHERE k = ?");
+        let receipt = self.cluster.execute(&sql, &[Datum::Int(key)], now)?;
+        out.sql_statements += 1;
+        out.version = receipt.write_version;
+        out.latency += self.charge_app_db_rpc(app, &receipt);
+
+        match self.config.arch {
+            ArchKind::Base => {}
+            ArchKind::Remote => {
+                out.latency += self.remote_update(app, &ckey, None, now);
+            }
+            ArchKind::Linked
+            | ArchKind::LinkedVersion
+            | ArchKind::LeaseOwned
+            | ArchKind::LinkedTtl => {
+                out.latency += self.charge_linked_op(app);
+                self.linked[app].remove(&ckey);
+            }
+        }
+        out.latency += self.charge_client_reply(app, 16);
+        Ok(out)
+    }
+
+    /// Total app-tier CPU.
+    pub fn app_cpu_total(&self) -> CpuMeter {
+        let mut m = CpuMeter::new();
+        for a in &self.app_cpu {
+            m.merge(a);
+        }
+        m
+    }
+
+    /// Total remote-cache-tier CPU.
+    pub fn cache_cpu_total(&self) -> CpuMeter {
+        let mut m = CpuMeter::new();
+        for c in &self.cache_cpu {
+            m.merge(c);
+        }
+        m
+    }
+}
+
+/// `(logical bytes, content identity)` of a stored value datum.
+fn payload_identity(d: &Datum) -> (u64, u64) {
+    match d {
+        Datum::Payload { len, seed } => (*len, *seed),
+        other => {
+            let bytes = other.encoded_size().saturating_sub(1);
+            (bytes, cachekit::ring::stable_hash(format!("{other}").as_bytes()))
+        }
+    }
+}
+
+/// Build the `kv`-style catalog used by the KV experiments: one table with
+/// an integer key and a bytes value.
+pub fn kv_catalog(table: &str) -> Catalog {
+    use storekit::schema::{ColumnDef, ColumnType, TableSchema};
+    let mut c = Catalog::new();
+    c.add(
+        TableSchema::new(
+            table,
+            vec![
+                ColumnDef::new("k", ColumnType::Int),
+                ColumnDef::new("v", ColumnType::Bytes),
+            ],
+            "k",
+            &[],
+        )
+        .expect("static schema"),
+    );
+    c
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::config::DeploymentConfig;
+
+    fn t(us: u64) -> SimTime {
+        SimTime::from_nanos(us * 1_000)
+    }
+
+    fn deployment(arch: ArchKind) -> Deployment {
+        let mut d = Deployment::new(DeploymentConfig::test_small(arch), kv_catalog("kv"));
+        d.cluster
+            .bulk_load(
+                "kv",
+                (0..100i64).map(|k| {
+                    vec![
+                        Datum::Int(k),
+                        Datum::Payload { len: 1000, seed: 0 },
+                    ]
+                }),
+            )
+            .unwrap();
+        d
+    }
+
+    #[test]
+    fn every_arch_serves_reads_and_writes() {
+        for arch in ArchKind::ALL {
+            let mut d = deployment(arch);
+            let r = d.serve_kv_read("kv", 5, t(1)).unwrap();
+            assert_eq!(r.bytes, 1000, "{arch}");
+            assert_eq!(r.seed, Some(0), "{arch}");
+            assert!(!r.not_found);
+            assert!(r.latency > SimDuration::ZERO);
+            let w = d
+                .serve_kv_write("kv", 5, Datum::Payload { len: 1000, seed: 7 }, t(2))
+                .unwrap();
+            assert!(w.version.is_some(), "{arch}");
+            let r2 = d.serve_kv_read("kv", 5, t(3)).unwrap();
+            if arch == ArchKind::LinkedTtl {
+                // Unsharded TTL replicas: a different server may serve the
+                // old value until its TTL lapses — bounded staleness.
+                assert!(r2.seed == Some(7) || r2.seed == Some(0), "{arch}");
+            } else {
+                assert_eq!(r2.seed, Some(7), "{arch}: read after write sees new value");
+            }
+        }
+    }
+
+    #[test]
+    fn linked_ttl_staleness_is_bounded_by_the_ttl() {
+        let mut d = deployment(ArchKind::LinkedTtl);
+        let ttl = d.config.linked_ttl;
+        // Warm every server's replica of key 5 (round-robin routing).
+        for i in 0..d.config.app_servers as u64 {
+            d.serve_kv_read("kv", 5, t(i)).unwrap();
+        }
+        // A write through one server leaves the others' replicas stale.
+        let at = t(100);
+        d.serve_kv_write("kv", 5, Datum::Payload { len: 1000, seed: 7 }, at)
+            .unwrap();
+        let mut saw_stale = false;
+        for i in 0..d.config.app_servers as u64 {
+            let r = d.serve_kv_read("kv", 5, at + SimDuration::from_micros(i)).unwrap();
+            saw_stale |= r.seed == Some(0);
+        }
+        assert!(saw_stale, "some replica must still serve the old value");
+        // But strictly after the TTL, every server serves fresh data.
+        let late = at + ttl + SimDuration::from_millis(1);
+        for i in 0..2 * d.config.app_servers as u64 {
+            let r = d.serve_kv_read("kv", 5, late + SimDuration::from_micros(i)).unwrap();
+            assert_eq!(r.seed, Some(7), "staleness must not outlive the TTL");
+        }
+    }
+
+    #[test]
+    fn linked_hits_after_first_read() {
+        let mut d = deployment(ArchKind::Linked);
+        let r1 = d.serve_kv_read("kv", 1, t(1)).unwrap();
+        assert!(!r1.cache_hit);
+        let r2 = d.serve_kv_read("kv", 1, t(2)).unwrap();
+        assert!(r2.cache_hit);
+        assert!(r2.latency < r1.latency, "hits are much faster");
+        assert_eq!(r2.sql_statements, 0, "hit touches no SQL");
+    }
+
+    #[test]
+    fn remote_hits_after_first_read_and_costs_more_than_linked() {
+        let mut dr = deployment(ArchKind::Remote);
+        dr.serve_kv_read("kv", 1, t(1)).unwrap();
+        let remote_hit = dr.serve_kv_read("kv", 1, t(2)).unwrap();
+        assert!(remote_hit.cache_hit);
+
+        let mut dl = deployment(ArchKind::Linked);
+        dl.serve_kv_read("kv", 1, t(1)).unwrap();
+        dl.reset_metrics();
+        dl.serve_kv_read("kv", 1, t(2)).unwrap();
+        let linked_cpu = dl.app_cpu_total().total();
+
+        dr.reset_metrics();
+        dr.serve_kv_read("kv", 1, t(3)).unwrap();
+        let remote_cpu = dr.app_cpu_total().total() + dr.cache_cpu_total().total();
+        assert!(
+            remote_cpu > linked_cpu,
+            "remote hit ({remote_cpu}) must cost more CPU than linked hit ({linked_cpu})"
+        );
+    }
+
+    #[test]
+    fn base_always_touches_sql() {
+        let mut d = deployment(ArchKind::Base);
+        for i in 0..5 {
+            let r = d.serve_kv_read("kv", 1, t(i)).unwrap();
+            assert!(!r.cache_hit);
+            assert_eq!(r.sql_statements, 1);
+        }
+    }
+
+    #[test]
+    fn version_check_detects_external_update() {
+        let mut d = deployment(ArchKind::LinkedVersion);
+        d.serve_kv_read("kv", 9, t(1)).unwrap(); // fill cache
+        // Update storage *behind the cache's back* (bypassing serve paths):
+        d.cluster
+            .execute(
+                "UPDATE kv SET v = ? WHERE k = 9",
+                &[Datum::Payload { len: 1000, seed: 99 }],
+                t(2),
+            )
+            .unwrap();
+        let r = d.serve_kv_read("kv", 9, t(3)).unwrap();
+        assert_eq!(r.seed, Some(99), "version check must catch staleness");
+        assert!(r.version_checks >= 1);
+        assert!(!r.cache_hit, "stale hit is a miss after verification");
+    }
+
+    #[test]
+    fn plain_linked_serves_stale_after_external_update() {
+        // The contrast case: without version checks the linked cache
+        // happily serves the old value — this is the consistency gap the
+        // paper's §5.5 is about.
+        let mut d = deployment(ArchKind::Linked);
+        d.serve_kv_read("kv", 9, t(1)).unwrap();
+        d.cluster
+            .execute(
+                "UPDATE kv SET v = ? WHERE k = 9",
+                &[Datum::Payload { len: 1000, seed: 99 }],
+                t(2),
+            )
+            .unwrap();
+        let r = d.serve_kv_read("kv", 9, t(3)).unwrap();
+        assert_eq!(r.seed, Some(0), "eventual consistency serves stale data");
+        assert!(r.cache_hit);
+    }
+
+    #[test]
+    fn version_checked_hit_costs_more_than_plain_hit() {
+        let mut dv = deployment(ArchKind::LinkedVersion);
+        dv.serve_kv_read("kv", 3, t(1)).unwrap();
+        dv.reset_metrics();
+        let rv = dv.serve_kv_read("kv", 3, t(2)).unwrap();
+        assert!(rv.cache_hit);
+        assert_eq!(rv.version_checks, 1);
+        let checked_cpu = dv.app_cpu_total().total()
+            + dv.cluster.frontend_cpu_total().total()
+            + dv.cluster.storage_cpu_total().total();
+
+        let mut dl = deployment(ArchKind::Linked);
+        dl.serve_kv_read("kv", 3, t(1)).unwrap();
+        dl.reset_metrics();
+        dl.serve_kv_read("kv", 3, t(2)).unwrap();
+        let plain_cpu = dl.app_cpu_total().total()
+            + dl.cluster.frontend_cpu_total().total()
+            + dl.cluster.storage_cpu_total().total();
+        assert!(
+            checked_cpu > plain_cpu * 3,
+            "version check must dominate hit cost: {checked_cpu} vs {plain_cpu}"
+        );
+    }
+
+    #[test]
+    fn lease_owned_hit_skips_storage_entirely() {
+        let mut d = deployment(ArchKind::LeaseOwned);
+        d.sharder.renew_all(t(1));
+        d.serve_kv_read("kv", 3, t(1)).unwrap();
+        d.reset_metrics();
+        let r = d.serve_kv_read("kv", 3, t(2)).unwrap();
+        assert!(r.cache_hit);
+        assert_eq!(r.version_checks, 0, "valid lease elides the check");
+        assert_eq!(r.sql_statements, 0);
+        assert_eq!(d.cluster.storage_cpu_total().total(), SimDuration::ZERO);
+    }
+
+    #[test]
+    fn lease_expiry_falls_back_to_version_check() {
+        let mut d = deployment(ArchKind::LeaseOwned);
+        d.serve_kv_read("kv", 3, t(1)).unwrap();
+        // Let every lease lapse (leases are 10s).
+        let late = SimTime::from_nanos(20_000_000_000);
+        let r = d.serve_kv_read("kv", 3, late).unwrap();
+        assert_eq!(r.version_checks, 1, "expired lease must verify");
+        assert!(r.cache_hit, "value was still fresh");
+        // Lease renewed: next read is check-free again.
+        let r2 = d
+            .serve_kv_read("kv", 3, late + SimDuration::from_millis(1))
+            .unwrap();
+        assert_eq!(r2.version_checks, 0);
+    }
+
+    #[test]
+    fn remote_write_invalidates() {
+        let mut d = deployment(ArchKind::Remote);
+        d.serve_kv_read("kv", 4, t(1)).unwrap();
+        assert!(d.serve_kv_read("kv", 4, t(2)).unwrap().cache_hit);
+        d.serve_kv_write("kv", 4, Datum::Payload { len: 1000, seed: 5 }, t(3))
+            .unwrap();
+        let r = d.serve_kv_read("kv", 4, t(4)).unwrap();
+        assert!(!r.cache_hit, "lookaside write invalidates");
+        assert_eq!(r.seed, Some(5));
+        assert!(d.serve_kv_read("kv", 4, t(5)).unwrap().cache_hit, "refilled");
+    }
+
+    #[test]
+    fn deletes_remove_from_storage_and_caches() {
+        for arch in ArchKind::ALL {
+            let mut d = deployment(arch);
+            d.serve_kv_read("kv", 3, t(1)).unwrap(); // maybe fill cache
+            let del = d.serve_kv_delete("kv", 3, t(2)).unwrap();
+            assert!(del.version.is_some(), "{arch}");
+            if arch == ArchKind::LinkedTtl {
+                // Other servers' replicas may serve the tombstoned key
+                // until their TTL lapses — after it, the key is gone
+                // everywhere.
+                let late = t(2) + d.config.linked_ttl + SimDuration::from_millis(1);
+                for i in 0..2 * d.config.app_servers as u64 {
+                    let r = d
+                        .serve_kv_read("kv", 3, late + SimDuration::from_micros(i))
+                        .unwrap();
+                    assert!(r.not_found, "{arch}: delete must stick after TTL");
+                }
+            } else {
+                let r = d.serve_kv_read("kv", 3, t(3)).unwrap();
+                assert!(r.not_found, "{arch}: deleted key must be gone");
+            }
+            // Deleting again is a no-op write.
+            d.serve_kv_delete("kv", 3, t(4 + 10_000)).unwrap();
+        }
+    }
+
+    #[test]
+    fn missing_keys_are_not_found_everywhere() {
+        for arch in ArchKind::ALL {
+            let mut d = deployment(arch);
+            let r = d.serve_kv_read("kv", 4040, t(1)).unwrap();
+            assert!(r.not_found, "{arch}");
+            assert_eq!(r.seed, None);
+        }
+    }
+
+    #[test]
+    fn linked_routing_is_deterministic_by_key() {
+        let mut d = deployment(ArchKind::Linked);
+        d.serve_kv_read("kv", 42, t(1)).unwrap();
+        // All traffic for key 42 lands on one shard: exactly one shard has
+        // a non-zero lookup count.
+        let shards_touched = d
+            .linked
+            .iter()
+            .filter(|c| c.stats().lookups() > 0)
+            .count();
+        assert_eq!(shards_touched, 1);
+    }
+}

@@ -1,0 +1,44 @@
+//! # dcache — the cost study of distributed caches for datacenter services
+//!
+//! This is the paper's primary contribution, as a library. It wires the
+//! substrates together — [`storekit`]'s TiDB-like cluster, [`cachekit`]'s
+//! caches, [`workloads`]' traces, [`costmodel`]'s pricing — into the four
+//! §2.4 architectures and measures what each costs:
+//!
+//! * **Base** — no external cache; every read traverses SQL → storage, with
+//!   only the storage-layer block cache (`s_D`) absorbing heat.
+//! * **Remote** — a Memcached/Redis-style lookaside tier: shared, but every
+//!   access pays an RPC and (de)serialization on both sides.
+//! * **Linked** — the cache lives inside the application processes, sharded
+//!   across app servers by consistent hashing; hits cost a hash lookup.
+//! * **Linked+Version** — Linked, plus a per-read version check against
+//!   storage for linearizable reads (§5.5's consistency baseline).
+//! * **LeaseOwned** — the §6 future-work design: Slicer-style ownership
+//!   leases over key ranges elide the per-read version check; write fencing
+//!   closes the delayed-write hazard (Figure 8).
+//!
+//! Entry points:
+//!
+//! * [`Deployment`] — build an architecture at a given scale and serve
+//!   requests against it.
+//! * [`experiment`] — drive a workload through a deployment and get a
+//!   [`experiment::ExperimentReport`]: per-tier cores/GB, dollars/month,
+//!   CPU category breakdowns, latency percentiles, hit ratios.
+//! * [`unityapp`] — the rich-object application (Unity Catalog-Object and
+//!   -KV flavors of §5.4).
+//! * [`sessionapp`] — the §2.3 session-state service, where stale reads
+//!   are correctness bugs; quantifies the consistent-cache motivation.
+//! * [`consistency`] — the Figure 8 delayed-writes scenario, the fencing
+//!   fix, and a linearizability checker to prove both claims.
+
+pub mod config;
+pub mod consistency;
+pub mod deployment;
+pub mod experiment;
+pub mod lease;
+pub mod sessionapp;
+pub mod unityapp;
+
+pub use config::{AppCostConfig, ArchKind, DeploymentConfig};
+pub use deployment::{Deployment, ServeOutcome};
+pub use experiment::{run_kv_experiment, ExperimentReport, KvExperimentConfig};

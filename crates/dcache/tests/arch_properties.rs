@@ -1,0 +1,147 @@
+//! Property-based tests over the serving architectures: for arbitrary
+//! operation sequences, every architecture agrees with a ground-truth map
+//! on the guarantees it claims.
+
+use dcache::deployment::{kv_catalog, Deployment};
+use dcache::{ArchKind, DeploymentConfig};
+use proptest::prelude::*;
+use simnet::SimTime;
+use std::collections::HashMap;
+use storekit::value::Datum;
+
+#[derive(Debug, Clone)]
+enum Op {
+    Read(u8),
+    Write(u8),
+    /// Update storage behind the caches' backs (a foreign writer).
+    ForeignWrite(u8),
+}
+
+fn op_strategy() -> impl Strategy<Value = Op> {
+    prop_oneof![
+        5 => (0u8..24).prop_map(Op::Read),
+        2 => (0u8..24).prop_map(Op::Write),
+        1 => (0u8..24).prop_map(Op::ForeignWrite),
+    ]
+}
+
+fn deployment(arch: ArchKind) -> Deployment {
+    let mut d = Deployment::new(DeploymentConfig::test_small(arch), kv_catalog("kv"));
+    d.cluster
+        .bulk_load(
+            "kv",
+            (0..24i64).map(|k| vec![Datum::Int(k), Datum::Payload { len: 64, seed: 0 }]),
+        )
+        .unwrap();
+    d
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    /// Consistent architectures (Base, Linked+Version, LeaseOwned-with-
+    /// routed-writes) always serve the latest value, even with foreign
+    /// writers — provided, for LeaseOwned, that all writes go through the
+    /// owner (here foreign writes go through serve paths, respecting that).
+    #[test]
+    fn consistent_archs_always_serve_latest(
+        ops in proptest::collection::vec(op_strategy(), 1..80),
+    ) {
+        for arch in [ArchKind::Base, ArchKind::LinkedVersion] {
+            let mut d = deployment(arch);
+            let mut truth: HashMap<u8, u64> = HashMap::new();
+            let mut gen = 1u64;
+            let mut clock = 1u64;
+            for op in &ops {
+                let now = SimTime::from_nanos(clock * 1_000);
+                clock += 1;
+                match *op {
+                    Op::Read(k) => {
+                        let out = d.serve_kv_read("kv", k as i64, now).unwrap();
+                        let expect = truth.get(&k).copied().unwrap_or(0);
+                        prop_assert_eq!(out.seed, Some(expect),
+                            "{}: stale read of key {}", arch, k);
+                    }
+                    Op::Write(k) => {
+                        gen += 1;
+                        d.serve_kv_write("kv", k as i64,
+                            Datum::Payload { len: 64, seed: gen }, now).unwrap();
+                        truth.insert(k, gen);
+                    }
+                    Op::ForeignWrite(k) => {
+                        gen += 1;
+                        // Foreign writer goes straight to storage.
+                        d.cluster.execute(
+                            "UPDATE kv SET v = ? WHERE k = ?",
+                            &[Datum::Payload { len: 64, seed: gen }, Datum::Int(k as i64)],
+                            now,
+                        ).unwrap();
+                        truth.insert(k, gen);
+                    }
+                }
+            }
+        }
+    }
+
+    /// Every architecture (including eventually-consistent ones) serves the
+    /// latest value when all writes flow through the serving path and
+    /// caches are large enough to never evict.
+    #[test]
+    fn all_archs_are_coherent_without_foreign_writers(
+        ops in proptest::collection::vec(op_strategy(), 1..60),
+    ) {
+        for arch in [ArchKind::Remote, ArchKind::Linked, ArchKind::LeaseOwned] {
+            let mut d = deployment(arch);
+            let mut truth: HashMap<u8, u64> = HashMap::new();
+            let mut gen = 1u64;
+            let mut clock = 1u64;
+            for op in &ops {
+                let now = SimTime::from_nanos(clock * 1_000);
+                clock += 1;
+                match *op {
+                    Op::Read(k) => {
+                        let out = d.serve_kv_read("kv", k as i64, now).unwrap();
+                        let expect = truth.get(&k).copied().unwrap_or(0);
+                        prop_assert_eq!(out.seed, Some(expect), "{}: key {}", arch, k);
+                    }
+                    // "Foreign" writers route through the owner here — the
+                    // precondition for eventual architectures' coherence.
+                    Op::Write(k) | Op::ForeignWrite(k) => {
+                        gen += 1;
+                        d.serve_kv_write("kv", k as i64,
+                            Datum::Payload { len: 64, seed: gen }, now).unwrap();
+                        truth.insert(k, gen);
+                    }
+                }
+            }
+        }
+    }
+
+    /// Reads never fabricate data: a key outside the loaded range is
+    /// not_found in every architecture, before and after traffic.
+    #[test]
+    fn absent_keys_stay_absent(
+        ops in proptest::collection::vec(op_strategy(), 0..30),
+        probe in 100i64..200,
+    ) {
+        for arch in ArchKind::ALL {
+            let mut d = deployment(arch);
+            let mut clock = 1u64;
+            for op in &ops {
+                let now = SimTime::from_nanos(clock * 1_000);
+                clock += 1;
+                match *op {
+                    Op::Read(k) => { d.serve_kv_read("kv", k as i64, now).unwrap(); }
+                    Op::Write(k) | Op::ForeignWrite(k) => {
+                        d.serve_kv_write("kv", k as i64,
+                            Datum::Payload { len: 64, seed: 1 }, now).unwrap();
+                    }
+                }
+            }
+            let out = d
+                .serve_kv_read("kv", probe, SimTime::from_nanos(clock * 1_000))
+                .unwrap();
+            prop_assert!(out.not_found, "{}: fabricated key {}", arch, probe);
+        }
+    }
+}

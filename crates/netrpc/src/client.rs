@@ -1,0 +1,114 @@
+//! The cache client: sequential request/response over one TCP connection.
+
+use crate::codec::{CodecError, Request, Response};
+use bytes::BytesMut;
+use std::io;
+use std::net::SocketAddr;
+use tokio::io::{AsyncReadExt, AsyncWriteExt};
+use tokio::net::TcpStream;
+
+/// A connected client. Not `Clone`: one in-flight request per connection
+/// (open more connections for concurrency, as Memcached clients do).
+pub struct CacheClient {
+    socket: TcpStream,
+    inbound: BytesMut,
+    outbound: BytesMut,
+}
+
+fn protocol_err(e: impl std::fmt::Display) -> io::Error {
+    io::Error::new(io::ErrorKind::InvalidData, e.to_string())
+}
+
+impl CacheClient {
+    pub async fn connect(addr: SocketAddr) -> io::Result<CacheClient> {
+        let socket = TcpStream::connect(addr).await?;
+        socket.set_nodelay(true)?;
+        Ok(CacheClient {
+            socket,
+            inbound: BytesMut::with_capacity(8 * 1024),
+            outbound: BytesMut::with_capacity(8 * 1024),
+        })
+    }
+
+    /// Send one request and await its response.
+    pub async fn call(&mut self, req: Request) -> io::Result<Response> {
+        self.outbound.clear();
+        req.encode(&mut self.outbound);
+        self.socket.write_all(&self.outbound).await?;
+        loop {
+            match Response::decode(&mut self.inbound) {
+                Ok(resp) => return Ok(resp),
+                Err(CodecError::Incomplete) => {}
+                Err(e) => return Err(protocol_err(e)),
+            }
+            if self.socket.read_buf(&mut self.inbound).await? == 0 {
+                return Err(io::Error::new(
+                    io::ErrorKind::UnexpectedEof,
+                    "server closed connection mid-response",
+                ));
+            }
+        }
+    }
+
+    /// GET: `Some((value, version))` on hit.
+    pub async fn get(&mut self, key: &[u8]) -> io::Result<Option<(Vec<u8>, u64)>> {
+        match self.call(Request::Get { key: key.to_vec() }).await? {
+            Response::Value { value, version } => Ok(Some((value, version))),
+            Response::NotFound => Ok(None),
+            other => Err(protocol_err(format!("unexpected response {other:?}"))),
+        }
+    }
+
+    /// SET: returns the assigned version.
+    pub async fn set(&mut self, key: &[u8], value: &[u8], ttl_ms: Option<u64>) -> io::Result<u64> {
+        match self
+            .call(Request::Set {
+                key: key.to_vec(),
+                value: value.to_vec(),
+                ttl_ms,
+            })
+            .await?
+        {
+            Response::Stored { version } => Ok(version),
+            other => Err(protocol_err(format!("unexpected response {other:?}"))),
+        }
+    }
+
+    /// DEL: true if the key existed.
+    pub async fn del(&mut self, key: &[u8]) -> io::Result<bool> {
+        match self.call(Request::Del { key: key.to_vec() }).await? {
+            Response::Deleted => Ok(true),
+            Response::NotFound => Ok(false),
+            other => Err(protocol_err(format!("unexpected response {other:?}"))),
+        }
+    }
+
+    /// VERSION: the wire-level version check.
+    pub async fn version(&mut self, key: &[u8]) -> io::Result<Option<u64>> {
+        match self.call(Request::Version { key: key.to_vec() }).await? {
+            Response::VersionIs { version } => Ok(Some(version)),
+            Response::NotFound => Ok(None),
+            other => Err(protocol_err(format!("unexpected response {other:?}"))),
+        }
+    }
+
+    /// STATS: `(hits, misses, entries, used_bytes)`.
+    pub async fn stats(&mut self) -> io::Result<(u64, u64, u64, u64)> {
+        match self.call(Request::Stats).await? {
+            Response::Stats {
+                hits,
+                misses,
+                entries,
+                used_bytes,
+            } => Ok((hits, misses, entries, used_bytes)),
+            other => Err(protocol_err(format!("unexpected response {other:?}"))),
+        }
+    }
+
+    pub async fn ping(&mut self) -> io::Result<()> {
+        match self.call(Request::Ping).await? {
+            Response::Pong => Ok(()),
+            other => Err(protocol_err(format!("unexpected response {other:?}"))),
+        }
+    }
+}

@@ -1,0 +1,41 @@
+//! # netrpc — a real remote cache over real sockets
+//!
+//! The simulator charges *modeled* CPU for RPC and cache operations; this
+//! crate is the grounding for those constants and the live demonstration of
+//! the paper's **Remote** architecture (Figure 1b): a Memcached/Redis-style
+//! versioned cache server speaking a length-prefixed binary protocol over
+//! TCP, built on tokio per the project's networking guides.
+//!
+//! * [`codec`] — the wire format: `u32` length prefix + tagged payload,
+//!   encoded/decoded with `bytes`. Every message round-trips bit-exactly
+//!   (property-tested).
+//! * [`server`] — the cache server: one tokio task per connection, a
+//!   sharded in-memory store built on [`cachekit::Cache`], per-key MVCC
+//!   versions (`SET` returns the new version; `VERSION` reads it — the
+//!   §5.5 "version check" as a real network operation), and graceful
+//!   shutdown via a watch channel.
+//! * [`client`] — a straightforward request/response client.
+//!
+//! ```no_run
+//! # async fn demo() -> std::io::Result<()> {
+//! use netrpc::{client::CacheClient, server::CacheServer};
+//!
+//! let server = CacheServer::bind("127.0.0.1:0", 64 << 20).await?;
+//! let addr = server.local_addr();
+//! let handle = server.spawn();
+//!
+//! let mut client = CacheClient::connect(addr).await?;
+//! let version = client.set(b"k", b"v", None).await?;
+//! assert_eq!(client.get(b"k").await?, Some((b"v".to_vec(), version)));
+//! handle.shutdown().await;
+//! # Ok(())
+//! # }
+//! ```
+
+pub mod client;
+pub mod codec;
+pub mod server;
+
+pub use client::CacheClient;
+pub use codec::{Request, Response};
+pub use server::{CacheServer, ServerHandle};

@@ -1,0 +1,320 @@
+//! The cache server: tokio TCP, one task per connection, shared store.
+//!
+//! The store is a [`cachekit::Cache`] behind a `parking_lot` mutex with a
+//! monotonically increasing version counter — `SET` returns the assigned
+//! version, `VERSION` reads it, giving the wire-level equivalent of the
+//! paper's version check. Shutdown is cooperative: a watch channel closes
+//! the accept loop and in-flight connections finish their current request.
+
+use crate::codec::{CodecError, Request, Response};
+use bytes::BytesMut;
+use cachekit::{Cache, PolicyKind};
+use parking_lot::Mutex;
+use std::io;
+use std::net::SocketAddr;
+use std::sync::Arc;
+use std::time::{SystemTime, UNIX_EPOCH};
+use tokio::io::{AsyncReadExt, AsyncWriteExt};
+use tokio::net::{TcpListener, TcpStream};
+use tokio::sync::watch;
+use tokio::task::JoinHandle;
+
+/// One stored entry.
+#[derive(Debug, Clone)]
+struct Entry {
+    value: Vec<u8>,
+    version: u64,
+}
+
+struct Store {
+    cache: Cache<Vec<u8>, Entry>,
+    next_version: u64,
+}
+
+/// Shared server state.
+pub struct Shared {
+    store: Mutex<Store>,
+}
+
+fn now_nanos() -> u64 {
+    SystemTime::now()
+        .duration_since(UNIX_EPOCH)
+        .map(|d| d.as_nanos() as u64)
+        .unwrap_or(0)
+}
+
+impl Shared {
+    fn new(capacity_bytes: u64) -> Self {
+        Shared {
+            store: Mutex::new(Store {
+                cache: Cache::new(capacity_bytes, PolicyKind::Lru),
+                next_version: 1,
+            }),
+        }
+    }
+
+    /// Apply one request. Pure with respect to IO — trivially testable.
+    pub fn apply(&self, req: Request) -> Response {
+        let now = now_nanos();
+        let mut store = self.store.lock();
+        match req {
+            Request::Get { key } => match store.cache.get(&key, now) {
+                Some(e) => Response::Value {
+                    value: e.value.clone(),
+                    version: e.version,
+                },
+                None => Response::NotFound,
+            },
+            Request::Set { key, value, ttl_ms } => {
+                let version = store.next_version;
+                store.next_version += 1;
+                let bytes = value.len() as u64;
+                let entry = Entry { value, version };
+                match ttl_ms {
+                    Some(t) => {
+                        store
+                            .cache
+                            .insert_with_ttl(key, entry, bytes, now, t.saturating_mul(1_000_000));
+                    }
+                    None => {
+                        store.cache.insert(key, entry, bytes, now);
+                    }
+                }
+                Response::Stored { version }
+            }
+            Request::Del { key } => match store.cache.remove(&key) {
+                Some(_) => Response::Deleted,
+                None => Response::NotFound,
+            },
+            Request::Version { key } => match store.cache.get(&key, now) {
+                Some(e) => Response::VersionIs { version: e.version },
+                None => Response::NotFound,
+            },
+            Request::Stats => {
+                let stats = store.cache.stats();
+                Response::Stats {
+                    hits: stats.hits,
+                    misses: stats.misses,
+                    entries: store.cache.len() as u64,
+                    used_bytes: store.cache.used_bytes(),
+                }
+            }
+            Request::Ping => Response::Pong,
+        }
+    }
+}
+
+/// A bound-but-not-yet-running server.
+pub struct CacheServer {
+    listener: TcpListener,
+    shared: Arc<Shared>,
+    local_addr: SocketAddr,
+}
+
+/// Handle to a running server: request shutdown, await completion.
+pub struct ServerHandle {
+    shutdown_tx: watch::Sender<bool>,
+    join: JoinHandle<()>,
+    pub shared: Arc<Shared>,
+}
+
+impl ServerHandle {
+    /// Signal shutdown and wait for the accept loop to exit.
+    pub async fn shutdown(self) {
+        let _ = self.shutdown_tx.send(true);
+        let _ = self.join.await;
+    }
+}
+
+impl CacheServer {
+    /// Bind to `addr` (use port 0 for an ephemeral port) with the given
+    /// cache capacity.
+    pub async fn bind(addr: &str, capacity_bytes: u64) -> io::Result<CacheServer> {
+        let listener = TcpListener::bind(addr).await?;
+        let local_addr = listener.local_addr()?;
+        Ok(CacheServer {
+            listener,
+            shared: Arc::new(Shared::new(capacity_bytes)),
+            local_addr,
+        })
+    }
+
+    pub fn local_addr(&self) -> SocketAddr {
+        self.local_addr
+    }
+
+    /// Start serving; returns a handle for shutdown. Connections run as
+    /// independent tasks; a failed connection never takes the server down.
+    pub fn spawn(self) -> ServerHandle {
+        let (shutdown_tx, shutdown_rx) = watch::channel(false);
+        let shared = self.shared.clone();
+        let listener = self.listener;
+        let accept_shared = shared.clone();
+        let mut accept_shutdown = shutdown_rx.clone();
+        let join = tokio::spawn(async move {
+            loop {
+                tokio::select! {
+                    accepted = listener.accept() => {
+                        match accepted {
+                            Ok((socket, _peer)) => {
+                                let conn_shared = accept_shared.clone();
+                                let conn_shutdown = shutdown_rx.clone();
+                                tokio::spawn(async move {
+                                    let _ = serve_connection(socket, conn_shared, conn_shutdown).await;
+                                });
+                            }
+                            Err(_) => break,
+                        }
+                    }
+                    _ = accept_shutdown.changed() => break,
+                }
+            }
+        });
+        ServerHandle {
+            shutdown_tx,
+            join,
+            shared,
+        }
+    }
+}
+
+/// Read frames, apply, write responses, until EOF, error, or shutdown.
+async fn serve_connection(
+    mut socket: TcpStream,
+    shared: Arc<Shared>,
+    mut shutdown: watch::Receiver<bool>,
+) -> io::Result<()> {
+    let mut inbound = BytesMut::with_capacity(8 * 1024);
+    let mut outbound = BytesMut::with_capacity(8 * 1024);
+    loop {
+        // Drain any complete frames already buffered.
+        loop {
+            match Request::decode(&mut inbound) {
+                Ok(req) => {
+                    let resp = shared.apply(req);
+                    outbound.clear();
+                    resp.encode(&mut outbound);
+                    socket.write_all(&outbound).await?;
+                }
+                Err(CodecError::Incomplete) => break,
+                Err(e) => {
+                    // Protocol violation: answer once, then hang up.
+                    outbound.clear();
+                    Response::Error {
+                        message: e.to_string(),
+                    }
+                    .encode(&mut outbound);
+                    let _ = socket.write_all(&outbound).await;
+                    return Ok(());
+                }
+            }
+        }
+        tokio::select! {
+            read = socket.read_buf(&mut inbound) => {
+                if read? == 0 {
+                    return Ok(()); // clean EOF
+                }
+            }
+            _ = shutdown.changed() => return Ok(()),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn apply_set_get_del_version() {
+        let shared = Shared::new(1 << 20);
+        let v1 = match shared.apply(Request::Set {
+            key: b"k".to_vec(),
+            value: b"hello".to_vec(),
+            ttl_ms: None,
+        }) {
+            Response::Stored { version } => version,
+            other => panic!("{other:?}"),
+        };
+        assert_eq!(
+            shared.apply(Request::Get { key: b"k".to_vec() }),
+            Response::Value {
+                value: b"hello".to_vec(),
+                version: v1
+            }
+        );
+        assert_eq!(
+            shared.apply(Request::Version { key: b"k".to_vec() }),
+            Response::VersionIs { version: v1 }
+        );
+        // Overwrite bumps the version.
+        let v2 = match shared.apply(Request::Set {
+            key: b"k".to_vec(),
+            value: b"world".to_vec(),
+            ttl_ms: None,
+        }) {
+            Response::Stored { version } => version,
+            other => panic!("{other:?}"),
+        };
+        assert!(v2 > v1);
+        assert_eq!(shared.apply(Request::Del { key: b"k".to_vec() }), Response::Deleted);
+        assert_eq!(
+            shared.apply(Request::Get { key: b"k".to_vec() }),
+            Response::NotFound
+        );
+        assert_eq!(
+            shared.apply(Request::Del { key: b"k".to_vec() }),
+            Response::NotFound
+        );
+    }
+
+    #[test]
+    fn stats_track_traffic() {
+        let shared = Shared::new(1 << 20);
+        shared.apply(Request::Set {
+            key: b"a".to_vec(),
+            value: vec![0; 100],
+            ttl_ms: None,
+        });
+        shared.apply(Request::Get { key: b"a".to_vec() });
+        shared.apply(Request::Get { key: b"nope".to_vec() });
+        match shared.apply(Request::Stats) {
+            Response::Stats {
+                hits,
+                misses,
+                entries,
+                used_bytes,
+            } => {
+                assert_eq!(hits, 1);
+                assert_eq!(misses, 1);
+                assert_eq!(entries, 1);
+                assert!(used_bytes >= 100);
+            }
+            other => panic!("{other:?}"),
+        }
+    }
+
+    #[test]
+    fn ping_pongs() {
+        let shared = Shared::new(1024);
+        assert_eq!(shared.apply(Request::Ping), Response::Pong);
+    }
+
+    #[test]
+    fn capacity_evicts_under_pressure() {
+        let shared = Shared::new(1_000);
+        for i in 0..100u8 {
+            shared.apply(Request::Set {
+                key: vec![i],
+                value: vec![0; 100],
+                ttl_ms: None,
+            });
+        }
+        match shared.apply(Request::Stats) {
+            Response::Stats { entries, used_bytes, .. } => {
+                assert!(entries < 100);
+                assert!(used_bytes <= 1_000);
+            }
+            other => panic!("{other:?}"),
+        }
+    }
+}

@@ -1,0 +1,275 @@
+//! The discrete-event kernel.
+//!
+//! [`Sim<W>`] owns a virtual clock and a priority queue of events. An event
+//! is a boxed `FnOnce(&mut W, &mut Sim<W>)` closure: it receives mutable
+//! access to the user's world and to the kernel itself (to read the clock,
+//! draw randomness, and schedule further events). Ties in time are broken by
+//! insertion sequence number, so execution order is fully deterministic.
+
+use crate::time::{SimDuration, SimTime};
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+use std::cmp::Ordering;
+use std::collections::BinaryHeap;
+
+type BoxedEvent<W> = Box<dyn FnOnce(&mut W, &mut Sim<W>)>;
+
+struct Scheduled<W> {
+    at: SimTime,
+    seq: u64,
+    event: BoxedEvent<W>,
+}
+
+impl<W> PartialEq for Scheduled<W> {
+    fn eq(&self, other: &Self) -> bool {
+        self.at == other.at && self.seq == other.seq
+    }
+}
+impl<W> Eq for Scheduled<W> {}
+
+impl<W> PartialOrd for Scheduled<W> {
+    fn partial_cmp(&self, other: &Self) -> Option<Ordering> {
+        Some(self.cmp(other))
+    }
+}
+
+impl<W> Ord for Scheduled<W> {
+    // BinaryHeap is a max-heap; invert so the earliest (time, seq) pops first.
+    fn cmp(&self, other: &Self) -> Ordering {
+        other
+            .at
+            .cmp(&self.at)
+            .then_with(|| other.seq.cmp(&self.seq))
+    }
+}
+
+/// The simulation kernel. Generic over the world type `W` that events mutate.
+pub struct Sim<W> {
+    clock: SimTime,
+    queue: BinaryHeap<Scheduled<W>>,
+    next_seq: u64,
+    rng: StdRng,
+    executed: u64,
+    stopped: bool,
+}
+
+impl<W> Sim<W> {
+    /// Create a kernel with a deterministic seed. Equal seeds and equal event
+    /// insertion orders produce identical runs.
+    pub fn new(seed: u64) -> Self {
+        Sim {
+            clock: SimTime::ZERO,
+            queue: BinaryHeap::new(),
+            next_seq: 0,
+            rng: StdRng::seed_from_u64(seed),
+            executed: 0,
+            stopped: false,
+        }
+    }
+
+    /// Current virtual time.
+    pub fn now(&self) -> SimTime {
+        self.clock
+    }
+
+    /// Number of events executed so far.
+    pub fn events_executed(&self) -> u64 {
+        self.executed
+    }
+
+    /// Number of events still pending.
+    pub fn pending(&self) -> usize {
+        self.queue.len()
+    }
+
+    /// The kernel's RNG. All randomness in a simulation must come from here
+    /// (or from generators seeded from here) to preserve determinism.
+    pub fn rng(&mut self) -> &mut impl Rng {
+        &mut self.rng
+    }
+
+    /// Fork an independent, deterministic RNG (e.g. to hand to a workload
+    /// generator) without entangling its stream with the kernel's.
+    pub fn fork_rng(&mut self) -> StdRng {
+        StdRng::seed_from_u64(self.rng.gen())
+    }
+
+    /// Schedule `event` to run at absolute time `at`. Scheduling in the past
+    /// clamps to "now" (the event still runs, after already-queued events at
+    /// the current instant).
+    pub fn schedule_at(
+        &mut self,
+        at: SimTime,
+        event: impl FnOnce(&mut W, &mut Sim<W>) + 'static,
+    ) {
+        let at = at.max(self.clock);
+        let seq = self.next_seq;
+        self.next_seq += 1;
+        self.queue.push(Scheduled {
+            at,
+            seq,
+            event: Box::new(event),
+        });
+    }
+
+    /// Schedule `event` to run `delay` after the current time.
+    pub fn schedule_in(
+        &mut self,
+        delay: SimDuration,
+        event: impl FnOnce(&mut W, &mut Sim<W>) + 'static,
+    ) {
+        self.schedule_at(self.clock + delay, event);
+    }
+
+    /// Request that the run loop stop after the current event returns.
+    pub fn stop(&mut self) {
+        self.stopped = true;
+    }
+
+    /// Run until the queue drains or [`Sim::stop`] is called.
+    pub fn run(&mut self, world: &mut W) {
+        self.run_until(world, SimTime::MAX);
+    }
+
+    /// Run events with `at <= deadline`; the clock finishes at the deadline
+    /// (or at the last event if the queue drained first and was earlier).
+    /// Events scheduled past the deadline stay queued.
+    pub fn run_until(&mut self, world: &mut W, deadline: SimTime) {
+        self.stopped = false;
+        while let Some(head) = self.queue.peek() {
+            if head.at > deadline {
+                break;
+            }
+            let scheduled = self.queue.pop().expect("peeked entry must pop");
+            debug_assert!(scheduled.at >= self.clock, "time must not run backwards");
+            self.clock = scheduled.at;
+            self.executed += 1;
+            (scheduled.event)(world, self);
+            if self.stopped {
+                return;
+            }
+        }
+        if deadline != SimTime::MAX {
+            self.clock = self.clock.max(deadline);
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    struct World {
+        log: Vec<(u64, &'static str)>,
+    }
+
+    #[test]
+    fn events_run_in_time_order() {
+        let mut sim: Sim<World> = Sim::new(1);
+        let mut w = World { log: vec![] };
+        sim.schedule_in(SimDuration::from_millis(20), |w: &mut World, s| {
+            w.log.push((s.now().as_millis(), "b"))
+        });
+        sim.schedule_in(SimDuration::from_millis(10), |w: &mut World, s| {
+            w.log.push((s.now().as_millis(), "a"))
+        });
+        sim.run(&mut w);
+        assert_eq!(w.log, vec![(10, "a"), (20, "b")]);
+    }
+
+    #[test]
+    fn ties_break_by_insertion_order() {
+        let mut sim: Sim<World> = Sim::new(1);
+        let mut w = World { log: vec![] };
+        for name in ["first", "second", "third"] {
+            sim.schedule_at(SimTime::from_nanos(5), move |w: &mut World, _| {
+                w.log.push((0, name))
+            });
+        }
+        sim.run(&mut w);
+        let names: Vec<_> = w.log.iter().map(|(_, n)| *n).collect();
+        assert_eq!(names, vec!["first", "second", "third"]);
+    }
+
+    #[test]
+    fn events_can_schedule_events() {
+        let mut sim: Sim<World> = Sim::new(1);
+        let mut w = World { log: vec![] };
+        sim.schedule_in(SimDuration::from_millis(1), |_, s| {
+            s.schedule_in(SimDuration::from_millis(1), |w: &mut World, s| {
+                w.log.push((s.now().as_millis(), "nested"));
+            });
+        });
+        sim.run(&mut w);
+        assert_eq!(w.log, vec![(2, "nested")]);
+    }
+
+    #[test]
+    fn run_until_leaves_later_events_queued_and_advances_clock() {
+        let mut sim: Sim<World> = Sim::new(1);
+        let mut w = World { log: vec![] };
+        sim.schedule_in(SimDuration::from_secs(1), |w: &mut World, _| {
+            w.log.push((1, "early"))
+        });
+        sim.schedule_in(SimDuration::from_secs(10), |w: &mut World, _| {
+            w.log.push((10, "late"))
+        });
+        sim.run_until(&mut w, SimTime::from_nanos(5_000_000_000));
+        assert_eq!(w.log.len(), 1);
+        assert_eq!(sim.pending(), 1);
+        assert_eq!(sim.now().as_secs_f64(), 5.0);
+        sim.run(&mut w);
+        assert_eq!(w.log.len(), 2);
+    }
+
+    #[test]
+    fn scheduling_in_the_past_clamps_to_now() {
+        let mut sim: Sim<World> = Sim::new(1);
+        let mut w = World { log: vec![] };
+        sim.schedule_in(SimDuration::from_secs(2), |w: &mut World, s| {
+            s.schedule_at(SimTime::ZERO, |w: &mut World, s| {
+                w.log.push((s.now().as_millis(), "clamped"));
+            });
+            w.log.push((s.now().as_millis(), "outer"));
+        });
+        sim.run(&mut w);
+        assert_eq!(w.log, vec![(2000, "outer"), (2000, "clamped")]);
+    }
+
+    #[test]
+    fn stop_halts_immediately() {
+        let mut sim: Sim<World> = Sim::new(1);
+        let mut w = World { log: vec![] };
+        sim.schedule_in(SimDuration::from_millis(1), |w: &mut World, s| {
+            w.log.push((1, "ran"));
+            s.stop();
+        });
+        sim.schedule_in(SimDuration::from_millis(2), |w: &mut World, _| {
+            w.log.push((2, "never"));
+        });
+        sim.run(&mut w);
+        assert_eq!(w.log, vec![(1, "ran")]);
+        assert_eq!(sim.pending(), 1);
+    }
+
+    #[test]
+    fn identical_seeds_give_identical_random_streams() {
+        let draws = |seed: u64| -> Vec<u64> {
+            let mut sim: Sim<()> = Sim::new(seed);
+            (0..8).map(|_| sim.rng().gen()).collect()
+        };
+        assert_eq!(draws(7), draws(7));
+        assert_ne!(draws(7), draws(8));
+    }
+
+    #[test]
+    fn forked_rng_is_deterministic_and_independent() {
+        let mut sim: Sim<()> = Sim::new(3);
+        let mut f1 = sim.fork_rng();
+        let a: u64 = f1.gen();
+        let mut sim2: Sim<()> = Sim::new(3);
+        let mut f2 = sim2.fork_rng();
+        let b: u64 = f2.gen();
+        assert_eq!(a, b);
+    }
+}

@@ -1,0 +1,311 @@
+//! Lightweight metrics: counters and log-bucketed histograms.
+//!
+//! The histogram uses logarithmic buckets (HdrHistogram-style, base-2
+//! exponent with linear sub-buckets) so it can absorb nanosecond-to-second
+//! latencies with bounded error and O(1) recording. Quantile queries
+//! interpolate within a bucket.
+
+use serde::{Deserialize, Serialize};
+use std::collections::BTreeMap;
+use std::fmt;
+
+/// A monotonically increasing counter.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq, Serialize, Deserialize)]
+pub struct Counter(u64);
+
+impl Counter {
+    pub fn inc(&mut self) {
+        self.0 += 1;
+    }
+
+    pub fn add(&mut self, n: u64) {
+        self.0 = self.0.saturating_add(n);
+    }
+
+    pub fn get(&self) -> u64 {
+        self.0
+    }
+}
+
+const SUB_BUCKET_BITS: u32 = 5; // 32 linear sub-buckets per power of two
+const SUB_BUCKETS: u64 = 1 << SUB_BUCKET_BITS;
+
+/// Log-bucketed histogram of `u64` samples (we record nanoseconds or bytes).
+/// Relative error per sample is bounded by `1 / SUB_BUCKETS ≈ 3.1%`.
+#[derive(Debug, Clone, Default, Serialize, Deserialize)]
+pub struct Histogram {
+    counts: BTreeMap<u32, u64>,
+    total: u64,
+    sum: u128,
+    min: u64,
+    max: u64,
+}
+
+fn bucket_of(value: u64) -> u32 {
+    if value < SUB_BUCKETS {
+        return value as u32;
+    }
+    // Position of the highest set bit determines the exponent; the next
+    // SUB_BUCKET_BITS bits select the linear sub-bucket.
+    let exp = 63 - value.leading_zeros();
+    let shift = exp - SUB_BUCKET_BITS;
+    let sub = ((value >> shift) - SUB_BUCKETS) as u32;
+    (exp - SUB_BUCKET_BITS + 1) * SUB_BUCKETS as u32 + sub
+}
+
+fn bucket_low(bucket: u32) -> u64 {
+    let sb = SUB_BUCKETS as u32;
+    if bucket < sb {
+        return bucket as u64;
+    }
+    let tier = bucket / sb; // >= 1
+    let sub = (bucket % sb) as u64;
+    let shift = tier - 1;
+    (SUB_BUCKETS + sub) << shift
+}
+
+fn bucket_high(bucket: u32) -> u64 {
+    let sb = SUB_BUCKETS as u32;
+    if bucket < sb {
+        return bucket as u64;
+    }
+    let tier = bucket / sb;
+    let shift = tier - 1;
+    bucket_low(bucket) + (1u64 << shift) - 1
+}
+
+impl Histogram {
+    pub fn new() -> Self {
+        Histogram {
+            counts: BTreeMap::new(),
+            total: 0,
+            sum: 0,
+            min: u64::MAX,
+            max: 0,
+        }
+    }
+
+    pub fn record(&mut self, value: u64) {
+        *self.counts.entry(bucket_of(value)).or_insert(0) += 1;
+        self.total += 1;
+        self.sum += value as u128;
+        self.min = self.min.min(value);
+        self.max = self.max.max(value);
+    }
+
+    pub fn count(&self) -> u64 {
+        self.total
+    }
+
+    pub fn is_empty(&self) -> bool {
+        self.total == 0
+    }
+
+    pub fn min(&self) -> u64 {
+        if self.total == 0 {
+            0
+        } else {
+            self.min
+        }
+    }
+
+    pub fn max(&self) -> u64 {
+        self.max
+    }
+
+    pub fn mean(&self) -> f64 {
+        if self.total == 0 {
+            0.0
+        } else {
+            self.sum as f64 / self.total as f64
+        }
+    }
+
+    /// Approximate quantile `q ∈ [0,1]` by linear interpolation within the
+    /// containing bucket. Exact for values < 32 (unit buckets).
+    pub fn quantile(&self, q: f64) -> u64 {
+        if self.total == 0 {
+            return 0;
+        }
+        let q = q.clamp(0.0, 1.0);
+        let target = (q * self.total as f64).ceil().max(1.0) as u64;
+        let mut seen = 0u64;
+        for (&bucket, &count) in &self.counts {
+            if seen + count >= target {
+                let into = (target - seen) as f64 / count as f64;
+                let low = bucket_low(bucket) as f64;
+                let high = bucket_high(bucket) as f64;
+                let v = low + (high - low) * into;
+                return (v.round() as u64).clamp(self.min(), self.max);
+            }
+            seen += count;
+        }
+        self.max
+    }
+
+    pub fn p50(&self) -> u64 {
+        self.quantile(0.50)
+    }
+
+    pub fn p99(&self) -> u64 {
+        self.quantile(0.99)
+    }
+
+    /// Merge another histogram into this one.
+    pub fn merge(&mut self, other: &Histogram) {
+        for (&b, &c) in &other.counts {
+            *self.counts.entry(b).or_insert(0) += c;
+        }
+        self.total += other.total;
+        self.sum += other.sum;
+        self.min = self.min.min(other.min);
+        self.max = self.max.max(other.max);
+    }
+}
+
+impl fmt::Display for Histogram {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "n={} mean={:.1} p50={} p99={} max={}",
+            self.total,
+            self.mean(),
+            self.p50(),
+            self.p99(),
+            self.max
+        )
+    }
+}
+
+/// A named bag of counters and histograms, keyed by static strings.
+#[derive(Debug, Clone, Default, Serialize, Deserialize)]
+pub struct MetricSet {
+    counters: BTreeMap<String, Counter>,
+    histograms: BTreeMap<String, Histogram>,
+}
+
+impl MetricSet {
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    pub fn counter(&mut self, name: &str) -> &mut Counter {
+        self.counters.entry(name.to_string()).or_default()
+    }
+
+    pub fn histogram(&mut self, name: &str) -> &mut Histogram {
+        self.histograms.entry(name.to_string()).or_default()
+    }
+
+    pub fn counter_value(&self, name: &str) -> u64 {
+        self.counters.get(name).map(|c| c.get()).unwrap_or(0)
+    }
+
+    pub fn get_histogram(&self, name: &str) -> Option<&Histogram> {
+        self.histograms.get(name)
+    }
+
+    pub fn counters(&self) -> impl Iterator<Item = (&str, u64)> {
+        self.counters.iter().map(|(k, v)| (k.as_str(), v.get()))
+    }
+
+    pub fn histograms(&self) -> impl Iterator<Item = (&str, &Histogram)> {
+        self.histograms.iter().map(|(k, v)| (k.as_str(), v))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn counter_basic() {
+        let mut c = Counter::default();
+        c.inc();
+        c.add(4);
+        assert_eq!(c.get(), 5);
+    }
+
+    #[test]
+    fn small_values_are_exact() {
+        let mut h = Histogram::new();
+        for v in 0..32u64 {
+            h.record(v);
+        }
+        assert_eq!(h.quantile(0.0), 0);
+        assert_eq!(h.min(), 0);
+        assert_eq!(h.max(), 31);
+        assert_eq!(h.count(), 32);
+        // Median of 0..=31 is ~15/16; unit buckets make this exact ±1.
+        let p50 = h.p50();
+        assert!((15..=16).contains(&p50), "p50 was {p50}");
+    }
+
+    #[test]
+    fn bucket_bounds_are_consistent() {
+        for v in [0u64, 1, 31, 32, 33, 100, 1_000, 123_456, u32::MAX as u64, 1 << 40] {
+            let b = bucket_of(v);
+            assert!(
+                bucket_low(b) <= v && v <= bucket_high(b),
+                "value {v} not within bucket {b}: [{}, {}]",
+                bucket_low(b),
+                bucket_high(b)
+            );
+        }
+    }
+
+    #[test]
+    fn quantile_error_is_bounded() {
+        let mut h = Histogram::new();
+        for i in 1..=10_000u64 {
+            h.record(i * 17);
+        }
+        let p50 = h.p50() as f64;
+        let exact = 5_000.0 * 17.0;
+        assert!((p50 - exact).abs() / exact < 0.05, "p50={p50} exact={exact}");
+        let p99 = h.p99() as f64;
+        let exact99 = 9_900.0 * 17.0;
+        assert!((p99 - exact99).abs() / exact99 < 0.05);
+    }
+
+    #[test]
+    fn empty_histogram_is_safe() {
+        let h = Histogram::new();
+        assert_eq!(h.p50(), 0);
+        assert_eq!(h.mean(), 0.0);
+        assert_eq!(h.min(), 0);
+    }
+
+    #[test]
+    fn merge_combines_counts() {
+        let mut a = Histogram::new();
+        let mut b = Histogram::new();
+        a.record(10);
+        b.record(1_000);
+        a.merge(&b);
+        assert_eq!(a.count(), 2);
+        assert_eq!(a.min(), 10);
+        assert_eq!(a.max(), 1_000);
+    }
+
+    #[test]
+    fn metric_set_round_trips() {
+        let mut m = MetricSet::new();
+        m.counter("reads").add(3);
+        m.histogram("latency").record(42);
+        assert_eq!(m.counter_value("reads"), 3);
+        assert_eq!(m.counter_value("missing"), 0);
+        assert_eq!(m.get_histogram("latency").unwrap().count(), 1);
+        assert_eq!(m.counters().count(), 1);
+        assert_eq!(m.histograms().count(), 1);
+    }
+
+    #[test]
+    fn mean_tracks_exact_sum() {
+        let mut h = Histogram::new();
+        h.record(100);
+        h.record(200);
+        h.record(300);
+        assert!((h.mean() - 200.0).abs() < 1e-12);
+    }
+}

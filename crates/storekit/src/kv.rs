@@ -1,0 +1,587 @@
+//! MVCC key-value engine — the TiKV analogue.
+//!
+//! Every write is assigned a monotonically increasing commit version; reads
+//! see the latest version at or below their snapshot. Deletes write
+//! tombstones. This versioning is exactly what the paper's §5.5 version
+//! check reads: "returning the row's 8-byte version column".
+//!
+//! Keys are raw byte strings produced by the order-preserving encoders in
+//! this module, so prefix and range scans work for both primary-key and
+//! secondary-index layouts:
+//!
+//! ```text
+//! t/<table>/<pk>          -> encoded row          (record space)
+//! i/<table>/<col>/<val>/<pk> -> ""                (index space)
+//! ```
+
+use crate::value::Datum;
+use serde::{Deserialize, Serialize};
+use std::collections::BTreeMap;
+use std::ops::Bound;
+
+/// A raw storage key.
+pub type Key = Vec<u8>;
+
+/// One MVCC version: the commit version and the value (`None` = tombstone).
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+struct VersionEntry {
+    version: u64,
+    value: Option<Vec<u8>>,
+}
+
+/// Result of a successful versioned read.
+#[derive(Debug, Clone, PartialEq)]
+pub struct VersionedValue<'a> {
+    pub value: &'a [u8],
+    pub version: u64,
+}
+
+/// The MVCC store. Single-threaded by design: concurrency in the simulation
+/// is modeled by the event kernel, not by host threads.
+#[derive(Debug, Clone, Default, Serialize, Deserialize)]
+pub struct KvEngine {
+    /// Per key: version entries in ascending version order.
+    data: BTreeMap<Key, Vec<VersionEntry>>,
+    next_version: u64,
+    /// Logical bytes written over the engine's lifetime (cost accounting).
+    bytes_written: u64,
+}
+
+impl KvEngine {
+    pub fn new() -> Self {
+        KvEngine {
+            data: BTreeMap::new(),
+            next_version: 1,
+            bytes_written: 0,
+        }
+    }
+
+    /// Number of live keys (latest version is not a tombstone).
+    pub fn live_keys(&self) -> usize {
+        self.data
+            .values()
+            .filter(|vs| vs.last().map(|v| v.value.is_some()).unwrap_or(false))
+            .count()
+    }
+
+    /// Total version entries retained (for GC tests).
+    pub fn version_entries(&self) -> usize {
+        self.data.values().map(|v| v.len()).sum()
+    }
+
+    pub fn bytes_written(&self) -> u64 {
+        self.bytes_written
+    }
+
+    /// The version the *next* write will receive.
+    pub fn next_version(&self) -> u64 {
+        self.next_version
+    }
+
+    fn allocate_version(&mut self) -> u64 {
+        let v = self.next_version;
+        self.next_version += 1;
+        v
+    }
+
+    /// Write `value` under `key`, returning the assigned commit version.
+    pub fn put(&mut self, key: Key, value: Vec<u8>) -> u64 {
+        let version = self.allocate_version();
+        self.put_at(key, Some(value), version);
+        version
+    }
+
+    /// Delete `key` (tombstone), returning the commit version.
+    pub fn delete(&mut self, key: Key) -> u64 {
+        let version = self.allocate_version();
+        self.put_at(key, None, version);
+        version
+    }
+
+    /// Apply a write at an explicit version — used by Raft followers
+    /// replaying the leader's log so replicas converge on identical state.
+    /// Versions must be applied in increasing order per key.
+    pub fn put_at(&mut self, key: Key, value: Option<Vec<u8>>, version: u64) {
+        self.next_version = self.next_version.max(version + 1);
+        self.bytes_written += value.as_ref().map(|v| v.len() as u64).unwrap_or(0);
+        let versions = self.data.entry(key).or_default();
+        debug_assert!(
+            versions.last().map(|l| l.version < version).unwrap_or(true),
+            "out-of-order MVCC apply"
+        );
+        versions.push(VersionEntry { version, value });
+    }
+
+    /// Read the latest committed version of `key`.
+    pub fn get_latest(&self, key: &[u8]) -> Option<VersionedValue<'_>> {
+        self.get_at(key, u64::MAX)
+    }
+
+    /// Read `key` at `snapshot`: the newest version ≤ snapshot. Tombstones
+    /// return `None`.
+    pub fn get_at(&self, key: &[u8], snapshot: u64) -> Option<VersionedValue<'_>> {
+        let versions = self.data.get(key)?;
+        let idx = versions.partition_point(|v| v.version <= snapshot);
+        if idx == 0 {
+            return None;
+        }
+        let entry = &versions[idx - 1];
+        entry.value.as_deref().map(|value| VersionedValue {
+            value,
+            version: entry.version,
+        })
+    }
+
+    /// The latest version number recorded for `key`, even if a tombstone —
+    /// this is what a version check compares against.
+    pub fn latest_version(&self, key: &[u8]) -> Option<u64> {
+        self.data.get(key).and_then(|v| v.last()).map(|v| v.version)
+    }
+
+    /// Scan live entries whose key starts with `prefix`, at `snapshot`, in
+    /// key order. Returns (key, value, version) triples.
+    pub fn scan_prefix<'a>(
+        &'a self,
+        prefix: &'a [u8],
+        snapshot: u64,
+    ) -> impl Iterator<Item = (&'a Key, VersionedValue<'a>)> + 'a {
+        let start: Key = prefix.to_vec();
+        self.data
+            .range((Bound::Included(start), Bound::Unbounded))
+            .take_while(move |(k, _)| k.starts_with(prefix))
+            .filter_map(move |(k, versions)| {
+                let idx = versions.partition_point(|v| v.version <= snapshot);
+                if idx == 0 {
+                    return None;
+                }
+                let entry = &versions[idx - 1];
+                entry
+                    .value
+                    .as_deref()
+                    .map(|value| (k, VersionedValue { value, version: entry.version }))
+            })
+    }
+
+    /// Scan live entries with keys in `[start, end_exclusive)` (unbounded
+    /// above when `end_exclusive` is `None`), at `snapshot`, in key order.
+    pub fn scan_between<'a>(
+        &'a self,
+        start: &[u8],
+        end_exclusive: Option<&'a [u8]>,
+        snapshot: u64,
+    ) -> impl Iterator<Item = (&'a Key, VersionedValue<'a>)> + 'a {
+        let lower = Bound::Included(start.to_vec());
+        self.data
+            .range((lower, Bound::Unbounded))
+            .take_while(move |(k, _)| match end_exclusive {
+                Some(end) => k.as_slice() < end,
+                None => true,
+            })
+            .filter_map(move |(k, versions)| {
+                let idx = versions.partition_point(|v| v.version <= snapshot);
+                if idx == 0 {
+                    return None;
+                }
+                let entry = &versions[idx - 1];
+                entry
+                    .value
+                    .as_deref()
+                    .map(|value| (k, VersionedValue { value, version: entry.version }))
+            })
+    }
+
+    /// Garbage-collect versions strictly older than `keep_after`, always
+    /// retaining the newest version of each key. Fully-dead keys (tombstone
+    /// older than the horizon) are dropped. Returns entries reclaimed.
+    pub fn gc(&mut self, keep_after: u64) -> usize {
+        let mut reclaimed = 0;
+        self.data.retain(|_, versions| {
+            let keep_from = versions
+                .partition_point(|v| v.version < keep_after)
+                .min(versions.len() - 1);
+            reclaimed += keep_from;
+            versions.drain(..keep_from);
+            // Drop the key entirely if all that remains is an old tombstone.
+            let last = versions.last().expect("at least one version retained");
+            if last.value.is_none() && last.version < keep_after {
+                reclaimed += versions.len();
+                false
+            } else {
+                true
+            }
+        });
+        reclaimed
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Order-preserving key encoding
+// ---------------------------------------------------------------------------
+
+/// Encode a datum so that byte-wise key order matches SQL value order within
+/// a type. Ints get their sign bit flipped and go big-endian; text/bytes are
+/// terminated with `0x00 0x01` and embedded zeros escaped as `0x00 0xFF`
+/// (the standard escape so prefixes cannot collide).
+pub fn encode_key_datum(out: &mut Vec<u8>, d: &Datum) {
+    match d {
+        Datum::Null => out.push(0x00),
+        Datum::Bool(b) => {
+            out.push(0x01);
+            out.push(*b as u8);
+        }
+        Datum::Int(i) => {
+            out.push(0x02);
+            out.extend_from_slice(&((*i as u64) ^ (1u64 << 63)).to_be_bytes());
+        }
+        Datum::Float(x) => {
+            // Standard total-order float encoding: flip sign bit for
+            // positives, flip all bits for negatives.
+            let bits = x.to_bits();
+            let ordered = if bits >> 63 == 0 {
+                bits ^ (1u64 << 63)
+            } else {
+                !bits
+            };
+            out.push(0x03);
+            out.extend_from_slice(&ordered.to_be_bytes());
+        }
+        Datum::Text(s) => {
+            out.push(0x04);
+            escape_bytes(out, s.as_bytes());
+        }
+        Datum::Bytes(b) => {
+            out.push(0x05);
+            escape_bytes(out, b);
+        }
+        Datum::Payload { len, seed } => {
+            out.push(0x06);
+            out.extend_from_slice(&len.to_be_bytes());
+            out.extend_from_slice(&seed.to_be_bytes());
+        }
+    }
+}
+
+fn escape_bytes(out: &mut Vec<u8>, bytes: &[u8]) {
+    for &b in bytes {
+        if b == 0x00 {
+            out.extend_from_slice(&[0x00, 0xFF]);
+        } else {
+            out.push(b);
+        }
+    }
+    out.extend_from_slice(&[0x00, 0x01]);
+}
+
+/// Record-space key for a row: `t/<table>/<pk>`.
+pub fn record_key(table: &str, pk: &Datum) -> Key {
+    let mut k = Vec::with_capacity(table.len() + 16);
+    k.extend_from_slice(b"t/");
+    k.extend_from_slice(table.as_bytes());
+    k.push(b'/');
+    encode_key_datum(&mut k, pk);
+    k
+}
+
+/// Prefix covering all rows of a table.
+pub fn record_prefix(table: &str) -> Key {
+    let mut k = Vec::with_capacity(table.len() + 3);
+    k.extend_from_slice(b"t/");
+    k.extend_from_slice(table.as_bytes());
+    k.push(b'/');
+    k
+}
+
+/// Conservative byte bounds for record keys whose primary key lies in
+/// `[lo, hi]`; same contract as [`index_range_bounds`].
+pub fn record_range_bounds(table: &str, lo: Option<&Datum>, hi: Option<&Datum>) -> (Key, Option<Key>) {
+    let prefix = record_prefix(table);
+    let start = match lo {
+        Some(d) => {
+            let mut k = prefix.clone();
+            encode_key_datum(&mut k, d);
+            k
+        }
+        None => prefix.clone(),
+    };
+    let end = match hi {
+        Some(d) => {
+            let mut k = prefix.clone();
+            encode_key_datum(&mut k, d);
+            k.push(0xFF);
+            Some(k)
+        }
+        None => {
+            let mut k = prefix;
+            let last = k.last_mut().expect("prefix non-empty");
+            *last += 1;
+            Some(k)
+        }
+    };
+    (start, end)
+}
+
+/// Index-space key: `i/<table>/<col>/<val>/<pk>`.
+pub fn index_key(table: &str, column: usize, value: &Datum, pk: &Datum) -> Key {
+    let mut k = index_prefix(table, column, value);
+    encode_key_datum(&mut k, pk);
+    k
+}
+
+/// Prefix covering all index entries for one (column, value) pair.
+pub fn index_prefix(table: &str, column: usize, value: &Datum) -> Key {
+    let mut k = index_column_prefix(table, column);
+    encode_key_datum(&mut k, value);
+    k
+}
+
+/// Prefix covering *all* index entries of one column (any value).
+pub fn index_column_prefix(table: &str, column: usize) -> Key {
+    let mut k = Vec::with_capacity(table.len() + 24);
+    k.extend_from_slice(b"i/");
+    k.extend_from_slice(table.as_bytes());
+    k.push(b'/');
+    k.extend_from_slice(&(column as u32).to_be_bytes());
+    k.push(b'/');
+    k
+}
+
+/// Conservative byte bounds for index entries whose column value lies in
+/// `[lo, hi]` (either side optional). The returned range may include a few
+/// neighbors — callers re-filter rows with the original predicate — but
+/// never excludes a matching entry. Works because `encode_key_datum` is
+/// order-preserving and prefix-free.
+pub fn index_range_bounds(
+    table: &str,
+    column: usize,
+    lo: Option<&Datum>,
+    hi: Option<&Datum>,
+) -> (Key, Option<Key>) {
+    let prefix = index_column_prefix(table, column);
+    let start = match lo {
+        Some(d) => {
+            let mut k = prefix.clone();
+            encode_key_datum(&mut k, d);
+            k
+        }
+        None => prefix.clone(),
+    };
+    let end = match hi {
+        Some(d) => {
+            let mut k = prefix.clone();
+            encode_key_datum(&mut k, d);
+            k.push(0xFF); // strictly after every pk suffix for this value
+            Some(k)
+        }
+        None => {
+            // End of the column prefix: bump the last byte ('/' < 0xFF).
+            let mut k = prefix;
+            let last = k.last_mut().expect("prefix non-empty");
+            *last += 1;
+            Some(k)
+        }
+    };
+    (start, end)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn key(s: &str) -> Key {
+        s.as_bytes().to_vec()
+    }
+
+    #[test]
+    fn put_then_get_latest() {
+        let mut kv = KvEngine::new();
+        let v1 = kv.put(key("a"), b"one".to_vec());
+        let got = kv.get_latest(b"a").unwrap();
+        assert_eq!(got.value, b"one");
+        assert_eq!(got.version, v1);
+    }
+
+    #[test]
+    fn versions_are_monotonic_and_snapshot_reads_work() {
+        let mut kv = KvEngine::new();
+        let v1 = kv.put(key("a"), b"one".to_vec());
+        let v2 = kv.put(key("a"), b"two".to_vec());
+        assert!(v2 > v1);
+        assert_eq!(kv.get_at(b"a", v1).unwrap().value, b"one");
+        assert_eq!(kv.get_at(b"a", v2).unwrap().value, b"two");
+        assert_eq!(kv.get_at(b"a", v1 - 1), None);
+        assert_eq!(kv.get_latest(b"a").unwrap().value, b"two");
+    }
+
+    #[test]
+    fn delete_writes_tombstone_with_version() {
+        let mut kv = KvEngine::new();
+        let v1 = kv.put(key("a"), b"x".to_vec());
+        let v2 = kv.delete(key("a"));
+        assert_eq!(kv.get_latest(b"a"), None);
+        assert_eq!(kv.get_at(b"a", v1).unwrap().value, b"x");
+        assert_eq!(kv.latest_version(b"a"), Some(v2));
+        assert_eq!(kv.live_keys(), 0);
+    }
+
+    #[test]
+    fn put_at_replays_deterministically() {
+        let mut leader = KvEngine::new();
+        let mut follower = KvEngine::new();
+        let v1 = leader.put(key("a"), b"1".to_vec());
+        let v2 = leader.put(key("b"), b"2".to_vec());
+        follower.put_at(key("a"), Some(b"1".to_vec()), v1);
+        follower.put_at(key("b"), Some(b"2".to_vec()), v2);
+        assert_eq!(leader.get_latest(b"a"), follower.get_latest(b"a"));
+        assert_eq!(follower.next_version(), leader.next_version());
+    }
+
+    #[test]
+    fn scan_prefix_returns_sorted_live_rows() {
+        let mut kv = KvEngine::new();
+        kv.put(key("t/users/b"), b"2".to_vec());
+        kv.put(key("t/users/a"), b"1".to_vec());
+        kv.put(key("t/orders/z"), b"9".to_vec());
+        kv.delete(key("t/users/b"));
+        let hits: Vec<_> = kv
+            .scan_prefix(b"t/users/", u64::MAX)
+            .map(|(k, v)| (k.clone(), v.value.to_vec()))
+            .collect();
+        assert_eq!(hits, vec![(key("t/users/a"), b"1".to_vec())]);
+    }
+
+    #[test]
+    fn scan_respects_snapshot() {
+        let mut kv = KvEngine::new();
+        let v1 = kv.put(key("p/a"), b"old".to_vec());
+        kv.put(key("p/a"), b"new".to_vec());
+        kv.put(key("p/b"), b"later".to_vec());
+        let at_v1: Vec<_> = kv.scan_prefix(b"p/", v1).map(|(_, v)| v.value.to_vec()).collect();
+        assert_eq!(at_v1, vec![b"old".to_vec()]);
+    }
+
+    #[test]
+    fn gc_keeps_latest_and_reclaims_old() {
+        let mut kv = KvEngine::new();
+        for i in 0..10 {
+            kv.put(key("a"), vec![i]);
+        }
+        let horizon = kv.next_version();
+        assert_eq!(kv.version_entries(), 10);
+        let reclaimed = kv.gc(horizon);
+        assert_eq!(reclaimed, 9);
+        assert_eq!(kv.version_entries(), 1);
+        assert_eq!(kv.get_latest(b"a").unwrap().value, &[9]);
+    }
+
+    #[test]
+    fn gc_drops_dead_keys_entirely() {
+        let mut kv = KvEngine::new();
+        kv.put(key("a"), b"x".to_vec());
+        kv.delete(key("a"));
+        kv.gc(kv.next_version());
+        assert_eq!(kv.version_entries(), 0);
+        assert_eq!(kv.latest_version(b"a"), None);
+    }
+
+    #[test]
+    fn int_key_encoding_preserves_order() {
+        let ints = [i64::MIN, -5, -1, 0, 1, 7, i64::MAX];
+        let mut keys: Vec<Key> = ints
+            .iter()
+            .map(|&i| record_key("t", &Datum::Int(i)))
+            .collect();
+        let sorted = keys.clone();
+        keys.sort();
+        assert_eq!(keys, sorted);
+    }
+
+    #[test]
+    fn float_key_encoding_preserves_order() {
+        let floats = [f64::NEG_INFINITY, -2.5, -0.0, 0.0, 1.5, f64::INFINITY];
+        let enc = |x: f64| {
+            let mut k = Vec::new();
+            encode_key_datum(&mut k, &Datum::Float(x));
+            k
+        };
+        for w in floats.windows(2) {
+            assert!(enc(w[0]) <= enc(w[1]), "{} !<= {}", w[0], w[1]);
+        }
+    }
+
+    #[test]
+    fn text_keys_with_embedded_nul_do_not_collide() {
+        let a = record_key("t", &Datum::Text("a\0b".into()));
+        let b = record_key("t", &Datum::Text("a".into()));
+        let c = record_key("t", &Datum::Text("a\0".into()));
+        assert_ne!(a, b);
+        assert_ne!(a, c);
+        assert_ne!(b, c);
+        // "a" < "a\0" < "a\0b" in value order must hold in byte order.
+        assert!(b < c && c < a);
+    }
+
+    #[test]
+    fn scan_between_respects_bounds() {
+        let mut kv = KvEngine::new();
+        for i in 0..10u8 {
+            kv.put(vec![b'k', i], vec![i]);
+        }
+        let hits: Vec<u8> = kv
+            .scan_between(&[b'k', 3], Some(&[b'k', 7]), u64::MAX)
+            .map(|(_, v)| v.value[0])
+            .collect();
+        assert_eq!(hits, vec![3, 4, 5, 6]);
+        let open_ended: Vec<u8> = kv
+            .scan_between(&[b'k', 8], None, u64::MAX)
+            .map(|(_, v)| v.value[0])
+            .collect();
+        assert_eq!(open_ended, vec![8, 9]);
+    }
+
+    #[test]
+    fn index_range_bounds_cover_matching_values_exactly() {
+        // Build index keys for ints 0..20 and check the [5, 12] bounds.
+        let keys: Vec<Key> = (0..20i64)
+            .map(|v| index_key("t", 1, &Datum::Int(v), &Datum::Int(v * 100)))
+            .collect();
+        let (start, end) = index_range_bounds("t", 1, Some(&Datum::Int(5)), Some(&Datum::Int(12)));
+        let end = end.unwrap();
+        let selected: Vec<usize> = keys
+            .iter()
+            .enumerate()
+            .filter(|(_, k)| k.as_slice() >= start.as_slice() && k.as_slice() < end.as_slice())
+            .map(|(i, _)| i)
+            .collect();
+        assert_eq!(selected, (5..=12).collect::<Vec<_>>());
+        // Unbounded sides cover everything on that side.
+        let (start, _) = index_range_bounds("t", 1, None, Some(&Datum::Int(3)));
+        assert!(keys.iter().take(4).all(|k| k.as_slice() >= start.as_slice()));
+        let (_, end) = index_range_bounds("t", 1, Some(&Datum::Int(17)), None);
+        let end = end.unwrap();
+        assert!(keys.iter().skip(17).all(|k| k.as_slice() < end.as_slice()));
+        // Other columns are never inside the bounds.
+        let other = index_key("t", 2, &Datum::Int(7), &Datum::Int(0));
+        assert!(other.as_slice() >= end.as_slice() || other.as_slice() < start.as_slice());
+    }
+
+    #[test]
+    fn index_prefix_isolates_column_and_value() {
+        let p1 = index_prefix("t", 1, &Datum::Int(5));
+        let k_same = index_key("t", 1, &Datum::Int(5), &Datum::Int(1));
+        let k_other_val = index_key("t", 1, &Datum::Int(6), &Datum::Int(1));
+        let k_other_col = index_key("t", 2, &Datum::Int(5), &Datum::Int(1));
+        assert!(k_same.starts_with(&p1));
+        assert!(!k_other_val.starts_with(&p1));
+        assert!(!k_other_col.starts_with(&p1));
+    }
+
+    #[test]
+    fn record_prefix_covers_only_that_table() {
+        let k = record_key("users", &Datum::Int(1));
+        assert!(k.starts_with(&record_prefix("users")));
+        assert!(!k.starts_with(&record_prefix("user")));
+        // distinct tables with common prefixes stay separate
+        let k2 = record_key("users_ext", &Datum::Int(1));
+        assert!(!k2.starts_with(&record_prefix("users")));
+    }
+}

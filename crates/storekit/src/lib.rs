@@ -1,0 +1,43 @@
+//! # storekit — the distributed SQL storage substrate
+//!
+//! The paper's testbed stores data in TiDB: stateless SQL front-ends (TiDB
+//! pods) that parse, plan and drive queries, and Raft-replicated storage
+//! pods (TiKV) holding MVCC key-value data behind a block cache. Its §5.5
+//! finding — that even a trivial version check re-traverses the whole read
+//! path (SQL front-end → transaction-layer lease validation → gRPC → row
+//! fetch) — only reproduces if that path actually exists in code. So this
+//! crate implements it:
+//!
+//! * [`sql`] — a real SQL subset engine: lexer → recursive-descent parser →
+//!   planner (point-get / index-scan / full-scan / nested-loop join) →
+//!   executor.
+//! * [`kv`] — an MVCC key-value engine: versioned rows, snapshot reads,
+//!   tombstones, and garbage collection.
+//! * [`block`] — the storage-layer block cache (the paper's `s_D` knob): row
+//!   reads either hit DRAM-resident blocks or pay the disk path.
+//! * [`raft`] — replicated regions: leader append, quorum commit, follower
+//!   apply, leader leases for consistent reads, and crash/failover handling
+//!   (used by the Figure 8 delayed-writes scenario).
+//! * [`cluster`] — the deployment façade: N SQL front-ends + M storage pods,
+//!   each metered with [`simnet::CpuMeter`]; every query returns rows plus a
+//!   [`cluster::QueryReceipt`] describing the work done, and charges CPU to
+//!   the pods that did it.
+//! * [`cost`] — the calibrated CPU cost constants (see DESIGN.md §5).
+
+pub mod block;
+pub mod cluster;
+pub mod cost;
+pub mod error;
+pub mod kv;
+pub mod raft;
+pub mod row;
+pub mod schema;
+pub mod sql;
+pub mod value;
+
+pub use cluster::{ClusterConfig, QueryReceipt, SqlCluster};
+pub use cost::StorageCostConfig;
+pub use error::{StoreError, StoreResult};
+pub use row::Row;
+pub use schema::{Catalog, ColumnDef, TableSchema};
+pub use value::Datum;

@@ -1,0 +1,22 @@
+//! The SQL subset engine.
+//!
+//! Pipeline: [`lexer`] tokenizes → [`parser`] builds an AST ([`ast`]) →
+//! [`plan()`](plan::plan) resolves names against the catalog and picks an access path →
+//! [`exec`] runs the physical plan against a [`exec::RowStore`].
+//!
+//! The subset is what the paper's workloads need — point reads, indexed
+//! lookups, scans with predicates, a single equi-join, `COUNT(*)`, `LIMIT`,
+//! parameterized statements (`?`), and single-table INSERT/UPDATE/DELETE —
+//! implemented for real, so query costs (rows visited, bytes touched,
+//! blocks missed) come out of execution rather than assumption.
+
+pub mod ast;
+pub mod exec;
+pub mod lexer;
+pub mod parser;
+pub mod plan;
+
+pub use ast::Statement;
+pub use exec::{ExecOutcome, ExecStats, RowStore, WriteBatch};
+pub use parser::parse;
+pub use plan::{plan, PhysicalPlan};

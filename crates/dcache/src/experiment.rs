@@ -12,10 +12,13 @@
 //! paper measures steady state.
 
 use crate::config::{ArchKind, DeploymentConfig};
-use crate::deployment::{kv_catalog, Deployment};
+use crate::deployment::{fault_counters, kv_catalog, Deployment};
 use costmodel::{CostBreakdown, Pricing, ResourceUsage};
 use serde::Serialize;
-use simnet::{CpuCategory, CpuMeter, Histogram, SimDuration, SimTime};
+use simnet::{
+    CpuCategory, CpuMeter, FaultDriver, FaultEvent, FaultKind, FaultSchedule, Histogram,
+    SimDuration, SimTime,
+};
 use storekit::error::{StoreError, StoreResult};
 use storekit::value::Datum;
 use workloads::{KvOp, KvWorkloadConfig};
@@ -115,6 +118,20 @@ pub struct ExperimentReport {
     pub sql_statements: u64,
     /// Raft leader elections triggered by requests hitting dead leaders.
     pub failovers: u64,
+    /// Reads served from storage because the owning cache shard was down.
+    pub degraded_reads: u64,
+    /// Cache-RPC retries performed against unresponsive shards.
+    pub cache_retries: u64,
+    /// Storage fills elided by single-flight coalescing.
+    pub stampede_suppressed: u64,
+    /// Measured requests whose end-to-end latency blew the request deadline.
+    pub deadline_exceeded: u64,
+    /// Cache shards crashed / restarted during the measured window.
+    pub cache_crashes: u64,
+    pub cache_restarts: u64,
+    /// Fault-fabric messages delivered / dropped during the measured window.
+    pub net_delivered: u64,
+    pub net_dropped: u64,
 }
 
 impl ExperimentReport {
@@ -145,6 +162,16 @@ impl ExperimentReport {
     pub fn memory_cost_fraction(&self) -> f64 {
         self.total_cost.memory_fraction()
     }
+
+    /// Fraction of measured requests that met their deadline — the
+    /// availability figure the fault ablation sweeps. 1.0 when no deadline
+    /// pressure was observed.
+    pub fn availability(&self) -> f64 {
+        if self.requests == 0 {
+            return 1.0;
+        }
+        1.0 - self.deadline_exceeded as f64 / self.requests as f64
+    }
 }
 
 /// Configuration of one KV cost run.
@@ -167,6 +194,12 @@ pub struct KvExperimentConfig {
     /// request pays a detection+election latency penalty), modeling the
     /// availability blip of a storage-node failure.
     pub crash_leaders_at_request: Option<u64>,
+    /// Time-scheduled fault injection, in absolute virtual time from run
+    /// start (warmup included; requests arrive every `1/qps` seconds).
+    /// Node ids below [`STORAGE_FAULT_NODE_BASE`] are cache shards; ids at
+    /// or above it select storage region `id - STORAGE_FAULT_NODE_BASE`
+    /// (crash = kill its Raft leader, restart = re-elect).
+    pub cache_fault_schedule: Option<FaultSchedule>,
     pub pricing: Pricing,
 }
 
@@ -186,8 +219,44 @@ impl KvExperimentConfig {
             requests: 150_000,
             prewarm: true,
             crash_leaders_at_request: None,
+            cache_fault_schedule: None,
             pricing: Pricing::default(),
         }
+    }
+}
+
+/// `FaultSchedule` node ids at or above this base address storage regions
+/// (`id - base` = region index); below it they address cache shards.
+pub const STORAGE_FAULT_NODE_BASE: u32 = 1 << 16;
+
+/// Apply one scheduled fault event to the deployment: cache-shard ids are
+/// handled by the deployment (crash wipes the shard), storage ids crash the
+/// region's Raft leader (recovery happens through the runner's failover
+/// path or an explicit `Restart` event), and everything else (partitions,
+/// latency spikes, loss windows) acts on the app↔cache fault fabric.
+pub(crate) fn apply_fault(dep: &mut Deployment, ev: &FaultEvent, now: SimTime) {
+    match ev.kind {
+        FaultKind::Crash { node } if node.0 < STORAGE_FAULT_NODE_BASE => {
+            dep.crash_cache_shard(node.0 as usize);
+        }
+        FaultKind::Restart { node } if node.0 < STORAGE_FAULT_NODE_BASE => {
+            dep.restart_cache_shard(node.0 as usize);
+        }
+        FaultKind::Crash { node } => {
+            let r = (node.0 - STORAGE_FAULT_NODE_BASE) as usize;
+            if r < dep.cluster.region_count() {
+                if let Some(slot) = dep.cluster.region(r).leader_slot() {
+                    dep.cluster.region_mut(r).crash(slot);
+                }
+            }
+        }
+        FaultKind::Restart { node } => {
+            let r = (node.0 - STORAGE_FAULT_NODE_BASE) as usize;
+            if r < dep.cluster.region_count() {
+                let _ = dep.cluster.region_mut(r).elect(now);
+            }
+        }
+        _ => ev.apply_to(&mut dep.net),
     }
 }
 
@@ -202,6 +271,7 @@ pub(crate) struct RunMetrics {
     pub version_checks: u64,
     pub sql_statements: u64,
     pub failovers: u64,
+    pub deadline_exceeded: u64,
 }
 
 impl RunMetrics {
@@ -216,6 +286,14 @@ impl RunMetrics {
             version_checks: 0,
             sql_statements: 0,
             failovers: 0,
+            deadline_exceeded: 0,
+        }
+    }
+
+    /// Count `latency` against the per-request deadline budget.
+    pub fn check_deadline(&mut self, latency: SimDuration, deadline: SimDuration) {
+        if latency > deadline {
+            self.deadline_exceeded += 1;
         }
     }
 }
@@ -311,6 +389,16 @@ pub(crate) fn build_report(
         version_checks: metrics.version_checks,
         sql_statements: metrics.sql_statements,
         failovers: metrics.failovers,
+        degraded_reads: dep.metrics.counter_value(fault_counters::DEGRADED_READS),
+        cache_retries: dep.metrics.counter_value(fault_counters::RETRIES),
+        stampede_suppressed: dep
+            .metrics
+            .counter_value(fault_counters::STAMPEDE_SUPPRESSED),
+        deadline_exceeded: metrics.deadline_exceeded,
+        cache_crashes: dep.metrics.counter_value(fault_counters::CACHE_CRASHES),
+        cache_restarts: dep.metrics.counter_value(fault_counters::CACHE_RESTARTS),
+        net_delivered: dep.net.delivered,
+        net_dropped: dep.net.dropped,
     }
 }
 
@@ -377,6 +465,8 @@ pub fn run_kv_experiment(cfg: &KvExperimentConfig) -> StoreResult<ExperimentRepo
     let heartbeat_every = (cfg.qps as u64).max(1); // ~1 virtual second
     let mut measuring = false;
     let mut measure_start = SimTime::ZERO;
+    let mut fault_driver = cfg.cache_fault_schedule.as_ref().map(FaultDriver::new);
+    let deadline = cfg.deployment.fault_tolerance.request_deadline;
 
     for i in 0..total {
         if i == cfg.warmup_requests {
@@ -398,6 +488,11 @@ pub fn run_kv_experiment(cfg: &KvExperimentConfig) -> StoreResult<ExperimentRepo
                 }
             }
         }
+        if let Some(driver) = fault_driver.as_mut() {
+            for ev in driver.due(now) {
+                apply_fault(&mut dep, ev, now);
+            }
+        }
         let req = workload.next_request();
         match req.op {
             KvOp::Read => {
@@ -411,6 +506,7 @@ pub fn run_kv_experiment(cfg: &KvExperimentConfig) -> StoreResult<ExperimentRepo
                     metrics.cache_hits += out.cache_hit as u64;
                     metrics.version_checks += out.version_checks;
                     metrics.sql_statements += out.sql_statements;
+                    metrics.check_deadline(out.latency + penalty, deadline);
                     let expect = generation.get(&req.key).copied().unwrap_or(0);
                     if out.seed != Some(expect) {
                         metrics.stale_reads += 1;
@@ -432,6 +528,7 @@ pub fn run_kv_experiment(cfg: &KvExperimentConfig) -> StoreResult<ExperimentRepo
                     metrics.writes += 1;
                     metrics.write_latency.record((out.latency + penalty).as_nanos());
                     metrics.sql_statements += out.sql_statements;
+                    metrics.check_deadline(out.latency + penalty, deadline);
                 }
             }
         }
@@ -575,13 +672,14 @@ mod tests {
                 read_ratio: 0.9,
                 sizes: SizeDist::Fixed(1_000),
                 seed: 7,
-            churn_period: None,
+                churn_period: None,
             },
             qps: 50_000.0,
             warmup_requests: 2_000,
             requests: 4_000,
             prewarm: false,
             crash_leaders_at_request: None,
+            cache_fault_schedule: None,
             pricing: Pricing::default(),
         }
     }
@@ -752,6 +850,87 @@ mod tests {
         assert_eq!(generated.total_cost.memory, replayed.total_cost.memory);
         assert_eq!(generated.cache_hit_ratio, replayed.cache_hit_ratio);
         assert_eq!(generated.stale_reads, replayed.stale_reads);
+    }
+
+    #[test]
+    fn scheduled_cache_crash_degrades_and_recovers() {
+        use simnet::NodeId;
+        // Crash every cache shard mid-measurement, restart shortly after.
+        let mut cfg = tiny_cfg(ArchKind::Remote);
+        cfg.deployment.fault_tolerance.single_flight = true;
+        let dt = SimDuration::from_secs_f64(1.0 / cfg.qps);
+        let crash_at = SimTime::ZERO + dt.saturating_mul(cfg.warmup_requests + 1_000);
+        let downtime = dt.saturating_mul(1_000);
+        let mut schedule = FaultSchedule::new();
+        for shard in 0..cfg.deployment.remote_cache_nodes {
+            schedule.crash_for(crash_at, NodeId(shard as u32), downtime);
+        }
+        cfg.cache_fault_schedule = Some(schedule);
+
+        let faulty = run_kv_experiment(&cfg).unwrap();
+        let mut clean_cfg = tiny_cfg(ArchKind::Remote);
+        clean_cfg.deployment.fault_tolerance.single_flight = true;
+        let clean = run_kv_experiment(&clean_cfg).unwrap();
+
+        assert_eq!(faulty.cache_crashes, cfg.deployment.remote_cache_nodes as u64);
+        assert_eq!(faulty.cache_restarts, cfg.deployment.remote_cache_nodes as u64);
+        assert!(faulty.degraded_reads > 0, "outage window must degrade reads");
+        assert!(faulty.cache_retries > 0);
+        assert!(faulty.net_dropped > 0);
+        assert_eq!(clean.degraded_reads, 0);
+        assert_eq!(clean.net_dropped, 0);
+        assert!(
+            faulty.read_latency_p99_us > clean.read_latency_p99_us,
+            "outage must show in tail latency: {} vs {}",
+            faulty.read_latency_p99_us,
+            clean.read_latency_p99_us
+        );
+        assert!(
+            faulty.cache_hit_ratio < clean.cache_hit_ratio,
+            "cold restart costs hits: {} vs {}",
+            faulty.cache_hit_ratio,
+            clean.cache_hit_ratio
+        );
+        assert!(faulty.availability() <= 1.0);
+    }
+
+    #[test]
+    fn scheduled_faults_are_deterministic() {
+        use simnet::NodeId;
+        let build = || {
+            let mut cfg = tiny_cfg(ArchKind::Linked);
+            cfg.deployment.fault_tolerance.single_flight = true;
+            let dt = SimDuration::from_secs_f64(1.0 / cfg.qps);
+            let crash_at = SimTime::ZERO + dt.saturating_mul(cfg.warmup_requests + 500);
+            let mut schedule = FaultSchedule::new();
+            schedule.crash_for(crash_at, NodeId(0), dt.saturating_mul(800));
+            cfg.cache_fault_schedule = Some(schedule);
+            cfg
+        };
+        let a = run_kv_experiment(&build()).unwrap();
+        let b = run_kv_experiment(&build()).unwrap();
+        assert_eq!(
+            serde_json::to_string(&a).unwrap(),
+            serde_json::to_string(&b).unwrap(),
+            "same seed + same schedule must be byte-identical"
+        );
+        assert!(a.degraded_reads > 0);
+    }
+
+    #[test]
+    fn scheduled_storage_crash_uses_failover_path() {
+        use simnet::NodeId;
+        let mut cfg = tiny_cfg(ArchKind::Base);
+        let dt = SimDuration::from_secs_f64(1.0 / cfg.qps);
+        let crash_at = SimTime::ZERO + dt.saturating_mul(cfg.warmup_requests + 1_000);
+        let mut schedule = FaultSchedule::new();
+        for r in 0..cfg.deployment.cluster.regions {
+            schedule.crash(crash_at, NodeId(STORAGE_FAULT_NODE_BASE + r as u32));
+        }
+        cfg.cache_fault_schedule = Some(schedule);
+        let report = run_kv_experiment(&cfg).unwrap();
+        assert!(report.failovers > 0, "dead leaders must trigger elections");
+        assert_eq!(report.stale_reads, 0);
     }
 
     #[test]

@@ -15,6 +15,9 @@
 //!   §5.5 "version check" as a real network operation), and graceful
 //!   shutdown via a watch channel.
 //! * [`client`] — a straightforward request/response client.
+//! * [`resilient`] — the fault-tolerant client: per-request deadlines,
+//!   automatic reconnect with jittered backoff, bounded retries on
+//!   idempotent operations, and an open/half-open circuit breaker.
 //!
 //! ```no_run
 //! # async fn demo() -> std::io::Result<()> {
@@ -34,8 +37,10 @@
 
 pub mod client;
 pub mod codec;
+pub mod resilient;
 pub mod server;
 
 pub use client::CacheClient;
 pub use codec::{Request, Response};
+pub use resilient::{ResilienceStats, ResilientClient, ResilientConfig, RetryPolicy};
 pub use server::{CacheServer, ServerHandle};

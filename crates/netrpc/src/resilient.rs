@@ -1,0 +1,396 @@
+//! A fault-tolerant wrapper over [`CacheClient`]: per-request deadlines,
+//! automatic reconnect with jittered exponential backoff, bounded retries
+//! on idempotent operations, and an open/half-open circuit breaker.
+//!
+//! The plain client assumes a healthy server; this one assumes the opposite.
+//! Every call carries a deadline (`tokio::time::timeout`), so a server that
+//! dies mid-response produces a prompt error instead of a hang. Failed
+//! connections are dropped and transparently re-dialed on the next call.
+//! Read-only operations (GET / VERSION / STATS / PING) are retried up to
+//! [`RetryPolicy::max_retries`] times; mutations (SET / DEL) are attempted
+//! once, because a timed-out SET may or may not have been applied and
+//! blind replay would widen the ambiguity window.
+//!
+//! The breaker trips after [`ResilientConfig::failure_threshold`]
+//! consecutive failures: while open, calls fail fast without touching the
+//! socket; after [`ResilientConfig::open_for`], one half-open probe is let
+//! through — success closes the breaker, failure re-opens it.
+//!
+//! Backoff jitter comes from a small splitmix/LCG seeded at construction,
+//! so the crate stays free of heavyweight RNG dependencies and two clients
+//! built with the same seed behave identically.
+
+use crate::client::CacheClient;
+use crate::codec::{Request, Response};
+use std::io;
+use std::net::SocketAddr;
+use std::time::{Duration, Instant};
+use tokio::time::timeout;
+
+/// Retry schedule for idempotent calls: exponential backoff from
+/// `base_backoff` doubling per attempt, capped at `max_backoff`, stretched
+/// by up to `jitter` (fraction of the computed delay).
+#[derive(Debug, Clone)]
+pub struct RetryPolicy {
+    /// Extra attempts after the first (0 = no retry).
+    pub max_retries: u32,
+    pub base_backoff: Duration,
+    pub max_backoff: Duration,
+    /// 0.0–1.0: max fractional stretch added to each delay.
+    pub jitter: f64,
+}
+
+impl Default for RetryPolicy {
+    fn default() -> Self {
+        RetryPolicy {
+            max_retries: 2,
+            base_backoff: Duration::from_millis(10),
+            max_backoff: Duration::from_millis(500),
+            jitter: 0.5,
+        }
+    }
+}
+
+impl RetryPolicy {
+    /// Delay before retry number `attempt` (0-based), with `unit` ∈ [0, 1)
+    /// supplying the jitter draw.
+    pub fn backoff(&self, attempt: u32, unit: f64) -> Duration {
+        let exp = self
+            .base_backoff
+            .saturating_mul(1u32 << attempt.min(16))
+            .min(self.max_backoff);
+        exp.mul_f64(1.0 + self.jitter.clamp(0.0, 1.0) * unit.clamp(0.0, 1.0))
+    }
+}
+
+/// Knobs for [`ResilientClient`].
+#[derive(Debug, Clone)]
+pub struct ResilientConfig {
+    /// Deadline for a single attempt (dial excluded — see
+    /// `connect_timeout`). A hit turns into `ErrorKind::TimedOut` and drops
+    /// the connection.
+    pub request_timeout: Duration,
+    pub connect_timeout: Duration,
+    pub retry: RetryPolicy,
+    /// Consecutive failures before the breaker opens.
+    pub failure_threshold: u32,
+    /// How long the breaker stays open before a half-open probe.
+    pub open_for: Duration,
+    /// Seed for the jitter RNG (fixed default keeps tests reproducible).
+    pub jitter_seed: u64,
+}
+
+impl Default for ResilientConfig {
+    fn default() -> Self {
+        ResilientConfig {
+            request_timeout: Duration::from_secs(1),
+            connect_timeout: Duration::from_secs(1),
+            retry: RetryPolicy::default(),
+            failure_threshold: 3,
+            open_for: Duration::from_millis(500),
+            jitter_seed: 0x9e37_79b9_7f4a_7c15,
+        }
+    }
+}
+
+/// Observable resilience counters (monotonic since construction).
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct ResilienceStats {
+    /// Successful (re)dials, including the first.
+    pub connects: u64,
+    /// Idempotent-call retries performed.
+    pub retries: u64,
+    /// Attempts that hit the request deadline.
+    pub timeouts: u64,
+    /// Closed/half-open → open transitions.
+    pub breaker_opens: u64,
+    /// Calls rejected without touching the socket (breaker open).
+    pub fast_failures: u64,
+}
+
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+enum Breaker {
+    Closed,
+    Open,
+    HalfOpen,
+}
+
+/// Minimal 64-bit LCG (Knuth's MMIX constants); top bits → unit interval.
+#[derive(Debug)]
+struct Lcg(u64);
+
+impl Lcg {
+    fn next_unit(&mut self) -> f64 {
+        self.0 = self
+            .0
+            .wrapping_mul(6_364_136_223_846_793_005)
+            .wrapping_add(1_442_695_040_888_963_407);
+        (self.0 >> 11) as f64 / (1u64 << 53) as f64
+    }
+}
+
+/// The fault-tolerant client. Like [`CacheClient`], one in-flight request
+/// at a time; unlike it, survives server crashes and restarts.
+pub struct ResilientClient {
+    addr: SocketAddr,
+    cfg: ResilientConfig,
+    conn: Option<CacheClient>,
+    breaker: Breaker,
+    opened_at: Option<Instant>,
+    consecutive_failures: u32,
+    rng: Lcg,
+    stats: ResilienceStats,
+}
+
+fn protocol_err(e: impl std::fmt::Display) -> io::Error {
+    io::Error::new(io::ErrorKind::InvalidData, e.to_string())
+}
+
+impl ResilientClient {
+    /// Build without dialing; the first call connects lazily.
+    pub fn new(addr: SocketAddr, cfg: ResilientConfig) -> Self {
+        let seed = cfg.jitter_seed;
+        ResilientClient {
+            addr,
+            cfg,
+            conn: None,
+            breaker: Breaker::Closed,
+            opened_at: None,
+            consecutive_failures: 0,
+            rng: Lcg(seed),
+            stats: ResilienceStats::default(),
+        }
+    }
+
+    pub fn stats(&self) -> ResilienceStats {
+        self.stats
+    }
+
+    pub fn is_connected(&self) -> bool {
+        self.conn.is_some()
+    }
+
+    /// True while the breaker rejects calls without touching the socket.
+    pub fn circuit_open(&self) -> bool {
+        self.breaker == Breaker::Open
+            && self
+                .opened_at
+                .map(|t| t.elapsed() < self.cfg.open_for)
+                .unwrap_or(false)
+    }
+
+    fn breaker_admit(&mut self) -> io::Result<()> {
+        if self.breaker == Breaker::Open {
+            let cooled = self
+                .opened_at
+                .map(|t| t.elapsed() >= self.cfg.open_for)
+                .unwrap_or(true);
+            if cooled {
+                self.breaker = Breaker::HalfOpen;
+            } else {
+                self.stats.fast_failures += 1;
+                return Err(io::Error::new(
+                    io::ErrorKind::ConnectionRefused,
+                    "circuit breaker open",
+                ));
+            }
+        }
+        Ok(())
+    }
+
+    fn record_success(&mut self) {
+        self.consecutive_failures = 0;
+        self.breaker = Breaker::Closed;
+        self.opened_at = None;
+    }
+
+    fn record_failure(&mut self) {
+        self.consecutive_failures += 1;
+        let trip = self.breaker == Breaker::HalfOpen
+            || self.consecutive_failures >= self.cfg.failure_threshold;
+        if trip && self.breaker != Breaker::Open {
+            self.breaker = Breaker::Open;
+            self.opened_at = Some(Instant::now());
+            self.stats.breaker_opens += 1;
+        } else if trip {
+            self.opened_at = Some(Instant::now());
+        }
+    }
+
+    async fn ensure_conn(&mut self) -> io::Result<()> {
+        if self.conn.is_none() {
+            let dial = CacheClient::connect(self.addr);
+            let client = timeout(self.cfg.connect_timeout, dial)
+                .await
+                .map_err(|_| io::Error::new(io::ErrorKind::TimedOut, "connect timed out"))??;
+            self.stats.connects += 1;
+            self.conn = Some(client);
+        }
+        Ok(())
+    }
+
+    /// One attempt under the request deadline. Any failure (dial, I/O,
+    /// deadline) poisons the connection: a timed-out call may have left
+    /// half a frame on the wire, so the socket cannot be reused.
+    async fn attempt(&mut self, req: &Request) -> io::Result<Response> {
+        self.ensure_conn().await?;
+        let deadline = self.cfg.request_timeout;
+        let conn = self.conn.as_mut().expect("ensured above");
+        match timeout(deadline, conn.call(req.clone())).await {
+            Ok(Ok(resp)) => Ok(resp),
+            Ok(Err(e)) => {
+                self.conn = None;
+                Err(e)
+            }
+            Err(_) => {
+                self.conn = None;
+                self.stats.timeouts += 1;
+                Err(io::Error::new(
+                    io::ErrorKind::TimedOut,
+                    "request deadline exceeded",
+                ))
+            }
+        }
+    }
+
+    /// Call with retries — only for requests safe to replay.
+    pub async fn call_idempotent(&mut self, req: Request) -> io::Result<Response> {
+        self.breaker_admit()?;
+        let mut attempt = 0u32;
+        loop {
+            match self.attempt(&req).await {
+                Ok(resp) => {
+                    self.record_success();
+                    return Ok(resp);
+                }
+                Err(e) => {
+                    self.record_failure();
+                    let tripped = self.breaker == Breaker::Open;
+                    if tripped || attempt >= self.cfg.retry.max_retries {
+                        return Err(e);
+                    }
+                    let unit = self.rng.next_unit();
+                    tokio::time::sleep(self.cfg.retry.backoff(attempt, unit)).await;
+                    attempt += 1;
+                    self.stats.retries += 1;
+                }
+            }
+        }
+    }
+
+    /// Single attempt — for mutations, where blind replay after an
+    /// ambiguous timeout could double-apply.
+    pub async fn call_once(&mut self, req: Request) -> io::Result<Response> {
+        self.breaker_admit()?;
+        match self.attempt(&req).await {
+            Ok(resp) => {
+                self.record_success();
+                Ok(resp)
+            }
+            Err(e) => {
+                self.record_failure();
+                Err(e)
+            }
+        }
+    }
+
+    /// GET with deadline + retries: `Some((value, version))` on hit.
+    pub async fn get(&mut self, key: &[u8]) -> io::Result<Option<(Vec<u8>, u64)>> {
+        match self
+            .call_idempotent(Request::Get { key: key.to_vec() })
+            .await?
+        {
+            Response::Value { value, version } => Ok(Some((value, version))),
+            Response::NotFound => Ok(None),
+            other => Err(protocol_err(format!("unexpected response {other:?}"))),
+        }
+    }
+
+    /// VERSION with deadline + retries.
+    pub async fn version(&mut self, key: &[u8]) -> io::Result<Option<u64>> {
+        match self
+            .call_idempotent(Request::Version { key: key.to_vec() })
+            .await?
+        {
+            Response::VersionIs { version } => Ok(Some(version)),
+            Response::NotFound => Ok(None),
+            other => Err(protocol_err(format!("unexpected response {other:?}"))),
+        }
+    }
+
+    /// STATS with deadline + retries: `(hits, misses, entries, used_bytes)`.
+    pub async fn stats_remote(&mut self) -> io::Result<(u64, u64, u64, u64)> {
+        match self.call_idempotent(Request::Stats).await? {
+            Response::Stats {
+                hits,
+                misses,
+                entries,
+                used_bytes,
+            } => Ok((hits, misses, entries, used_bytes)),
+            other => Err(protocol_err(format!("unexpected response {other:?}"))),
+        }
+    }
+
+    /// PING with deadline + retries.
+    pub async fn ping(&mut self) -> io::Result<()> {
+        match self.call_idempotent(Request::Ping).await? {
+            Response::Pong => Ok(()),
+            other => Err(protocol_err(format!("unexpected response {other:?}"))),
+        }
+    }
+
+    /// SET with deadline, single attempt: returns the assigned version.
+    pub async fn set(&mut self, key: &[u8], value: &[u8], ttl_ms: Option<u64>) -> io::Result<u64> {
+        match self
+            .call_once(Request::Set {
+                key: key.to_vec(),
+                value: value.to_vec(),
+                ttl_ms,
+            })
+            .await?
+        {
+            Response::Stored { version } => Ok(version),
+            other => Err(protocol_err(format!("unexpected response {other:?}"))),
+        }
+    }
+
+    /// DEL with deadline, single attempt: true if the key existed.
+    pub async fn del(&mut self, key: &[u8]) -> io::Result<bool> {
+        match self.call_once(Request::Del { key: key.to_vec() }).await? {
+            Response::Deleted => Ok(true),
+            Response::NotFound => Ok(false),
+            other => Err(protocol_err(format!("unexpected response {other:?}"))),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn backoff_doubles_caps_and_jitters() {
+        let p = RetryPolicy {
+            max_retries: 5,
+            base_backoff: Duration::from_millis(10),
+            max_backoff: Duration::from_millis(60),
+            jitter: 0.5,
+        };
+        assert_eq!(p.backoff(0, 0.0), Duration::from_millis(10));
+        assert_eq!(p.backoff(1, 0.0), Duration::from_millis(20));
+        assert_eq!(p.backoff(2, 0.0), Duration::from_millis(40));
+        assert_eq!(p.backoff(3, 0.0), Duration::from_millis(60), "capped");
+        assert_eq!(p.backoff(0, 1.0), Duration::from_millis(15), "max jitter");
+    }
+
+    #[test]
+    fn lcg_is_deterministic_and_in_unit_interval() {
+        let mut a = Lcg(42);
+        let mut b = Lcg(42);
+        for _ in 0..1000 {
+            let x = a.next_unit();
+            assert_eq!(x, b.next_unit());
+            assert!((0.0..1.0).contains(&x));
+        }
+    }
+}

@@ -9,8 +9,10 @@
 //!   semantic categories (serialization, SQL front-end work, replication, …),
 //!   which is exactly the quantity the paper's cost model consumes,
 //! * a network model ([`net::Network`]) with per-hop latency, per-byte wire
-//!   cost, and fault injection (drops, extra delay, partitions) used by the
-//!   delayed-writes scenario of the paper's Figure 8,
+//!   cost, and fault injection (drops, extra delay, partitions, node
+//!   crashes) used by the delayed-writes scenario of the paper's Figure 8,
+//! * a time-scheduled fault engine ([`fault::FaultSchedule`]) that scripts
+//!   crash/restart, partition and latency-spike windows deterministically,
 //! * lightweight metrics ([`metrics`]) — counters and log-bucketed histograms.
 //!
 //! The kernel is generic over a user-supplied world type `W`; events are
@@ -34,6 +36,7 @@
 
 pub mod cpu;
 pub mod engine;
+pub mod fault;
 pub mod metrics;
 pub mod net;
 pub mod node;
@@ -42,8 +45,9 @@ pub mod time;
 
 pub use cpu::{CpuCategory, CpuMeter};
 pub use engine::Sim;
+pub use fault::{FaultDriver, FaultEvent, FaultKind, FaultSchedule};
 pub use metrics::{Counter, Histogram, MetricSet};
-pub use net::{FaultPlan, LinkClass, Network};
+pub use net::{Delivery, FaultPlan, LinkClass, Network};
 pub use queueing::{cores_for_wait_target, erlang_c, mmc_wait_time};
 pub use node::{Node, NodeId, NodeKind, NodeRegistry};
 pub use time::{SimDuration, SimTime};

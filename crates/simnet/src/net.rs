@@ -8,6 +8,7 @@
 //! pairwise partitions. Fault injection is what lets the Figure 8
 //! delayed-writes scenario reproduce deterministically.
 
+use crate::metrics::MetricSet;
 use crate::node::NodeId;
 use crate::time::SimDuration;
 use rand::Rng;
@@ -99,6 +100,9 @@ pub struct Network {
     /// `SameZone`, across groups `CrossZone`. Node ids absent from any group
     /// are treated as being in zone 0.
     zone_of: Vec<u32>,
+    /// Liveness per node id: a crashed node neither sends nor receives.
+    /// Ids beyond the vector are up (the common case — nothing crashed).
+    node_down: Vec<bool>,
     /// Messages delivered / dropped, for reporting.
     pub delivered: u64,
     pub dropped: u64,
@@ -129,6 +133,7 @@ impl Network {
             },
             faults: FaultPlan::default(),
             zone_of: Vec::new(),
+            node_down: Vec::new(),
             delivered: 0,
             dropped: 0,
         }
@@ -175,6 +180,23 @@ impl Network {
         }
     }
 
+    /// Mark a node crashed (`down = true`) or restarted (`down = false`).
+    /// While down, every message to or from it is dropped.
+    pub fn set_node_down(&mut self, node: NodeId, down: bool) {
+        let idx = node.0 as usize;
+        if self.node_down.len() <= idx {
+            if !down {
+                return; // already implicitly up
+            }
+            self.node_down.resize(idx + 1, false);
+        }
+        self.node_down[idx] = down;
+    }
+
+    pub fn is_node_up(&self, node: NodeId) -> bool {
+        !self.node_down.get(node.0 as usize).copied().unwrap_or(false)
+    }
+
     /// Decide the fate of one message of `bytes` from `from` to `to`,
     /// consuming randomness from `rng`. Updates delivery counters.
     pub fn send(
@@ -184,6 +206,10 @@ impl Network {
         to: NodeId,
         bytes: u64,
     ) -> Delivery {
+        if !self.is_node_up(from) || !self.is_node_up(to) {
+            self.dropped += 1;
+            return Delivery::Dropped;
+        }
         if self.faults.is_partitioned(from, to) {
             self.dropped += 1;
             return Delivery::Dropped;
@@ -202,6 +228,18 @@ impl Network {
     /// only need to know how long a hop takes.
     pub fn one_way_latency(&self, from: NodeId, to: NodeId, bytes: u64) -> SimDuration {
         self.link(self.classify(from, to)).delivery_time(bytes)
+    }
+
+    /// Zero the delivery counters (e.g. at the warmup/measurement boundary).
+    pub fn reset_counters(&mut self) {
+        self.delivered = 0;
+        self.dropped = 0;
+    }
+
+    /// Publish the delivery counters into a metrics registry.
+    pub fn export_metrics(&self, metrics: &mut MetricSet) {
+        metrics.counter("net_delivered").add(self.delivered);
+        metrics.counter("net_dropped").add(self.dropped);
     }
 }
 
@@ -275,6 +313,37 @@ mod tests {
         for _ in 0..10 {
             assert_eq!(net.send(&mut rng(), NodeId(0), NodeId(1), 1), Delivery::Dropped);
         }
+    }
+
+    #[test]
+    fn crashed_node_neither_sends_nor_receives() {
+        let mut net = Network::new();
+        let (a, b) = (NodeId(0), NodeId(5));
+        assert!(net.is_node_up(b));
+        net.set_node_down(b, true);
+        assert!(!net.is_node_up(b));
+        assert_eq!(net.send(&mut rng(), a, b, 10), Delivery::Dropped);
+        assert_eq!(net.send(&mut rng(), b, a, 10), Delivery::Dropped);
+        net.set_node_down(b, false);
+        assert!(matches!(net.send(&mut rng(), a, b, 10), Delivery::After(_)));
+        // Restarting an id never marked down is a no-op.
+        net.set_node_down(NodeId(1_000), false);
+        assert!(net.is_node_up(NodeId(1_000)));
+    }
+
+    #[test]
+    fn delivery_counters_export_and_reset() {
+        let mut net = Network::new();
+        net.set_node_down(NodeId(1), true);
+        let _ = net.send(&mut rng(), NodeId(0), NodeId(1), 1);
+        let _ = net.send(&mut rng(), NodeId(0), NodeId(2), 1);
+        let mut m = crate::metrics::MetricSet::new();
+        net.export_metrics(&mut m);
+        assert_eq!(m.counter_value("net_delivered"), 1);
+        assert_eq!(m.counter_value("net_dropped"), 1);
+        net.reset_counters();
+        assert_eq!(net.delivered, 0);
+        assert_eq!(net.dropped, 0);
     }
 
     #[test]

@@ -26,6 +26,9 @@ pub enum StoreError {
     NotLeader { region: u64, node: usize },
     /// Feature deliberately outside the SQL subset.
     Unsupported(String),
+    /// A required component (e.g. a cache shard) is down and the caller's
+    /// policy forbids degraded fallback.
+    Unavailable { what: String },
 }
 
 impl fmt::Display for StoreError {
@@ -53,6 +56,7 @@ impl fmt::Display for StoreError {
                 write!(f, "node {node} is not the leader of region {region}")
             }
             StoreError::Unsupported(what) => write!(f, "unsupported SQL: {what}"),
+            StoreError::Unavailable { what } => write!(f, "unavailable: {what}"),
         }
     }
 }

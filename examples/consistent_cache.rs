@@ -32,6 +32,7 @@ fn main() {
             requests: 25_000,
             prewarm: true,
             crash_leaders_at_request: None,
+            cache_fault_schedule: None,
             pricing: Default::default(),
         };
         run_kv_experiment(&cfg).expect("run")

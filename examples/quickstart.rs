@@ -38,6 +38,7 @@ fn main() {
             requests: 30_000,
             prewarm: true,
             crash_leaders_at_request: None,
+            cache_fault_schedule: None,
             pricing: Pricing::default(),
         };
         let report = run_kv_experiment(&cfg).expect("experiment runs");

@@ -44,6 +44,7 @@
 //!     requests: 2_000,
 //!     prewarm: false,
 //!     crash_leaders_at_request: None,
+//!     cache_fault_schedule: None,
 //!     pricing: Pricing::default(),
 //! };
 //! let report = run_kv_experiment(&cfg).unwrap();

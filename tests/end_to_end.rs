@@ -21,6 +21,7 @@ fn mid_cfg(arch: ArchKind) -> KvExperimentConfig {
         requests: 15_000,
         prewarm: true,
         crash_leaders_at_request: None,
+        cache_fault_schedule: None,
         pricing: Pricing::default(),
     }
 }

@@ -23,6 +23,7 @@ const BINS: &[&str] = &[
     "ablation_churn",
     "ablation_failover",
     "exp_sessions",
+    "telemetry_report",
 ];
 
 fn main() {

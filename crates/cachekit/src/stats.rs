@@ -46,6 +46,28 @@ impl CacheStats {
             self.misses as f64 / total as f64
         }
     }
+
+    /// Export every counter (plus the derived hit ratio) into a metrics
+    /// registry as `{prefix}hits_total`, `{prefix}misses_total`, … with
+    /// `labels` on each series. Idle caches export nothing.
+    pub fn export(&self, reg: &mut telemetry::Registry, prefix: &str, labels: &[(&str, &str)]) {
+        if self.lookups() == 0 && self.inserts == 0 {
+            return;
+        }
+        let counters: [(&str, u64); 7] = [
+            ("hits_total", self.hits),
+            ("misses_total", self.misses),
+            ("inserts_total", self.inserts),
+            ("evictions_total", self.evictions),
+            ("expired_total", self.expired),
+            ("invalidations_total", self.invalidations),
+            ("rejected_total", self.rejected),
+        ];
+        for (name, value) in counters {
+            reg.set_counter(&format!("{prefix}{name}"), labels, value);
+        }
+        reg.set_gauge(&format!("{prefix}hit_ratio"), labels, self.hit_ratio());
+    }
 }
 
 impl AddAssign for CacheStats {
@@ -95,6 +117,22 @@ mod tests {
         };
         assert!((s.hit_ratio() + s.miss_ratio() - 1.0).abs() < 1e-12);
         assert!((s.hit_ratio() - 0.75).abs() < 1e-12);
+    }
+
+    #[test]
+    fn export_skips_idle_and_emits_series() {
+        let mut reg = telemetry::Registry::new();
+        CacheStats::default().export(&mut reg, "cache_", &[]);
+        assert!(reg.is_empty(), "idle cache exports nothing");
+        let s = CacheStats {
+            hits: 3,
+            misses: 1,
+            inserts: 1,
+            ..Default::default()
+        };
+        s.export(&mut reg, "cache_", &[("shard", "0")]);
+        assert_eq!(reg.counter_value("cache_hits_total", &[("shard", "0")]), Some(3));
+        assert_eq!(reg.gauge_value("cache_hit_ratio", &[("shard", "0")]), Some(0.75));
     }
 
     #[test]

@@ -27,6 +27,7 @@ use storekit::cluster::{QueryReceipt, SqlCluster};
 use storekit::error::{StoreError, StoreResult};
 use storekit::schema::Catalog;
 use storekit::value::Datum;
+use telemetry::{SpanStatus, Tracer};
 
 /// Names of the fault/degraded-path counters a deployment maintains in its
 /// [`MetricSet`]; the experiment runner lifts them into `ExperimentReport`.
@@ -151,6 +152,11 @@ pub struct Deployment {
     /// Fault/degraded-path counters (see [`fault_counters`]).
     pub metrics: MetricSet,
     single_flight: SingleFlight,
+    /// Span recorder for sampled requests. Disabled by default; the
+    /// experiment runner arms it per sampled request, so untraced runs pay
+    /// nothing and stay byte-identical. Span clocks are virtual nanos:
+    /// request arrival plus latency accumulated so far.
+    pub tracer: Tracer,
 }
 
 /// Remote cache node `i` appears on the fault fabric as `CACHE_NODE_BASE+i`;
@@ -216,6 +222,7 @@ impl Deployment {
             net_rng,
             metrics: MetricSet::new(),
             single_flight: SingleFlight::default(),
+            tracer: Tracer::disabled(),
             cluster,
             config,
         }
@@ -328,23 +335,54 @@ impl Deployment {
     }
 
     /// Try to reach remote cache `node`, retrying with jittered exponential
-    /// backoff while the retry budget and the request deadline allow.
-    fn reach_cache_node(&mut self, app: usize, node: usize, out: &mut ServeOutcome) -> bool {
+    /// backoff while the retry budget and the request deadline allow. Each
+    /// attempt — the first and every retry — is one `cache.rpc_attempt`
+    /// span on the active trace, so a retried request shows up as a single
+    /// trace with N attempt spans.
+    fn reach_cache_node(
+        &mut self,
+        app: usize,
+        node: usize,
+        now: SimTime,
+        out: &mut ServeOutcome,
+    ) -> bool {
+        let start = now.as_nanos() + out.latency.as_nanos();
         if self.cache_rpc_attempt(app, node) {
+            self.tracer
+                .span("cache.rpc_attempt", "app", start, start, 0, SpanStatus::Ok);
             return true;
         }
         let ft = self.config.fault_tolerance;
         self.charge_failed_attempt(app, out);
+        self.tracer.span(
+            "cache.rpc_attempt",
+            "app",
+            start,
+            now.as_nanos() + out.latency.as_nanos(),
+            0,
+            SpanStatus::Failed,
+        );
         let mut attempt = 0;
         while attempt < ft.retry.max_retries && out.latency < ft.request_deadline {
             let unit = self.net_rng.gen::<f64>();
             out.latency += ft.retry.backoff(attempt, unit);
             out.retries += 1;
             self.metrics.counter(fault_counters::RETRIES).inc();
+            let start = now.as_nanos() + out.latency.as_nanos();
             if self.cache_rpc_attempt(app, node) {
+                self.tracer
+                    .span("cache.rpc_attempt", "app", start, start, attempt + 1, SpanStatus::Ok);
                 return true;
             }
             self.charge_failed_attempt(app, out);
+            self.tracer.span(
+                "cache.rpc_attempt",
+                "app",
+                start,
+                now.as_nanos() + out.latency.as_nanos(),
+                attempt + 1,
+                SpanStatus::Failed,
+            );
             attempt += 1;
         }
         false
@@ -362,6 +400,7 @@ impl Deployment {
         now: SimTime,
         out: &mut ServeOutcome,
     ) -> StoreResult<Option<CachedVal>> {
+        let start = now.as_nanos() + out.latency.as_nanos();
         if self.config.fault_tolerance.single_flight {
             if let Some((done_at, val)) = self.single_flight.check(cache_key, now) {
                 self.metrics
@@ -373,6 +412,14 @@ impl Deployment {
                 let op = SimDuration::from_micros_f64(self.config.app_cost.local_cache_op_us);
                 self.charge_app(app, CpuCategory::AppLogic, op);
                 out.latency += op;
+                self.tracer.span(
+                    "storage.fill",
+                    "storage",
+                    start,
+                    now.as_nanos() + out.latency.as_nanos(),
+                    0,
+                    SpanStatus::Coalesced,
+                );
                 return Ok(val);
             }
         }
@@ -382,6 +429,14 @@ impl Deployment {
         if self.config.fault_tolerance.single_flight {
             self.single_flight.record(cache_key.to_vec(), now + lat, val);
         }
+        self.tracer.span(
+            "storage.fill",
+            "storage",
+            start,
+            now.as_nanos() + out.latency.as_nanos(),
+            0,
+            SpanStatus::Ok,
+        );
         Ok(val)
     }
 
@@ -402,8 +457,17 @@ impl Deployment {
         }
         self.metrics.counter(fault_counters::DEGRADED_READS).inc();
         out.degraded = true;
+        let start = now.as_nanos() + out.latency.as_nanos();
         let val = self.storage_fill(app, table, key, cache_key, now, out)?;
-        self.finish_read(app, val, out);
+        self.finish_read(app, val, now, out);
+        self.tracer.span(
+            "read.degraded",
+            "app",
+            start,
+            now.as_nanos() + out.latency.as_nanos(),
+            0,
+            SpanStatus::Degraded,
+        );
         Ok(())
     }
 
@@ -627,17 +691,26 @@ impl Deployment {
                 let (val, lat, _r) = self.storage_read(app, table, key, now)?;
                 out.sql_statements += 1;
                 out.latency += lat;
-                self.finish_read(app, val, &mut out);
+                self.finish_read(app, val, now, &mut out);
             }
             ArchKind::Remote => {
                 let node = self.remote_node_for(&ckey);
-                if self.reach_cache_node(app, node, &mut out) {
+                if self.reach_cache_node(app, node, now, &mut out) {
+                    let lookup_start = now.as_nanos() + out.latency.as_nanos();
                     let (hit, lat) = self.remote_lookup(app, &ckey, now);
                     out.latency += lat;
+                    self.tracer.span(
+                        "cache.lookup",
+                        "cache",
+                        lookup_start,
+                        now.as_nanos() + out.latency.as_nanos(),
+                        0,
+                        SpanStatus::Ok,
+                    );
                     match hit {
                         Some(v) => {
                             out.cache_hit = true;
-                            self.finish_read(app, Some(v), &mut out);
+                            self.finish_read(app, Some(v), now, &mut out);
                         }
                         None => {
                             let val = self.storage_fill(app, table, key, &ckey, now, &mut out)?;
@@ -647,7 +720,7 @@ impl Deployment {
                                     out.latency += self.remote_update(app, &ckey, Some(v), now);
                                 }
                             }
-                            self.finish_read(app, val, &mut out);
+                            self.finish_read(app, val, now, &mut out);
                         }
                     }
                 } else {
@@ -659,12 +732,21 @@ impl Deployment {
                     self.degraded_read(app, table, key, &ckey, now, &mut out)?;
                     return Ok(out);
                 }
+                let lk_start = now.as_nanos() + out.latency.as_nanos();
                 out.latency += self.charge_linked_op(app);
                 let hit = self.linked[app].get(&ckey, now.as_nanos()).copied();
+                self.tracer.span(
+                    "cache.lookup",
+                    "app",
+                    lk_start,
+                    now.as_nanos() + out.latency.as_nanos(),
+                    0,
+                    SpanStatus::Ok,
+                );
                 match hit {
                     Some(v) => {
                         out.cache_hit = true;
-                        self.finish_read(app, Some(v), &mut out);
+                        self.finish_read(app, Some(v), now, &mut out);
                     }
                     None => {
                         let val = self.storage_fill(app, table, key, &ckey, now, &mut out)?;
@@ -673,7 +755,7 @@ impl Deployment {
                                 self.linked[app].insert(ckey, v, v.bytes, now.as_nanos());
                             }
                         }
-                        self.finish_read(app, val, &mut out);
+                        self.finish_read(app, val, now, &mut out);
                     }
                 }
             }
@@ -685,12 +767,21 @@ impl Deployment {
                     self.degraded_read(app, table, key, &ckey, now, &mut out)?;
                     return Ok(out);
                 }
+                let lk_start = now.as_nanos() + out.latency.as_nanos();
                 out.latency += self.charge_linked_op(app);
                 let hit = self.linked[app].get(&ckey, now.as_nanos()).copied();
+                self.tracer.span(
+                    "cache.lookup",
+                    "app",
+                    lk_start,
+                    now.as_nanos() + out.latency.as_nanos(),
+                    0,
+                    SpanStatus::Ok,
+                );
                 match hit {
                     Some(v) => {
                         out.cache_hit = true;
-                        self.finish_read(app, Some(v), &mut out);
+                        self.finish_read(app, Some(v), now, &mut out);
                     }
                     None => {
                         let val = self.storage_fill(app, table, key, &ckey, now, &mut out)?;
@@ -706,7 +797,7 @@ impl Deployment {
                                 );
                             }
                         }
-                        self.finish_read(app, val, &mut out);
+                        self.finish_read(app, val, now, &mut out);
                     }
                 }
             }
@@ -716,19 +807,37 @@ impl Deployment {
                     self.degraded_read(app, table, key, &ckey, now, &mut out)?;
                     return Ok(out);
                 }
+                let lk_start = now.as_nanos() + out.latency.as_nanos();
                 out.latency += self.charge_linked_op(app);
                 let hit = self.linked[app].get(&ckey, now.as_nanos()).copied();
+                self.tracer.span(
+                    "cache.lookup",
+                    "app",
+                    lk_start,
+                    now.as_nanos() + out.latency.as_nanos(),
+                    0,
+                    SpanStatus::Ok,
+                );
                 match hit {
                     Some(v) => {
                         // §5.5: a consistent read must verify the version in
                         // storage before returning the cached value.
+                        let vc_start = now.as_nanos() + out.latency.as_nanos();
                         let (latest, lat) = self.version_check(app, table, key, now)?;
                         out.version_checks += 1;
                         out.sql_statements += 1;
                         out.latency += lat;
+                        self.tracer.span(
+                            "storage.version_check",
+                            "storage",
+                            vc_start,
+                            now.as_nanos() + out.latency.as_nanos(),
+                            0,
+                            SpanStatus::Ok,
+                        );
                         if latest == Some(v.version) {
                             out.cache_hit = true;
-                            self.finish_read(app, Some(v), &mut out);
+                            self.finish_read(app, Some(v), now, &mut out);
                         } else {
                             // Stale (or deleted): refresh from storage.
                             self.linked[app].remove(&ckey);
@@ -743,7 +852,7 @@ impl Deployment {
                                     );
                                 }
                             }
-                            self.finish_read(app, val, &mut out);
+                            self.finish_read(app, val, now, &mut out);
                         }
                     }
                     None => {
@@ -753,7 +862,7 @@ impl Deployment {
                                 self.linked[app].insert(ckey, v, v.bytes, now.as_nanos());
                             }
                         }
-                        self.finish_read(app, val, &mut out);
+                        self.finish_read(app, val, now, &mut out);
                     }
                 }
             }
@@ -776,19 +885,28 @@ impl Deployment {
                         // Ownership makes the cached value linearizable
                         // without any storage contact.
                         out.cache_hit = true;
-                        self.finish_read(app, Some(v), &mut out);
+                        self.finish_read(app, Some(v), now, &mut out);
                     }
                     Some(v) => {
                         // Lease lapsed: fall back to a version check, then
                         // renew the lease.
+                        let vc_start = now.as_nanos() + out.latency.as_nanos();
                         let (latest, lat) = self.version_check(app, table, key, now)?;
                         out.version_checks += 1;
                         out.sql_statements += 1;
                         out.latency += lat;
+                        self.tracer.span(
+                            "storage.version_check",
+                            "storage",
+                            vc_start,
+                            now.as_nanos() + out.latency.as_nanos(),
+                            0,
+                            SpanStatus::Ok,
+                        );
                         self.sharder.renew(shard, now);
                         if latest == Some(v.version) {
                             out.cache_hit = true;
-                            self.finish_read(app, Some(v), &mut out);
+                            self.finish_read(app, Some(v), now, &mut out);
                         } else {
                             self.linked[app].remove(&ckey);
                             let val = self.storage_fill(app, table, key, &ckey, now, &mut out)?;
@@ -802,7 +920,7 @@ impl Deployment {
                                     );
                                 }
                             }
-                            self.finish_read(app, val, &mut out);
+                            self.finish_read(app, val, now, &mut out);
                         }
                     }
                     None => {
@@ -815,7 +933,7 @@ impl Deployment {
                                 self.linked[app].insert(ckey, v, v.bytes, now.as_nanos());
                             }
                         }
-                        self.finish_read(app, val, &mut out);
+                        self.finish_read(app, val, now, &mut out);
                     }
                 }
             }
@@ -836,7 +954,14 @@ impl Deployment {
         Ok((version, latency))
     }
 
-    pub(crate) fn finish_read(&mut self, app: usize, val: Option<CachedVal>, out: &mut ServeOutcome) {
+    pub(crate) fn finish_read(
+        &mut self,
+        app: usize,
+        val: Option<CachedVal>,
+        now: SimTime,
+        out: &mut ServeOutcome,
+    ) {
+        let start = now.as_nanos() + out.latency.as_nanos();
         match val {
             Some(v) => {
                 out.bytes = v.bytes;
@@ -849,6 +974,14 @@ impl Deployment {
                 out.latency += self.charge_client_reply(app, 0);
             }
         }
+        self.tracer.span(
+            "client.reply",
+            "app",
+            start,
+            now.as_nanos() + out.latency.as_nanos(),
+            0,
+            SpanStatus::Ok,
+        );
     }
 
     /// Serve one write: write-through to storage, then per-architecture
@@ -872,9 +1005,18 @@ impl Deployment {
             out.latency += lease_cost;
         }
 
+        let w_start = now.as_nanos() + out.latency.as_nanos();
         let (written, lat) = self.storage_write(app, table, key, value, now)?;
         out.sql_statements += 1;
         out.latency += lat;
+        self.tracer.span(
+            "storage.write",
+            "storage",
+            w_start,
+            now.as_nanos() + out.latency.as_nanos(),
+            0,
+            SpanStatus::Ok,
+        );
         out.version = Some(written.version);
         out.bytes = written.bytes;
         // The row changed: any in-flight fill result is no longer shareable.

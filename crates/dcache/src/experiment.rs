@@ -200,6 +200,12 @@ pub struct KvExperimentConfig {
     /// or above it select storage region `id - STORAGE_FAULT_NODE_BASE`
     /// (crash = kill its Raft leader, restart = re-elect).
     pub cache_fault_schedule: Option<FaultSchedule>,
+    /// Trace every Nth measured request (`Some(1)` = every request). Each
+    /// sampled request gets a deterministic trace id derived from the
+    /// workload seed and its measured index, and every hop it takes records
+    /// a span. `None` disables tracing entirely (the default everywhere),
+    /// leaving the serve paths byte-identical to an uninstrumented run.
+    pub trace_sample_every: Option<u64>,
     pub pricing: Pricing,
 }
 
@@ -220,6 +226,7 @@ impl KvExperimentConfig {
             prewarm: true,
             crash_leaders_at_request: None,
             cache_fault_schedule: None,
+            trace_sample_every: None,
             pricing: Pricing::default(),
         }
     }
@@ -426,9 +433,175 @@ pub(crate) fn with_failover<T>(
     }
 }
 
+/// Ring-buffer capacity of the per-run trace sink when tracing is on:
+/// enough for the tail of any run at full sampling, bounded regardless of
+/// request count.
+pub const TRACE_SINK_CAPACITY: usize = 8_192;
+
+/// What a traced run hands back next to its [`ExperimentReport`].
+#[derive(Debug, Clone)]
+pub struct TelemetryBundle {
+    /// Every report field, fault counter, and latency distribution as
+    /// named, labeled instruments (Prometheus-text / JSONL exportable).
+    pub registry: telemetry::Registry,
+    /// The retained trace spans, in recording order (ring-bounded tail).
+    pub spans: Vec<telemetry::SpanRecord>,
+    /// JSONL dump of the retained trace spans (one span per line).
+    pub traces_jsonl: String,
+    /// Collapsed-stack CPU attribution (`arch;tier;category nanos`),
+    /// folded from the same meters the report's cost accounting uses.
+    pub profile: telemetry::CpuProfile,
+}
+
+/// Map a request outcome to the status of its root span.
+fn outcome_status(out: &crate::deployment::ServeOutcome) -> telemetry::SpanStatus {
+    if out.degraded {
+        telemetry::SpanStatus::Degraded
+    } else if out.coalesced {
+        telemetry::SpanStatus::Coalesced
+    } else {
+        telemetry::SpanStatus::Ok
+    }
+}
+
+/// Fold every tier's CPU meter into one collapsed-stack profile. Totals per
+/// stack equal the meters' busy nanoseconds exactly, so per-tier cores in
+/// the report equal `total_matching("{arch};{tier}") / duration_ns`.
+pub fn cpu_profile(dep: &Deployment) -> telemetry::CpuProfile {
+    let arch = dep.config.arch.label();
+    let mut profile = telemetry::CpuProfile::new();
+    dep.app_cpu_total().fold_into(&mut profile, &[arch, "app"]);
+    if dep.config.arch == ArchKind::Remote {
+        dep.cache_cpu_total()
+            .fold_into(&mut profile, &[arch, "remote_cache"]);
+    }
+    dep.cluster
+        .frontend_cpu_total()
+        .fold_into(&mut profile, &[arch, "sql_frontend"]);
+    dep.cluster
+        .storage_cpu_total()
+        .fold_into(&mut profile, &[arch, "storage"]);
+    profile
+}
+
+/// Export a finished run into a metrics registry: report-level gauges and
+/// counters, the deployment's fault counters, cache statistics, and the
+/// measured latency distributions.
+fn export_registry(
+    report: &ExperimentReport,
+    dep: &Deployment,
+    metrics: &RunMetrics,
+) -> telemetry::Registry {
+    use telemetry::InstrumentKind::{Counter, Gauge, Summary};
+    let mut reg = telemetry::Registry::new();
+    let arch = dep.config.arch.label();
+    let labels: &[(&str, &str)] = &[("arch", arch)];
+
+    reg.describe("dcache_requests_total", Counter, "Measured requests served.");
+    reg.set_counter("dcache_requests_total", labels, report.requests);
+    reg.set_counter("dcache_reads_total", labels, metrics.reads);
+    reg.set_counter("dcache_writes_total", labels, metrics.writes);
+    reg.set_counter("dcache_stale_reads_total", labels, report.stale_reads);
+    reg.set_counter("dcache_version_checks_total", labels, report.version_checks);
+    reg.set_counter("dcache_sql_statements_total", labels, report.sql_statements);
+    reg.set_counter("dcache_failovers_total", labels, report.failovers);
+    reg.set_counter(
+        "dcache_deadline_exceeded_total",
+        labels,
+        report.deadline_exceeded,
+    );
+    reg.set_counter("dcache_net_delivered_total", labels, report.net_delivered);
+    reg.set_counter("dcache_net_dropped_total", labels, report.net_dropped);
+
+    reg.describe(
+        "dcache_monthly_cost_dollars",
+        Gauge,
+        "Total monthly cost of the deployment.",
+    );
+    reg.set_gauge("dcache_monthly_cost_dollars", labels, report.total_cost.total());
+    reg.set_gauge("dcache_cache_hit_ratio", labels, report.cache_hit_ratio);
+    reg.set_gauge(
+        "dcache_block_cache_hit_ratio",
+        labels,
+        report.block_cache_hit_ratio,
+    );
+    reg.set_gauge("dcache_total_cores", labels, report.total_cores);
+    reg.set_gauge("dcache_total_mem_gb", labels, report.total_mem_gb);
+    for tier in &report.tiers {
+        let tier_labels: &[(&str, &str)] = &[("arch", arch), ("tier", &tier.name)];
+        reg.set_gauge("dcache_tier_cores", tier_labels, tier.cores);
+        reg.set_gauge(
+            "dcache_tier_cost_dollars",
+            tier_labels,
+            tier.cost.total(),
+        );
+        reg.set_gauge(
+            "dcache_tier_vms_at_target_util",
+            tier_labels,
+            tier.vms_at_target_util as f64,
+        );
+    }
+
+    reg.describe(
+        "dcache_read_latency_ns",
+        Summary,
+        "End-to-end read latency (virtual nanoseconds).",
+    );
+    if !metrics.read_latency.is_empty() {
+        reg.set_summary("dcache_read_latency_ns", labels, metrics.read_latency.summary());
+    }
+    if !metrics.write_latency.is_empty() {
+        reg.set_summary(
+            "dcache_write_latency_ns",
+            labels,
+            metrics.write_latency.summary(),
+        );
+    }
+
+    // Fault/degraded-path counters straight off the deployment.
+    dep.metrics.export(&mut reg, "dcache_fault_", labels);
+    // External-cache statistics (hits/misses/evictions/...).
+    dep.linked_stats()
+        .export(&mut reg, "dcache_linked_cache_", labels);
+    dep.remote_stats()
+        .export(&mut reg, "dcache_remote_cache_", labels);
+    reg
+}
+
+/// A finished run plus everything needed to build its telemetry.
+struct RunState {
+    dep: Deployment,
+    metrics: RunMetrics,
+}
+
 /// Run one KV cost experiment end to end.
 pub fn run_kv_experiment(cfg: &KvExperimentConfig) -> StoreResult<ExperimentReport> {
+    run_kv_experiment_core(cfg).map(|(report, _)| report)
+}
+
+/// Like [`run_kv_experiment`], but also returns the run's telemetry: the
+/// metrics registry, the JSONL trace sample (empty unless
+/// `cfg.trace_sample_every` is set), and the collapsed-stack CPU profile.
+pub fn run_kv_experiment_with_telemetry(
+    cfg: &KvExperimentConfig,
+) -> StoreResult<(ExperimentReport, TelemetryBundle)> {
+    let (report, state) = run_kv_experiment_core(cfg)?;
+    let bundle = TelemetryBundle {
+        registry: export_registry(&report, &state.dep, &state.metrics),
+        spans: state.dep.tracer.sink().iter().cloned().collect(),
+        traces_jsonl: state.dep.tracer.sink().to_jsonl(),
+        profile: cpu_profile(&state.dep),
+    };
+    Ok((report, bundle))
+}
+
+fn run_kv_experiment_core(
+    cfg: &KvExperimentConfig,
+) -> StoreResult<(ExperimentReport, RunState)> {
     let mut dep = Deployment::new(cfg.deployment.clone(), kv_catalog("kv"));
+    if cfg.trace_sample_every.is_some() {
+        dep.tracer = telemetry::Tracer::with_capacity(TRACE_SINK_CAPACITY);
+    }
 
     // Seed the dataset: every key at generation 0.
     let wl_cfg = &cfg.workload;
@@ -493,6 +666,18 @@ pub fn run_kv_experiment(cfg: &KvExperimentConfig) -> StoreResult<ExperimentRepo
                 apply_fault(&mut dep, ev, now);
             }
         }
+        // Arm the tracer for sampled measured requests: the trace id is a
+        // pure function of (workload seed, measured index), so two runs of
+        // the same config produce byte-identical trace output.
+        let measured_index = i.saturating_sub(cfg.warmup_requests);
+        let sampled = measuring
+            && cfg
+                .trace_sample_every
+                .is_some_and(|k| measured_index % k.max(1) == 0);
+        if sampled {
+            dep.tracer
+                .start_request(telemetry::trace_id(cfg.workload.seed, measured_index));
+        }
         let req = workload.next_request();
         match req.op {
             KvOp::Read => {
@@ -500,6 +685,14 @@ pub fn run_kv_experiment(cfg: &KvExperimentConfig) -> StoreResult<ExperimentRepo
                     with_failover(&mut dep, now, &mut metrics, measuring, |d, t| {
                         d.serve_kv_read("kv", req.key as i64, t)
                     })?;
+                dep.tracer.span(
+                    "request.read",
+                    "client",
+                    now.as_nanos(),
+                    now.as_nanos() + (out.latency + penalty).as_nanos(),
+                    0,
+                    outcome_status(&out),
+                );
                 if measuring {
                     metrics.reads += 1;
                     metrics.read_latency.record((out.latency + penalty).as_nanos());
@@ -524,6 +717,14 @@ pub fn run_kv_experiment(cfg: &KvExperimentConfig) -> StoreResult<ExperimentRepo
                     with_failover(&mut dep, now, &mut metrics, measuring, |d, t| {
                         d.serve_kv_write("kv", req.key as i64, value.clone(), t)
                     })?;
+                dep.tracer.span(
+                    "request.write",
+                    "client",
+                    now.as_nanos(),
+                    now.as_nanos() + (out.latency + penalty).as_nanos(),
+                    0,
+                    outcome_status(&out),
+                );
                 if measuring {
                     metrics.writes += 1;
                     metrics.write_latency.record((out.latency + penalty).as_nanos());
@@ -532,18 +733,15 @@ pub fn run_kv_experiment(cfg: &KvExperimentConfig) -> StoreResult<ExperimentRepo
                 }
             }
         }
+        if sampled {
+            dep.tracer.end_request();
+        }
         now += dt;
     }
 
     let duration = now.since(measure_start);
-    Ok(build_report(
-        &dep,
-        &metrics,
-        cfg.qps,
-        cfg.requests,
-        duration,
-        &cfg.pricing,
-    ))
+    let report = build_report(&dep, &metrics, cfg.qps, cfg.requests, duration, &cfg.pricing);
+    Ok((report, RunState { dep, metrics }))
 }
 
 /// Run a cost experiment from a captured/imported trace instead of a
@@ -680,6 +878,7 @@ mod tests {
             prewarm: false,
             crash_leaders_at_request: None,
             cache_fault_schedule: None,
+            trace_sample_every: None,
             pricing: Pricing::default(),
         }
     }

@@ -1,0 +1,192 @@
+//! Trace-context propagation through the fault-tolerant request path.
+//!
+//! The invariant under test: a request is ONE trace, whatever the fabric
+//! does to it. A retried cache RPC shows up as N `cache.rpc_attempt` spans
+//! (attempt 0..N-1) under a single trace id; a degraded read adds a
+//! `read.degraded` span to the same trace; and arming the tracer never
+//! changes what the simulator computes.
+
+use dcache::experiment::{run_kv_experiment, run_kv_experiment_with_telemetry, KvExperimentConfig};
+use dcache::{ArchKind, DeploymentConfig};
+use simnet::{FaultSchedule, NodeId, SimDuration, SimTime};
+use std::collections::BTreeMap;
+use telemetry::{SpanRecord, SpanStatus};
+use workloads::{KvWorkloadConfig, SizeDist};
+
+const SEED: u64 = 7;
+const WARMUP: u64 = 800;
+const MEASURED: u64 = 1_200;
+
+fn traced_cfg(arch: ArchKind) -> KvExperimentConfig {
+    KvExperimentConfig {
+        deployment: DeploymentConfig::test_small(arch),
+        workload: KvWorkloadConfig {
+            keys: 500,
+            alpha: 1.2,
+            read_ratio: 0.9,
+            sizes: SizeDist::Fixed(1_000),
+            seed: SEED,
+            churn_period: None,
+        },
+        qps: 50_000.0,
+        warmup_requests: WARMUP,
+        requests: MEASURED,
+        prewarm: false,
+        crash_leaders_at_request: None,
+        cache_fault_schedule: None,
+        trace_sample_every: Some(1),
+        pricing: Default::default(),
+    }
+}
+
+/// Crash every remote cache shard for a window inside the measured phase.
+fn crashed_cfg() -> KvExperimentConfig {
+    let mut cfg = traced_cfg(ArchKind::Remote);
+    let dt = SimDuration::from_secs_f64(1.0 / cfg.qps);
+    let crash_at = SimTime::ZERO + dt.saturating_mul(cfg.warmup_requests + 300);
+    let downtime = dt.saturating_mul(400);
+    let mut schedule = FaultSchedule::new();
+    for shard in 0..cfg.deployment.remote_cache_nodes {
+        schedule.crash_for(crash_at, NodeId(shard as u32), downtime);
+    }
+    cfg.cache_fault_schedule = Some(schedule);
+    cfg
+}
+
+fn by_trace(spans: &[SpanRecord]) -> BTreeMap<u64, Vec<&SpanRecord>> {
+    let mut map: BTreeMap<u64, Vec<&SpanRecord>> = BTreeMap::new();
+    for s in spans {
+        map.entry(s.trace_id).or_default().push(s);
+    }
+    map
+}
+
+#[test]
+fn healthy_requests_trace_cleanly() {
+    let (_, bundle) = run_kv_experiment_with_telemetry(&traced_cfg(ArchKind::Remote)).unwrap();
+    assert!(!bundle.spans.is_empty());
+    assert!(
+        bundle
+            .spans
+            .iter()
+            .all(|s| s.status != SpanStatus::Failed && s.attempt == 0),
+        "a healthy fabric must produce no failed or retried attempts"
+    );
+
+    let traces = by_trace(&bundle.spans);
+    // Every measured request is sampled, and its id comes from the seed.
+    let expected: Vec<u64> = (0..MEASURED)
+        .map(|k| telemetry::trace_id(SEED, k))
+        .collect();
+    let mut expected_sorted = expected.clone();
+    expected_sorted.sort_unstable();
+    assert_eq!(
+        traces.keys().copied().collect::<Vec<_>>(),
+        expected_sorted,
+        "one trace per measured request, ids derived from the workload seed"
+    );
+
+    for (id, spans) in &traces {
+        let roots: Vec<_> = spans.iter().filter(|s| s.tier == "client").collect();
+        assert_eq!(
+            roots.len(),
+            1,
+            "trace {id:x} must have exactly one root span"
+        );
+        let root = roots[0];
+        assert!(root.name == "request.read" || root.name == "request.write");
+        for s in spans {
+            assert!(
+                s.start_ns >= root.start_ns && s.end_ns <= root.end_ns,
+                "trace {id:x}: hop {} [{}, {}] escapes its root [{}, {}]",
+                s.name,
+                s.start_ns,
+                s.end_ns,
+                root.start_ns,
+                root.end_ns
+            );
+        }
+    }
+}
+
+#[test]
+fn retried_request_is_one_trace_with_attempt_spans() {
+    let cfg = crashed_cfg();
+    let (report, bundle) = run_kv_experiment_with_telemetry(&cfg).unwrap();
+    assert!(
+        report.degraded_reads > 0,
+        "the outage must force degraded reads"
+    );
+    assert!(report.cache_retries > 0);
+
+    let max_attempts = cfg.deployment.fault_tolerance.retry.max_retries + 1;
+    let traces = by_trace(&bundle.spans);
+    let mut saw_full_retry_budget = false;
+    for (id, spans) in &traces {
+        let mut attempts: Vec<&&SpanRecord> = spans
+            .iter()
+            .filter(|s| s.name == "cache.rpc_attempt")
+            .collect();
+        attempts.sort_by_key(|s| s.attempt);
+        // Attempts of one logical hop are contiguous from 0 — a retry never
+        // starts a new trace.
+        for (i, s) in attempts.iter().enumerate() {
+            assert_eq!(
+                s.attempt, i as u32,
+                "trace {id:x}: attempt numbers must be contiguous from 0"
+            );
+        }
+        // Only the last attempt may succeed; earlier ones are failures.
+        for s in attempts.iter().rev().skip(1) {
+            assert_eq!(s.status, SpanStatus::Failed, "trace {id:x}");
+        }
+
+        if let Some(degraded) = spans.iter().find(|s| s.name == "read.degraded") {
+            assert_eq!(degraded.status, SpanStatus::Degraded);
+            // The degraded path only engages once every attempt failed.
+            assert!(
+                attempts.iter().all(|s| s.status == SpanStatus::Failed),
+                "trace {id:x}: degraded read after a successful cache RPC"
+            );
+            assert!(
+                !attempts.is_empty(),
+                "trace {id:x}: degraded with no attempts"
+            );
+            if attempts.len() == max_attempts as usize {
+                saw_full_retry_budget = true;
+            }
+        }
+    }
+    assert!(
+        saw_full_retry_budget,
+        "some degraded read must exhaust the full retry budget ({max_attempts} attempts)"
+    );
+}
+
+#[test]
+fn crashed_run_traces_are_deterministic() {
+    let (_, a) = run_kv_experiment_with_telemetry(&crashed_cfg()).unwrap();
+    let (_, b) = run_kv_experiment_with_telemetry(&crashed_cfg()).unwrap();
+    assert_eq!(a.traces_jsonl, b.traces_jsonl);
+    assert_eq!(a.profile.to_collapsed(), b.profile.to_collapsed());
+    assert_eq!(
+        a.registry.to_prometheus_text(),
+        b.registry.to_prometheus_text()
+    );
+}
+
+#[test]
+fn tracing_does_not_perturb_the_run() {
+    let mut untraced = traced_cfg(ArchKind::Remote);
+    untraced.trace_sample_every = None;
+    let baseline = run_kv_experiment(&untraced).unwrap();
+    let (traced, bundle) = run_kv_experiment_with_telemetry(&traced_cfg(ArchKind::Remote)).unwrap();
+    assert!(!bundle.spans.is_empty());
+    assert_eq!(baseline.total_cost.total(), traced.total_cost.total());
+    assert_eq!(baseline.total_cores, traced.total_cores);
+    assert_eq!(baseline.read_latency_p50_us, traced.read_latency_p50_us);
+    assert_eq!(baseline.read_latency_p99_us, traced.read_latency_p99_us);
+    assert_eq!(baseline.cache_hit_ratio, traced.cache_hit_ratio);
+    assert_eq!(baseline.stale_reads, traced.stale_reads);
+    assert_eq!(baseline.sql_statements, traced.sql_statements);
+}

@@ -18,6 +18,9 @@
 //! * [`resilient`] — the fault-tolerant client: per-request deadlines,
 //!   automatic reconnect with jittered backoff, bounded retries on
 //!   idempotent operations, and an open/half-open circuit breaker.
+//! * [`obs`] — wall-clock tracing: attach a [`obs::SharedTraceSink`] to
+//!   the resilient client and/or the server's [`server::Shared`] and every
+//!   RPC attempt / server apply records a `telemetry` span.
 //!
 //! ```no_run
 //! # async fn demo() -> std::io::Result<()> {
@@ -37,10 +40,12 @@
 
 pub mod client;
 pub mod codec;
+pub mod obs;
 pub mod resilient;
 pub mod server;
 
 pub use client::CacheClient;
+pub use obs::{shared_sink, SharedTraceSink};
 pub use codec::{Request, Response};
 pub use resilient::{ResilienceStats, ResilientClient, ResilientConfig, RetryPolicy};
 pub use server::{CacheServer, ServerHandle};

@@ -22,9 +22,11 @@
 
 use crate::client::CacheClient;
 use crate::codec::{Request, Response};
+use crate::obs::{record_span, wall_nanos, SharedTraceSink};
 use std::io;
 use std::net::SocketAddr;
 use std::time::{Duration, Instant};
+use telemetry::SpanStatus;
 use tokio::time::timeout;
 
 /// Retry schedule for idempotent calls: exponential backoff from
@@ -140,6 +142,8 @@ pub struct ResilientClient {
     consecutive_failures: u32,
     rng: Lcg,
     stats: ResilienceStats,
+    trace_sink: Option<SharedTraceSink>,
+    trace_id: u64,
 }
 
 fn protocol_err(e: impl std::fmt::Display) -> io::Error {
@@ -159,7 +163,22 @@ impl ResilientClient {
             consecutive_failures: 0,
             rng: Lcg(seed),
             stats: ResilienceStats::default(),
+            trace_sink: None,
+            trace_id: 0,
         }
+    }
+
+    /// Attach a shared trace sink: every subsequent attempt records one
+    /// wall-clock span (`net.rpc_attempt`, tier `client`) under the current
+    /// trace id.
+    pub fn attach_trace_sink(&mut self, sink: SharedTraceSink) {
+        self.trace_sink = Some(sink);
+    }
+
+    /// Set the trace id stamped on subsequent spans (e.g. from
+    /// `telemetry::trace_id`). Stays in effect until changed.
+    pub fn set_trace_id(&mut self, trace_id: u64) {
+        self.trace_id = trace_id;
     }
 
     pub fn stats(&self) -> ResilienceStats {
@@ -253,12 +272,34 @@ impl ResilientClient {
         }
     }
 
+    /// One attempt bracketed by a wall-clock trace span.
+    async fn traced_attempt(&mut self, req: &Request, attempt: u32) -> io::Result<Response> {
+        let start = wall_nanos();
+        let result = self.attempt(req).await;
+        let status = if result.is_ok() {
+            SpanStatus::Ok
+        } else {
+            SpanStatus::Failed
+        };
+        record_span(
+            &self.trace_sink,
+            self.trace_id,
+            "net.rpc_attempt",
+            "client",
+            start,
+            wall_nanos(),
+            attempt,
+            status,
+        );
+        result
+    }
+
     /// Call with retries — only for requests safe to replay.
     pub async fn call_idempotent(&mut self, req: Request) -> io::Result<Response> {
         self.breaker_admit()?;
         let mut attempt = 0u32;
         loop {
-            match self.attempt(&req).await {
+            match self.traced_attempt(&req, attempt).await {
                 Ok(resp) => {
                     self.record_success();
                     return Ok(resp);
@@ -282,7 +323,7 @@ impl ResilientClient {
     /// ambiguous timeout could double-apply.
     pub async fn call_once(&mut self, req: Request) -> io::Result<Response> {
         self.breaker_admit()?;
-        match self.attempt(&req).await {
+        match self.traced_attempt(&req, 0).await {
             Ok(resp) => {
                 self.record_success();
                 Ok(resp)

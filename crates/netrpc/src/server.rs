@@ -7,6 +7,7 @@
 //! the accept loop and in-flight connections finish their current request.
 
 use crate::codec::{CodecError, Request, Response};
+use crate::obs::{record_span, SharedTraceSink};
 use bytes::BytesMut;
 use cachekit::{Cache, PolicyKind};
 use parking_lot::Mutex;
@@ -14,6 +15,7 @@ use std::io;
 use std::net::SocketAddr;
 use std::sync::Arc;
 use std::time::{SystemTime, UNIX_EPOCH};
+use telemetry::SpanStatus;
 use tokio::io::{AsyncReadExt, AsyncWriteExt};
 use tokio::net::{TcpListener, TcpStream};
 use tokio::sync::watch;
@@ -34,6 +36,7 @@ struct Store {
 /// Shared server state.
 pub struct Shared {
     store: Mutex<Store>,
+    trace_sink: Mutex<Option<SharedTraceSink>>,
 }
 
 fn now_nanos() -> u64 {
@@ -50,11 +53,40 @@ impl Shared {
                 cache: Cache::new(capacity_bytes, PolicyKind::Lru),
                 next_version: 1,
             }),
+            trace_sink: Mutex::new(None),
         }
+    }
+
+    /// Attach a shared trace sink: every subsequent `apply` records one
+    /// wall-clock span (tier `server`, named after the request kind). The
+    /// wire protocol carries no trace context, so server spans use trace
+    /// id 0 — they are per-node observations, correlated by time.
+    pub fn attach_trace_sink(&self, sink: SharedTraceSink) {
+        *self.trace_sink.lock() = Some(sink);
     }
 
     /// Apply one request. Pure with respect to IO — trivially testable.
     pub fn apply(&self, req: Request) -> Response {
+        let name = match &req {
+            Request::Get { .. } => "net.server_get",
+            Request::Set { .. } => "net.server_set",
+            Request::Del { .. } => "net.server_del",
+            Request::Version { .. } => "net.server_version",
+            Request::Stats => "net.server_stats",
+            Request::Ping => "net.server_ping",
+        };
+        let sink = self.trace_sink.lock().clone();
+        let start = now_nanos();
+        let resp = self.apply_inner(req);
+        let status = match &resp {
+            Response::Error { .. } => SpanStatus::Failed,
+            _ => SpanStatus::Ok,
+        };
+        record_span(&sink, 0, name, "server", start, now_nanos(), 0, status);
+        resp
+    }
+
+    fn apply_inner(&self, req: Request) -> Response {
         let now = now_nanos();
         let mut store = self.store.lock();
         match req {

@@ -163,6 +163,19 @@ impl CpuMeter {
     pub fn reset(&mut self) {
         self.busy_nanos = Default::default();
     }
+
+    /// Fold this meter into a collapsed-stack CPU profile: each non-zero
+    /// category becomes one stack `frames[0];…;frames[n];{category}` with
+    /// its busy nanoseconds as the weight. `frames` typically carries the
+    /// architecture and tier, e.g. `["linked", "app"]`.
+    pub fn fold_into(&self, profile: &mut telemetry::CpuProfile, frames: &[&str]) {
+        for (category, busy) in self.breakdown() {
+            let mut stack: Vec<&str> = Vec::with_capacity(frames.len() + 1);
+            stack.extend_from_slice(frames);
+            stack.push(category.label());
+            profile.add(&stack, busy.as_nanos());
+        }
+    }
 }
 
 #[cfg(test)]
@@ -237,5 +250,20 @@ mod tests {
         m.charge(CpuCategory::Other, SimDuration::from_nanos(u64::MAX));
         m.charge(CpuCategory::Other, SimDuration::from_nanos(u64::MAX));
         assert_eq!(m.category(CpuCategory::Other).as_nanos(), u64::MAX);
+    }
+
+    #[test]
+    fn fold_into_profile_preserves_totals() {
+        let mut m = CpuMeter::new();
+        m.charge(CpuCategory::CacheOp, SimDuration::from_micros(40));
+        m.charge(CpuCategory::KvExec, SimDuration::from_micros(60));
+        let mut p = telemetry::CpuProfile::new();
+        m.fold_into(&mut p, &["linked", "cache"]);
+        assert_eq!(p.total(), m.total().as_nanos());
+        assert_eq!(p.total_matching("linked;cache;cache_op"), 40_000);
+        assert_eq!(
+            p.to_collapsed(),
+            "linked;cache;cache_op 40000\nlinked;cache;kv_exec 60000\n"
+        );
     }
 }

@@ -122,12 +122,21 @@ impl Histogram {
     }
 
     /// Approximate quantile `q ∈ [0,1]` by linear interpolation within the
-    /// containing bucket. Exact for values < 32 (unit buckets).
+    /// containing bucket. Exact for values < 32 (unit buckets), and exact at
+    /// the boundaries: `q = 0` returns the true minimum, `q = 1` the true
+    /// maximum (both are tracked outside the buckets), and a single-sample
+    /// histogram always answers with that sample's bucket floor = min = max.
     pub fn quantile(&self, q: f64) -> u64 {
         if self.total == 0 {
             return 0;
         }
         let q = q.clamp(0.0, 1.0);
+        if q == 0.0 {
+            return self.min();
+        }
+        if q == 1.0 || self.total == 1 {
+            return self.max;
+        }
         let target = (q * self.total as f64).ceil().max(1.0) as u64;
         let mut seen = 0u64;
         for (&bucket, &count) in &self.counts {
@@ -160,6 +169,21 @@ impl Histogram {
         self.sum += other.sum;
         self.min = self.min.min(other.min);
         self.max = self.max.max(other.max);
+    }
+
+    /// Snapshot as a [`telemetry::Summary`] (p50/p90/p99) for registry export.
+    pub fn summary(&self) -> telemetry::Summary {
+        telemetry::Summary {
+            count: self.total,
+            sum: self.sum as f64,
+            min: self.min() as f64,
+            max: self.max as f64,
+            quantiles: vec![
+                (0.5, self.quantile(0.5) as f64),
+                (0.9, self.quantile(0.9) as f64),
+                (0.99, self.quantile(0.99) as f64),
+            ],
+        }
     }
 }
 
@@ -211,6 +235,20 @@ impl MetricSet {
 
     pub fn histograms(&self) -> impl Iterator<Item = (&str, &Histogram)> {
         self.histograms.iter().map(|(k, v)| (k.as_str(), v))
+    }
+
+    /// Export every counter (as a Prometheus counter) and every histogram
+    /// (as a summary) into `reg`. Metric names become `{prefix}{name}`;
+    /// `labels` are attached to every series.
+    pub fn export(&self, reg: &mut telemetry::Registry, prefix: &str, labels: &[(&str, &str)]) {
+        for (name, value) in self.counters() {
+            reg.set_counter(&format!("{prefix}{name}"), labels, value);
+        }
+        for (name, hist) in self.histograms() {
+            if !hist.is_empty() {
+                reg.set_summary(&format!("{prefix}{name}"), labels, hist.summary());
+            }
+        }
     }
 }
 
@@ -307,5 +345,102 @@ mod tests {
         h.record(200);
         h.record(300);
         assert!((h.mean() - 200.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn quantile_boundaries_are_exact() {
+        let mut h = Histogram::new();
+        // Large, sparse values so bucket interpolation would be visibly
+        // off without the exact boundary handling.
+        for v in [1_000u64, 70_000, 1_000_003, 90_000_017] {
+            h.record(v);
+        }
+        assert_eq!(h.quantile(0.0), 1_000);
+        assert_eq!(h.quantile(1.0), 90_000_017);
+    }
+
+    #[test]
+    fn single_sample_histogram_is_exact_at_every_quantile() {
+        let mut h = Histogram::new();
+        h.record(123_457);
+        for q in [0.0, 0.1, 0.5, 0.99, 1.0] {
+            assert_eq!(h.quantile(q), 123_457, "q={q}");
+        }
+    }
+
+    /// Property test against a sorted-vec oracle: for randomized inputs
+    /// across several magnitudes, every quantile must be within the
+    /// histogram's documented relative-error bound of the exact
+    /// (nearest-rank) answer, and q=0 / q=1 must be exact.
+    #[test]
+    fn quantiles_match_sorted_vec_oracle() {
+        let mut state = 0x2545_f491_4f6c_dd1du64;
+        let mut next = move || {
+            // xorshift64* — deterministic, dependency-free.
+            state ^= state >> 12;
+            state ^= state << 25;
+            state ^= state >> 27;
+            state.wrapping_mul(0x2545_f491_4f6c_dd1d)
+        };
+        for case in 0..50 {
+            let n = 1 + (next() % 2_000) as usize;
+            // Mix magnitudes: unit-bucket values, mid-range, and huge.
+            let mut samples: Vec<u64> = (0..n)
+                .map(|_| match next() % 3 {
+                    0 => next() % 32,
+                    1 => next() % 1_000_000,
+                    _ => next() % (1 << 40),
+                })
+                .collect();
+            let mut h = Histogram::new();
+            for &s in &samples {
+                h.record(s);
+            }
+            samples.sort_unstable();
+            assert_eq!(h.quantile(0.0), samples[0], "case {case}: q=0 not min");
+            assert_eq!(h.quantile(1.0), samples[n - 1], "case {case}: q=1 not max");
+            for q in [0.01, 0.25, 0.5, 0.75, 0.9, 0.99] {
+                let rank = ((q * n as f64).ceil().max(1.0) as usize).min(n) - 1;
+                let exact = samples[rank];
+                let got = h.quantile(q);
+                // One sub-bucket of slack on top of the 1/32 relative bound
+                // covers interpolation and rank rounding.
+                let tol = (exact as f64 / SUB_BUCKETS as f64).max(1.0) * 2.0;
+                assert!(
+                    (got as f64 - exact as f64).abs() <= tol,
+                    "case {case}: q={q} got={got} exact={exact} tol={tol}"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn summary_snapshot_matches_histogram() {
+        let mut h = Histogram::new();
+        for i in 1..=100u64 {
+            h.record(i * 1_000);
+        }
+        let s = h.summary();
+        assert_eq!(s.count, 100);
+        assert_eq!(s.min, 1_000.0);
+        assert_eq!(s.max, 100_000.0);
+        assert_eq!(s.quantiles.len(), 3);
+        assert_eq!(s.quantiles[0].0, 0.5);
+        assert_eq!(s.quantiles[0].1, h.p50() as f64);
+    }
+
+    #[test]
+    fn metric_set_exports_to_registry() {
+        let mut m = MetricSet::new();
+        m.counter("reads").add(7);
+        m.histogram("latency_ns").record(500);
+        m.histogram("empty_one"); // never recorded — must be skipped
+        let mut reg = telemetry::Registry::new();
+        m.export(&mut reg, "sim_", &[("arch", "linked")]);
+        assert_eq!(reg.counter_value("sim_reads", &[("arch", "linked")]), Some(7));
+        let s = reg.summary_value("sim_latency_ns", &[("arch", "linked")]).unwrap();
+        assert_eq!(s.count, 1);
+        assert!(reg.summary_value("sim_empty_one", &[("arch", "linked")]).is_none());
+        assert_eq!(reg.series_count(), 2);
     }
 }

@@ -1,0 +1,119 @@
+//! Collapsed-stack CPU attribution.
+//!
+//! The simulator already charges every nanosecond of modeled CPU to a
+//! `CpuCategory` per tier; this module folds those charges into the
+//! collapsed-stack text format that `flamegraph.pl` / `inferno` consume:
+//! one `frame;frame;frame value` line per stack, values in nanoseconds.
+//! Stacks are kept in a `BTreeMap`, so output ordering is deterministic.
+
+use std::collections::BTreeMap;
+use std::fmt::Write;
+
+/// A CPU profile as a multiset of semicolon-joined stacks with nanosecond
+/// weights.
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+pub struct CpuProfile {
+    folded: BTreeMap<String, u64>,
+}
+
+impl CpuProfile {
+    pub fn new() -> Self {
+        CpuProfile::default()
+    }
+
+    /// Add `nanos` under the stack `frames[0];frames[1];…`. Zero-weight
+    /// samples are skipped so empty categories don't clutter the output.
+    pub fn add(&mut self, frames: &[&str], nanos: u64) {
+        if nanos == 0 || frames.is_empty() {
+            return;
+        }
+        let stack = frames.join(";");
+        *self.folded.entry(stack).or_insert(0) += nanos;
+    }
+
+    /// Merge another profile into this one.
+    pub fn merge(&mut self, other: &CpuProfile) {
+        for (stack, nanos) in &other.folded {
+            *self.folded.entry(stack.clone()).or_insert(0) += nanos;
+        }
+    }
+
+    pub fn is_empty(&self) -> bool {
+        self.folded.is_empty()
+    }
+
+    /// Total nanoseconds across all stacks.
+    pub fn total(&self) -> u64 {
+        self.folded.values().sum()
+    }
+
+    /// Total nanoseconds of stacks whose collapsed form starts with
+    /// `prefix` (use `"arch;tier"` to slice one tier of one architecture).
+    pub fn total_matching(&self, prefix: &str) -> u64 {
+        self.folded
+            .iter()
+            .filter(|(stack, _)| stack.starts_with(prefix))
+            .map(|(_, nanos)| nanos)
+            .sum()
+    }
+
+    /// Iterate `(collapsed stack, nanos)` in deterministic (sorted) order.
+    pub fn entries(&self) -> impl Iterator<Item = (&str, u64)> {
+        self.folded.iter().map(|(s, n)| (s.as_str(), *n))
+    }
+
+    /// The collapsed-stack text: `stack value\n` per entry, sorted by
+    /// stack, ready for `flamegraph.pl`.
+    pub fn to_collapsed(&self) -> String {
+        let mut out = String::with_capacity(self.folded.len() * 48);
+        for (stack, nanos) in &self.folded {
+            let _ = writeln!(out, "{stack} {nanos}");
+        }
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn folds_and_accumulates() {
+        let mut p = CpuProfile::new();
+        p.add(&["linked", "app", "cache_op"], 100);
+        p.add(&["linked", "app", "cache_op"], 50);
+        p.add(&["linked", "cache", "kv_exec"], 25);
+        p.add(&["linked", "app", "idle"], 0); // skipped
+        assert_eq!(p.total(), 175);
+        assert_eq!(p.total_matching("linked;app"), 150);
+        assert_eq!(
+            p.to_collapsed(),
+            "linked;app;cache_op 150\nlinked;cache;kv_exec 25\n"
+        );
+    }
+
+    #[test]
+    fn merge_sums_overlapping_stacks() {
+        let mut a = CpuProfile::new();
+        a.add(&["x", "y"], 10);
+        let mut b = CpuProfile::new();
+        b.add(&["x", "y"], 5);
+        b.add(&["x", "z"], 7);
+        a.merge(&b);
+        assert_eq!(a.total(), 22);
+        assert_eq!(a.total_matching("x;y"), 15);
+    }
+
+    #[test]
+    fn output_is_deterministic() {
+        let build = || {
+            let mut p = CpuProfile::new();
+            p.add(&["b"], 2);
+            p.add(&["a"], 1);
+            p.add(&["c"], 3);
+            p
+        };
+        assert_eq!(build().to_collapsed(), "a 1\nb 2\nc 3\n");
+        assert_eq!(build().to_collapsed(), build().to_collapsed());
+    }
+}

@@ -1,0 +1,373 @@
+//! A metrics registry: named, labeled instruments behind deterministic
+//! Prometheus-text and JSONL exporters.
+//!
+//! The registry is a snapshot store, not a hot-path concurrency structure:
+//! producers (the experiment runner, `simnet::MetricSet`, cache stats)
+//! export their already-accumulated state into it at report time, then one
+//! of the exporters renders the whole thing. Keys are `(name, sorted
+//! labels)`; all iteration is over `BTreeMap`s, so output ordering — and
+//! therefore the bytes — is deterministic for identical inputs.
+
+use crate::json::{fmt_f64, push_json_str};
+use std::collections::BTreeMap;
+use std::fmt::Write;
+
+/// What kind of instrument a name is registered as.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum InstrumentKind {
+    Counter,
+    Gauge,
+    Summary,
+}
+
+impl InstrumentKind {
+    const fn prom_type(self) -> &'static str {
+        match self {
+            InstrumentKind::Counter => "counter",
+            InstrumentKind::Gauge => "gauge",
+            InstrumentKind::Summary => "summary",
+        }
+    }
+}
+
+/// Pre-aggregated distribution snapshot (what a log-bucketed histogram can
+/// answer at export time).
+#[derive(Debug, Clone, PartialEq)]
+pub struct Summary {
+    pub count: u64,
+    pub sum: f64,
+    pub min: f64,
+    pub max: f64,
+    /// `(quantile, value)` pairs, ascending by quantile.
+    pub quantiles: Vec<(f64, f64)>,
+}
+
+/// `(name, sorted labels)` — the identity of one time series.
+#[derive(Debug, Clone, PartialEq, Eq, PartialOrd, Ord)]
+struct SeriesKey {
+    name: String,
+    labels: Vec<(String, String)>,
+}
+
+impl SeriesKey {
+    fn new(name: &str, labels: &[(&str, &str)]) -> Self {
+        let mut labels: Vec<(String, String)> = labels
+            .iter()
+            .map(|(k, v)| (k.to_string(), v.to_string()))
+            .collect();
+        labels.sort();
+        SeriesKey {
+            name: sanitize_name(name),
+            labels,
+        }
+    }
+
+    /// `{k="v",...}` or the empty string; `extra` is appended last (used
+    /// for the `quantile` label on summaries).
+    fn prom_labels(&self, extra: Option<(&str, &str)>) -> String {
+        if self.labels.is_empty() && extra.is_none() {
+            return String::new();
+        }
+        let mut out = String::from("{");
+        let mut first = true;
+        for (k, v) in self
+            .labels
+            .iter()
+            .map(|(k, v)| (k.as_str(), v.as_str()))
+            .chain(extra)
+        {
+            if !first {
+                out.push(',');
+            }
+            first = false;
+            let _ = write!(out, "{}=", k);
+            // Prometheus label values use the same escaping as JSON strings.
+            push_json_str(&mut out, v);
+        }
+        out.push('}');
+        out
+    }
+
+    fn json_labels(&self) -> String {
+        let mut out = String::from("{");
+        for (i, (k, v)) in self.labels.iter().enumerate() {
+            if i > 0 {
+                out.push(',');
+            }
+            push_json_str(&mut out, k);
+            out.push(':');
+            push_json_str(&mut out, v);
+        }
+        out.push('}');
+        out
+    }
+}
+
+/// Replace characters Prometheus metric names reject with `_`.
+fn sanitize_name(name: &str) -> String {
+    name.chars()
+        .map(|c| {
+            if c.is_ascii_alphanumeric() || c == '_' || c == ':' {
+                c
+            } else {
+                '_'
+            }
+        })
+        .collect()
+}
+
+/// The registry itself. See module docs.
+#[derive(Debug, Clone, Default)]
+pub struct Registry {
+    /// name → (kind, help), filled by [`Registry::describe`] or on first use.
+    descriptors: BTreeMap<String, (InstrumentKind, String)>,
+    counters: BTreeMap<SeriesKey, u64>,
+    gauges: BTreeMap<SeriesKey, f64>,
+    summaries: BTreeMap<SeriesKey, Summary>,
+}
+
+impl Registry {
+    pub fn new() -> Self {
+        Registry::default()
+    }
+
+    /// Register help text for `name`. Optional — instruments self-register
+    /// with empty help on first use — but exported `# HELP` lines only
+    /// appear for described names.
+    pub fn describe(&mut self, name: &str, kind: InstrumentKind, help: &str) {
+        self.descriptors
+            .insert(sanitize_name(name), (kind, help.to_string()));
+    }
+
+    fn ensure_described(&mut self, name: &str, kind: InstrumentKind) {
+        self.descriptors
+            .entry(sanitize_name(name))
+            .or_insert((kind, String::new()));
+    }
+
+    /// Set a counter series to an absolute (already-accumulated) value.
+    pub fn set_counter(&mut self, name: &str, labels: &[(&str, &str)], value: u64) {
+        self.ensure_described(name, InstrumentKind::Counter);
+        self.counters.insert(SeriesKey::new(name, labels), value);
+    }
+
+    /// Add to a counter series (creates it at 0).
+    pub fn add_counter(&mut self, name: &str, labels: &[(&str, &str)], delta: u64) {
+        self.ensure_described(name, InstrumentKind::Counter);
+        *self
+            .counters
+            .entry(SeriesKey::new(name, labels))
+            .or_insert(0) += delta;
+    }
+
+    pub fn set_gauge(&mut self, name: &str, labels: &[(&str, &str)], value: f64) {
+        self.ensure_described(name, InstrumentKind::Gauge);
+        self.gauges.insert(SeriesKey::new(name, labels), value);
+    }
+
+    pub fn set_summary(&mut self, name: &str, labels: &[(&str, &str)], summary: Summary) {
+        self.ensure_described(name, InstrumentKind::Summary);
+        self.summaries.insert(SeriesKey::new(name, labels), summary);
+    }
+
+    /// Read a counter series back (exact name + labels), mostly for tests.
+    pub fn counter_value(&self, name: &str, labels: &[(&str, &str)]) -> Option<u64> {
+        self.counters.get(&SeriesKey::new(name, labels)).copied()
+    }
+
+    pub fn gauge_value(&self, name: &str, labels: &[(&str, &str)]) -> Option<f64> {
+        self.gauges.get(&SeriesKey::new(name, labels)).copied()
+    }
+
+    pub fn summary_value(&self, name: &str, labels: &[(&str, &str)]) -> Option<&Summary> {
+        self.summaries.get(&SeriesKey::new(name, labels))
+    }
+
+    pub fn is_empty(&self) -> bool {
+        self.counters.is_empty() && self.gauges.is_empty() && self.summaries.is_empty()
+    }
+
+    /// Number of distinct series across all instrument kinds.
+    pub fn series_count(&self) -> usize {
+        self.counters.len() + self.gauges.len() + self.summaries.len()
+    }
+
+    /// Prometheus text exposition format, deterministically ordered:
+    /// counters, then gauges, then summaries; within a kind, by
+    /// `(name, labels)`. `# HELP`/`# TYPE` precede each name's first series.
+    pub fn to_prometheus_text(&self) -> String {
+        let mut out = String::new();
+        let mut last_name = String::new();
+        let header = |out: &mut String, name: &str, kind: InstrumentKind, last: &mut String| {
+            if *last != name {
+                if let Some((_, help)) = self.descriptors.get(name) {
+                    if !help.is_empty() {
+                        let _ = writeln!(out, "# HELP {name} {help}");
+                    }
+                }
+                let _ = writeln!(out, "# TYPE {name} {}", kind.prom_type());
+                *last = name.to_string();
+            }
+        };
+        for (key, value) in &self.counters {
+            header(&mut out, &key.name, InstrumentKind::Counter, &mut last_name);
+            let _ = writeln!(out, "{}{} {}", key.name, key.prom_labels(None), value);
+        }
+        for (key, value) in &self.gauges {
+            header(&mut out, &key.name, InstrumentKind::Gauge, &mut last_name);
+            let _ = writeln!(
+                out,
+                "{}{} {}",
+                key.name,
+                key.prom_labels(None),
+                fmt_f64(*value)
+            );
+        }
+        for (key, s) in &self.summaries {
+            header(&mut out, &key.name, InstrumentKind::Summary, &mut last_name);
+            for (q, v) in &s.quantiles {
+                let q = fmt_f64(*q);
+                let _ = writeln!(
+                    out,
+                    "{}{} {}",
+                    key.name,
+                    key.prom_labels(Some(("quantile", &q))),
+                    fmt_f64(*v)
+                );
+            }
+            let labels = key.prom_labels(None);
+            let _ = writeln!(out, "{}_sum{} {}", key.name, labels, fmt_f64(s.sum));
+            let _ = writeln!(out, "{}_count{} {}", key.name, labels, s.count);
+            let _ = writeln!(out, "{}_min{} {}", key.name, labels, fmt_f64(s.min));
+            let _ = writeln!(out, "{}_max{} {}", key.name, labels, fmt_f64(s.max));
+        }
+        out
+    }
+
+    /// One JSON object per series per line, in the same order as the
+    /// Prometheus exporter.
+    pub fn to_jsonl(&self) -> String {
+        let mut out = String::new();
+        for (key, value) in &self.counters {
+            out.push_str("{\"type\":\"counter\",\"name\":");
+            push_json_str(&mut out, &key.name);
+            let _ = writeln!(
+                out,
+                ",\"labels\":{},\"value\":{}}}",
+                key.json_labels(),
+                value
+            );
+        }
+        for (key, value) in &self.gauges {
+            out.push_str("{\"type\":\"gauge\",\"name\":");
+            push_json_str(&mut out, &key.name);
+            let _ = writeln!(
+                out,
+                ",\"labels\":{},\"value\":{}}}",
+                key.json_labels(),
+                fmt_f64(*value)
+            );
+        }
+        for (key, s) in &self.summaries {
+            out.push_str("{\"type\":\"summary\",\"name\":");
+            push_json_str(&mut out, &key.name);
+            let _ = write!(
+                out,
+                ",\"labels\":{},\"count\":{},\"sum\":{},\"min\":{},\"max\":{},\"quantiles\":{{",
+                key.json_labels(),
+                s.count,
+                fmt_f64(s.sum),
+                fmt_f64(s.min),
+                fmt_f64(s.max)
+            );
+            for (i, (q, v)) in s.quantiles.iter().enumerate() {
+                if i > 0 {
+                    out.push(',');
+                }
+                let _ = write!(out, "\"{}\":{}", fmt_f64(*q), fmt_f64(*v));
+            }
+            out.push_str("}}\n");
+        }
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn sample() -> Registry {
+        let mut r = Registry::new();
+        r.describe(
+            "requests_total",
+            InstrumentKind::Counter,
+            "Requests served.",
+        );
+        r.set_counter("requests_total", &[("arch", "linked")], 42);
+        r.set_counter("requests_total", &[("arch", "remote")], 40);
+        r.set_gauge("cores", &[("tier", "app")], 1.25);
+        r.set_summary(
+            "read_latency_ns",
+            &[("arch", "linked")],
+            Summary {
+                count: 100,
+                sum: 5_000.0,
+                min: 10.0,
+                max: 200.0,
+                quantiles: vec![(0.5, 45.0), (0.99, 190.0)],
+            },
+        );
+        r
+    }
+
+    #[test]
+    fn prometheus_text_is_deterministic_and_complete() {
+        let a = sample().to_prometheus_text();
+        let b = sample().to_prometheus_text();
+        assert_eq!(a, b);
+        assert!(a.contains("# HELP requests_total Requests served."));
+        assert!(a.contains("# TYPE requests_total counter"));
+        assert!(a.contains("requests_total{arch=\"linked\"} 42"));
+        assert!(a.contains("cores{tier=\"app\"} 1.25"));
+        assert!(a.contains("read_latency_ns{arch=\"linked\",quantile=\"0.5\"} 45"));
+        assert!(a.contains("read_latency_ns_count{arch=\"linked\"} 100"));
+        assert!(a.contains("read_latency_ns_min{arch=\"linked\"} 10"));
+    }
+
+    #[test]
+    fn jsonl_has_one_series_per_line() {
+        let out = sample().to_jsonl();
+        assert_eq!(out.lines().count(), 4);
+        assert!(out.contains("{\"type\":\"counter\",\"name\":\"requests_total\",\"labels\":{\"arch\":\"linked\"},\"value\":42}"));
+        assert!(out.contains("\"quantiles\":{\"0.5\":45,\"0.99\":190}"));
+    }
+
+    #[test]
+    fn labels_are_sorted_and_names_sanitized() {
+        let mut r = Registry::new();
+        r.set_counter("weird.name-x", &[("b", "2"), ("a", "1")], 1);
+        let text = r.to_prometheus_text();
+        assert!(text.contains("weird_name_x{a=\"1\",b=\"2\"} 1"), "{text}");
+        assert_eq!(
+            r.counter_value("weird.name-x", &[("a", "1"), ("b", "2")]),
+            Some(1)
+        );
+    }
+
+    #[test]
+    fn add_counter_accumulates() {
+        let mut r = Registry::new();
+        r.add_counter("hits", &[], 2);
+        r.add_counter("hits", &[], 3);
+        assert_eq!(r.counter_value("hits", &[]), Some(5));
+        assert_eq!(r.series_count(), 1);
+    }
+
+    #[test]
+    fn empty_registry_exports_empty() {
+        let r = Registry::new();
+        assert!(r.is_empty());
+        assert_eq!(r.to_prometheus_text(), "");
+        assert_eq!(r.to_jsonl(), "");
+    }
+}

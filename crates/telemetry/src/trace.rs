@@ -1,0 +1,331 @@
+//! Structured span tracing with a bounded, deterministic sink.
+//!
+//! The model is deliberately simpler than OpenTelemetry: the simulator is
+//! single-threaded and synchronous, so a span is just a finished record —
+//! no guards, no context propagation machinery. The [`Tracer`] holds the
+//! currently traced request's id; serve-path hops call [`Tracer::span`]
+//! and the record lands in the ring-buffered [`TraceSink`]. Requests that
+//! are not sampled leave the tracer disarmed and every span call is a
+//! no-op, so tracing never perturbs an untraced run.
+
+use crate::json::push_json_str;
+use std::collections::VecDeque;
+use std::fmt::Write;
+
+/// Terminal state of one span.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum SpanStatus {
+    /// The hop completed normally.
+    Ok,
+    /// The hop failed (e.g. a cache RPC attempt that the fabric dropped).
+    Failed,
+    /// The hop was served by the degraded path (cache shard down).
+    Degraded,
+    /// The hop coalesced onto an identical in-flight operation.
+    Coalesced,
+}
+
+impl SpanStatus {
+    pub const fn label(self) -> &'static str {
+        match self {
+            SpanStatus::Ok => "ok",
+            SpanStatus::Failed => "failed",
+            SpanStatus::Degraded => "degraded",
+            SpanStatus::Coalesced => "coalesced",
+        }
+    }
+}
+
+/// One finished hop of a traced request.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct SpanRecord {
+    /// Deterministic request identity (see [`crate::trace_id`]).
+    pub trace_id: u64,
+    /// Operation name, e.g. `"cache.rpc_attempt"` or `"storage.fill"`.
+    pub name: &'static str,
+    /// The tier that did the work: `"app"`, `"cache"`, `"storage"`, …
+    pub tier: &'static str,
+    /// Span start on the clock the recorder runs on (virtual nanos in the
+    /// simulator, wall nanos since client start in netrpc).
+    pub start_ns: u64,
+    /// Span end on the same clock; `end_ns >= start_ns`.
+    pub end_ns: u64,
+    /// 0 for the first attempt; retries of the same logical hop count up.
+    pub attempt: u32,
+    pub status: SpanStatus,
+}
+
+impl SpanRecord {
+    pub fn duration_ns(&self) -> u64 {
+        self.end_ns.saturating_sub(self.start_ns)
+    }
+
+    /// One JSON object, no trailing newline. Field order is fixed.
+    pub fn to_json(&self) -> String {
+        let mut s = String::with_capacity(128);
+        let _ = write!(s, "{{\"trace_id\":\"{:016x}\",\"name\":", self.trace_id);
+        push_json_str(&mut s, self.name);
+        s.push_str(",\"tier\":");
+        push_json_str(&mut s, self.tier);
+        let _ = write!(
+            s,
+            ",\"start_ns\":{},\"duration_ns\":{},\"attempt\":{},\"status\":\"{}\"}}",
+            self.start_ns,
+            self.duration_ns(),
+            self.attempt,
+            self.status.label()
+        );
+        s
+    }
+}
+
+/// Bounded span store: a ring buffer that keeps the most recent spans and
+/// counts what it sheds, so a long run cannot grow without bound but the
+/// tail of the run is always inspectable.
+#[derive(Debug, Clone, Default)]
+pub struct TraceSink {
+    spans: VecDeque<SpanRecord>,
+    capacity: usize,
+    /// Spans ever recorded (including ones the ring has since shed).
+    recorded: u64,
+    /// Spans shed by the ring.
+    dropped: u64,
+}
+
+impl TraceSink {
+    pub fn with_capacity(capacity: usize) -> Self {
+        TraceSink {
+            spans: VecDeque::with_capacity(capacity.min(4096)),
+            capacity,
+            recorded: 0,
+            dropped: 0,
+        }
+    }
+
+    pub fn capacity(&self) -> usize {
+        self.capacity
+    }
+
+    pub fn record(&mut self, span: SpanRecord) {
+        if self.capacity == 0 {
+            return;
+        }
+        if self.spans.len() == self.capacity {
+            self.spans.pop_front();
+            self.dropped += 1;
+        }
+        self.spans.push_back(span);
+        self.recorded += 1;
+    }
+
+    pub fn len(&self) -> usize {
+        self.spans.len()
+    }
+
+    pub fn is_empty(&self) -> bool {
+        self.spans.is_empty()
+    }
+
+    /// Spans ever recorded, including ones the ring has since shed.
+    pub fn recorded(&self) -> u64 {
+        self.recorded
+    }
+
+    /// Spans shed by the ring buffer.
+    pub fn dropped(&self) -> u64 {
+        self.dropped
+    }
+
+    pub fn iter(&self) -> impl Iterator<Item = &SpanRecord> {
+        self.spans.iter()
+    }
+
+    /// All retained spans of one trace, in recording order.
+    pub fn spans_for(&self, trace_id: u64) -> Vec<&SpanRecord> {
+        self.spans
+            .iter()
+            .filter(|s| s.trace_id == trace_id)
+            .collect()
+    }
+
+    /// Distinct trace ids currently retained.
+    pub fn trace_ids(&self) -> Vec<u64> {
+        let mut ids: Vec<u64> = self.spans.iter().map(|s| s.trace_id).collect();
+        ids.sort_unstable();
+        ids.dedup();
+        ids
+    }
+
+    pub fn clear(&mut self) {
+        self.spans.clear();
+        self.recorded = 0;
+        self.dropped = 0;
+    }
+
+    /// One JSON object per line, trailing newline after each.
+    pub fn to_jsonl(&self) -> String {
+        let mut out = String::with_capacity(self.spans.len() * 128);
+        for span in &self.spans {
+            out.push_str(&span.to_json());
+            out.push('\n');
+        }
+        out
+    }
+}
+
+/// The per-run span recorder: a sink plus the identity of the request being
+/// traced right now (if any). Hops call [`Tracer::span`] unconditionally;
+/// the call is a no-op unless a request is active, so instrumented code
+/// pays nothing on unsampled requests.
+#[derive(Debug, Clone, Default)]
+pub struct Tracer {
+    sink: TraceSink,
+    current: Option<u64>,
+}
+
+impl Tracer {
+    /// A tracer that records nothing (capacity-0 sink, never armed).
+    pub fn disabled() -> Self {
+        Tracer::default()
+    }
+
+    pub fn with_capacity(capacity: usize) -> Self {
+        Tracer {
+            sink: TraceSink::with_capacity(capacity),
+            current: None,
+        }
+    }
+
+    /// Whether this tracer can record at all.
+    pub fn enabled(&self) -> bool {
+        self.sink.capacity() > 0
+    }
+
+    /// The trace id of the request currently being recorded, if any.
+    pub fn active(&self) -> Option<u64> {
+        self.current
+    }
+
+    /// Arm the tracer for one request. Until [`Tracer::end_request`], every
+    /// [`Tracer::span`] call records under `trace_id`.
+    pub fn start_request(&mut self, trace_id: u64) {
+        if self.enabled() {
+            self.current = Some(trace_id);
+        }
+    }
+
+    pub fn end_request(&mut self) {
+        self.current = None;
+    }
+
+    /// Record one hop of the active request; no-op when disarmed.
+    pub fn span(
+        &mut self,
+        name: &'static str,
+        tier: &'static str,
+        start_ns: u64,
+        end_ns: u64,
+        attempt: u32,
+        status: SpanStatus,
+    ) {
+        if let Some(trace_id) = self.current {
+            self.sink.record(SpanRecord {
+                trace_id,
+                name,
+                tier,
+                start_ns,
+                end_ns,
+                attempt,
+                status,
+            });
+        }
+    }
+
+    pub fn sink(&self) -> &TraceSink {
+        &self.sink
+    }
+
+    pub fn sink_mut(&mut self) -> &mut TraceSink {
+        &mut self.sink
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn span(trace_id: u64, attempt: u32) -> SpanRecord {
+        SpanRecord {
+            trace_id,
+            name: "cache.rpc_attempt",
+            tier: "app",
+            start_ns: 100,
+            end_ns: 350,
+            attempt,
+            status: SpanStatus::Failed,
+        }
+    }
+
+    #[test]
+    fn ring_sheds_oldest_and_counts() {
+        let mut sink = TraceSink::with_capacity(2);
+        sink.record(span(1, 0));
+        sink.record(span(2, 0));
+        sink.record(span(3, 0));
+        assert_eq!(sink.len(), 2);
+        assert_eq!(sink.recorded(), 3);
+        assert_eq!(sink.dropped(), 1);
+        assert_eq!(sink.trace_ids(), vec![2, 3]);
+    }
+
+    #[test]
+    fn zero_capacity_sink_records_nothing() {
+        let mut sink = TraceSink::with_capacity(0);
+        sink.record(span(1, 0));
+        assert!(sink.is_empty());
+        assert_eq!(sink.recorded(), 0);
+    }
+
+    #[test]
+    fn disarmed_tracer_is_a_noop() {
+        let mut t = Tracer::with_capacity(16);
+        t.span("x", "app", 0, 1, 0, SpanStatus::Ok);
+        assert!(t.sink().is_empty());
+        t.start_request(9);
+        t.span("x", "app", 0, 1, 0, SpanStatus::Ok);
+        t.end_request();
+        t.span("y", "app", 1, 2, 0, SpanStatus::Ok);
+        assert_eq!(t.sink().len(), 1);
+        assert_eq!(t.sink().spans_for(9).len(), 1);
+    }
+
+    #[test]
+    fn disabled_tracer_never_arms() {
+        let mut t = Tracer::disabled();
+        t.start_request(1);
+        assert_eq!(t.active(), None);
+        t.span("x", "app", 0, 1, 0, SpanStatus::Ok);
+        assert!(t.sink().is_empty());
+    }
+
+    #[test]
+    fn json_shape_is_stable() {
+        let s = span(0xabc, 2);
+        assert_eq!(
+            s.to_json(),
+            "{\"trace_id\":\"0000000000000abc\",\"name\":\"cache.rpc_attempt\",\
+             \"tier\":\"app\",\"start_ns\":100,\"duration_ns\":250,\
+             \"attempt\":2,\"status\":\"failed\"}"
+        );
+    }
+
+    #[test]
+    fn jsonl_is_one_line_per_span() {
+        let mut sink = TraceSink::with_capacity(8);
+        sink.record(span(1, 0));
+        sink.record(span(1, 1));
+        let jsonl = sink.to_jsonl();
+        assert_eq!(jsonl.lines().count(), 2);
+        assert!(jsonl.ends_with('\n'));
+    }
+}

@@ -33,6 +33,7 @@ fn main() {
             prewarm: true,
             crash_leaders_at_request: None,
             cache_fault_schedule: None,
+            trace_sample_every: None,
             pricing: Default::default(),
         };
         run_kv_experiment(&cfg).expect("run")

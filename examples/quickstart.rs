@@ -39,6 +39,7 @@ fn main() {
             prewarm: true,
             crash_leaders_at_request: None,
             cache_fault_schedule: None,
+            trace_sample_every: None,
             pricing: Pricing::default(),
         };
         let report = run_kv_experiment(&cfg).expect("experiment runs");

@@ -18,6 +18,7 @@
 //! | [`workload`] | `workloads` | Zipf/Meta/Twitter/Unity-Catalog trace generators |
 //! | [`cost`] | `costmodel` | GCP pricing + the §4 analytical model |
 //! | [`study`] | `dcache` | the architectures, experiment runner, consistency machinery |
+//! | [`obs`] | `telemetry` | request tracing, metrics registry, CPU-attribution profiler |
 //!
 //! ## Quickstart
 //!
@@ -45,6 +46,7 @@
 //!     prewarm: false,
 //!     crash_leaders_at_request: None,
 //!     cache_fault_schedule: None,
+//!     trace_sample_every: None,
 //!     pricing: Pricing::default(),
 //! };
 //! let report = run_kv_experiment(&cfg).unwrap();
@@ -61,4 +63,5 @@ pub use dcache as study;
 pub use netrpc as net;
 pub use simnet as sim;
 pub use storekit as store;
+pub use telemetry as obs;
 pub use workloads as workload;

@@ -22,6 +22,7 @@ fn mid_cfg(arch: ArchKind) -> KvExperimentConfig {
         prewarm: true,
         crash_leaders_at_request: None,
         cache_fault_schedule: None,
+        trace_sample_every: None,
         pricing: Pricing::default(),
     }
 }

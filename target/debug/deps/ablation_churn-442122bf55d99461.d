@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/ablation_churn-442122bf55d99461.d: crates/bench/src/bin/ablation_churn.rs
+
+/root/repo/target/debug/deps/libablation_churn-442122bf55d99461.rmeta: crates/bench/src/bin/ablation_churn.rs
+
+crates/bench/src/bin/ablation_churn.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/ablation_churn-4d3740ad867311b6.d: crates/bench/src/bin/ablation_churn.rs
+
+/root/repo/target/debug/deps/libablation_churn-4d3740ad867311b6.rmeta: crates/bench/src/bin/ablation_churn.rs
+
+crates/bench/src/bin/ablation_churn.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/ablation_churn-67f97ca82773998f.d: crates/bench/src/bin/ablation_churn.rs
+
+/root/repo/target/debug/deps/libablation_churn-67f97ca82773998f.rmeta: crates/bench/src/bin/ablation_churn.rs
+
+crates/bench/src/bin/ablation_churn.rs:

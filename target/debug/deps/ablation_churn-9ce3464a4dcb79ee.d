@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/ablation_churn-9ce3464a4dcb79ee.d: crates/bench/src/bin/ablation_churn.rs
+
+/root/repo/target/debug/deps/ablation_churn-9ce3464a4dcb79ee: crates/bench/src/bin/ablation_churn.rs
+
+crates/bench/src/bin/ablation_churn.rs:

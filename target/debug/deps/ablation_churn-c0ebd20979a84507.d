@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/ablation_churn-c0ebd20979a84507.d: crates/bench/src/bin/ablation_churn.rs
+
+/root/repo/target/debug/deps/libablation_churn-c0ebd20979a84507.rmeta: crates/bench/src/bin/ablation_churn.rs
+
+crates/bench/src/bin/ablation_churn.rs:

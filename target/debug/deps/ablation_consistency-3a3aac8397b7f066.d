@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/ablation_consistency-3a3aac8397b7f066.d: crates/bench/src/bin/ablation_consistency.rs
+
+/root/repo/target/debug/deps/libablation_consistency-3a3aac8397b7f066.rmeta: crates/bench/src/bin/ablation_consistency.rs
+
+crates/bench/src/bin/ablation_consistency.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/ablation_consistency-4d790d03a3495464.d: crates/bench/src/bin/ablation_consistency.rs
+
+/root/repo/target/debug/deps/ablation_consistency-4d790d03a3495464: crates/bench/src/bin/ablation_consistency.rs
+
+crates/bench/src/bin/ablation_consistency.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/ablation_consistency-9c04475af35892f8.d: crates/bench/src/bin/ablation_consistency.rs
+
+/root/repo/target/debug/deps/libablation_consistency-9c04475af35892f8.rmeta: crates/bench/src/bin/ablation_consistency.rs
+
+crates/bench/src/bin/ablation_consistency.rs:

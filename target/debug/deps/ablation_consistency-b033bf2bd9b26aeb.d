@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/ablation_consistency-b033bf2bd9b26aeb.d: crates/bench/src/bin/ablation_consistency.rs
+
+/root/repo/target/debug/deps/libablation_consistency-b033bf2bd9b26aeb.rmeta: crates/bench/src/bin/ablation_consistency.rs
+
+crates/bench/src/bin/ablation_consistency.rs:

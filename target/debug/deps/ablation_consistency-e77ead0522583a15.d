@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/ablation_consistency-e77ead0522583a15.d: crates/bench/src/bin/ablation_consistency.rs
+
+/root/repo/target/debug/deps/libablation_consistency-e77ead0522583a15.rmeta: crates/bench/src/bin/ablation_consistency.rs
+
+crates/bench/src/bin/ablation_consistency.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/ablation_eviction-1b252e7f301a533e.d: crates/bench/src/bin/ablation_eviction.rs
+
+/root/repo/target/debug/deps/ablation_eviction-1b252e7f301a533e: crates/bench/src/bin/ablation_eviction.rs
+
+crates/bench/src/bin/ablation_eviction.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/ablation_eviction-26ae2a6deddc6af1.d: crates/bench/src/bin/ablation_eviction.rs
+
+/root/repo/target/debug/deps/libablation_eviction-26ae2a6deddc6af1.rmeta: crates/bench/src/bin/ablation_eviction.rs
+
+crates/bench/src/bin/ablation_eviction.rs:

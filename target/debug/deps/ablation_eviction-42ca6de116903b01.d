@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/ablation_eviction-42ca6de116903b01.d: crates/bench/src/bin/ablation_eviction.rs
+
+/root/repo/target/debug/deps/libablation_eviction-42ca6de116903b01.rmeta: crates/bench/src/bin/ablation_eviction.rs
+
+crates/bench/src/bin/ablation_eviction.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/ablation_eviction-476d50220db39f9d.d: crates/bench/src/bin/ablation_eviction.rs
+
+/root/repo/target/debug/deps/libablation_eviction-476d50220db39f9d.rmeta: crates/bench/src/bin/ablation_eviction.rs
+
+crates/bench/src/bin/ablation_eviction.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/ablation_failover-4ef8c9722b2c7290.d: crates/bench/src/bin/ablation_failover.rs
+
+/root/repo/target/debug/deps/libablation_failover-4ef8c9722b2c7290.rmeta: crates/bench/src/bin/ablation_failover.rs
+
+crates/bench/src/bin/ablation_failover.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/ablation_failover-9b675a5bf19c96c5.d: crates/bench/src/bin/ablation_failover.rs
+
+/root/repo/target/debug/deps/libablation_failover-9b675a5bf19c96c5.rmeta: crates/bench/src/bin/ablation_failover.rs
+
+crates/bench/src/bin/ablation_failover.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/ablation_failover-aa0572065273fe0d.d: crates/bench/src/bin/ablation_failover.rs
+
+/root/repo/target/debug/deps/libablation_failover-aa0572065273fe0d.rmeta: crates/bench/src/bin/ablation_failover.rs
+
+crates/bench/src/bin/ablation_failover.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/ablation_failover-c0dbfcbcc4af2b54.d: crates/bench/src/bin/ablation_failover.rs
+
+/root/repo/target/debug/deps/ablation_failover-c0dbfcbcc4af2b54: crates/bench/src/bin/ablation_failover.rs
+
+crates/bench/src/bin/ablation_failover.rs:

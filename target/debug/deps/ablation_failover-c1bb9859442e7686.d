@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/ablation_failover-c1bb9859442e7686.d: crates/bench/src/bin/ablation_failover.rs
+
+/root/repo/target/debug/deps/libablation_failover-c1bb9859442e7686.rmeta: crates/bench/src/bin/ablation_failover.rs
+
+crates/bench/src/bin/ablation_failover.rs:

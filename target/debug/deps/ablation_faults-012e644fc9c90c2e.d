@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/ablation_faults-012e644fc9c90c2e.d: crates/bench/src/bin/ablation_faults.rs
+
+/root/repo/target/debug/deps/libablation_faults-012e644fc9c90c2e.rmeta: crates/bench/src/bin/ablation_faults.rs
+
+crates/bench/src/bin/ablation_faults.rs:

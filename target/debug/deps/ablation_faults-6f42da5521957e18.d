@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/ablation_faults-6f42da5521957e18.d: crates/bench/src/bin/ablation_faults.rs
+
+/root/repo/target/debug/deps/ablation_faults-6f42da5521957e18: crates/bench/src/bin/ablation_faults.rs
+
+crates/bench/src/bin/ablation_faults.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/ablation_faults-8cf556f0d980fc11.d: crates/bench/src/bin/ablation_faults.rs
+
+/root/repo/target/debug/deps/libablation_faults-8cf556f0d980fc11.rmeta: crates/bench/src/bin/ablation_faults.rs
+
+crates/bench/src/bin/ablation_faults.rs:

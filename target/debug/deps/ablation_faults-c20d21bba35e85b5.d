@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/ablation_faults-c20d21bba35e85b5.d: crates/bench/src/bin/ablation_faults.rs
+
+/root/repo/target/debug/deps/libablation_faults-c20d21bba35e85b5.rmeta: crates/bench/src/bin/ablation_faults.rs
+
+crates/bench/src/bin/ablation_faults.rs:

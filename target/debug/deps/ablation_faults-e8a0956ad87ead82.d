@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/ablation_faults-e8a0956ad87ead82.d: crates/bench/src/bin/ablation_faults.rs
+
+/root/repo/target/debug/deps/libablation_faults-e8a0956ad87ead82.rmeta: crates/bench/src/bin/ablation_faults.rs
+
+crates/bench/src/bin/ablation_faults.rs:

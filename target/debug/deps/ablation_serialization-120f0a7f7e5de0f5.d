@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/ablation_serialization-120f0a7f7e5de0f5.d: crates/bench/src/bin/ablation_serialization.rs
+
+/root/repo/target/debug/deps/libablation_serialization-120f0a7f7e5de0f5.rmeta: crates/bench/src/bin/ablation_serialization.rs
+
+crates/bench/src/bin/ablation_serialization.rs:

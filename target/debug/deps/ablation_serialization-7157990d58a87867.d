@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/ablation_serialization-7157990d58a87867.d: crates/bench/src/bin/ablation_serialization.rs
+
+/root/repo/target/debug/deps/ablation_serialization-7157990d58a87867: crates/bench/src/bin/ablation_serialization.rs
+
+crates/bench/src/bin/ablation_serialization.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/ablation_serialization-7498eb4bf05fdc84.d: crates/bench/src/bin/ablation_serialization.rs
+
+/root/repo/target/debug/deps/libablation_serialization-7498eb4bf05fdc84.rmeta: crates/bench/src/bin/ablation_serialization.rs
+
+crates/bench/src/bin/ablation_serialization.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/ablation_serialization-79b4683050fbd0e2.d: crates/bench/src/bin/ablation_serialization.rs
+
+/root/repo/target/debug/deps/libablation_serialization-79b4683050fbd0e2.rmeta: crates/bench/src/bin/ablation_serialization.rs
+
+crates/bench/src/bin/ablation_serialization.rs:

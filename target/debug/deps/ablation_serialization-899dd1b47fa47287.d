@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/ablation_serialization-899dd1b47fa47287.d: crates/bench/src/bin/ablation_serialization.rs
+
+/root/repo/target/debug/deps/libablation_serialization-899dd1b47fa47287.rmeta: crates/bench/src/bin/ablation_serialization.rs
+
+crates/bench/src/bin/ablation_serialization.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/ablation_ttl-09406e58d951e5dc.d: crates/bench/src/bin/ablation_ttl.rs
+
+/root/repo/target/debug/deps/libablation_ttl-09406e58d951e5dc.rmeta: crates/bench/src/bin/ablation_ttl.rs
+
+crates/bench/src/bin/ablation_ttl.rs:

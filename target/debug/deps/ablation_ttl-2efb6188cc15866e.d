@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/ablation_ttl-2efb6188cc15866e.d: crates/bench/src/bin/ablation_ttl.rs
+
+/root/repo/target/debug/deps/libablation_ttl-2efb6188cc15866e.rmeta: crates/bench/src/bin/ablation_ttl.rs
+
+crates/bench/src/bin/ablation_ttl.rs:

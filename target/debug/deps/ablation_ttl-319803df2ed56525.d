@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/ablation_ttl-319803df2ed56525.d: crates/bench/src/bin/ablation_ttl.rs
+
+/root/repo/target/debug/deps/libablation_ttl-319803df2ed56525.rmeta: crates/bench/src/bin/ablation_ttl.rs
+
+crates/bench/src/bin/ablation_ttl.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/ablation_ttl-d1dd22f7dc2b5783.d: crates/bench/src/bin/ablation_ttl.rs
+
+/root/repo/target/debug/deps/ablation_ttl-d1dd22f7dc2b5783: crates/bench/src/bin/ablation_ttl.rs
+
+crates/bench/src/bin/ablation_ttl.rs:

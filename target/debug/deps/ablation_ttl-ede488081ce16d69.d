@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/ablation_ttl-ede488081ce16d69.d: crates/bench/src/bin/ablation_ttl.rs
+
+/root/repo/target/debug/deps/libablation_ttl-ede488081ce16d69.rmeta: crates/bench/src/bin/ablation_ttl.rs
+
+crates/bench/src/bin/ablation_ttl.rs:

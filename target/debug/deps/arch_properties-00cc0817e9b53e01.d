@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/arch_properties-00cc0817e9b53e01.d: crates/dcache/tests/arch_properties.rs
+
+/root/repo/target/debug/deps/libarch_properties-00cc0817e9b53e01.rmeta: crates/dcache/tests/arch_properties.rs
+
+crates/dcache/tests/arch_properties.rs:

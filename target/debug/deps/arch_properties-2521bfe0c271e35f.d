@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/arch_properties-2521bfe0c271e35f.d: crates/dcache/tests/arch_properties.rs
+
+/root/repo/target/debug/deps/arch_properties-2521bfe0c271e35f: crates/dcache/tests/arch_properties.rs
+
+crates/dcache/tests/arch_properties.rs:

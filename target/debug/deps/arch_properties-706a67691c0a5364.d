@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/arch_properties-706a67691c0a5364.d: crates/dcache/tests/arch_properties.rs
+
+/root/repo/target/debug/deps/libarch_properties-706a67691c0a5364.rmeta: crates/dcache/tests/arch_properties.rs
+
+crates/dcache/tests/arch_properties.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/bench-01bafb3560d69143.d: crates/bench/src/lib.rs
+
+/root/repo/target/debug/deps/libbench-01bafb3560d69143.rmeta: crates/bench/src/lib.rs
+
+crates/bench/src/lib.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/bench-17ab4e5feb5d8ccb.d: crates/bench/src/lib.rs
+
+/root/repo/target/debug/deps/libbench-17ab4e5feb5d8ccb.rmeta: crates/bench/src/lib.rs
+
+crates/bench/src/lib.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/bench-19179792c53113c5.d: crates/bench/src/lib.rs
+
+/root/repo/target/debug/deps/bench-19179792c53113c5: crates/bench/src/lib.rs
+
+crates/bench/src/lib.rs:

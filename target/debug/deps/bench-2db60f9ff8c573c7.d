@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/bench-2db60f9ff8c573c7.d: crates/bench/src/lib.rs
+
+/root/repo/target/debug/deps/libbench-2db60f9ff8c573c7.rmeta: crates/bench/src/lib.rs
+
+crates/bench/src/lib.rs:

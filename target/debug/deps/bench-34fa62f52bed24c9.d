@@ -1,0 +1,7 @@
+/root/repo/target/debug/deps/bench-34fa62f52bed24c9.d: crates/bench/src/lib.rs
+
+/root/repo/target/debug/deps/libbench-34fa62f52bed24c9.rlib: crates/bench/src/lib.rs
+
+/root/repo/target/debug/deps/libbench-34fa62f52bed24c9.rmeta: crates/bench/src/lib.rs
+
+crates/bench/src/lib.rs:

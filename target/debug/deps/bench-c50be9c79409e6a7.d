@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/bench-c50be9c79409e6a7.d: crates/bench/src/lib.rs
+
+/root/repo/target/debug/deps/libbench-c50be9c79409e6a7.rmeta: crates/bench/src/lib.rs
+
+crates/bench/src/lib.rs:

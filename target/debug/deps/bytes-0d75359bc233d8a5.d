@@ -1,0 +1,7 @@
+/root/repo/target/debug/deps/bytes-0d75359bc233d8a5.d: /tmp/stubs/bytes/src/lib.rs
+
+/root/repo/target/debug/deps/libbytes-0d75359bc233d8a5.rlib: /tmp/stubs/bytes/src/lib.rs
+
+/root/repo/target/debug/deps/libbytes-0d75359bc233d8a5.rmeta: /tmp/stubs/bytes/src/lib.rs
+
+/tmp/stubs/bytes/src/lib.rs:

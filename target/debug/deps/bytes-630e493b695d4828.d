@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/bytes-630e493b695d4828.d: /tmp/stubs/bytes/src/lib.rs
+
+/root/repo/target/debug/deps/libbytes-630e493b695d4828.rmeta: /tmp/stubs/bytes/src/lib.rs
+
+/tmp/stubs/bytes/src/lib.rs:

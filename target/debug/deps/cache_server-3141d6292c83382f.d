@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/cache_server-3141d6292c83382f.d: crates/netrpc/src/bin/cache_server.rs
+
+/root/repo/target/debug/deps/libcache_server-3141d6292c83382f.rmeta: crates/netrpc/src/bin/cache_server.rs
+
+crates/netrpc/src/bin/cache_server.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/cache_server-56e2b808aaf86d0c.d: crates/netrpc/src/bin/cache_server.rs
+
+/root/repo/target/debug/deps/cache_server-56e2b808aaf86d0c: crates/netrpc/src/bin/cache_server.rs
+
+crates/netrpc/src/bin/cache_server.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/cache_server-58162f4149e9cc17.d: crates/netrpc/src/bin/cache_server.rs
+
+/root/repo/target/debug/deps/cache_server-58162f4149e9cc17: crates/netrpc/src/bin/cache_server.rs
+
+crates/netrpc/src/bin/cache_server.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/cache_server-6dd34d9e427b9b3f.d: crates/netrpc/src/bin/cache_server.rs
+
+/root/repo/target/debug/deps/libcache_server-6dd34d9e427b9b3f.rmeta: crates/netrpc/src/bin/cache_server.rs
+
+crates/netrpc/src/bin/cache_server.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/cache_server-da5ee065ba7e2912.d: crates/netrpc/src/bin/cache_server.rs
+
+/root/repo/target/debug/deps/libcache_server-da5ee065ba7e2912.rmeta: crates/netrpc/src/bin/cache_server.rs
+
+crates/netrpc/src/bin/cache_server.rs:

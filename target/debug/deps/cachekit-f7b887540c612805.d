@@ -1,0 +1,13 @@
+/root/repo/target/debug/deps/cachekit-f7b887540c612805.d: crates/cachekit/src/lib.rs crates/cachekit/src/admission.rs crates/cachekit/src/cache.rs crates/cachekit/src/list.rs crates/cachekit/src/mrc.rs crates/cachekit/src/policy.rs crates/cachekit/src/ring.rs crates/cachekit/src/sharded.rs crates/cachekit/src/stats.rs
+
+/root/repo/target/debug/deps/cachekit-f7b887540c612805: crates/cachekit/src/lib.rs crates/cachekit/src/admission.rs crates/cachekit/src/cache.rs crates/cachekit/src/list.rs crates/cachekit/src/mrc.rs crates/cachekit/src/policy.rs crates/cachekit/src/ring.rs crates/cachekit/src/sharded.rs crates/cachekit/src/stats.rs
+
+crates/cachekit/src/lib.rs:
+crates/cachekit/src/admission.rs:
+crates/cachekit/src/cache.rs:
+crates/cachekit/src/list.rs:
+crates/cachekit/src/mrc.rs:
+crates/cachekit/src/policy.rs:
+crates/cachekit/src/ring.rs:
+crates/cachekit/src/sharded.rs:
+crates/cachekit/src/stats.rs:

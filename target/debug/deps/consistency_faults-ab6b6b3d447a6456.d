@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/consistency_faults-ab6b6b3d447a6456.d: tests/consistency_faults.rs
+
+/root/repo/target/debug/deps/libconsistency_faults-ab6b6b3d447a6456.rmeta: tests/consistency_faults.rs
+
+tests/consistency_faults.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/consistency_faults-e1ca208716d3b76f.d: tests/consistency_faults.rs
+
+/root/repo/target/debug/deps/consistency_faults-e1ca208716d3b76f: tests/consistency_faults.rs
+
+tests/consistency_faults.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/consistency_faults-fd264fe090958bf0.d: tests/consistency_faults.rs
+
+/root/repo/target/debug/deps/libconsistency_faults-fd264fe090958bf0.rmeta: tests/consistency_faults.rs
+
+tests/consistency_faults.rs:

@@ -1,0 +1,8 @@
+/root/repo/target/debug/deps/costmodel-9699e40c7006efb4.d: crates/costmodel/src/lib.rs crates/costmodel/src/pricing.rs crates/costmodel/src/ssd.rs crates/costmodel/src/theory.rs
+
+/root/repo/target/debug/deps/libcostmodel-9699e40c7006efb4.rmeta: crates/costmodel/src/lib.rs crates/costmodel/src/pricing.rs crates/costmodel/src/ssd.rs crates/costmodel/src/theory.rs
+
+crates/costmodel/src/lib.rs:
+crates/costmodel/src/pricing.rs:
+crates/costmodel/src/ssd.rs:
+crates/costmodel/src/theory.rs:

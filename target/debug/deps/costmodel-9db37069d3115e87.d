@@ -1,0 +1,10 @@
+/root/repo/target/debug/deps/costmodel-9db37069d3115e87.d: crates/costmodel/src/lib.rs crates/costmodel/src/pricing.rs crates/costmodel/src/ssd.rs crates/costmodel/src/theory.rs
+
+/root/repo/target/debug/deps/libcostmodel-9db37069d3115e87.rlib: crates/costmodel/src/lib.rs crates/costmodel/src/pricing.rs crates/costmodel/src/ssd.rs crates/costmodel/src/theory.rs
+
+/root/repo/target/debug/deps/libcostmodel-9db37069d3115e87.rmeta: crates/costmodel/src/lib.rs crates/costmodel/src/pricing.rs crates/costmodel/src/ssd.rs crates/costmodel/src/theory.rs
+
+crates/costmodel/src/lib.rs:
+crates/costmodel/src/pricing.rs:
+crates/costmodel/src/ssd.rs:
+crates/costmodel/src/theory.rs:

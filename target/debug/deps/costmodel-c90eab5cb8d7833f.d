@@ -1,0 +1,8 @@
+/root/repo/target/debug/deps/costmodel-c90eab5cb8d7833f.d: crates/costmodel/src/lib.rs crates/costmodel/src/pricing.rs crates/costmodel/src/ssd.rs crates/costmodel/src/theory.rs
+
+/root/repo/target/debug/deps/costmodel-c90eab5cb8d7833f: crates/costmodel/src/lib.rs crates/costmodel/src/pricing.rs crates/costmodel/src/ssd.rs crates/costmodel/src/theory.rs
+
+crates/costmodel/src/lib.rs:
+crates/costmodel/src/pricing.rs:
+crates/costmodel/src/ssd.rs:
+crates/costmodel/src/theory.rs:

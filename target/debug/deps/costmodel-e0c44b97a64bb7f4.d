@@ -1,0 +1,8 @@
+/root/repo/target/debug/deps/costmodel-e0c44b97a64bb7f4.d: crates/costmodel/src/lib.rs crates/costmodel/src/pricing.rs crates/costmodel/src/ssd.rs crates/costmodel/src/theory.rs
+
+/root/repo/target/debug/deps/libcostmodel-e0c44b97a64bb7f4.rmeta: crates/costmodel/src/lib.rs crates/costmodel/src/pricing.rs crates/costmodel/src/ssd.rs crates/costmodel/src/theory.rs
+
+crates/costmodel/src/lib.rs:
+crates/costmodel/src/pricing.rs:
+crates/costmodel/src/ssd.rs:
+crates/costmodel/src/theory.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/criterion-f7dc4c26f7afc502.d: /tmp/stubs/criterion/src/lib.rs
+
+/root/repo/target/debug/deps/libcriterion-f7dc4c26f7afc502.rmeta: /tmp/stubs/criterion/src/lib.rs
+
+/tmp/stubs/criterion/src/lib.rs:

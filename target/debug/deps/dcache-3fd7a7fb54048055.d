@@ -1,0 +1,12 @@
+/root/repo/target/debug/deps/dcache-3fd7a7fb54048055.d: crates/dcache/src/lib.rs crates/dcache/src/config.rs crates/dcache/src/consistency.rs crates/dcache/src/deployment.rs crates/dcache/src/experiment.rs crates/dcache/src/lease.rs crates/dcache/src/sessionapp.rs crates/dcache/src/unityapp.rs
+
+/root/repo/target/debug/deps/libdcache-3fd7a7fb54048055.rmeta: crates/dcache/src/lib.rs crates/dcache/src/config.rs crates/dcache/src/consistency.rs crates/dcache/src/deployment.rs crates/dcache/src/experiment.rs crates/dcache/src/lease.rs crates/dcache/src/sessionapp.rs crates/dcache/src/unityapp.rs
+
+crates/dcache/src/lib.rs:
+crates/dcache/src/config.rs:
+crates/dcache/src/consistency.rs:
+crates/dcache/src/deployment.rs:
+crates/dcache/src/experiment.rs:
+crates/dcache/src/lease.rs:
+crates/dcache/src/sessionapp.rs:
+crates/dcache/src/unityapp.rs:

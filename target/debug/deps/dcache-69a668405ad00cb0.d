@@ -1,0 +1,14 @@
+/root/repo/target/debug/deps/dcache-69a668405ad00cb0.d: crates/dcache/src/lib.rs crates/dcache/src/config.rs crates/dcache/src/consistency.rs crates/dcache/src/deployment.rs crates/dcache/src/experiment.rs crates/dcache/src/lease.rs crates/dcache/src/sessionapp.rs crates/dcache/src/unityapp.rs
+
+/root/repo/target/debug/deps/libdcache-69a668405ad00cb0.rlib: crates/dcache/src/lib.rs crates/dcache/src/config.rs crates/dcache/src/consistency.rs crates/dcache/src/deployment.rs crates/dcache/src/experiment.rs crates/dcache/src/lease.rs crates/dcache/src/sessionapp.rs crates/dcache/src/unityapp.rs
+
+/root/repo/target/debug/deps/libdcache-69a668405ad00cb0.rmeta: crates/dcache/src/lib.rs crates/dcache/src/config.rs crates/dcache/src/consistency.rs crates/dcache/src/deployment.rs crates/dcache/src/experiment.rs crates/dcache/src/lease.rs crates/dcache/src/sessionapp.rs crates/dcache/src/unityapp.rs
+
+crates/dcache/src/lib.rs:
+crates/dcache/src/config.rs:
+crates/dcache/src/consistency.rs:
+crates/dcache/src/deployment.rs:
+crates/dcache/src/experiment.rs:
+crates/dcache/src/lease.rs:
+crates/dcache/src/sessionapp.rs:
+crates/dcache/src/unityapp.rs:

@@ -1,0 +1,12 @@
+/root/repo/target/debug/deps/dcache-7436bf3568dab5cd.d: crates/dcache/src/lib.rs crates/dcache/src/config.rs crates/dcache/src/consistency.rs crates/dcache/src/deployment.rs crates/dcache/src/experiment.rs crates/dcache/src/lease.rs crates/dcache/src/sessionapp.rs crates/dcache/src/unityapp.rs
+
+/root/repo/target/debug/deps/dcache-7436bf3568dab5cd: crates/dcache/src/lib.rs crates/dcache/src/config.rs crates/dcache/src/consistency.rs crates/dcache/src/deployment.rs crates/dcache/src/experiment.rs crates/dcache/src/lease.rs crates/dcache/src/sessionapp.rs crates/dcache/src/unityapp.rs
+
+crates/dcache/src/lib.rs:
+crates/dcache/src/config.rs:
+crates/dcache/src/consistency.rs:
+crates/dcache/src/deployment.rs:
+crates/dcache/src/experiment.rs:
+crates/dcache/src/lease.rs:
+crates/dcache/src/sessionapp.rs:
+crates/dcache/src/unityapp.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/dcache_cost-3c67da8375a2e151.d: src/lib.rs
+
+/root/repo/target/debug/deps/dcache_cost-3c67da8375a2e151: src/lib.rs
+
+src/lib.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/dcache_cost-470bdd50df1a3a41.d: src/lib.rs
+
+/root/repo/target/debug/deps/libdcache_cost-470bdd50df1a3a41.rmeta: src/lib.rs
+
+src/lib.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/dcache_cost-783e89920b678179.d: src/lib.rs
+
+/root/repo/target/debug/deps/libdcache_cost-783e89920b678179.rmeta: src/lib.rs
+
+src/lib.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/dcache_cost-88ab1406cffe058d.d: src/lib.rs
+
+/root/repo/target/debug/deps/libdcache_cost-88ab1406cffe058d.rmeta: src/lib.rs
+
+src/lib.rs:

@@ -1,0 +1,7 @@
+/root/repo/target/debug/deps/dcache_cost-bab0ca283a6c2131.d: src/lib.rs
+
+/root/repo/target/debug/deps/libdcache_cost-bab0ca283a6c2131.rlib: src/lib.rs
+
+/root/repo/target/debug/deps/libdcache_cost-bab0ca283a6c2131.rmeta: src/lib.rs
+
+src/lib.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/dcache_cost-e79c8b2a60d4b686.d: src/lib.rs
+
+/root/repo/target/debug/deps/libdcache_cost-e79c8b2a60d4b686.rmeta: src/lib.rs
+
+src/lib.rs:

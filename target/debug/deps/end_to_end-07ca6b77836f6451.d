@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/end_to_end-07ca6b77836f6451.d: tests/end_to_end.rs
+
+/root/repo/target/debug/deps/libend_to_end-07ca6b77836f6451.rmeta: tests/end_to_end.rs
+
+tests/end_to_end.rs:

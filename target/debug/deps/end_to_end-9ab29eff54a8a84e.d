@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/end_to_end-9ab29eff54a8a84e.d: tests/end_to_end.rs
+
+/root/repo/target/debug/deps/end_to_end-9ab29eff54a8a84e: tests/end_to_end.rs
+
+tests/end_to_end.rs:

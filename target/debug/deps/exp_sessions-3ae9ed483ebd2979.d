@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/exp_sessions-3ae9ed483ebd2979.d: crates/bench/src/bin/exp_sessions.rs
+
+/root/repo/target/debug/deps/libexp_sessions-3ae9ed483ebd2979.rmeta: crates/bench/src/bin/exp_sessions.rs
+
+crates/bench/src/bin/exp_sessions.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/exp_sessions-74caf8b1e2353625.d: crates/bench/src/bin/exp_sessions.rs
+
+/root/repo/target/debug/deps/libexp_sessions-74caf8b1e2353625.rmeta: crates/bench/src/bin/exp_sessions.rs
+
+crates/bench/src/bin/exp_sessions.rs:

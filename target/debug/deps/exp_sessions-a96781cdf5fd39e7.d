@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/exp_sessions-a96781cdf5fd39e7.d: crates/bench/src/bin/exp_sessions.rs
+
+/root/repo/target/debug/deps/libexp_sessions-a96781cdf5fd39e7.rmeta: crates/bench/src/bin/exp_sessions.rs
+
+crates/bench/src/bin/exp_sessions.rs:

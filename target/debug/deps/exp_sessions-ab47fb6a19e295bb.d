@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/exp_sessions-ab47fb6a19e295bb.d: crates/bench/src/bin/exp_sessions.rs
+
+/root/repo/target/debug/deps/libexp_sessions-ab47fb6a19e295bb.rmeta: crates/bench/src/bin/exp_sessions.rs
+
+crates/bench/src/bin/exp_sessions.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/exp_sessions-cb70179bc359efb4.d: crates/bench/src/bin/exp_sessions.rs
+
+/root/repo/target/debug/deps/exp_sessions-cb70179bc359efb4: crates/bench/src/bin/exp_sessions.rs
+
+crates/bench/src/bin/exp_sessions.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/fault_determinism-85bea5bf93613e20.d: tests/fault_determinism.rs
+
+/root/repo/target/debug/deps/libfault_determinism-85bea5bf93613e20.rmeta: tests/fault_determinism.rs
+
+tests/fault_determinism.rs:

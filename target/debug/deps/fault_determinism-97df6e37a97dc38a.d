@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/fault_determinism-97df6e37a97dc38a.d: tests/fault_determinism.rs
+
+/root/repo/target/debug/deps/fault_determinism-97df6e37a97dc38a: tests/fault_determinism.rs
+
+tests/fault_determinism.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/fault_determinism-af2f850b7a6a7cdf.d: tests/fault_determinism.rs
+
+/root/repo/target/debug/deps/libfault_determinism-af2f850b7a6a7cdf.rmeta: tests/fault_determinism.rs
+
+tests/fault_determinism.rs:

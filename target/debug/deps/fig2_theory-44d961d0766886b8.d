@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/fig2_theory-44d961d0766886b8.d: crates/bench/src/bin/fig2_theory.rs
+
+/root/repo/target/debug/deps/fig2_theory-44d961d0766886b8: crates/bench/src/bin/fig2_theory.rs
+
+crates/bench/src/bin/fig2_theory.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/fig2_theory-4822b9264f1042ec.d: crates/bench/src/bin/fig2_theory.rs
+
+/root/repo/target/debug/deps/libfig2_theory-4822b9264f1042ec.rmeta: crates/bench/src/bin/fig2_theory.rs
+
+crates/bench/src/bin/fig2_theory.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/fig2_theory-54f20fe00ed79cf9.d: crates/bench/src/bin/fig2_theory.rs
+
+/root/repo/target/debug/deps/libfig2_theory-54f20fe00ed79cf9.rmeta: crates/bench/src/bin/fig2_theory.rs
+
+crates/bench/src/bin/fig2_theory.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/fig2_theory-6c703ed940da329b.d: crates/bench/src/bin/fig2_theory.rs
+
+/root/repo/target/debug/deps/libfig2_theory-6c703ed940da329b.rmeta: crates/bench/src/bin/fig2_theory.rs
+
+crates/bench/src/bin/fig2_theory.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/fig2_theory-774d3a7c764e25dc.d: crates/bench/src/bin/fig2_theory.rs
+
+/root/repo/target/debug/deps/libfig2_theory-774d3a7c764e25dc.rmeta: crates/bench/src/bin/fig2_theory.rs
+
+crates/bench/src/bin/fig2_theory.rs:

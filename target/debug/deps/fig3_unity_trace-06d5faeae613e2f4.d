@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/fig3_unity_trace-06d5faeae613e2f4.d: crates/bench/src/bin/fig3_unity_trace.rs
+
+/root/repo/target/debug/deps/fig3_unity_trace-06d5faeae613e2f4: crates/bench/src/bin/fig3_unity_trace.rs
+
+crates/bench/src/bin/fig3_unity_trace.rs:

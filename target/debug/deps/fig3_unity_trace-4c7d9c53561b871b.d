@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/fig3_unity_trace-4c7d9c53561b871b.d: crates/bench/src/bin/fig3_unity_trace.rs
+
+/root/repo/target/debug/deps/libfig3_unity_trace-4c7d9c53561b871b.rmeta: crates/bench/src/bin/fig3_unity_trace.rs
+
+crates/bench/src/bin/fig3_unity_trace.rs:

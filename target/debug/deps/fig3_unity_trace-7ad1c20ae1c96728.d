@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/fig3_unity_trace-7ad1c20ae1c96728.d: crates/bench/src/bin/fig3_unity_trace.rs
+
+/root/repo/target/debug/deps/libfig3_unity_trace-7ad1c20ae1c96728.rmeta: crates/bench/src/bin/fig3_unity_trace.rs
+
+crates/bench/src/bin/fig3_unity_trace.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/fig3_unity_trace-8c64c779bf7f7175.d: crates/bench/src/bin/fig3_unity_trace.rs
+
+/root/repo/target/debug/deps/libfig3_unity_trace-8c64c779bf7f7175.rmeta: crates/bench/src/bin/fig3_unity_trace.rs
+
+crates/bench/src/bin/fig3_unity_trace.rs:

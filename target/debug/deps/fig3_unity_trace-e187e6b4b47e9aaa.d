@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/fig3_unity_trace-e187e6b4b47e9aaa.d: crates/bench/src/bin/fig3_unity_trace.rs
+
+/root/repo/target/debug/deps/libfig3_unity_trace-e187e6b4b47e9aaa.rmeta: crates/bench/src/bin/fig3_unity_trace.rs
+
+crates/bench/src/bin/fig3_unity_trace.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/fig4_synthetic-5d7d8874cba5db2b.d: crates/bench/src/bin/fig4_synthetic.rs
+
+/root/repo/target/debug/deps/libfig4_synthetic-5d7d8874cba5db2b.rmeta: crates/bench/src/bin/fig4_synthetic.rs
+
+crates/bench/src/bin/fig4_synthetic.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/fig4_synthetic-6bb5b7cc93044134.d: crates/bench/src/bin/fig4_synthetic.rs
+
+/root/repo/target/debug/deps/libfig4_synthetic-6bb5b7cc93044134.rmeta: crates/bench/src/bin/fig4_synthetic.rs
+
+crates/bench/src/bin/fig4_synthetic.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/fig4_synthetic-7d91bbecc7478e56.d: crates/bench/src/bin/fig4_synthetic.rs
+
+/root/repo/target/debug/deps/fig4_synthetic-7d91bbecc7478e56: crates/bench/src/bin/fig4_synthetic.rs
+
+crates/bench/src/bin/fig4_synthetic.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/fig4_synthetic-a80c87da9f7aa78e.d: crates/bench/src/bin/fig4_synthetic.rs
+
+/root/repo/target/debug/deps/libfig4_synthetic-a80c87da9f7aa78e.rmeta: crates/bench/src/bin/fig4_synthetic.rs
+
+crates/bench/src/bin/fig4_synthetic.rs:

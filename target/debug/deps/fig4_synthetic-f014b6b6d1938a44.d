@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/fig4_synthetic-f014b6b6d1938a44.d: crates/bench/src/bin/fig4_synthetic.rs
+
+/root/repo/target/debug/deps/libfig4_synthetic-f014b6b6d1938a44.rmeta: crates/bench/src/bin/fig4_synthetic.rs
+
+crates/bench/src/bin/fig4_synthetic.rs:

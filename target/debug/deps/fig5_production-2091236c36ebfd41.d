@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/fig5_production-2091236c36ebfd41.d: crates/bench/src/bin/fig5_production.rs
+
+/root/repo/target/debug/deps/libfig5_production-2091236c36ebfd41.rmeta: crates/bench/src/bin/fig5_production.rs
+
+crates/bench/src/bin/fig5_production.rs:

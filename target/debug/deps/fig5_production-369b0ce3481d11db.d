@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/fig5_production-369b0ce3481d11db.d: crates/bench/src/bin/fig5_production.rs
+
+/root/repo/target/debug/deps/fig5_production-369b0ce3481d11db: crates/bench/src/bin/fig5_production.rs
+
+crates/bench/src/bin/fig5_production.rs:

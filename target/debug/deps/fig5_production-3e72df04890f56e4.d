@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/fig5_production-3e72df04890f56e4.d: crates/bench/src/bin/fig5_production.rs
+
+/root/repo/target/debug/deps/libfig5_production-3e72df04890f56e4.rmeta: crates/bench/src/bin/fig5_production.rs
+
+crates/bench/src/bin/fig5_production.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/fig5_production-910c2dfe7b7ba9cd.d: crates/bench/src/bin/fig5_production.rs
+
+/root/repo/target/debug/deps/libfig5_production-910c2dfe7b7ba9cd.rmeta: crates/bench/src/bin/fig5_production.rs
+
+crates/bench/src/bin/fig5_production.rs:

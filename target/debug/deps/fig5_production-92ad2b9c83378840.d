@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/fig5_production-92ad2b9c83378840.d: crates/bench/src/bin/fig5_production.rs
+
+/root/repo/target/debug/deps/libfig5_production-92ad2b9c83378840.rmeta: crates/bench/src/bin/fig5_production.rs
+
+crates/bench/src/bin/fig5_production.rs:

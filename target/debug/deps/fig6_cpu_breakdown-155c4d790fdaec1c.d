@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/fig6_cpu_breakdown-155c4d790fdaec1c.d: crates/bench/src/bin/fig6_cpu_breakdown.rs
+
+/root/repo/target/debug/deps/libfig6_cpu_breakdown-155c4d790fdaec1c.rmeta: crates/bench/src/bin/fig6_cpu_breakdown.rs
+
+crates/bench/src/bin/fig6_cpu_breakdown.rs:

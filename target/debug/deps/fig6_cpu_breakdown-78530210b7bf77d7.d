@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/fig6_cpu_breakdown-78530210b7bf77d7.d: crates/bench/src/bin/fig6_cpu_breakdown.rs
+
+/root/repo/target/debug/deps/libfig6_cpu_breakdown-78530210b7bf77d7.rmeta: crates/bench/src/bin/fig6_cpu_breakdown.rs
+
+crates/bench/src/bin/fig6_cpu_breakdown.rs:

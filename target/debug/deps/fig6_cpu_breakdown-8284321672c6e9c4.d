@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/fig6_cpu_breakdown-8284321672c6e9c4.d: crates/bench/src/bin/fig6_cpu_breakdown.rs
+
+/root/repo/target/debug/deps/fig6_cpu_breakdown-8284321672c6e9c4: crates/bench/src/bin/fig6_cpu_breakdown.rs
+
+crates/bench/src/bin/fig6_cpu_breakdown.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/fig6_cpu_breakdown-e792df13bfdf2799.d: crates/bench/src/bin/fig6_cpu_breakdown.rs
+
+/root/repo/target/debug/deps/libfig6_cpu_breakdown-e792df13bfdf2799.rmeta: crates/bench/src/bin/fig6_cpu_breakdown.rs
+
+crates/bench/src/bin/fig6_cpu_breakdown.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/fig7_rich_objects-023272e80a8b2a08.d: crates/bench/src/bin/fig7_rich_objects.rs
+
+/root/repo/target/debug/deps/libfig7_rich_objects-023272e80a8b2a08.rmeta: crates/bench/src/bin/fig7_rich_objects.rs
+
+crates/bench/src/bin/fig7_rich_objects.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/fig7_rich_objects-27e3f2688f387f49.d: crates/bench/src/bin/fig7_rich_objects.rs
+
+/root/repo/target/debug/deps/libfig7_rich_objects-27e3f2688f387f49.rmeta: crates/bench/src/bin/fig7_rich_objects.rs
+
+crates/bench/src/bin/fig7_rich_objects.rs:

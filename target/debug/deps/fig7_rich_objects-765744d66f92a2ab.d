@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/fig7_rich_objects-765744d66f92a2ab.d: crates/bench/src/bin/fig7_rich_objects.rs
+
+/root/repo/target/debug/deps/libfig7_rich_objects-765744d66f92a2ab.rmeta: crates/bench/src/bin/fig7_rich_objects.rs
+
+crates/bench/src/bin/fig7_rich_objects.rs:

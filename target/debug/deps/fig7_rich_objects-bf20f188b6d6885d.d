@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/fig7_rich_objects-bf20f188b6d6885d.d: crates/bench/src/bin/fig7_rich_objects.rs
+
+/root/repo/target/debug/deps/libfig7_rich_objects-bf20f188b6d6885d.rmeta: crates/bench/src/bin/fig7_rich_objects.rs
+
+crates/bench/src/bin/fig7_rich_objects.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/fig7_rich_objects-e98b95035ac7da55.d: crates/bench/src/bin/fig7_rich_objects.rs
+
+/root/repo/target/debug/deps/fig7_rich_objects-e98b95035ac7da55: crates/bench/src/bin/fig7_rich_objects.rs
+
+crates/bench/src/bin/fig7_rich_objects.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/fig8_delayed_writes-205dc546b41b9a97.d: crates/bench/src/bin/fig8_delayed_writes.rs
+
+/root/repo/target/debug/deps/libfig8_delayed_writes-205dc546b41b9a97.rmeta: crates/bench/src/bin/fig8_delayed_writes.rs
+
+crates/bench/src/bin/fig8_delayed_writes.rs:

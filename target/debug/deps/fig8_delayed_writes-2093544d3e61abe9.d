@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/fig8_delayed_writes-2093544d3e61abe9.d: crates/bench/src/bin/fig8_delayed_writes.rs
+
+/root/repo/target/debug/deps/libfig8_delayed_writes-2093544d3e61abe9.rmeta: crates/bench/src/bin/fig8_delayed_writes.rs
+
+crates/bench/src/bin/fig8_delayed_writes.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/fig8_delayed_writes-8dbc709e776f6c0c.d: crates/bench/src/bin/fig8_delayed_writes.rs
+
+/root/repo/target/debug/deps/libfig8_delayed_writes-8dbc709e776f6c0c.rmeta: crates/bench/src/bin/fig8_delayed_writes.rs
+
+crates/bench/src/bin/fig8_delayed_writes.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/fig8_delayed_writes-b9fdcd538d8c2034.d: crates/bench/src/bin/fig8_delayed_writes.rs
+
+/root/repo/target/debug/deps/fig8_delayed_writes-b9fdcd538d8c2034: crates/bench/src/bin/fig8_delayed_writes.rs
+
+crates/bench/src/bin/fig8_delayed_writes.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/live-3554fff7f1b1c205.d: crates/netrpc/tests/live.rs
+
+/root/repo/target/debug/deps/liblive-3554fff7f1b1c205.rmeta: crates/netrpc/tests/live.rs
+
+crates/netrpc/tests/live.rs:

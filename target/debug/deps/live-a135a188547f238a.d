@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/live-a135a188547f238a.d: crates/netrpc/tests/live.rs
+
+/root/repo/target/debug/deps/liblive-a135a188547f238a.rmeta: crates/netrpc/tests/live.rs
+
+crates/netrpc/tests/live.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/live-e169129cd0150609.d: crates/netrpc/tests/live.rs
+
+/root/repo/target/debug/deps/live-e169129cd0150609: crates/netrpc/tests/live.rs
+
+crates/netrpc/tests/live.rs:

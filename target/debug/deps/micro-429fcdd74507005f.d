@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/micro-429fcdd74507005f.d: crates/bench/benches/micro.rs
+
+/root/repo/target/debug/deps/libmicro-429fcdd74507005f.rmeta: crates/bench/benches/micro.rs
+
+crates/bench/benches/micro.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/micro-f2059b48bfc4600f.d: crates/bench/benches/micro.rs
+
+/root/repo/target/debug/deps/libmicro-f2059b48bfc4600f.rmeta: crates/bench/benches/micro.rs
+
+crates/bench/benches/micro.rs:

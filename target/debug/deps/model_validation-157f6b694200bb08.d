@@ -1,0 +1,6 @@
+/root/repo/target/debug/deps/model_validation-157f6b694200bb08.d: tests/model_validation.rs tests/../calibration/model_validation.json
+
+/root/repo/target/debug/deps/libmodel_validation-157f6b694200bb08.rmeta: tests/model_validation.rs tests/../calibration/model_validation.json
+
+tests/model_validation.rs:
+tests/../calibration/model_validation.json:

@@ -1,0 +1,6 @@
+/root/repo/target/debug/deps/model_validation-4705d681f44c72cf.d: tests/model_validation.rs tests/../calibration/model_validation.json
+
+/root/repo/target/debug/deps/model_validation-4705d681f44c72cf: tests/model_validation.rs tests/../calibration/model_validation.json
+
+tests/model_validation.rs:
+tests/../calibration/model_validation.json:

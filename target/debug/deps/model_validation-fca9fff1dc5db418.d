@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/model_validation-fca9fff1dc5db418.d: tests/model_validation.rs
+
+/root/repo/target/debug/deps/libmodel_validation-fca9fff1dc5db418.rmeta: tests/model_validation.rs
+
+tests/model_validation.rs:

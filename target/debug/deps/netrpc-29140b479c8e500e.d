@@ -1,0 +1,10 @@
+/root/repo/target/debug/deps/netrpc-29140b479c8e500e.d: crates/netrpc/src/lib.rs crates/netrpc/src/client.rs crates/netrpc/src/codec.rs crates/netrpc/src/obs.rs crates/netrpc/src/resilient.rs crates/netrpc/src/server.rs
+
+/root/repo/target/debug/deps/netrpc-29140b479c8e500e: crates/netrpc/src/lib.rs crates/netrpc/src/client.rs crates/netrpc/src/codec.rs crates/netrpc/src/obs.rs crates/netrpc/src/resilient.rs crates/netrpc/src/server.rs
+
+crates/netrpc/src/lib.rs:
+crates/netrpc/src/client.rs:
+crates/netrpc/src/codec.rs:
+crates/netrpc/src/obs.rs:
+crates/netrpc/src/resilient.rs:
+crates/netrpc/src/server.rs:

@@ -1,0 +1,10 @@
+/root/repo/target/debug/deps/netrpc-294ac5da1255bbb3.d: crates/netrpc/src/lib.rs crates/netrpc/src/client.rs crates/netrpc/src/codec.rs crates/netrpc/src/obs.rs crates/netrpc/src/resilient.rs crates/netrpc/src/server.rs
+
+/root/repo/target/debug/deps/libnetrpc-294ac5da1255bbb3.rmeta: crates/netrpc/src/lib.rs crates/netrpc/src/client.rs crates/netrpc/src/codec.rs crates/netrpc/src/obs.rs crates/netrpc/src/resilient.rs crates/netrpc/src/server.rs
+
+crates/netrpc/src/lib.rs:
+crates/netrpc/src/client.rs:
+crates/netrpc/src/codec.rs:
+crates/netrpc/src/obs.rs:
+crates/netrpc/src/resilient.rs:
+crates/netrpc/src/server.rs:

@@ -1,0 +1,12 @@
+/root/repo/target/debug/deps/netrpc-7dc72fbc1e54ede6.d: crates/netrpc/src/lib.rs crates/netrpc/src/client.rs crates/netrpc/src/codec.rs crates/netrpc/src/obs.rs crates/netrpc/src/resilient.rs crates/netrpc/src/server.rs
+
+/root/repo/target/debug/deps/libnetrpc-7dc72fbc1e54ede6.rlib: crates/netrpc/src/lib.rs crates/netrpc/src/client.rs crates/netrpc/src/codec.rs crates/netrpc/src/obs.rs crates/netrpc/src/resilient.rs crates/netrpc/src/server.rs
+
+/root/repo/target/debug/deps/libnetrpc-7dc72fbc1e54ede6.rmeta: crates/netrpc/src/lib.rs crates/netrpc/src/client.rs crates/netrpc/src/codec.rs crates/netrpc/src/obs.rs crates/netrpc/src/resilient.rs crates/netrpc/src/server.rs
+
+crates/netrpc/src/lib.rs:
+crates/netrpc/src/client.rs:
+crates/netrpc/src/codec.rs:
+crates/netrpc/src/obs.rs:
+crates/netrpc/src/resilient.rs:
+crates/netrpc/src/server.rs:

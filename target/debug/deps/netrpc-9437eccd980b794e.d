@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/netrpc-9437eccd980b794e.d: crates/netrpc/src/lib.rs crates/netrpc/src/client.rs crates/netrpc/src/codec.rs crates/netrpc/src/resilient.rs crates/netrpc/src/server.rs
+
+/root/repo/target/debug/deps/libnetrpc-9437eccd980b794e.rmeta: crates/netrpc/src/lib.rs crates/netrpc/src/client.rs crates/netrpc/src/codec.rs crates/netrpc/src/resilient.rs crates/netrpc/src/server.rs
+
+crates/netrpc/src/lib.rs:
+crates/netrpc/src/client.rs:
+crates/netrpc/src/codec.rs:
+crates/netrpc/src/resilient.rs:
+crates/netrpc/src/server.rs:

@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/netrpc-e31ff0219dc37624.d: crates/netrpc/src/lib.rs crates/netrpc/src/client.rs crates/netrpc/src/codec.rs crates/netrpc/src/resilient.rs crates/netrpc/src/server.rs
+
+/root/repo/target/debug/deps/libnetrpc-e31ff0219dc37624.rmeta: crates/netrpc/src/lib.rs crates/netrpc/src/client.rs crates/netrpc/src/codec.rs crates/netrpc/src/resilient.rs crates/netrpc/src/server.rs
+
+crates/netrpc/src/lib.rs:
+crates/netrpc/src/client.rs:
+crates/netrpc/src/codec.rs:
+crates/netrpc/src/resilient.rs:
+crates/netrpc/src/server.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/parking_lot-7e443b0b550b2eb9.d: /tmp/stubs/parking_lot/src/lib.rs
+
+/root/repo/target/debug/deps/libparking_lot-7e443b0b550b2eb9.rmeta: /tmp/stubs/parking_lot/src/lib.rs
+
+/tmp/stubs/parking_lot/src/lib.rs:

@@ -1,0 +1,7 @@
+/root/repo/target/debug/deps/parking_lot-d447630d9047ec38.d: /tmp/stubs/parking_lot/src/lib.rs
+
+/root/repo/target/debug/deps/libparking_lot-d447630d9047ec38.rlib: /tmp/stubs/parking_lot/src/lib.rs
+
+/root/repo/target/debug/deps/libparking_lot-d447630d9047ec38.rmeta: /tmp/stubs/parking_lot/src/lib.rs
+
+/tmp/stubs/parking_lot/src/lib.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/properties-5236b430d1f1f266.d: crates/storekit/tests/properties.rs
+
+/root/repo/target/debug/deps/libproperties-5236b430d1f1f266.rmeta: crates/storekit/tests/properties.rs
+
+crates/storekit/tests/properties.rs:

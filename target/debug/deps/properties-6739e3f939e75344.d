@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/properties-6739e3f939e75344.d: crates/cachekit/tests/properties.rs
+
+/root/repo/target/debug/deps/libproperties-6739e3f939e75344.rmeta: crates/cachekit/tests/properties.rs
+
+crates/cachekit/tests/properties.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/properties-a80f6bd316e48ea8.d: crates/storekit/tests/properties.rs
+
+/root/repo/target/debug/deps/libproperties-a80f6bd316e48ea8.rmeta: crates/storekit/tests/properties.rs
+
+crates/storekit/tests/properties.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/properties-a9f829314173ae37.d: crates/cachekit/tests/properties.rs
+
+/root/repo/target/debug/deps/properties-a9f829314173ae37: crates/cachekit/tests/properties.rs
+
+crates/cachekit/tests/properties.rs:

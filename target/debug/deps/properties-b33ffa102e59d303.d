@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/properties-b33ffa102e59d303.d: crates/storekit/tests/properties.rs
+
+/root/repo/target/debug/deps/properties-b33ffa102e59d303: crates/storekit/tests/properties.rs
+
+crates/storekit/tests/properties.rs:

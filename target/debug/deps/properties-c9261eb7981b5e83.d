@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/properties-c9261eb7981b5e83.d: crates/cachekit/tests/properties.rs
+
+/root/repo/target/debug/deps/libproperties-c9261eb7981b5e83.rmeta: crates/cachekit/tests/properties.rs
+
+crates/cachekit/tests/properties.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/proptest-7a2c17d827829e19.d: /tmp/stubs/proptest/src/lib.rs
+
+/root/repo/target/debug/deps/libproptest-7a2c17d827829e19.rmeta: /tmp/stubs/proptest/src/lib.rs
+
+/tmp/stubs/proptest/src/lib.rs:

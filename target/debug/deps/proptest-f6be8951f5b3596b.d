@@ -1,0 +1,7 @@
+/root/repo/target/debug/deps/proptest-f6be8951f5b3596b.d: /tmp/stubs/proptest/src/lib.rs
+
+/root/repo/target/debug/deps/libproptest-f6be8951f5b3596b.rlib: /tmp/stubs/proptest/src/lib.rs
+
+/root/repo/target/debug/deps/libproptest-f6be8951f5b3596b.rmeta: /tmp/stubs/proptest/src/lib.rs
+
+/tmp/stubs/proptest/src/lib.rs:

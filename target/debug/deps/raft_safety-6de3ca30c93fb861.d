@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/raft_safety-6de3ca30c93fb861.d: crates/storekit/tests/raft_safety.rs
+
+/root/repo/target/debug/deps/libraft_safety-6de3ca30c93fb861.rmeta: crates/storekit/tests/raft_safety.rs
+
+crates/storekit/tests/raft_safety.rs:

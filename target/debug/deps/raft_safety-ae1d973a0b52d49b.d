@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/raft_safety-ae1d973a0b52d49b.d: crates/storekit/tests/raft_safety.rs
+
+/root/repo/target/debug/deps/libraft_safety-ae1d973a0b52d49b.rmeta: crates/storekit/tests/raft_safety.rs
+
+crates/storekit/tests/raft_safety.rs:

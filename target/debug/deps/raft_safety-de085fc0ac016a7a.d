@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/raft_safety-de085fc0ac016a7a.d: crates/storekit/tests/raft_safety.rs
+
+/root/repo/target/debug/deps/raft_safety-de085fc0ac016a7a: crates/storekit/tests/raft_safety.rs
+
+crates/storekit/tests/raft_safety.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/rand-4f8659ede78343d7.d: /tmp/stubs/rand/src/lib.rs
+
+/root/repo/target/debug/deps/librand-4f8659ede78343d7.rmeta: /tmp/stubs/rand/src/lib.rs
+
+/tmp/stubs/rand/src/lib.rs:

@@ -1,0 +1,7 @@
+/root/repo/target/debug/deps/rand-97aecaca75c2063a.d: /tmp/stubs/rand/src/lib.rs
+
+/root/repo/target/debug/deps/librand-97aecaca75c2063a.rlib: /tmp/stubs/rand/src/lib.rs
+
+/root/repo/target/debug/deps/librand-97aecaca75c2063a.rmeta: /tmp/stubs/rand/src/lib.rs
+
+/tmp/stubs/rand/src/lib.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/repro_all-16eba67de775b2ad.d: crates/bench/src/bin/repro_all.rs
+
+/root/repo/target/debug/deps/librepro_all-16eba67de775b2ad.rmeta: crates/bench/src/bin/repro_all.rs
+
+crates/bench/src/bin/repro_all.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/repro_all-2672cf72dfaf05a6.d: crates/bench/src/bin/repro_all.rs
+
+/root/repo/target/debug/deps/librepro_all-2672cf72dfaf05a6.rmeta: crates/bench/src/bin/repro_all.rs
+
+crates/bench/src/bin/repro_all.rs:

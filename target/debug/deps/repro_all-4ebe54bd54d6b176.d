@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/repro_all-4ebe54bd54d6b176.d: crates/bench/src/bin/repro_all.rs
+
+/root/repo/target/debug/deps/librepro_all-4ebe54bd54d6b176.rmeta: crates/bench/src/bin/repro_all.rs
+
+crates/bench/src/bin/repro_all.rs:

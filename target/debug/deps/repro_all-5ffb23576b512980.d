@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/repro_all-5ffb23576b512980.d: crates/bench/src/bin/repro_all.rs
+
+/root/repo/target/debug/deps/repro_all-5ffb23576b512980: crates/bench/src/bin/repro_all.rs
+
+crates/bench/src/bin/repro_all.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/repro_all-f4ff9671eade1c48.d: crates/bench/src/bin/repro_all.rs
+
+/root/repo/target/debug/deps/librepro_all-f4ff9671eade1c48.rmeta: crates/bench/src/bin/repro_all.rs
+
+crates/bench/src/bin/repro_all.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/resilience-35557e5211120bad.d: crates/netrpc/tests/resilience.rs
+
+/root/repo/target/debug/deps/libresilience-35557e5211120bad.rmeta: crates/netrpc/tests/resilience.rs
+
+crates/netrpc/tests/resilience.rs:

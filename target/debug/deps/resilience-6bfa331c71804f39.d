@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/resilience-6bfa331c71804f39.d: crates/netrpc/tests/resilience.rs
+
+/root/repo/target/debug/deps/resilience-6bfa331c71804f39: crates/netrpc/tests/resilience.rs
+
+crates/netrpc/tests/resilience.rs:

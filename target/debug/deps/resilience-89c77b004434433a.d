@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/resilience-89c77b004434433a.d: crates/netrpc/tests/resilience.rs
+
+/root/repo/target/debug/deps/libresilience-89c77b004434433a.rmeta: crates/netrpc/tests/resilience.rs
+
+crates/netrpc/tests/resilience.rs:

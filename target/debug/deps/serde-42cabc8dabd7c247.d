@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/serde-42cabc8dabd7c247.d: /tmp/stubs/serde/src/lib.rs
+
+/root/repo/target/debug/deps/libserde-42cabc8dabd7c247.rmeta: /tmp/stubs/serde/src/lib.rs
+
+/tmp/stubs/serde/src/lib.rs:

@@ -1,0 +1,7 @@
+/root/repo/target/debug/deps/serde-fc25546d1f72bb94.d: /tmp/stubs/serde/src/lib.rs
+
+/root/repo/target/debug/deps/libserde-fc25546d1f72bb94.rlib: /tmp/stubs/serde/src/lib.rs
+
+/root/repo/target/debug/deps/libserde-fc25546d1f72bb94.rmeta: /tmp/stubs/serde/src/lib.rs
+
+/tmp/stubs/serde/src/lib.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/serde_derive-170ff94779d62cd7.d: /tmp/stubs/serde_derive/src/lib.rs
+
+/root/repo/target/debug/deps/libserde_derive-170ff94779d62cd7.so: /tmp/stubs/serde_derive/src/lib.rs
+
+/tmp/stubs/serde_derive/src/lib.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/serde_json-f48d7edbe05da0cf.d: /tmp/stubs/serde_json/src/lib.rs
+
+/root/repo/target/debug/deps/libserde_json-f48d7edbe05da0cf.rmeta: /tmp/stubs/serde_json/src/lib.rs
+
+/tmp/stubs/serde_json/src/lib.rs:

@@ -1,0 +1,15 @@
+/root/repo/target/debug/deps/simnet-0fbf396fc8a4a18f.d: crates/simnet/src/lib.rs crates/simnet/src/cpu.rs crates/simnet/src/engine.rs crates/simnet/src/fault.rs crates/simnet/src/metrics.rs crates/simnet/src/net.rs crates/simnet/src/node.rs crates/simnet/src/queueing.rs crates/simnet/src/time.rs
+
+/root/repo/target/debug/deps/libsimnet-0fbf396fc8a4a18f.rlib: crates/simnet/src/lib.rs crates/simnet/src/cpu.rs crates/simnet/src/engine.rs crates/simnet/src/fault.rs crates/simnet/src/metrics.rs crates/simnet/src/net.rs crates/simnet/src/node.rs crates/simnet/src/queueing.rs crates/simnet/src/time.rs
+
+/root/repo/target/debug/deps/libsimnet-0fbf396fc8a4a18f.rmeta: crates/simnet/src/lib.rs crates/simnet/src/cpu.rs crates/simnet/src/engine.rs crates/simnet/src/fault.rs crates/simnet/src/metrics.rs crates/simnet/src/net.rs crates/simnet/src/node.rs crates/simnet/src/queueing.rs crates/simnet/src/time.rs
+
+crates/simnet/src/lib.rs:
+crates/simnet/src/cpu.rs:
+crates/simnet/src/engine.rs:
+crates/simnet/src/fault.rs:
+crates/simnet/src/metrics.rs:
+crates/simnet/src/net.rs:
+crates/simnet/src/node.rs:
+crates/simnet/src/queueing.rs:
+crates/simnet/src/time.rs:

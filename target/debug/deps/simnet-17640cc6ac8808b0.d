@@ -1,0 +1,13 @@
+/root/repo/target/debug/deps/simnet-17640cc6ac8808b0.d: crates/simnet/src/lib.rs crates/simnet/src/cpu.rs crates/simnet/src/engine.rs crates/simnet/src/fault.rs crates/simnet/src/metrics.rs crates/simnet/src/net.rs crates/simnet/src/node.rs crates/simnet/src/queueing.rs crates/simnet/src/time.rs
+
+/root/repo/target/debug/deps/libsimnet-17640cc6ac8808b0.rmeta: crates/simnet/src/lib.rs crates/simnet/src/cpu.rs crates/simnet/src/engine.rs crates/simnet/src/fault.rs crates/simnet/src/metrics.rs crates/simnet/src/net.rs crates/simnet/src/node.rs crates/simnet/src/queueing.rs crates/simnet/src/time.rs
+
+crates/simnet/src/lib.rs:
+crates/simnet/src/cpu.rs:
+crates/simnet/src/engine.rs:
+crates/simnet/src/fault.rs:
+crates/simnet/src/metrics.rs:
+crates/simnet/src/net.rs:
+crates/simnet/src/node.rs:
+crates/simnet/src/queueing.rs:
+crates/simnet/src/time.rs:

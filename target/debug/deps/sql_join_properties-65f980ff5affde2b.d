@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/sql_join_properties-65f980ff5affde2b.d: crates/storekit/tests/sql_join_properties.rs
+
+/root/repo/target/debug/deps/sql_join_properties-65f980ff5affde2b: crates/storekit/tests/sql_join_properties.rs
+
+crates/storekit/tests/sql_join_properties.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/sql_join_properties-6b1957c06cf5fc0e.d: crates/storekit/tests/sql_join_properties.rs
+
+/root/repo/target/debug/deps/libsql_join_properties-6b1957c06cf5fc0e.rmeta: crates/storekit/tests/sql_join_properties.rs
+
+crates/storekit/tests/sql_join_properties.rs:

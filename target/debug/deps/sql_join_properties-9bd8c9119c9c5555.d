@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/sql_join_properties-9bd8c9119c9c5555.d: crates/storekit/tests/sql_join_properties.rs
+
+/root/repo/target/debug/deps/libsql_join_properties-9bd8c9119c9c5555.rmeta: crates/storekit/tests/sql_join_properties.rs
+
+crates/storekit/tests/sql_join_properties.rs:

@@ -1,0 +1,20 @@
+/root/repo/target/debug/deps/storekit-8cc918652103ddbf.d: crates/storekit/src/lib.rs crates/storekit/src/block.rs crates/storekit/src/cluster.rs crates/storekit/src/cost.rs crates/storekit/src/error.rs crates/storekit/src/kv.rs crates/storekit/src/raft.rs crates/storekit/src/row.rs crates/storekit/src/schema.rs crates/storekit/src/sql/mod.rs crates/storekit/src/sql/ast.rs crates/storekit/src/sql/exec.rs crates/storekit/src/sql/lexer.rs crates/storekit/src/sql/parser.rs crates/storekit/src/sql/plan.rs crates/storekit/src/value.rs
+
+/root/repo/target/debug/deps/libstorekit-8cc918652103ddbf.rmeta: crates/storekit/src/lib.rs crates/storekit/src/block.rs crates/storekit/src/cluster.rs crates/storekit/src/cost.rs crates/storekit/src/error.rs crates/storekit/src/kv.rs crates/storekit/src/raft.rs crates/storekit/src/row.rs crates/storekit/src/schema.rs crates/storekit/src/sql/mod.rs crates/storekit/src/sql/ast.rs crates/storekit/src/sql/exec.rs crates/storekit/src/sql/lexer.rs crates/storekit/src/sql/parser.rs crates/storekit/src/sql/plan.rs crates/storekit/src/value.rs
+
+crates/storekit/src/lib.rs:
+crates/storekit/src/block.rs:
+crates/storekit/src/cluster.rs:
+crates/storekit/src/cost.rs:
+crates/storekit/src/error.rs:
+crates/storekit/src/kv.rs:
+crates/storekit/src/raft.rs:
+crates/storekit/src/row.rs:
+crates/storekit/src/schema.rs:
+crates/storekit/src/sql/mod.rs:
+crates/storekit/src/sql/ast.rs:
+crates/storekit/src/sql/exec.rs:
+crates/storekit/src/sql/lexer.rs:
+crates/storekit/src/sql/parser.rs:
+crates/storekit/src/sql/plan.rs:
+crates/storekit/src/value.rs:

@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/telemetry-691a49ea5a1402fb.d: crates/telemetry/src/lib.rs crates/telemetry/src/profile.rs crates/telemetry/src/registry.rs crates/telemetry/src/trace.rs crates/telemetry/src/json.rs
+
+/root/repo/target/debug/deps/libtelemetry-691a49ea5a1402fb.rmeta: crates/telemetry/src/lib.rs crates/telemetry/src/profile.rs crates/telemetry/src/registry.rs crates/telemetry/src/trace.rs crates/telemetry/src/json.rs
+
+crates/telemetry/src/lib.rs:
+crates/telemetry/src/profile.rs:
+crates/telemetry/src/registry.rs:
+crates/telemetry/src/trace.rs:
+crates/telemetry/src/json.rs:

@@ -1,0 +1,11 @@
+/root/repo/target/debug/deps/telemetry-9c6720cd87e257ee.d: crates/telemetry/src/lib.rs crates/telemetry/src/profile.rs crates/telemetry/src/registry.rs crates/telemetry/src/trace.rs crates/telemetry/src/json.rs
+
+/root/repo/target/debug/deps/libtelemetry-9c6720cd87e257ee.rlib: crates/telemetry/src/lib.rs crates/telemetry/src/profile.rs crates/telemetry/src/registry.rs crates/telemetry/src/trace.rs crates/telemetry/src/json.rs
+
+/root/repo/target/debug/deps/libtelemetry-9c6720cd87e257ee.rmeta: crates/telemetry/src/lib.rs crates/telemetry/src/profile.rs crates/telemetry/src/registry.rs crates/telemetry/src/trace.rs crates/telemetry/src/json.rs
+
+crates/telemetry/src/lib.rs:
+crates/telemetry/src/profile.rs:
+crates/telemetry/src/registry.rs:
+crates/telemetry/src/trace.rs:
+crates/telemetry/src/json.rs:

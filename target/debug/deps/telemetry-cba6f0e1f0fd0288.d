@@ -1,0 +1,13 @@
+/root/repo/target/debug/deps/telemetry-cba6f0e1f0fd0288.d: crates/telemetry/src/lib.rs crates/telemetry/src/profile.rs crates/telemetry/src/registry.rs crates/telemetry/src/trace.rs crates/telemetry/src/json.rs Cargo.toml
+
+/root/repo/target/debug/deps/libtelemetry-cba6f0e1f0fd0288.rmeta: crates/telemetry/src/lib.rs crates/telemetry/src/profile.rs crates/telemetry/src/registry.rs crates/telemetry/src/trace.rs crates/telemetry/src/json.rs Cargo.toml
+
+crates/telemetry/src/lib.rs:
+crates/telemetry/src/profile.rs:
+crates/telemetry/src/registry.rs:
+crates/telemetry/src/trace.rs:
+crates/telemetry/src/json.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/telemetry-fe4e658f6b08cfbd.d: crates/telemetry/src/lib.rs crates/telemetry/src/profile.rs crates/telemetry/src/registry.rs crates/telemetry/src/trace.rs crates/telemetry/src/json.rs
+
+/root/repo/target/debug/deps/telemetry-fe4e658f6b08cfbd: crates/telemetry/src/lib.rs crates/telemetry/src/profile.rs crates/telemetry/src/registry.rs crates/telemetry/src/trace.rs crates/telemetry/src/json.rs
+
+crates/telemetry/src/lib.rs:
+crates/telemetry/src/profile.rs:
+crates/telemetry/src/registry.rs:
+crates/telemetry/src/trace.rs:
+crates/telemetry/src/json.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/telemetry_report-05ebdd5ebdf1e362.d: crates/bench/src/bin/telemetry_report.rs
+
+/root/repo/target/debug/deps/libtelemetry_report-05ebdd5ebdf1e362.rmeta: crates/bench/src/bin/telemetry_report.rs
+
+crates/bench/src/bin/telemetry_report.rs:

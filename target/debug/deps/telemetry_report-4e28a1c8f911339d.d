@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/telemetry_report-4e28a1c8f911339d.d: crates/bench/src/bin/telemetry_report.rs
+
+/root/repo/target/debug/deps/telemetry_report-4e28a1c8f911339d: crates/bench/src/bin/telemetry_report.rs
+
+crates/bench/src/bin/telemetry_report.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/telemetry_report-b30b10d68da9f6c8.d: crates/bench/src/bin/telemetry_report.rs
+
+/root/repo/target/debug/deps/telemetry_report-b30b10d68da9f6c8: crates/bench/src/bin/telemetry_report.rs
+
+crates/bench/src/bin/telemetry_report.rs:

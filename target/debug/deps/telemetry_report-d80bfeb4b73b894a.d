@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/telemetry_report-d80bfeb4b73b894a.d: crates/bench/src/bin/telemetry_report.rs
+
+/root/repo/target/debug/deps/libtelemetry_report-d80bfeb4b73b894a.rmeta: crates/bench/src/bin/telemetry_report.rs
+
+crates/bench/src/bin/telemetry_report.rs:

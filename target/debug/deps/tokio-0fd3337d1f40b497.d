@@ -1,0 +1,7 @@
+/root/repo/target/debug/deps/tokio-0fd3337d1f40b497.d: /tmp/stubs/tokio/src/lib.rs
+
+/root/repo/target/debug/deps/libtokio-0fd3337d1f40b497.rlib: /tmp/stubs/tokio/src/lib.rs
+
+/root/repo/target/debug/deps/libtokio-0fd3337d1f40b497.rmeta: /tmp/stubs/tokio/src/lib.rs
+
+/tmp/stubs/tokio/src/lib.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/tokio-2d45a2bbc09ff0cd.d: /tmp/stubs/tokio/src/lib.rs
+
+/root/repo/target/debug/deps/libtokio-2d45a2bbc09ff0cd.rmeta: /tmp/stubs/tokio/src/lib.rs
+
+/tmp/stubs/tokio/src/lib.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/tokio_macros-bb27782b563b5f26.d: /tmp/stubs/tokio_macros/src/lib.rs
+
+/root/repo/target/debug/deps/libtokio_macros-bb27782b563b5f26.so: /tmp/stubs/tokio_macros/src/lib.rs
+
+/tmp/stubs/tokio_macros/src/lib.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/trace_propagation-072055b2787e1f1b.d: crates/dcache/tests/trace_propagation.rs
+
+/root/repo/target/debug/deps/libtrace_propagation-072055b2787e1f1b.rmeta: crates/dcache/tests/trace_propagation.rs
+
+crates/dcache/tests/trace_propagation.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/trace_propagation-77b522a7e4c03a00.d: crates/dcache/tests/trace_propagation.rs
+
+/root/repo/target/debug/deps/trace_propagation-77b522a7e4c03a00: crates/dcache/tests/trace_propagation.rs
+
+crates/dcache/tests/trace_propagation.rs:

@@ -1,0 +1,13 @@
+/root/repo/target/debug/deps/workloads-45e989f9d3389e13.d: crates/workloads/src/lib.rs crates/workloads/src/kv.rs crates/workloads/src/meta.rs crates/workloads/src/sessions.rs crates/workloads/src/sizes.rs crates/workloads/src/trace.rs crates/workloads/src/twitter.rs crates/workloads/src/unity.rs crates/workloads/src/zipf.rs
+
+/root/repo/target/debug/deps/libworkloads-45e989f9d3389e13.rmeta: crates/workloads/src/lib.rs crates/workloads/src/kv.rs crates/workloads/src/meta.rs crates/workloads/src/sessions.rs crates/workloads/src/sizes.rs crates/workloads/src/trace.rs crates/workloads/src/twitter.rs crates/workloads/src/unity.rs crates/workloads/src/zipf.rs
+
+crates/workloads/src/lib.rs:
+crates/workloads/src/kv.rs:
+crates/workloads/src/meta.rs:
+crates/workloads/src/sessions.rs:
+crates/workloads/src/sizes.rs:
+crates/workloads/src/trace.rs:
+crates/workloads/src/twitter.rs:
+crates/workloads/src/unity.rs:
+crates/workloads/src/zipf.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/examples/consistent_cache-323ad94c5033ce6c.d: examples/consistent_cache.rs
+
+/root/repo/target/debug/examples/libconsistent_cache-323ad94c5033ce6c.rmeta: examples/consistent_cache.rs
+
+examples/consistent_cache.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/examples/consistent_cache-a92b3bc6416a4de9.d: examples/consistent_cache.rs
+
+/root/repo/target/debug/examples/libconsistent_cache-a92b3bc6416a4de9.rmeta: examples/consistent_cache.rs
+
+examples/consistent_cache.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/examples/consistent_cache-d1c9046e312775e1.d: examples/consistent_cache.rs
+
+/root/repo/target/debug/examples/consistent_cache-d1c9046e312775e1: examples/consistent_cache.rs
+
+examples/consistent_cache.rs:

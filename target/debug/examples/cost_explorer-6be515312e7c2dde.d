@@ -1,0 +1,5 @@
+/root/repo/target/debug/examples/cost_explorer-6be515312e7c2dde.d: examples/cost_explorer.rs
+
+/root/repo/target/debug/examples/cost_explorer-6be515312e7c2dde: examples/cost_explorer.rs
+
+examples/cost_explorer.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/examples/cost_explorer-a4d2610322afac24.d: examples/cost_explorer.rs
+
+/root/repo/target/debug/examples/libcost_explorer-a4d2610322afac24.rmeta: examples/cost_explorer.rs
+
+examples/cost_explorer.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/examples/cost_explorer-e9183657d3ad6188.d: examples/cost_explorer.rs
+
+/root/repo/target/debug/examples/libcost_explorer-e9183657d3ad6188.rmeta: examples/cost_explorer.rs
+
+examples/cost_explorer.rs:

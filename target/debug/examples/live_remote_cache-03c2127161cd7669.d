@@ -1,0 +1,5 @@
+/root/repo/target/debug/examples/live_remote_cache-03c2127161cd7669.d: examples/live_remote_cache.rs
+
+/root/repo/target/debug/examples/live_remote_cache-03c2127161cd7669: examples/live_remote_cache.rs
+
+examples/live_remote_cache.rs:

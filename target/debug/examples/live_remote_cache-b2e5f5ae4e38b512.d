@@ -1,0 +1,5 @@
+/root/repo/target/debug/examples/live_remote_cache-b2e5f5ae4e38b512.d: examples/live_remote_cache.rs
+
+/root/repo/target/debug/examples/liblive_remote_cache-b2e5f5ae4e38b512.rmeta: examples/live_remote_cache.rs
+
+examples/live_remote_cache.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/examples/live_remote_cache-d34f1c4bfeefdbea.d: examples/live_remote_cache.rs
+
+/root/repo/target/debug/examples/liblive_remote_cache-d34f1c4bfeefdbea.rmeta: examples/live_remote_cache.rs
+
+examples/live_remote_cache.rs:

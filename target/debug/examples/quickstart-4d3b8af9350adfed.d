@@ -1,0 +1,5 @@
+/root/repo/target/debug/examples/quickstart-4d3b8af9350adfed.d: examples/quickstart.rs
+
+/root/repo/target/debug/examples/quickstart-4d3b8af9350adfed: examples/quickstart.rs
+
+examples/quickstart.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/examples/quickstart-66978ac0a549b7a6.d: examples/quickstart.rs
+
+/root/repo/target/debug/examples/libquickstart-66978ac0a549b7a6.rmeta: examples/quickstart.rs
+
+examples/quickstart.rs:

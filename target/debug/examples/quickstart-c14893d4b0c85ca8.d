@@ -1,0 +1,5 @@
+/root/repo/target/debug/examples/quickstart-c14893d4b0c85ca8.d: examples/quickstart.rs
+
+/root/repo/target/debug/examples/libquickstart-c14893d4b0c85ca8.rmeta: examples/quickstart.rs
+
+examples/quickstart.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/examples/unity_catalog_study-6ca1f8853d896a35.d: examples/unity_catalog_study.rs
+
+/root/repo/target/debug/examples/libunity_catalog_study-6ca1f8853d896a35.rmeta: examples/unity_catalog_study.rs
+
+examples/unity_catalog_study.rs:

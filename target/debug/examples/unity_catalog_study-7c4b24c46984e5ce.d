@@ -1,0 +1,5 @@
+/root/repo/target/debug/examples/unity_catalog_study-7c4b24c46984e5ce.d: examples/unity_catalog_study.rs
+
+/root/repo/target/debug/examples/libunity_catalog_study-7c4b24c46984e5ce.rmeta: examples/unity_catalog_study.rs
+
+examples/unity_catalog_study.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/examples/unity_catalog_study-b05187bb4a690eca.d: examples/unity_catalog_study.rs
+
+/root/repo/target/debug/examples/unity_catalog_study-b05187bb4a690eca: examples/unity_catalog_study.rs
+
+examples/unity_catalog_study.rs:

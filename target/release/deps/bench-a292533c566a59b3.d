@@ -1,0 +1,7 @@
+/root/repo/target/release/deps/bench-a292533c566a59b3.d: crates/bench/src/lib.rs
+
+/root/repo/target/release/deps/libbench-a292533c566a59b3.rlib: crates/bench/src/lib.rs
+
+/root/repo/target/release/deps/libbench-a292533c566a59b3.rmeta: crates/bench/src/lib.rs
+
+crates/bench/src/lib.rs:

@@ -1,0 +1,7 @@
+/root/repo/target/release/deps/bytes-2366ea7e96aa210b.d: /tmp/stubs/bytes/src/lib.rs
+
+/root/repo/target/release/deps/libbytes-2366ea7e96aa210b.rlib: /tmp/stubs/bytes/src/lib.rs
+
+/root/repo/target/release/deps/libbytes-2366ea7e96aa210b.rmeta: /tmp/stubs/bytes/src/lib.rs
+
+/tmp/stubs/bytes/src/lib.rs:

@@ -1,0 +1,15 @@
+/root/repo/target/release/deps/cachekit-39147cb9180caef8.d: crates/cachekit/src/lib.rs crates/cachekit/src/admission.rs crates/cachekit/src/cache.rs crates/cachekit/src/list.rs crates/cachekit/src/mrc.rs crates/cachekit/src/policy.rs crates/cachekit/src/ring.rs crates/cachekit/src/sharded.rs crates/cachekit/src/stats.rs
+
+/root/repo/target/release/deps/libcachekit-39147cb9180caef8.rlib: crates/cachekit/src/lib.rs crates/cachekit/src/admission.rs crates/cachekit/src/cache.rs crates/cachekit/src/list.rs crates/cachekit/src/mrc.rs crates/cachekit/src/policy.rs crates/cachekit/src/ring.rs crates/cachekit/src/sharded.rs crates/cachekit/src/stats.rs
+
+/root/repo/target/release/deps/libcachekit-39147cb9180caef8.rmeta: crates/cachekit/src/lib.rs crates/cachekit/src/admission.rs crates/cachekit/src/cache.rs crates/cachekit/src/list.rs crates/cachekit/src/mrc.rs crates/cachekit/src/policy.rs crates/cachekit/src/ring.rs crates/cachekit/src/sharded.rs crates/cachekit/src/stats.rs
+
+crates/cachekit/src/lib.rs:
+crates/cachekit/src/admission.rs:
+crates/cachekit/src/cache.rs:
+crates/cachekit/src/list.rs:
+crates/cachekit/src/mrc.rs:
+crates/cachekit/src/policy.rs:
+crates/cachekit/src/ring.rs:
+crates/cachekit/src/sharded.rs:
+crates/cachekit/src/stats.rs:

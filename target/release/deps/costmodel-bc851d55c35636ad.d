@@ -1,0 +1,10 @@
+/root/repo/target/release/deps/costmodel-bc851d55c35636ad.d: crates/costmodel/src/lib.rs crates/costmodel/src/pricing.rs crates/costmodel/src/ssd.rs crates/costmodel/src/theory.rs
+
+/root/repo/target/release/deps/libcostmodel-bc851d55c35636ad.rlib: crates/costmodel/src/lib.rs crates/costmodel/src/pricing.rs crates/costmodel/src/ssd.rs crates/costmodel/src/theory.rs
+
+/root/repo/target/release/deps/libcostmodel-bc851d55c35636ad.rmeta: crates/costmodel/src/lib.rs crates/costmodel/src/pricing.rs crates/costmodel/src/ssd.rs crates/costmodel/src/theory.rs
+
+crates/costmodel/src/lib.rs:
+crates/costmodel/src/pricing.rs:
+crates/costmodel/src/ssd.rs:
+crates/costmodel/src/theory.rs:

@@ -1,0 +1,14 @@
+/root/repo/target/release/deps/dcache-3f88ca93a973a1ba.d: crates/dcache/src/lib.rs crates/dcache/src/config.rs crates/dcache/src/consistency.rs crates/dcache/src/deployment.rs crates/dcache/src/experiment.rs crates/dcache/src/lease.rs crates/dcache/src/sessionapp.rs crates/dcache/src/unityapp.rs
+
+/root/repo/target/release/deps/libdcache-3f88ca93a973a1ba.rlib: crates/dcache/src/lib.rs crates/dcache/src/config.rs crates/dcache/src/consistency.rs crates/dcache/src/deployment.rs crates/dcache/src/experiment.rs crates/dcache/src/lease.rs crates/dcache/src/sessionapp.rs crates/dcache/src/unityapp.rs
+
+/root/repo/target/release/deps/libdcache-3f88ca93a973a1ba.rmeta: crates/dcache/src/lib.rs crates/dcache/src/config.rs crates/dcache/src/consistency.rs crates/dcache/src/deployment.rs crates/dcache/src/experiment.rs crates/dcache/src/lease.rs crates/dcache/src/sessionapp.rs crates/dcache/src/unityapp.rs
+
+crates/dcache/src/lib.rs:
+crates/dcache/src/config.rs:
+crates/dcache/src/consistency.rs:
+crates/dcache/src/deployment.rs:
+crates/dcache/src/experiment.rs:
+crates/dcache/src/lease.rs:
+crates/dcache/src/sessionapp.rs:
+crates/dcache/src/unityapp.rs:

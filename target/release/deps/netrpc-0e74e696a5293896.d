@@ -1,0 +1,12 @@
+/root/repo/target/release/deps/netrpc-0e74e696a5293896.d: crates/netrpc/src/lib.rs crates/netrpc/src/client.rs crates/netrpc/src/codec.rs crates/netrpc/src/obs.rs crates/netrpc/src/resilient.rs crates/netrpc/src/server.rs
+
+/root/repo/target/release/deps/libnetrpc-0e74e696a5293896.rlib: crates/netrpc/src/lib.rs crates/netrpc/src/client.rs crates/netrpc/src/codec.rs crates/netrpc/src/obs.rs crates/netrpc/src/resilient.rs crates/netrpc/src/server.rs
+
+/root/repo/target/release/deps/libnetrpc-0e74e696a5293896.rmeta: crates/netrpc/src/lib.rs crates/netrpc/src/client.rs crates/netrpc/src/codec.rs crates/netrpc/src/obs.rs crates/netrpc/src/resilient.rs crates/netrpc/src/server.rs
+
+crates/netrpc/src/lib.rs:
+crates/netrpc/src/client.rs:
+crates/netrpc/src/codec.rs:
+crates/netrpc/src/obs.rs:
+crates/netrpc/src/resilient.rs:
+crates/netrpc/src/server.rs:

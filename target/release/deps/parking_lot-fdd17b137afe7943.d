@@ -1,0 +1,7 @@
+/root/repo/target/release/deps/parking_lot-fdd17b137afe7943.d: /tmp/stubs/parking_lot/src/lib.rs
+
+/root/repo/target/release/deps/libparking_lot-fdd17b137afe7943.rlib: /tmp/stubs/parking_lot/src/lib.rs
+
+/root/repo/target/release/deps/libparking_lot-fdd17b137afe7943.rmeta: /tmp/stubs/parking_lot/src/lib.rs
+
+/tmp/stubs/parking_lot/src/lib.rs:

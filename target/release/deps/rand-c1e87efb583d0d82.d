@@ -1,0 +1,7 @@
+/root/repo/target/release/deps/rand-c1e87efb583d0d82.d: /tmp/stubs/rand/src/lib.rs
+
+/root/repo/target/release/deps/librand-c1e87efb583d0d82.rlib: /tmp/stubs/rand/src/lib.rs
+
+/root/repo/target/release/deps/librand-c1e87efb583d0d82.rmeta: /tmp/stubs/rand/src/lib.rs
+
+/tmp/stubs/rand/src/lib.rs:

@@ -1,0 +1,7 @@
+/root/repo/target/release/deps/serde-51df37a33047cff9.d: /tmp/stubs/serde/src/lib.rs
+
+/root/repo/target/release/deps/libserde-51df37a33047cff9.rlib: /tmp/stubs/serde/src/lib.rs
+
+/root/repo/target/release/deps/libserde-51df37a33047cff9.rmeta: /tmp/stubs/serde/src/lib.rs
+
+/tmp/stubs/serde/src/lib.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/serde_derive-09e936ded9db3153.d: /tmp/stubs/serde_derive/src/lib.rs
+
+/root/repo/target/release/deps/libserde_derive-09e936ded9db3153.so: /tmp/stubs/serde_derive/src/lib.rs
+
+/tmp/stubs/serde_derive/src/lib.rs:

@@ -1,0 +1,7 @@
+/root/repo/target/release/deps/serde_json-9b18c9997d550b18.d: /tmp/stubs/serde_json/src/lib.rs
+
+/root/repo/target/release/deps/libserde_json-9b18c9997d550b18.rlib: /tmp/stubs/serde_json/src/lib.rs
+
+/root/repo/target/release/deps/libserde_json-9b18c9997d550b18.rmeta: /tmp/stubs/serde_json/src/lib.rs
+
+/tmp/stubs/serde_json/src/lib.rs:

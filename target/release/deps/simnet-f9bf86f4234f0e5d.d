@@ -1,0 +1,15 @@
+/root/repo/target/release/deps/simnet-f9bf86f4234f0e5d.d: crates/simnet/src/lib.rs crates/simnet/src/cpu.rs crates/simnet/src/engine.rs crates/simnet/src/fault.rs crates/simnet/src/metrics.rs crates/simnet/src/net.rs crates/simnet/src/node.rs crates/simnet/src/queueing.rs crates/simnet/src/time.rs
+
+/root/repo/target/release/deps/libsimnet-f9bf86f4234f0e5d.rlib: crates/simnet/src/lib.rs crates/simnet/src/cpu.rs crates/simnet/src/engine.rs crates/simnet/src/fault.rs crates/simnet/src/metrics.rs crates/simnet/src/net.rs crates/simnet/src/node.rs crates/simnet/src/queueing.rs crates/simnet/src/time.rs
+
+/root/repo/target/release/deps/libsimnet-f9bf86f4234f0e5d.rmeta: crates/simnet/src/lib.rs crates/simnet/src/cpu.rs crates/simnet/src/engine.rs crates/simnet/src/fault.rs crates/simnet/src/metrics.rs crates/simnet/src/net.rs crates/simnet/src/node.rs crates/simnet/src/queueing.rs crates/simnet/src/time.rs
+
+crates/simnet/src/lib.rs:
+crates/simnet/src/cpu.rs:
+crates/simnet/src/engine.rs:
+crates/simnet/src/fault.rs:
+crates/simnet/src/metrics.rs:
+crates/simnet/src/net.rs:
+crates/simnet/src/node.rs:
+crates/simnet/src/queueing.rs:
+crates/simnet/src/time.rs:

@@ -1,0 +1,11 @@
+/root/repo/target/release/deps/telemetry-8f56d191587f054e.d: crates/telemetry/src/lib.rs crates/telemetry/src/profile.rs crates/telemetry/src/registry.rs crates/telemetry/src/trace.rs crates/telemetry/src/json.rs
+
+/root/repo/target/release/deps/libtelemetry-8f56d191587f054e.rlib: crates/telemetry/src/lib.rs crates/telemetry/src/profile.rs crates/telemetry/src/registry.rs crates/telemetry/src/trace.rs crates/telemetry/src/json.rs
+
+/root/repo/target/release/deps/libtelemetry-8f56d191587f054e.rmeta: crates/telemetry/src/lib.rs crates/telemetry/src/profile.rs crates/telemetry/src/registry.rs crates/telemetry/src/trace.rs crates/telemetry/src/json.rs
+
+crates/telemetry/src/lib.rs:
+crates/telemetry/src/profile.rs:
+crates/telemetry/src/registry.rs:
+crates/telemetry/src/trace.rs:
+crates/telemetry/src/json.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/telemetry_report-08c920fd031d8c78.d: crates/bench/src/bin/telemetry_report.rs
+
+/root/repo/target/release/deps/telemetry_report-08c920fd031d8c78: crates/bench/src/bin/telemetry_report.rs
+
+crates/bench/src/bin/telemetry_report.rs:

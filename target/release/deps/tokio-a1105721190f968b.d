@@ -1,0 +1,7 @@
+/root/repo/target/release/deps/tokio-a1105721190f968b.d: /tmp/stubs/tokio/src/lib.rs
+
+/root/repo/target/release/deps/libtokio-a1105721190f968b.rlib: /tmp/stubs/tokio/src/lib.rs
+
+/root/repo/target/release/deps/libtokio-a1105721190f968b.rmeta: /tmp/stubs/tokio/src/lib.rs
+
+/tmp/stubs/tokio/src/lib.rs:

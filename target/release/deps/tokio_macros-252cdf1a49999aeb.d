@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/tokio_macros-252cdf1a49999aeb.d: /tmp/stubs/tokio_macros/src/lib.rs
+
+/root/repo/target/release/deps/libtokio_macros-252cdf1a49999aeb.so: /tmp/stubs/tokio_macros/src/lib.rs
+
+/tmp/stubs/tokio_macros/src/lib.rs:

@@ -1,0 +1,15 @@
+/root/repo/target/release/deps/workloads-194fe9605ddc9e8a.d: crates/workloads/src/lib.rs crates/workloads/src/kv.rs crates/workloads/src/meta.rs crates/workloads/src/sessions.rs crates/workloads/src/sizes.rs crates/workloads/src/trace.rs crates/workloads/src/twitter.rs crates/workloads/src/unity.rs crates/workloads/src/zipf.rs
+
+/root/repo/target/release/deps/libworkloads-194fe9605ddc9e8a.rlib: crates/workloads/src/lib.rs crates/workloads/src/kv.rs crates/workloads/src/meta.rs crates/workloads/src/sessions.rs crates/workloads/src/sizes.rs crates/workloads/src/trace.rs crates/workloads/src/twitter.rs crates/workloads/src/unity.rs crates/workloads/src/zipf.rs
+
+/root/repo/target/release/deps/libworkloads-194fe9605ddc9e8a.rmeta: crates/workloads/src/lib.rs crates/workloads/src/kv.rs crates/workloads/src/meta.rs crates/workloads/src/sessions.rs crates/workloads/src/sizes.rs crates/workloads/src/trace.rs crates/workloads/src/twitter.rs crates/workloads/src/unity.rs crates/workloads/src/zipf.rs
+
+crates/workloads/src/lib.rs:
+crates/workloads/src/kv.rs:
+crates/workloads/src/meta.rs:
+crates/workloads/src/sessions.rs:
+crates/workloads/src/sizes.rs:
+crates/workloads/src/trace.rs:
+crates/workloads/src/twitter.rs:
+crates/workloads/src/unity.rs:
+crates/workloads/src/zipf.rs:

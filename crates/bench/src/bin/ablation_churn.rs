@@ -10,12 +10,15 @@
 //! ratio toward the cold-miss floor and the saving toward 1×; slow churn
 //! costs only the transient refill after each rotation.
 
+use bench::sweep::SweepRunner;
 use bench::{print_table, ratio, request_budget, usd, write_json};
 use dcache::experiment::{run_kv_experiment, KvExperimentConfig};
 use dcache::ArchKind;
 use serde::Serialize;
 use workloads::KvWorkloadConfig;
 
+// Fields are read via `Serialize`; the offline serde stub derive is a no-op.
+#[allow(dead_code)]
 #[derive(Serialize)]
 struct Point {
     churn_period: Option<u64>,
@@ -41,31 +44,33 @@ fn main() {
         run_kv_experiment(&cfg).expect("run")
     };
 
-    let base = run(ArchKind::Base, None);
-    let base_cost = base.total_cost.total();
+    // Spec 0 is the Base reference; the rest are Linked under churn.
+    let mut specs: Vec<(String, ArchKind, Option<u64>)> =
+        vec![("base".into(), ArchKind::Base, None)];
+    specs.push(("static".into(), ArchKind::Linked, None));
+    for period in [200_000u64, 60_000, 20_000, 5_000] {
+        specs.push((format!("churn every {period}"), ArchKind::Linked, Some(period)));
+    }
+    let reports = SweepRunner::from_env()
+        .run_map(&specs, |_, (_, arch, churn)| run(*arch, *churn));
+    let base_cost = reports[0].total_cost.total();
 
     let mut rows = Vec::new();
     let mut points = Vec::new();
-    let mut record = |label: String, churn: Option<u64>| {
-        let r = run(ArchKind::Linked, churn);
+    for ((label, _, churn), r) in specs.iter().zip(&reports).skip(1) {
         let total = r.total_cost.total();
         rows.push(vec![
-            label,
+            label.clone(),
             format!("{:.3}", r.cache_hit_ratio),
             usd(total),
             ratio(base_cost / total),
         ]);
         points.push(Point {
-            churn_period: churn,
+            churn_period: *churn,
             cache_hit_ratio: r.cache_hit_ratio,
             total_cost: total,
             saving_vs_base: base_cost / total,
         });
-    };
-
-    record("static".into(), None);
-    for period in [200_000u64, 60_000, 20_000, 5_000] {
-        record(format!("churn every {period}"), Some(period));
     }
 
     print_table(

@@ -6,12 +6,15 @@
 //! path on every read; ownership leases amortize that to ~nothing while
 //! preserving linearizability (fencing handles the Figure 8 hazard).
 
+use bench::sweep::SweepRunner;
 use bench::{print_table, ratio, request_budget, usd, write_json};
 use dcache::experiment::{run_kv_experiment, KvExperimentConfig};
 use dcache::ArchKind;
 use serde::Serialize;
 use workloads::KvWorkloadConfig;
 
+// Fields are read via `Serialize`; the offline serde stub derive is a no-op.
+#[allow(dead_code)]
 #[derive(Serialize)]
 struct Point {
     arch: String,
@@ -27,24 +30,30 @@ fn main() {
     let (warmup, measured) = request_budget(100_000, 100_000);
     let mut points = Vec::new();
 
-    for value_bytes in [1u64 << 10, 100 << 10] {
-        let run = |arch: ArchKind| {
-            let workload = KvWorkloadConfig::paper_synthetic(0.95, value_bytes, 42);
-            let mut cfg = KvExperimentConfig::paper(arch, workload);
-            cfg.qps = 100_000.0;
-            cfg.warmup_requests = warmup;
-            cfg.requests = measured;
-            run_kv_experiment(&cfg).expect("run")
-        };
-        let base = run(ArchKind::Base);
-        let base_cost = base.total_cost.total();
+    const VARIANTS: [ArchKind; 4] = [
+        ArchKind::Base,
+        ArchKind::Linked,
+        ArchKind::LinkedVersion,
+        ArchKind::LeaseOwned,
+    ];
+    let specs: Vec<(u64, ArchKind)> = [1u64 << 10, 100 << 10]
+        .iter()
+        .flat_map(|&v| VARIANTS.iter().map(move |&a| (v, a)))
+        .collect();
+    let reports = SweepRunner::from_env().run_map(&specs, |_, &(value_bytes, arch)| {
+        let workload = KvWorkloadConfig::paper_synthetic(0.95, value_bytes, 42);
+        let mut cfg = KvExperimentConfig::paper(arch, workload);
+        cfg.qps = 100_000.0;
+        cfg.warmup_requests = warmup;
+        cfg.requests = measured;
+        run_kv_experiment(&cfg).expect("run")
+    });
+
+    for (chunk, reports) in specs.chunks(VARIANTS.len()).zip(reports.chunks(VARIANTS.len())) {
+        let value_bytes = chunk[0].0;
+        let base_cost = reports[0].total_cost.total();
         let mut rows = Vec::new();
-        for arch in [
-            ArchKind::Linked,
-            ArchKind::LinkedVersion,
-            ArchKind::LeaseOwned,
-        ] {
-            let r = run(arch);
+        for (&(_, arch), r) in chunk.iter().zip(reports).skip(1) {
             let total = r.total_cost.total();
             let checks = r.version_checks as f64 / (r.requests as f64 * 0.95);
             rows.push(vec![

@@ -7,6 +7,7 @@
 //! (answer: little — hit-ratio differences of a few points move cost by a
 //! few percent, nowhere near the architecture gaps).
 
+use bench::sweep::SweepRunner;
 use bench::{print_table, ratio, request_budget, usd, write_json};
 use cachekit::PolicyKind;
 use dcache::experiment::{run_kv_experiment, KvExperimentConfig};
@@ -14,6 +15,8 @@ use dcache::ArchKind;
 use serde::Serialize;
 use workloads::KvWorkloadConfig;
 
+// Fields are read via `Serialize`; the offline serde stub derive is a no-op.
+#[allow(dead_code)]
 #[derive(Serialize)]
 struct Point {
     policy: String,
@@ -42,18 +45,23 @@ fn main() {
         cfg
     };
 
-    let base = run_kv_experiment(&make_cfg(ArchKind::Base, PolicyKind::Lru, false)).expect("base");
-    let base_cost = base.total_cost.total();
+    // Spec 0 is the Base reference; the rest are Linked policy variants.
+    let mut specs: Vec<(String, ArchKind, PolicyKind, bool)> =
+        vec![("base".to_string(), ArchKind::Base, PolicyKind::Lru, false)];
+    specs.extend(
+        PolicyKind::ALL
+            .iter()
+            .map(|&p| (p.label().to_string(), ArchKind::Linked, p, false)),
+    );
+    specs.push(("lru+tinylfu".to_string(), ArchKind::Linked, PolicyKind::Lru, true));
+    let reports = SweepRunner::from_env().run_map(&specs, |_, (_, arch, policy, admission)| {
+        run_kv_experiment(&make_cfg(*arch, *policy, *admission)).expect("run")
+    });
+    let base_cost = reports[0].total_cost.total();
 
     let mut rows = Vec::new();
     let mut points = Vec::new();
-    let mut configs: Vec<(String, PolicyKind, bool)> = PolicyKind::ALL
-        .iter()
-        .map(|&p| (p.label().to_string(), p, false))
-        .collect();
-    configs.push(("lru+tinylfu".to_string(), PolicyKind::Lru, true));
-    for (label, policy, admission) in configs {
-        let r = run_kv_experiment(&make_cfg(ArchKind::Linked, policy, admission)).expect("linked");
+    for ((label, _, _, _), r) in specs.iter().zip(&reports).skip(1) {
         let total = r.total_cost.total();
         rows.push(vec![
             label.clone(),
@@ -62,7 +70,7 @@ fn main() {
             ratio(base_cost / total),
         ]);
         points.push(Point {
-            policy: label,
+            policy: label.clone(),
             cache_hit_ratio: r.cache_hit_ratio,
             total_cost: total,
             saving_vs_base: base_cost / total,

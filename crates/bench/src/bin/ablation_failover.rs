@@ -10,12 +10,15 @@
 //!   less: Linked's cached reads sail through the outage window, while
 //!   Base and Linked+Version pay the election penalty on every read.
 
+use bench::sweep::SweepRunner;
 use bench::{print_table, request_budget, usd, write_json};
 use dcache::experiment::{run_kv_experiment, KvExperimentConfig};
 use dcache::ArchKind;
 use serde::Serialize;
 use workloads::KvWorkloadConfig;
 
+// Fields are read via `Serialize`; the offline serde stub derive is a no-op.
+#[allow(dead_code)]
 #[derive(Serialize)]
 struct Point {
     arch: String,
@@ -41,11 +44,17 @@ fn main() {
         run_kv_experiment(&cfg).expect("run")
     };
 
+    let specs: Vec<(ArchKind, bool)> = [ArchKind::Base, ArchKind::Linked, ArchKind::LinkedVersion]
+        .iter()
+        .flat_map(|&a| [false, true].map(|crash| (a, crash)))
+        .collect();
+    let reports =
+        SweepRunner::from_env().run_map(&specs, |_, &(arch, crash)| run(arch, crash));
+
     let mut rows = Vec::new();
     let mut points = Vec::new();
-    for arch in [ArchKind::Base, ArchKind::Linked, ArchKind::LinkedVersion] {
-        for crash in [false, true] {
-            let r = run(arch, crash);
+    for (&(arch, crash), r) in specs.iter().zip(&reports) {
+        {
             rows.push(vec![
                 arch.label().to_string(),
                 if crash { "leader crash" } else { "healthy" }.to_string(),

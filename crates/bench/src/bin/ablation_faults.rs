@@ -16,6 +16,7 @@
 //! * Remote degrades more gracefully per-shard (1/N of the ring per crash)
 //!   but pays retries on the wire; Linked loses a whole app server's shard.
 
+use bench::sweep::SweepRunner;
 use bench::{print_table, request_budget, usd, write_json};
 use dcache::experiment::{run_kv_experiment, KvExperimentConfig};
 use dcache::ArchKind;
@@ -23,6 +24,8 @@ use serde::Serialize;
 use simnet::{FaultSchedule, NodeId, SimDuration, SimTime};
 use workloads::KvWorkloadConfig;
 
+// Fields are read via `Serialize`; the offline serde stub derive is a no-op.
+#[allow(dead_code)]
 #[derive(Serialize)]
 struct Point {
     arch: String,
@@ -64,7 +67,7 @@ fn main() {
             let mut k = 0usize;
             while at < t_end {
                 schedule.crash_for(at, NodeId((k % shards) as u32), recovery);
-                at = at + interval;
+                at += interval;
                 k += 1;
             }
             cfg.cache_fault_schedule = Some(schedule);
@@ -82,15 +85,22 @@ fn main() {
         (Some(50), 50),   // frequent crashes, slow recovery
     ];
 
+    let specs: Vec<(ArchKind, Option<u64>, u64)> = [ArchKind::Remote, ArchKind::Linked]
+        .iter()
+        .flat_map(|&a| sweep.iter().map(move |&(i, rec)| (a, i, rec)))
+        .collect();
+    let reports = SweepRunner::from_env().run_map(&specs, |_, &(arch, interval_ms, recovery_ms)| {
+        run(
+            arch,
+            interval_ms.map(SimDuration::from_millis),
+            SimDuration::from_millis(recovery_ms),
+        )
+    });
+
     let mut rows = Vec::new();
     let mut points = Vec::new();
-    for arch in [ArchKind::Remote, ArchKind::Linked] {
-        for &(interval_ms, recovery_ms) in sweep {
-            let r = run(
-                arch,
-                interval_ms.map(SimDuration::from_millis),
-                SimDuration::from_millis(recovery_ms),
-            );
+    for (&(arch, interval_ms, recovery_ms), r) in specs.iter().zip(&reports) {
+        {
             let condition = match interval_ms {
                 None => "healthy".to_string(),
                 Some(i) => format!("every {i}ms, {recovery_ms}ms down"),

@@ -6,12 +6,15 @@
 //! Base saving growing with them at large values — the mechanism behind
 //! Figure 4b's trend.
 
+use bench::sweep::SweepRunner;
 use bench::{print_table, ratio, request_budget, write_json};
 use dcache::experiment::{run_kv_experiment, KvExperimentConfig};
 use dcache::ArchKind;
 use serde::Serialize;
 use workloads::KvWorkloadConfig;
 
+// Fields are read via `Serialize`; the offline serde stub derive is a no-op.
+#[allow(dead_code)]
 #[derive(Serialize)]
 struct Point {
     per_byte_multiplier: f64,
@@ -38,24 +41,32 @@ fn main() {
         run_kv_experiment(&cfg).expect("run").total_cost.total()
     };
 
-    let mut rows = Vec::new();
-    let mut points = Vec::new();
+    let mut specs: Vec<(u64, f64, ArchKind)> = Vec::new();
     for value_bytes in [1u64 << 10, 1 << 20] {
         for mult in [0.25, 1.0, 4.0] {
-            let base = run(ArchKind::Base, mult, value_bytes);
-            let linked = run(ArchKind::Linked, mult, value_bytes);
-            let saving = base / linked;
-            rows.push(vec![
-                format!("{}KB", value_bytes >> 10),
-                format!("{mult}x"),
-                ratio(saving),
-            ]);
-            points.push(Point {
-                per_byte_multiplier: mult,
-                value_bytes,
-                linked_saving: saving,
-            });
+            for arch in [ArchKind::Base, ArchKind::Linked] {
+                specs.push((value_bytes, mult, arch));
+            }
         }
+    }
+    let costs = SweepRunner::from_env()
+        .run_map(&specs, |_, &(value_bytes, mult, arch)| run(arch, mult, value_bytes));
+
+    let mut rows = Vec::new();
+    let mut points = Vec::new();
+    for (chunk, costs) in specs.chunks(2).zip(costs.chunks(2)) {
+        let (value_bytes, mult, _) = chunk[0];
+        let saving = costs[0] / costs[1]; // base / linked
+        rows.push(vec![
+            format!("{}KB", value_bytes >> 10),
+            format!("{mult}x"),
+            ratio(saving),
+        ]);
+        points.push(Point {
+            per_byte_multiplier: mult,
+            value_bytes,
+            linked_saving: saving,
+        });
     }
     print_table(
         "Linked saving vs Base under scaled per-byte costs",

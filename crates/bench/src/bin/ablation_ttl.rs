@@ -12,6 +12,7 @@
 //! with the paper's consistent architectures (Linked+Version, LeaseOwned)
 //! plotted alongside for reference.
 
+use bench::sweep::SweepRunner;
 use bench::{print_table, ratio, request_budget, usd, write_json};
 use dcache::experiment::{run_kv_experiment, KvExperimentConfig};
 use dcache::ArchKind;
@@ -19,6 +20,8 @@ use serde::Serialize;
 use simnet::SimDuration;
 use workloads::KvWorkloadConfig;
 
+// Fields are read via `Serialize`; the offline serde stub derive is a no-op.
+#[allow(dead_code)]
 #[derive(Serialize)]
 struct Point {
     label: String,
@@ -49,11 +52,20 @@ fn main() {
         run_kv_experiment(&cfg).expect("run")
     };
 
-    let base = run(ArchKind::Base, 0);
-    let base_cost = base.total_cost.total();
+    // Spec 0 is the Base reference; the rest are the frontier points.
+    let mut specs: Vec<(String, ArchKind, u64)> = vec![("base".into(), ArchKind::Base, 0)];
+    for ttl_ms in [10u64, 50, 200, 1_000, 5_000, 30_000] {
+        specs.push((format!("ttl={ttl_ms}ms"), ArchKind::LinkedTtl, ttl_ms));
+    }
+    specs.push(("linked+version".into(), ArchKind::LinkedVersion, 0));
+    specs.push(("lease-owned".into(), ArchKind::LeaseOwned, 0));
+    let reports = SweepRunner::from_env()
+        .run_map(&specs, |_, (_, arch, ttl_ms)| run(*arch, *ttl_ms));
+    let base_cost = reports[0].total_cost.total();
+
     let mut rows = Vec::new();
     let mut points = Vec::new();
-    let mut push = |label: String, r: &dcache::ExperimentReport| {
+    for ((label, _, _), r) in specs.iter().zip(&reports).skip(1) {
         let stale = r.stale_reads as f64 / (r.requests as f64 * 0.95);
         let total = r.total_cost.total();
         rows.push(vec![
@@ -64,22 +76,13 @@ fn main() {
             format!("{:.3}", r.cache_hit_ratio),
         ]);
         points.push(Point {
-            label,
+            label: label.clone(),
             total_cost: total,
             stale_fraction: stale,
             cache_hit_ratio: r.cache_hit_ratio,
             saving_vs_base: base_cost / total,
         });
-    };
-
-    for ttl_ms in [10u64, 50, 200, 1_000, 5_000, 30_000] {
-        let r = run(ArchKind::LinkedTtl, ttl_ms);
-        push(format!("ttl={ttl_ms}ms"), &r);
     }
-    let checked = run(ArchKind::LinkedVersion, 0);
-    push("linked+version".into(), &checked);
-    let leased = run(ArchKind::LeaseOwned, 0);
-    push("lease-owned".into(), &leased);
 
     print_table(
         &format!("TTL frontier (Base: {})", usd(base_cost)),

@@ -10,11 +10,14 @@
 //! expensive), "check every read" (Linked+Version, just as expensive), or
 //! "accept incorrectness" (TTL replicas). Ownership leases get both.
 
+use bench::sweep::SweepRunner;
 use bench::{print_table, ratio, request_budget, usd, write_json};
 use dcache::sessionapp::{run_session_experiment, SessionExperimentConfig};
 use dcache::ArchKind;
 use serde::Serialize;
 
+// Fields are read via `Serialize`; the offline serde stub derive is a no-op.
+#[allow(dead_code)]
 #[derive(Serialize)]
 struct Point {
     arch: String,
@@ -30,14 +33,18 @@ fn main() {
     println!("88% Get / 10% Advance / 2% lifecycle churn, ~4KB states\n");
     let (warmup, measured) = request_budget(80_000, 80_000);
 
-    let mut rows = Vec::new();
-    let mut points = Vec::new();
-    let mut base_cost = None;
-    for arch in ArchKind::ALL {
+    let archs: Vec<ArchKind> = ArchKind::ALL.to_vec();
+    let reports = SweepRunner::from_env().run_map(&archs, |_, &arch| {
         let mut cfg = SessionExperimentConfig::paper(arch);
         cfg.warmup_requests = warmup;
         cfg.requests = measured;
-        let r = run_session_experiment(&cfg).expect("session run");
+        run_session_experiment(&cfg).expect("session run")
+    });
+
+    let mut rows = Vec::new();
+    let mut points = Vec::new();
+    let mut base_cost = None;
+    for (&arch, r) in archs.iter().zip(&reports) {
         let total = r.total_cost.total();
         let saving = match base_cost {
             None => {

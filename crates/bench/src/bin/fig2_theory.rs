@@ -12,6 +12,8 @@ use bench::{print_table, ratio, usd, write_json};
 use costmodel::{HybridModel, Pricing, SsdTier, TheoryModel, TheoryParams};
 use serde::Serialize;
 
+// Fields are read via `Serialize`; the offline serde stub derive is a no-op.
+#[allow(dead_code)]
 #[derive(Serialize)]
 struct Fig2Results {
     alpha_sweep: Vec<(f64, f64)>,

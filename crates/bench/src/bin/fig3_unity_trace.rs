@@ -8,6 +8,8 @@ use bench::{print_table, write_json};
 use serde::Serialize;
 use workloads::unity::{UnityDataset, UnityOp, UnityScale, UnityWorkload};
 
+// Fields are read via `Serialize`; the offline serde stub derive is a no-op.
+#[allow(dead_code)]
 #[derive(Serialize)]
 struct Fig3Results {
     size_percentiles: Vec<(String, u64)>,

@@ -7,6 +7,7 @@
 //! Both show Remote and Linked saving substantially over Base, with Linked
 //! ahead of Remote (gRPC + (de)serialization CPU), cf. §5.3.
 
+use bench::sweep::SweepRunner;
 use bench::{print_table, ratio, request_budget, usd, write_json};
 use dcache::experiment::{run_kv_experiment, KvExperimentConfig};
 use dcache::unityapp::{run_unity_kv_experiment, UnityExperimentConfig};
@@ -15,6 +16,8 @@ use serde::Serialize;
 use workloads::meta::meta_workload;
 use workloads::unity::UnityScale;
 
+// Fields are read via `Serialize`; the offline serde stub derive is a no-op.
+#[allow(dead_code)]
 #[derive(Serialize)]
 struct Point {
     workload: &'static str,
@@ -76,28 +79,35 @@ fn main() {
     let (warmup, measured) = request_budget(120_000, 120_000);
     let mut points = Vec::new();
 
+    let runner = SweepRunner::from_env();
+    let archs: Vec<ArchKind> = ArchKind::PAPER.to_vec();
+
     // (a) Unity Catalog-KV at 40K QPS.
-    let mut rows = Vec::new();
-    let mut base = None;
-    for arch in ArchKind::PAPER {
+    let unity_reports = runner.run_map(&archs, |_, &arch| {
         let mut cfg = UnityExperimentConfig::paper(arch, UnityScale::default());
         cfg.warmup_requests = warmup;
         cfg.requests = measured;
-        let r = run_unity_kv_experiment(&cfg).expect("unity-kv run");
-        record(&mut points, &mut rows, "unity_kv", arch, &r, &mut base);
+        run_unity_kv_experiment(&cfg).expect("unity-kv run")
+    });
+    let mut rows = Vec::new();
+    let mut base = None;
+    for (&arch, r) in archs.iter().zip(&unity_reports) {
+        record(&mut points, &mut rows, "unity_kv", arch, r, &mut base);
     }
     print_table("Figure 5a: Unity Catalog-KV (40K QPS)", &HEADER, &rows);
 
     // (b) Meta-style trace at 100K QPS (tiny values, 30% writes).
-    let mut rows = Vec::new();
-    let mut base = None;
-    for arch in ArchKind::PAPER {
+    let meta_reports = runner.run_map(&archs, |_, &arch| {
         let mut cfg = KvExperimentConfig::paper(arch, meta_workload(11));
         cfg.warmup_requests = warmup;
         cfg.requests = measured;
         cfg.prewarm = true; // seed the tiny-value working set (74 MB total)
-        let r = run_kv_experiment(&cfg).expect("meta run");
-        record(&mut points, &mut rows, "meta", arch, &r, &mut base);
+        run_kv_experiment(&cfg).expect("meta run")
+    });
+    let mut rows = Vec::new();
+    let mut base = None;
+    for (&arch, r) in archs.iter().zip(&meta_reports) {
+        record(&mut points, &mut rows, "meta", arch, r, &mut base);
     }
     print_table("Figure 5b: Meta-style trace (100K QPS)", &HEADER, &rows);
 

@@ -6,12 +6,15 @@
 //! 40–65% of database CPU on connection/query processing/planning, and the
 //! version check (panel d) dramatically inflating the storage share.
 
+use bench::sweep::SweepRunner;
 use bench::{print_table, request_budget, write_json};
 use dcache::experiment::{run_kv_experiment, KvExperimentConfig};
 use dcache::ArchKind;
 use serde::Serialize;
 use workloads::KvWorkloadConfig;
 
+// Fields are read via `Serialize`; the offline serde stub derive is a no-op.
+#[allow(dead_code)]
 #[derive(Serialize)]
 struct Breakdown {
     arch: String,
@@ -32,15 +35,25 @@ fn main() {
     let (warmup, measured) = request_budget(100_000, 100_000);
     let mut out = Vec::new();
 
+    const SIZES: [u64; 3] = [1u64 << 10, 100 << 10, 1 << 20];
+    let specs: Vec<(ArchKind, u64)> = ArchKind::PAPER
+        .iter()
+        .flat_map(|&a| SIZES.iter().map(move |&v| (a, v)))
+        .collect();
+    let reports = SweepRunner::from_env().run_map(&specs, |_, &(arch, value_bytes)| {
+        let workload = KvWorkloadConfig::paper_synthetic(0.95, value_bytes, 42);
+        let mut cfg = KvExperimentConfig::paper(arch, workload);
+        cfg.qps = 100_000.0;
+        cfg.warmup_requests = warmup;
+        cfg.requests = measured;
+        run_kv_experiment(&cfg).expect("run")
+    });
+    let mut report_iter = specs.iter().zip(&reports);
+
     for arch in ArchKind::PAPER {
         let mut rows = Vec::new();
-        for value_bytes in [1u64 << 10, 100 << 10, 1 << 20] {
-            let workload = KvWorkloadConfig::paper_synthetic(0.95, value_bytes, 42);
-            let mut cfg = KvExperimentConfig::paper(arch, workload);
-            cfg.qps = 100_000.0;
-            cfg.warmup_requests = warmup;
-            cfg.requests = measured;
-            let r = run_kv_experiment(&cfg).expect("run");
+        for value_bytes in SIZES {
+            let (_, r) = report_iter.next().expect("one report per spec");
 
             let tier_cores: Vec<(String, f64)> =
                 r.tiers.iter().map(|t| (t.name.clone(), t.cores)).collect();

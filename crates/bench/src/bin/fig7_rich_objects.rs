@@ -7,6 +7,7 @@
 //! objects than for the KV flavor (by up to ~2×) because a hit elides all
 //! eight statements.
 
+use bench::sweep::SweepRunner;
 use bench::{print_table, ratio, request_budget, usd, write_json};
 use dcache::unityapp::{
     run_unity_kv_experiment, run_unity_object_experiment, UnityExperimentConfig,
@@ -15,6 +16,8 @@ use dcache::ArchKind;
 use serde::Serialize;
 use workloads::unity::UnityScale;
 
+// Fields are read via `Serialize`; the offline serde stub derive is a no-op.
+#[allow(dead_code)]
 #[derive(Serialize)]
 struct Point {
     flavor: &'static str,
@@ -33,17 +36,26 @@ fn main() {
 
     type Runner =
         fn(&UnityExperimentConfig) -> storekit::error::StoreResult<dcache::ExperimentReport>;
-    for (flavor, runner) in [
+    const FLAVORS: [(&str, Runner); 2] = [
         ("object", run_unity_object_experiment as Runner),
         ("kv", run_unity_kv_experiment as Runner),
-    ] {
+    ];
+    let specs: Vec<(usize, ArchKind)> = (0..FLAVORS.len())
+        .flat_map(|f| ArchKind::PAPER.iter().map(move |&a| (f, a)))
+        .collect();
+    let reports = SweepRunner::from_env().run_map(&specs, |_, &(f, arch)| {
+        let mut cfg = UnityExperimentConfig::paper(arch, UnityScale::default());
+        cfg.warmup_requests = warmup;
+        cfg.requests = measured;
+        FLAVORS[f].1(&cfg).expect("unity run")
+    });
+    let mut report_iter = reports.iter();
+
+    for (flavor, _) in FLAVORS {
         let mut rows = Vec::new();
         let mut base_cost = None;
         for arch in ArchKind::PAPER {
-            let mut cfg = UnityExperimentConfig::paper(arch, UnityScale::default());
-            cfg.warmup_requests = warmup;
-            cfg.requests = measured;
-            let r = runner(&cfg).expect("unity run");
+            let r = report_iter.next().expect("one report per spec");
             let total = r.total_cost.total();
             let saving = match base_cost {
                 None => {

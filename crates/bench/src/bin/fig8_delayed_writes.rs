@@ -9,6 +9,8 @@ use bench::{print_table, write_json};
 use dcache::consistency::delayed_write_scenario;
 use serde::Serialize;
 
+// Fields are read via `Serialize`; the offline serde stub derive is a no-op.
+#[allow(dead_code)]
 #[derive(Serialize)]
 struct Fig8Results {
     unfenced_admitted: bool,

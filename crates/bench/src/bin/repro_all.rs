@@ -1,11 +1,19 @@
-//! Run every figure reproduction in sequence.
+//! Run every figure reproduction.
 //!
-//! `cargo run -p bench --release --bin repro_all [-- --quick]`
+//! `cargo run -p bench --release --bin repro_all [-- --quick] [--jobs N]`
 //!
 //! Prints each figure's tables and leaves the raw series under `results/`.
 //! This is the one-command path to regenerate everything EXPERIMENTS.md
 //! reports.
+//!
+//! With `--jobs N > 1` (default: available parallelism) the figure binaries
+//! run as N concurrent child processes, each pinned to `--jobs 1`
+//! internally so the machine isn't oversubscribed. Output is captured and
+//! printed in the fixed `BINS` order, so stdout — and every file under
+//! `results/` — is byte-identical to a sequential `--jobs 1` run; only the
+//! wall clock changes.
 
+use bench::sweep::SweepRunner;
 use std::process::Command;
 
 const BINS: &[&str] = &[
@@ -22,31 +30,60 @@ const BINS: &[&str] = &[
     "ablation_ttl",
     "ablation_churn",
     "ablation_failover",
+    "ablation_faults",
     "exp_sessions",
     "telemetry_report",
 ];
 
+struct BinResult {
+    bin: &'static str,
+    output: std::io::Result<std::process::Output>,
+}
+
 fn main() {
     let quick = std::env::args().any(|a| a == "--quick");
     let self_path = std::env::current_exe().expect("own path");
-    let bin_dir = self_path.parent().expect("bin dir");
+    let bin_dir = self_path.parent().expect("bin dir").to_path_buf();
+    let runner = SweepRunner::from_env();
+    if runner.jobs() > 1 {
+        // stderr, so stdout stays byte-identical to a --jobs 1 run.
+        eprintln!("[repro_all: {} figure binaries across {} workers]", BINS.len(), runner.jobs());
+    }
 
-    let mut failed = Vec::new();
-    for bin in BINS {
-        println!("\n################ {bin} ################");
+    let results = runner.run_map(BINS, |_, &bin| {
         let mut cmd = Command::new(bin_dir.join(bin));
         if quick {
             cmd.arg("--quick");
         }
-        match cmd.status() {
-            Ok(status) if status.success() => {}
-            Ok(status) => {
-                eprintln!("{bin} exited with {status}");
-                failed.push(*bin);
+        // Child sweeps stay sequential: parallelism lives at the bin level
+        // here, and each bin writes its own results/ files, so per-bin
+        // output bytes can't depend on the worker count either way.
+        cmd.arg("--jobs").arg("1");
+        cmd.env_remove("BENCH_JOBS");
+        BinResult {
+            bin,
+            output: cmd.output(),
+        }
+    });
+
+    let mut failed = Vec::new();
+    for r in results {
+        println!("\n################ {} ################", r.bin);
+        match r.output {
+            Ok(out) => {
+                print!("{}", String::from_utf8_lossy(&out.stdout));
+                eprint!("{}", String::from_utf8_lossy(&out.stderr));
+                if !out.status.success() {
+                    eprintln!("{} exited with {}", r.bin, out.status);
+                    failed.push(r.bin);
+                }
             }
             Err(e) => {
-                eprintln!("{bin} failed to start: {e} (build with `cargo build --release -p bench` first)");
-                failed.push(*bin);
+                eprintln!(
+                    "{} failed to start: {e} (build with `cargo build --release -p bench` first)",
+                    r.bin
+                );
+                failed.push(r.bin);
             }
         }
     }

@@ -9,6 +9,9 @@ use serde::Serialize;
 use std::io::Write;
 use std::path::PathBuf;
 
+pub mod golden;
+pub mod sweep;
+
 /// Parse the common CLI convention: `--quick` shrinks the run.
 pub fn quick_mode() -> bool {
     std::env::args().any(|a| a == "--quick")

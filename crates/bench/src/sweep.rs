@@ -1,0 +1,210 @@
+//! Parallel deterministic sweep runner.
+//!
+//! The paper's evaluation is a grid of architectures × workloads × cost
+//! sweeps, and every cell is an independent simulation: each experiment
+//! owns its seed, builds its own deployment (simnet engine, caches,
+//! telemetry sink) and shares no mutable state with its neighbours. That
+//! makes the sweep embarrassingly parallel — *if* the merge preserves the
+//! sequential order. [`SweepRunner`] executes jobs on a scoped pool of std
+//! threads (no extra dependencies) and returns results **in spec order**,
+//! regardless of completion order, so a parallel sweep's output is
+//! bit-for-bit identical to a sequential run's.
+//!
+//! Worker count comes from `--jobs N` (or `--jobs=N`) on the command line,
+//! else the `BENCH_JOBS` environment variable, else
+//! `std::thread::available_parallelism()`. `--jobs 1` degenerates to a
+//! plain in-order loop on the calling thread.
+//!
+//! Nothing here touches the simulated CPU model: parallelism is purely a
+//! wall-clock concern of the harness, and the virtual-time accounting
+//! inside each experiment is unchanged.
+
+use std::sync::atomic::{AtomicUsize, Ordering};
+use std::sync::Mutex;
+
+/// A job taking no input and producing the result for one sweep cell.
+pub type Job<'a, T> = Box<dyn FnOnce() -> T + Send + 'a>;
+
+/// Parse `--jobs N` / `--jobs=N` from the process arguments, falling back
+/// to the `BENCH_JOBS` environment variable, then to the machine's
+/// available parallelism. Invalid values fall through to the next source.
+pub fn jobs_from_env() -> usize {
+    let args: Vec<String> = std::env::args().collect();
+    for (i, a) in args.iter().enumerate() {
+        if let Some(v) = a.strip_prefix("--jobs=") {
+            if let Ok(n) = v.parse::<usize>() {
+                return n.max(1);
+            }
+        }
+        if a == "--jobs" {
+            if let Some(Ok(n)) = args.get(i + 1).map(|v| v.parse::<usize>()) {
+                return n.max(1);
+            }
+        }
+    }
+    if let Ok(v) = std::env::var("BENCH_JOBS") {
+        if let Ok(n) = v.trim().parse::<usize>() {
+            return n.max(1);
+        }
+    }
+    std::thread::available_parallelism()
+        .map(|n| n.get())
+        .unwrap_or(1)
+}
+
+/// Executes a list of independent jobs on a scoped thread pool and merges
+/// the results in submission order. See module docs.
+#[derive(Debug, Clone, Copy)]
+pub struct SweepRunner {
+    jobs: usize,
+}
+
+impl SweepRunner {
+    /// A runner with an explicit worker count (clamped to ≥ 1).
+    pub fn new(jobs: usize) -> Self {
+        SweepRunner { jobs: jobs.max(1) }
+    }
+
+    /// A single-worker runner: runs jobs in order on the calling thread.
+    pub fn sequential() -> Self {
+        SweepRunner::new(1)
+    }
+
+    /// Worker count from `--jobs` / `BENCH_JOBS` / available parallelism.
+    pub fn from_env() -> Self {
+        SweepRunner::new(jobs_from_env())
+    }
+
+    /// The configured worker count.
+    pub fn jobs(&self) -> usize {
+        self.jobs
+    }
+
+    /// Run every job and return the results in the order the jobs were
+    /// given. Workers claim jobs through a shared cursor (so long jobs
+    /// don't serialize behind short ones); each result is tagged with its
+    /// spec index and the merge sorts by that index, making the output
+    /// independent of completion order. A panicking job propagates after
+    /// the scope joins, like the sequential loop would.
+    pub fn run<'a, T: Send>(&self, jobs: Vec<Job<'a, T>>) -> Vec<T> {
+        let n = jobs.len();
+        if self.jobs == 1 || n <= 1 {
+            return jobs.into_iter().map(|j| j()).collect();
+        }
+        let slots: Vec<Mutex<Option<Job<'a, T>>>> =
+            jobs.into_iter().map(|j| Mutex::new(Some(j))).collect();
+        let cursor = AtomicUsize::new(0);
+        let workers = self.jobs.min(n);
+        let mut tagged: Vec<(usize, T)> = Vec::with_capacity(n);
+        std::thread::scope(|scope| {
+            let handles: Vec<_> = (0..workers)
+                .map(|_| {
+                    let slots = &slots;
+                    let cursor = &cursor;
+                    scope.spawn(move || {
+                        let mut local: Vec<(usize, T)> = Vec::new();
+                        loop {
+                            let idx = cursor.fetch_add(1, Ordering::Relaxed);
+                            if idx >= slots.len() {
+                                return local;
+                            }
+                            let job = slots[idx]
+                                .lock()
+                                .expect("sweep job slot poisoned")
+                                .take()
+                                .expect("sweep job claimed twice");
+                            local.push((idx, job()));
+                        }
+                    })
+                })
+                .collect();
+            for h in handles {
+                tagged.extend(h.join().expect("sweep worker panicked"));
+            }
+        });
+        tagged.sort_by_key(|&(idx, _)| idx);
+        debug_assert_eq!(tagged.len(), n);
+        tagged.into_iter().map(|(_, r)| r).collect()
+    }
+
+    /// Map `f` over `specs` in parallel, returning results in spec order.
+    /// `f` receives the spec index alongside the spec.
+    pub fn run_map<S, T, F>(&self, specs: &[S], f: F) -> Vec<T>
+    where
+        S: Sync,
+        T: Send,
+        F: Fn(usize, &S) -> T + Sync,
+    {
+        let f = &f;
+        self.run(
+            specs
+                .iter()
+                .enumerate()
+                .map(|(i, s)| Box::new(move || f(i, s)) as Job<T>)
+                .collect(),
+        )
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn results_come_back_in_spec_order() {
+        let runner = SweepRunner::new(4);
+        // Make early jobs the slowest so completion order inverts spec order.
+        let out = runner.run_map(&(0..32).collect::<Vec<u64>>(), |i, &x| {
+            std::thread::sleep(std::time::Duration::from_millis((32 - i as u64) / 8));
+            x * 10
+        });
+        assert_eq!(out, (0..32).map(|x| x * 10).collect::<Vec<u64>>());
+    }
+
+    #[test]
+    fn parallel_matches_sequential_exactly() {
+        let work = |_: usize, &seed: &u64| -> u64 {
+            // A deterministic per-spec computation (splitmix-style mix).
+            let mut z = seed.wrapping_add(0x9e3779b97f4a7c15);
+            z = (z ^ (z >> 30)).wrapping_mul(0xbf58476d1ce4e5b9);
+            z ^ (z >> 31)
+        };
+        let specs: Vec<u64> = (0..100).collect();
+        let seq = SweepRunner::sequential().run_map(&specs, work);
+        let par = SweepRunner::new(8).run_map(&specs, work);
+        assert_eq!(seq, par);
+    }
+
+    #[test]
+    fn more_workers_than_jobs_is_fine() {
+        let out = SweepRunner::new(64).run_map(&[1, 2, 3], |_, &x: &i32| x + 1);
+        assert_eq!(out, vec![2, 3, 4]);
+    }
+
+    #[test]
+    fn empty_sweep_returns_empty() {
+        let out: Vec<i32> = SweepRunner::new(4).run(Vec::new());
+        assert!(out.is_empty());
+    }
+
+    #[test]
+    fn jobs_are_actually_distributed_across_threads() {
+        use std::collections::HashSet;
+        let ids = SweepRunner::new(4).run_map(&[(); 64], |_, _| {
+            // Encourage overlap so several workers participate.
+            std::thread::sleep(std::time::Duration::from_millis(1));
+            format!("{:?}", std::thread::current().id())
+        });
+        let distinct: HashSet<&String> = ids.iter().collect();
+        assert!(
+            distinct.len() > 1,
+            "expected multiple worker threads, saw {distinct:?}"
+        );
+    }
+
+    #[test]
+    fn runner_worker_count_is_clamped() {
+        assert_eq!(SweepRunner::new(0).jobs(), 1);
+        assert_eq!(SweepRunner::sequential().jobs(), 1);
+    }
+}

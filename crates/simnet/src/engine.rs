@@ -12,7 +12,9 @@ use rand::{Rng, SeedableRng};
 use std::cmp::Ordering;
 use std::collections::BinaryHeap;
 
-type BoxedEvent<W> = Box<dyn FnOnce(&mut W, &mut Sim<W>)>;
+// Events are `Send` so a whole `Sim<W>` (with its queued closures) can move
+// to a sweep worker thread; each simulation still runs single-threaded.
+type BoxedEvent<W> = Box<dyn FnOnce(&mut W, &mut Sim<W>) + Send>;
 
 struct Scheduled<W> {
     at: SimTime,
@@ -100,7 +102,7 @@ impl<W> Sim<W> {
     pub fn schedule_at(
         &mut self,
         at: SimTime,
-        event: impl FnOnce(&mut W, &mut Sim<W>) + 'static,
+        event: impl FnOnce(&mut W, &mut Sim<W>) + Send + 'static,
     ) {
         let at = at.max(self.clock);
         let seq = self.next_seq;
@@ -116,7 +118,7 @@ impl<W> Sim<W> {
     pub fn schedule_in(
         &mut self,
         delay: SimDuration,
-        event: impl FnOnce(&mut W, &mut Sim<W>) + 'static,
+        event: impl FnOnce(&mut W, &mut Sim<W>) + Send + 'static,
     ) {
         self.schedule_at(self.clock + delay, event);
     }
@@ -161,6 +163,14 @@ mod tests {
 
     struct World {
         log: Vec<(u64, &'static str)>,
+    }
+
+    #[test]
+    fn sim_is_send_when_world_is_send() {
+        // A sweep worker must be able to own a whole simulation, queued
+        // events included. Compile-time check; nothing to run.
+        fn assert_send<T: Send>() {}
+        assert_send::<Sim<World>>();
     }
 
     #[test]

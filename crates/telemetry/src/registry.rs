@@ -192,6 +192,39 @@ impl Registry {
         self.counters.len() + self.gauges.len() + self.summaries.len()
     }
 
+    /// Fold another registry into this one: the post-hoc merge step of a
+    /// parallel sweep, where each experiment exports into its own registry
+    /// and the combined view is assembled after all workers join.
+    ///
+    /// Counters sum; gauges and summaries take `other`'s value on key
+    /// collision (they are point-in-time snapshots, and sweep series are
+    /// disambiguated by labels — e.g. `arch` — so collisions only happen
+    /// when the same experiment is merged twice). Descriptors keep the
+    /// existing help text unless it is empty.
+    pub fn merge(&mut self, other: &Registry) {
+        for (name, (kind, help)) in &other.descriptors {
+            match self.descriptors.entry(name.clone()) {
+                std::collections::btree_map::Entry::Vacant(e) => {
+                    e.insert((*kind, help.clone()));
+                }
+                std::collections::btree_map::Entry::Occupied(mut e) => {
+                    if e.get().1.is_empty() && !help.is_empty() {
+                        e.get_mut().1 = help.clone();
+                    }
+                }
+            }
+        }
+        for (key, value) in &other.counters {
+            *self.counters.entry(key.clone()).or_insert(0) += value;
+        }
+        for (key, value) in &other.gauges {
+            self.gauges.insert(key.clone(), *value);
+        }
+        for (key, summary) in &other.summaries {
+            self.summaries.insert(key.clone(), summary.clone());
+        }
+    }
+
     /// Prometheus text exposition format, deterministically ordered:
     /// counters, then gauges, then summaries; within a kind, by
     /// `(name, labels)`. `# HELP`/`# TYPE` precede each name's first series.
@@ -361,6 +394,56 @@ mod tests {
         r.add_counter("hits", &[], 3);
         assert_eq!(r.counter_value("hits", &[]), Some(5));
         assert_eq!(r.series_count(), 1);
+    }
+
+    #[test]
+    fn merge_combines_disjoint_series_deterministically() {
+        let mut linked = Registry::new();
+        linked.set_counter("requests_total", &[("arch", "linked")], 42);
+        linked.set_gauge("cores", &[("arch", "linked")], 1.25);
+        let mut remote = Registry::new();
+        remote.set_counter("requests_total", &[("arch", "remote")], 40);
+        remote.set_gauge("cores", &[("arch", "remote")], 2.5);
+
+        // Merging per-experiment registries in either grouping yields the
+        // same bytes as building one registry sequentially.
+        let mut merged = Registry::new();
+        merged.merge(&linked);
+        merged.merge(&remote);
+        let mut reversed = Registry::new();
+        reversed.merge(&remote);
+        reversed.merge(&linked);
+        assert_eq!(merged.to_prometheus_text(), reversed.to_prometheus_text());
+        assert_eq!(merged.to_jsonl(), reversed.to_jsonl());
+        assert_eq!(merged.series_count(), 4);
+        assert_eq!(
+            merged.counter_value("requests_total", &[("arch", "linked")]),
+            Some(42)
+        );
+    }
+
+    #[test]
+    fn merge_sums_counters_and_keeps_help() {
+        let mut a = Registry::new();
+        a.describe("hits", InstrumentKind::Counter, "Cache hits.");
+        a.set_counter("hits", &[], 2);
+        let mut b = Registry::new();
+        b.set_counter("hits", &[], 3);
+        b.set_summary(
+            "lat",
+            &[],
+            Summary {
+                count: 1,
+                sum: 7.0,
+                min: 7.0,
+                max: 7.0,
+                quantiles: vec![],
+            },
+        );
+        a.merge(&b);
+        assert_eq!(a.counter_value("hits", &[]), Some(5));
+        assert!(a.to_prometheus_text().contains("# HELP hits Cache hits."));
+        assert_eq!(a.summary_value("lat", &[]).unwrap().count, 1);
     }
 
     #[test]

@@ -1,0 +1,126 @@
+//! Sequential-vs-parallel determinism: the sweep runner's headline
+//! guarantee, enforced end to end.
+//!
+//! The parallel runner must be a pure scheduling change: running a sweep
+//! with `jobs = 1` and `jobs = N` has to produce **byte-identical**
+//! serialized reports and telemetry exports, because every simulation is a
+//! closed deterministic system keyed only by its config (seeds included)
+//! and results are merged back in spec order. These tests are what lets
+//! `repro_all --jobs N` claim bit-for-bit equality with `--jobs 1`.
+
+use std::time::{Duration, Instant};
+
+use bench::golden::small_kv;
+use bench::sweep::SweepRunner;
+use dcache::experiment::{
+    run_kv_experiment, run_kv_experiment_with_telemetry, KvExperimentConfig,
+};
+use dcache::ArchKind;
+
+/// A small randomized sweep: every paper architecture at a mix of read
+/// ratios, value sizes and workload seeds.
+fn mini_sweep() -> Vec<KvExperimentConfig> {
+    let cells: [(f64, u64, u64); 3] = [(0.50, 1 << 10, 42), (0.95, 1 << 10, 7), (0.95, 64 << 10, 1234)];
+    let mut specs = Vec::new();
+    for &(read_ratio, value_bytes, seed) in &cells {
+        for &arch in &ArchKind::PAPER {
+            let mut cfg = small_kv(arch, read_ratio, value_bytes);
+            cfg.workload.seed = seed;
+            specs.push(cfg);
+        }
+    }
+    specs
+}
+
+#[test]
+fn parallel_sweep_reports_are_byte_identical_to_sequential() {
+    let specs = mini_sweep();
+    let seq = SweepRunner::sequential()
+        .run_map(&specs, |_, cfg| run_kv_experiment(cfg).expect("run"));
+    let par = SweepRunner::new(4)
+        .run_map(&specs, |_, cfg| run_kv_experiment(cfg).expect("run"));
+
+    assert_eq!(seq.len(), par.len());
+    for (i, (s, p)) in seq.iter().zip(&par).enumerate() {
+        // `Debug` covers every field of the report (tiers, cost breakdowns,
+        // latency percentiles, fault counters), so byte-equal debug strings
+        // are byte-equal serialized reports.
+        assert_eq!(
+            format!("{s:?}"),
+            format!("{p:?}"),
+            "spec {i} ({}): parallel run diverged from sequential",
+            specs[i].deployment.arch.label()
+        );
+    }
+}
+
+#[test]
+fn parallel_sweep_telemetry_exports_are_byte_identical() {
+    // Telemetry is the part most tempted to share global state; assert the
+    // per-experiment registries, trace logs and CPU profiles all come back
+    // bit-for-bit equal under parallel execution.
+    let mut specs: Vec<KvExperimentConfig> = [ArchKind::Remote, ArchKind::Linked]
+        .iter()
+        .map(|&arch| small_kv(arch, 0.95, 1 << 10))
+        .collect();
+    for cfg in &mut specs {
+        cfg.trace_sample_every = Some(97);
+    }
+
+    let run = |cfg: &KvExperimentConfig| {
+        let (report, bundle) = run_kv_experiment_with_telemetry(cfg).expect("run");
+        (
+            format!("{report:?}"),
+            bundle.registry.to_prometheus_text(),
+            bundle.traces_jsonl,
+            bundle.profile.to_collapsed(),
+        )
+    };
+    let seq = SweepRunner::sequential().run_map(&specs, |_, cfg| run(cfg));
+    let par = SweepRunner::new(4).run_map(&specs, |_, cfg| run(cfg));
+
+    for ((s_rep, s_prom, s_traces, s_prof), (p_rep, p_prom, p_traces, p_prof)) in
+        seq.iter().zip(&par)
+    {
+        assert_eq!(s_rep, p_rep, "report diverged");
+        assert_eq!(s_prom, p_prom, "prometheus export diverged");
+        assert_eq!(s_traces, p_traces, "trace jsonl diverged");
+        assert_eq!(s_prof, p_prof, "collapsed profile diverged");
+    }
+
+    // Post-hoc merge is order-insensitive: merging the two registries'
+    // exports must not depend on which finished first.
+    let mut ab = telemetry::Registry::new();
+    let mut ba = telemetry::Registry::new();
+    let bundles: Vec<_> = specs
+        .iter()
+        .map(|cfg| run_kv_experiment_with_telemetry(cfg).expect("run").1)
+        .collect();
+    ab.merge(&bundles[0].registry);
+    ab.merge(&bundles[1].registry);
+    ba.merge(&bundles[1].registry);
+    ba.merge(&bundles[0].registry);
+    assert_eq!(ab.to_prometheus_text(), ba.to_prometheus_text());
+}
+
+#[test]
+fn four_workers_give_at_least_2x_speedup() {
+    // Scheduling-only check with uniform synthetic jobs, so it holds even
+    // on a loaded CI box: 8 sleeps of 50 ms are ≥400 ms sequentially and
+    // ≤~100 ms across 4 workers. Requiring only 2× leaves wide margin.
+    let specs = [50u64; 8];
+    let work = |_: usize, ms: &u64| std::thread::sleep(Duration::from_millis(*ms));
+
+    let t0 = Instant::now();
+    SweepRunner::sequential().run_map(&specs, work);
+    let sequential = t0.elapsed();
+
+    let t1 = Instant::now();
+    SweepRunner::new(4).run_map(&specs, work);
+    let parallel = t1.elapsed();
+
+    assert!(
+        parallel * 2 <= sequential,
+        "expected >=2x speedup with 4 workers: sequential {sequential:?}, parallel {parallel:?}"
+    );
+}

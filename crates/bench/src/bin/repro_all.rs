@@ -31,6 +31,7 @@ const BINS: &[&str] = &[
     "ablation_churn",
     "ablation_failover",
     "ablation_faults",
+    "ablation_batching",
     "exp_sessions",
     "telemetry_report",
 ];

@@ -221,6 +221,7 @@ pub fn all_figures(runner: &SweepRunner) -> Vec<GoldenFigure> {
         fig6_cpu_breakdown(runner),
         fig7_rich_objects(runner),
         fig8_delayed_writes(),
+        ablation_batching(runner),
     ]
 }
 
@@ -502,6 +503,44 @@ pub fn fig7_rich_objects(runner: &SweepRunner) -> GoldenFigure {
     }
     GoldenFigure {
         name: "fig7_rich_objects".into(),
+        points,
+    }
+}
+
+/// The batched-RPC ablation at golden budget: a reduced cut of the
+/// `ablation_batching` sweep (batch caps 1/8/32, both value-size
+/// endpoints). `max_batch = 1` pins the unbatched baseline — its counters
+/// must stay exactly zero, which is also what keeps fig4–fig7 byte-stable:
+/// batching off is the default everywhere else.
+pub fn ablation_batching(runner: &SweepRunner) -> GoldenFigure {
+    use crate::batching::{cpu_us_per_request, run_sweep, BatchSpec};
+    let specs: Vec<BatchSpec> = [(10u64, 1u32), (10, 8), (1024, 1), (1024, 8), (1024, 32)]
+        .iter()
+        .map(|&(value_bytes, max_batch)| BatchSpec {
+            max_batch,
+            value_bytes,
+        })
+        .collect();
+    let reports = run_sweep(runner, &specs, 2_000, 4_000);
+    let points = specs
+        .iter()
+        .zip(&reports)
+        .map(|(spec, r)| {
+            GoldenPoint::new(
+                format!("v{}_b{}", spec.value_bytes, spec.max_batch),
+                vec![
+                    ("cores_cpu_us_per_request".into(), cpu_us_per_request(r)),
+                    ("cost_total".into(), r.total_cost.total()),
+                    ("hit_cache".into(), r.cache_hit_ratio),
+                    ("count_rpc_batches".into(), r.rpc_batches as f64),
+                    ("mean_batch_size".into(), r.mean_batch_size),
+                    ("lat_read_p50_us".into(), r.read_latency_p50_us as f64),
+                ],
+            )
+        })
+        .collect();
+    GoldenFigure {
+        name: "ablation_batching".into(),
         points,
     }
 }

@@ -9,6 +9,7 @@ use serde::Serialize;
 use std::io::Write;
 use std::path::PathBuf;
 
+pub mod batching;
 pub mod golden;
 pub mod sweep;
 

@@ -205,7 +205,7 @@ impl LfuPolicy {
 
 impl Policy for LfuPolicy {
     fn on_insert(&mut self, slot: usize) {
-        debug_assert!(self.meta.get(slot).map_or(true, |m| m.is_none()));
+        debug_assert!(self.meta.get(slot).is_none_or(|m| m.is_none()));
         self.touch(slot, 0);
     }
     fn on_hit(&mut self, slot: usize) {

@@ -12,6 +12,7 @@
 //! makes no such promise.
 
 use serde::{Deserialize, Serialize};
+use std::collections::BTreeSet;
 
 /// Stable 64-bit hash of a byte string: FNV-1a folded through SplitMix64.
 pub fn stable_hash(bytes: &[u8]) -> u64 {
@@ -37,6 +38,10 @@ pub struct HashRing {
     /// (position, shard) sorted by position.
     points: Vec<(u64, u32)>,
     vnodes: u32,
+    /// Distinct shard ids currently on the ring. Maintained incrementally:
+    /// `shard_count` sits on the per-request placement path of sharded
+    /// deployments, so it must not rescan the vnode vector.
+    shards: BTreeSet<u32>,
 }
 
 impl HashRing {
@@ -46,6 +51,7 @@ impl HashRing {
         HashRing {
             points: Vec::new(),
             vnodes: vnodes.max(1),
+            shards: BTreeSet::new(),
         }
     }
 
@@ -64,18 +70,21 @@ impl HashRing {
 
     /// Number of distinct shards on the ring.
     pub fn shard_count(&self) -> usize {
-        let mut ids: Vec<u32> = self.points.iter().map(|&(_, s)| s).collect();
-        ids.sort_unstable();
-        ids.dedup();
-        ids.len()
+        self.shards.len()
     }
 
     fn vnode_position(shard: u32, replica: u32) -> u64 {
         splitmix64(((shard as u64) << 32) | replica as u64)
     }
 
-    /// Add a shard's virtual nodes to the ring.
+    /// Add a shard's virtual nodes to the ring. Idempotent: re-adding a
+    /// shard that is already present (the failover path does this when a
+    /// crashed shard recovers) is a no-op — a second copy of its vnodes
+    /// would roughly double its share of the key space.
     pub fn add_shard(&mut self, shard: u32) {
+        if !self.shards.insert(shard) {
+            return;
+        }
         for r in 0..self.vnodes {
             let pos = Self::vnode_position(shard, r);
             let idx = self.points.partition_point(|&(p, _)| p < pos);
@@ -85,6 +94,9 @@ impl HashRing {
 
     /// Remove all of a shard's virtual nodes.
     pub fn remove_shard(&mut self, shard: u32) {
+        if !self.shards.remove(&shard) {
+            return;
+        }
         self.points.retain(|&(_, s)| s != shard);
     }
 
@@ -215,5 +227,59 @@ mod tests {
         assert_eq!(ring.shard_count(), 3);
         ring.add_shard(9);
         assert_eq!(ring.shard_count(), 4);
+    }
+
+    #[test]
+    fn re_adding_a_present_shard_is_a_noop() {
+        // Regression: the failover path re-adds a recovered shard without
+        // checking membership. A duplicate insert used to double the
+        // shard's vnodes and roughly double its share of keys.
+        let baseline = HashRing::with_shards(8, 128);
+        let mut ring = baseline.clone();
+        ring.add_shard(3);
+        ring.add_shard(3);
+        assert_eq!(ring.points.len(), baseline.points.len());
+        assert_eq!(ring.shard_count(), 8);
+        for k in keys(5_000) {
+            assert_eq!(ring.shard_for(&k), baseline.shard_for(&k));
+        }
+    }
+
+    #[test]
+    fn remove_then_readd_restores_placement_exactly() {
+        let baseline = HashRing::with_shards(8, 128);
+        let mut ring = baseline.clone();
+        ring.remove_shard(5);
+        ring.add_shard(5);
+        assert_eq!(ring.points, baseline.points);
+        assert_eq!(ring.shard_count(), baseline.shard_count());
+        for k in keys(5_000) {
+            assert_eq!(ring.shard_for(&k), baseline.shard_for(&k));
+        }
+    }
+
+    #[test]
+    fn shard_count_matches_sort_dedup_oracle() {
+        // The incremental count must agree with the old implementation
+        // (sort + dedup over the vnode vector) under an arbitrary add /
+        // remove sequence, including duplicate adds and bogus removes.
+        let oracle = |ring: &HashRing| {
+            let mut ids: Vec<u32> = ring.points.iter().map(|&(_, s)| s).collect();
+            ids.sort_unstable();
+            ids.dedup();
+            ids.len()
+        };
+        let mut ring = HashRing::new(16);
+        let mut z = 0xfeed_beefu64;
+        for _ in 0..500 {
+            z = splitmix64(z);
+            let shard = (z >> 8) as u32 % 24;
+            if z.is_multiple_of(3) {
+                ring.remove_shard(shard);
+            } else {
+                ring.add_shard(shard);
+            }
+            assert_eq!(ring.shard_count(), oracle(&ring));
+        }
     }
 }

@@ -186,10 +186,10 @@ fn random_trace(seed: u64, len: usize) -> Vec<Op> {
             let r = splitmix64(&mut state);
             let key = (r >> 8) as u8 % KEY_UNIVERSE;
             match r % 7 {
-                0 | 1 | 2 => Op::Get(key),
+                0..=2 => Op::Get(key),
                 // Sizes span "many fit" through "one barely fits" through
                 // "rejected as too large for a whole shard".
-                3 | 4 | 5 => Op::Insert(key, 1 + (r >> 16) % 2_200),
+                3..=5 => Op::Insert(key, 1 + (r >> 16) % 2_200),
                 _ => Op::Remove(key),
             }
         })

@@ -111,6 +111,12 @@ pub struct AppCostConfig {
     pub local_cache_op_us: f64,
     /// Remote cache server's per-operation cost (lookup/insert bookkeeping).
     pub cache_server_op_us: f64,
+    /// Marginal cost of one additional key riding an already-open batched
+    /// RPC frame (encoding/decoding its entry only — the syscall + framing
+    /// fixed cost `rpc_fixed_us` is paid once per frame by the opener).
+    /// Calibrated from the netrpc loopback MGET path: the per-key marginal
+    /// is ~7% of the fixed per-RPC cost.
+    pub rpc_batched_key_us: f64,
     /// Rich-object assembly: per constituent query result folded in.
     pub object_assemble_per_part_us: f64,
     /// Rich-object assembly: per byte of object material handled.
@@ -131,6 +137,7 @@ impl Default for AppCostConfig {
             rpc_per_byte_ns: 0.9,
             local_cache_op_us: 1.2,
             cache_server_op_us: 6.0,
+            rpc_batched_key_us: 2.5,
             object_assemble_per_part_us: 6.0,
             object_assemble_per_byte_ns: 0.3,
             lease_validate_us: 0.4,
@@ -149,6 +156,15 @@ impl AppCostConfig {
     /// One RPC message side of `bytes` between app and a remote tier.
     pub fn rpc_side_cost(&self, bytes: u64) -> SimDuration {
         SimDuration::from_micros_f64(self.rpc_fixed_us + self.rpc_per_byte_ns * bytes as f64 / 1e3)
+    }
+
+    /// One message side of `bytes` for a key that joins an already-open
+    /// batched frame: per-key marginal plus the byte-proportional term. The
+    /// frame opener pays [`Self::rpc_side_cost`]; followers pay this.
+    pub fn rpc_batched_side_cost(&self, bytes: u64) -> SimDuration {
+        SimDuration::from_micros_f64(
+            self.rpc_batched_key_us + self.rpc_per_byte_ns * bytes as f64 / 1e3,
+        )
     }
 
     /// Serving `bytes` back to the end client.
@@ -187,12 +203,59 @@ impl Default for RetryPolicy {
 
 impl RetryPolicy {
     /// Backoff before retry number `attempt` (0-based), jittered by
-    /// `unit ∈ [0, 1)`.
+    /// `unit ∈ [0, 1)`. `max_backoff` bounds the *jittered* delay: clamping
+    /// before stretching let the result exceed the configured ceiling by up
+    /// to `1 + jitter`×.
     pub fn backoff(&self, attempt: u32, unit: f64) -> SimDuration {
         let exp = self.base_backoff.saturating_mul(1u64 << attempt.min(20));
-        let capped = exp.min(self.max_backoff);
         let scale = 1.0 + self.jitter.clamp(0.0, 1.0) * unit.clamp(0.0, 1.0);
-        SimDuration::from_secs_f64(capped.as_secs_f64() * scale)
+        let jittered = SimDuration::from_secs_f64(exp.as_secs_f64() * scale);
+        jittered.min(self.max_backoff)
+    }
+}
+
+/// App-side coalescing of remote-cache RPCs (the §4 answer to the per-RPC
+/// tax): lookups and fills issued to the same cache node close together in
+/// time share one MGET/MSET frame, so the fixed per-RPC CPU cost
+/// (`rpc_fixed_us`, both message sides, both endpoints) is paid once per
+/// frame instead of once per key. **Off by default** — the paper's
+/// healthy-path figures assume one RPC per lookup, and the fig2–fig8
+/// goldens are byte-identical only while this stays disabled.
+#[derive(Debug, Clone, Copy, Serialize, Deserialize)]
+pub struct BatchingConfig {
+    /// Coalescing window in microseconds: a frame opened at `t` departs at
+    /// `t + window`, and every RPC for the same (app, node) pair arriving
+    /// before departure rides it (members wait for departure, so batching
+    /// trades latency for CPU). 0 disables cross-request coalescing;
+    /// explicit multi-key serves still batch when `max_batch > 1`.
+    pub batch_window_us: f64,
+    /// Maximum keys per frame; a full frame departs immediately and the
+    /// next request opens a new one. Values ≤ 1 disable batching entirely.
+    pub max_batch: u32,
+}
+
+impl Default for BatchingConfig {
+    fn default() -> Self {
+        BatchingConfig {
+            batch_window_us: 0.0,
+            max_batch: 1,
+        }
+    }
+}
+
+impl BatchingConfig {
+    /// Whether any batching (explicit multi-key or windowed) can happen.
+    pub fn enabled(&self) -> bool {
+        self.max_batch > 1
+    }
+
+    /// Whether RPCs from *different* requests may coalesce over time.
+    pub fn windowed(&self) -> bool {
+        self.enabled() && self.batch_window_us > 0.0
+    }
+
+    pub fn window(&self) -> SimDuration {
+        SimDuration::from_micros_f64(self.batch_window_us.max(0.0))
     }
 }
 
@@ -257,6 +320,8 @@ pub struct DeploymentConfig {
     pub cluster: ClusterConfig,
     /// Behaviour under cache-shard faults (retries, deadlines, degraded mode).
     pub fault_tolerance: FaultToleranceConfig,
+    /// App-side RPC coalescing for the remote-cache path (default off).
+    pub batching: BatchingConfig,
     /// Deterministic seed for the deployment's internals.
     pub seed: u64,
 }
@@ -278,6 +343,7 @@ impl DeploymentConfig {
             app_cost: AppCostConfig::default(),
             cluster: ClusterConfig::default(),
             fault_tolerance: FaultToleranceConfig::default(),
+            batching: BatchingConfig::default(),
             seed: 42,
         }
     }
@@ -380,11 +446,63 @@ mod tests {
     }
 
     #[test]
+    fn jittered_backoff_never_exceeds_max() {
+        // Regression: jitter used to be applied after the clamp, so a retry
+        // at the cap could wait up to (1 + jitter)× the configured maximum.
+        let p = RetryPolicy {
+            max_retries: 8,
+            base_backoff: SimDuration::from_millis(1),
+            max_backoff: SimDuration::from_millis(4),
+            jitter: 0.5,
+        };
+        for attempt in 0..12 {
+            for unit in [0.0, 0.25, 0.5, 0.75, 0.999] {
+                let b = p.backoff(attempt, unit);
+                assert!(
+                    b <= p.max_backoff,
+                    "attempt {attempt} unit {unit}: {b:?} exceeds max {:?}",
+                    p.max_backoff
+                );
+            }
+        }
+        // At the cap, jitter has nothing left to stretch; below it, jitter
+        // still applies in full.
+        assert_eq!(p.backoff(2, 0.999), p.max_backoff);
+        assert_eq!(
+            p.backoff(0, 0.5),
+            SimDuration::from_secs_f64(0.001 * 1.25)
+        );
+    }
+
+    #[test]
     fn fault_tolerance_defaults_preserve_healthy_path() {
         let ft = FaultToleranceConfig::default();
         assert!(ft.degraded_fallback);
         assert!(!ft.single_flight, "coalescing must be opt-in");
         assert!(ft.request_deadline > ft.attempt_timeout);
+    }
+
+    #[test]
+    fn batching_defaults_off_and_amortizes_when_on() {
+        let b = BatchingConfig::default();
+        assert!(!b.enabled(), "batching must be opt-in: goldens assume one RPC per lookup");
+        assert!(!b.windowed());
+        let on = BatchingConfig {
+            batch_window_us: 200.0,
+            max_batch: 16,
+        };
+        assert!(on.enabled() && on.windowed());
+        assert_eq!(on.window(), SimDuration::from_micros(200));
+        // Explicit multi-key batching without a window is still batching.
+        let explicit = BatchingConfig {
+            batch_window_us: 0.0,
+            max_batch: 8,
+        };
+        assert!(explicit.enabled() && !explicit.windowed());
+        // The per-key marginal must undercut the fixed per-RPC cost, or
+        // batching would amortize nothing.
+        let c = AppCostConfig::default();
+        assert!(c.rpc_batched_side_cost(1024) < c.rpc_side_cost(1024));
     }
 
     #[test]

@@ -48,6 +48,34 @@ pub mod fault_counters {
     pub const CACHE_UPDATES_SKIPPED: &str = "cache_updates_skipped";
 }
 
+/// Names of the batched-RPC counters a deployment maintains in its
+/// [`MetricSet`] when [`crate::config::BatchingConfig`] is enabled; the
+/// experiment runner lifts them into `ExperimentReport`. Both stay absent
+/// (zero) while batching is off, so default runs export identical metrics.
+pub mod batch_counters {
+    /// App→remote-cache RPC frames opened (each pays the fixed per-RPC cost
+    /// once).
+    pub const RPC_BATCHES: &str = "rpc_batches";
+    /// Keys/operations carried by those frames (openers and followers).
+    pub const BATCHED_RPC_KEYS: &str = "batched_rpc_keys";
+}
+
+/// One open coalescing frame on an (app server, cache node) pair: requests
+/// admitted within `[opened_at, departs_at)` ride the same wire frame, up
+/// to `max_batch` occupants. The lower bound matters: admission times are
+/// per-request virtual times (arrival + accumulated latency), so an op can
+/// be admitted at a sim time *earlier* than a frame another request already
+/// opened — in wall-clock terms that op was sent before the frame existed,
+/// and letting it join would ratchet waits unboundedly (each high-latency
+/// op opens a later frame that captures earlier-stamped ops with huge
+/// waits, whose fills open frames later still).
+#[derive(Debug, Clone, Copy)]
+struct BatchWindow {
+    opened_at: SimTime,
+    departs_at: SimTime,
+    occupancy: u32,
+}
+
 /// What the cache stores per key: enough to serve (and verify) a value
 /// without materializing payload bytes.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -152,6 +180,20 @@ pub struct Deployment {
     /// Fault/degraded-path counters (see [`fault_counters`]).
     pub metrics: MetricSet,
     single_flight: SingleFlight,
+    /// Open coalescing frames keyed by (app server, remote cache node).
+    /// Never populated unless `config.batching` is enabled, so default
+    /// runs do no hashing here. Keyed by (app server, cache node, update?):
+    /// lookups coalesce into MGET frames and fills/invalidations into MSET
+    /// frames, mirroring the wire protocol's separate batch ops — and
+    /// keeping the two populations' very different admission times (a fill
+    /// is admitted a storage read's latency later than a lookup) from
+    /// starving each other's frames.
+    batch_windows: HashMap<(usize, usize, bool), BatchWindow>,
+    /// Frames by their current size: `batch_size_counts[s]` frames carry
+    /// exactly `s` keys. Maintained incrementally as frames open and grow
+    /// (open: size 1 appears; join: one frame moves from `n-1` to `n`), so
+    /// no end-of-run flush is needed.
+    pub batch_size_counts: HashMap<u32, u64>,
     /// Span recorder for sampled requests. Disabled by default; the
     /// experiment runner arms it per sampled request, so untraced runs pay
     /// nothing and stay byte-identical. Span clocks are virtual nanos:
@@ -222,6 +264,8 @@ impl Deployment {
             net_rng,
             metrics: MetricSet::new(),
             single_flight: SingleFlight::default(),
+            batch_windows: HashMap::new(),
+            batch_size_counts: HashMap::new(),
             tracer: Tracer::disabled(),
             cluster,
             config,
@@ -246,6 +290,8 @@ impl Deployment {
         self.cluster.reset_metrics();
         self.metrics = MetricSet::new();
         self.net.reset_counters();
+        self.batch_windows.clear();
+        self.batch_size_counts.clear();
     }
 
     /// How many cache shards this architecture deploys (0 for Base).
@@ -597,6 +643,93 @@ impl Deployment {
         ))
     }
 
+    /// Move one frame from size `n-1` to size `n` in the size histogram.
+    fn bump_batch_size(&mut self, n: u32) {
+        if n > 1 {
+            if let Some(c) = self.batch_size_counts.get_mut(&(n - 1)) {
+                *c = c.saturating_sub(1);
+                if *c == 0 {
+                    self.batch_size_counts.remove(&(n - 1));
+                }
+            }
+        }
+        *self.batch_size_counts.entry(n).or_insert(0) += 1;
+    }
+
+    /// Admit one app→cache-node operation into a coalescing frame at time
+    /// `at` (request arrival plus latency accumulated so far); `update`
+    /// selects the MSET frame class over MGET. Returns `(follower, wait)`:
+    /// a *follower* rides an already-open frame and is charged the
+    /// amortized per-key RPC cost; the opener pays the full fixed cost and
+    /// `wait` covers sitting out the coalescing window until the frame
+    /// departs. A no-op (opener, zero wait) unless batching is enabled, so
+    /// default runs never touch the window map.
+    fn batch_admit(
+        &mut self,
+        app: usize,
+        node: usize,
+        at: SimTime,
+        update: bool,
+    ) -> (bool, SimDuration) {
+        let b = self.config.batching;
+        if !b.enabled() {
+            return (false, SimDuration::ZERO);
+        }
+        self.metrics.counter(batch_counters::BATCHED_RPC_KEYS).inc();
+        let slot = (app, node, update);
+        if let Some(w) = self.batch_windows.get_mut(&slot) {
+            if at >= w.opened_at && at < w.departs_at && w.occupancy < b.max_batch {
+                w.occupancy += 1;
+                let n = w.occupancy;
+                let wait = w.departs_at.since(at);
+                self.bump_batch_size(n);
+                self.tracer.span(
+                    "cache.rpc_batch",
+                    "app",
+                    at.as_nanos(),
+                    at.as_nanos() + wait.as_nanos(),
+                    n,
+                    SpanStatus::Ok,
+                );
+                return (true, wait);
+            }
+            if at < w.opened_at {
+                // Sent before the stored frame opened (see [`BatchWindow`]):
+                // an unbatched one-off send that leaves the frame in place
+                // for the joiners it was opened for.
+                self.metrics.counter(batch_counters::RPC_BATCHES).inc();
+                self.bump_batch_size(1);
+                return (false, SimDuration::ZERO);
+            }
+        }
+        let wait = b.window();
+        if b.windowed() {
+            // A zero-length window departs instantly — never store it, or a
+            // later request whose admission time lands *earlier* on the sim
+            // clock (ops are admitted at arrival + accumulated latency)
+            // would ride a frame that no longer exists.
+            self.batch_windows.insert(
+                slot,
+                BatchWindow {
+                    opened_at: at,
+                    departs_at: at + wait,
+                    occupancy: 1,
+                },
+            );
+        }
+        self.metrics.counter(batch_counters::RPC_BATCHES).inc();
+        self.bump_batch_size(1);
+        self.tracer.span(
+            "cache.rpc_batch",
+            "app",
+            at.as_nanos(),
+            at.as_nanos() + wait.as_nanos(),
+            1,
+            SpanStatus::Ok,
+        );
+        (false, wait)
+    }
+
     /// Remote-cache lookup: returns the value if cached, charging both the
     /// app side and the cache node. `resp_bytes` covers hit and miss sizes.
     pub(crate) fn remote_lookup(
@@ -605,12 +738,46 @@ impl Deployment {
         cache_key: &[u8],
         now: SimTime,
     ) -> (Option<CachedVal>, SimDuration) {
-        let node = self.remote_ring.shard_for(cache_key).unwrap_or(0) as usize
-            % self.remote.len().max(1);
+        self.remote_lookup_at(app, cache_key, now, now)
+    }
+
+    /// Like [`Deployment::remote_lookup`], but admits the RPC into a
+    /// coalescing frame at `at` (arrival plus latency accumulated so far,
+    /// so an op issued late in a request doesn't ride a frame that already
+    /// departed).
+    pub(crate) fn remote_lookup_at(
+        &mut self,
+        app: usize,
+        cache_key: &[u8],
+        now: SimTime,
+        at: SimTime,
+    ) -> (Option<CachedVal>, SimDuration) {
+        let node = self.remote_node_for(cache_key);
+        let (follower, wait) = self.batch_admit(app, node, at, false);
+        let (found, lat) = self.remote_lookup_role(app, node, cache_key, now, follower);
+        (found, lat + wait)
+    }
+
+    /// The lookup body with an explicit batch role: followers pay the
+    /// amortized per-key marginal on both RPC sides instead of the full
+    /// fixed cost. `follower == false` charges exactly the pre-batching
+    /// amounts, keeping default runs byte-identical.
+    fn remote_lookup_role(
+        &mut self,
+        app: usize,
+        node: usize,
+        cache_key: &[u8],
+        now: SimTime,
+        follower: bool,
+    ) -> (Option<CachedVal>, SimDuration) {
         let found = self.remote[node].get(cache_key, now.as_nanos()).copied();
         let resp_bytes = found.map(|v| v.bytes).unwrap_or(8);
         let cost = self.config.app_cost;
-        let app_rpc = cost.rpc_side_cost(32) + cost.rpc_side_cost(resp_bytes);
+        let app_rpc = if follower {
+            cost.rpc_batched_side_cost(32) + cost.rpc_batched_side_cost(resp_bytes)
+        } else {
+            cost.rpc_side_cost(32) + cost.rpc_side_cost(resp_bytes)
+        };
         let node_rpc = app_rpc;
         let op = SimDuration::from_micros_f64(cost.cache_server_op_us);
         let deser = if found.is_some() {
@@ -640,11 +807,42 @@ impl Deployment {
         value: Option<CachedVal>,
         now: SimTime,
     ) -> SimDuration {
-        let node = self.remote_ring.shard_for(cache_key).unwrap_or(0) as usize
-            % self.remote.len().max(1);
+        self.remote_update_at(app, cache_key, value, now, now)
+    }
+
+    /// Like [`Deployment::remote_update`], with an explicit batch-admission
+    /// time (see [`Deployment::remote_lookup_at`]).
+    pub(crate) fn remote_update_at(
+        &mut self,
+        app: usize,
+        cache_key: &[u8],
+        value: Option<CachedVal>,
+        now: SimTime,
+        at: SimTime,
+    ) -> SimDuration {
+        let node = self.remote_node_for(cache_key);
+        let (follower, wait) = self.batch_admit(app, node, at, true);
+        wait + self.remote_update_role(app, node, cache_key, value, now, follower)
+    }
+
+    /// The update body with an explicit batch role (see
+    /// [`Deployment::remote_lookup_role`]).
+    fn remote_update_role(
+        &mut self,
+        app: usize,
+        node: usize,
+        cache_key: &[u8],
+        value: Option<CachedVal>,
+        now: SimTime,
+        follower: bool,
+    ) -> SimDuration {
         let bytes = value.map(|v| v.bytes).unwrap_or(0);
         let cost = self.config.app_cost;
-        let app_rpc = cost.rpc_side_cost(32 + bytes) + cost.rpc_side_cost(8);
+        let app_rpc = if follower {
+            cost.rpc_batched_side_cost(32 + bytes) + cost.rpc_batched_side_cost(8)
+        } else {
+            cost.rpc_side_cost(32 + bytes) + cost.rpc_side_cost(8)
+        };
         let ser = if value.is_some() {
             cost.serialize_cost(bytes)
         } else {
@@ -697,7 +895,7 @@ impl Deployment {
                 let node = self.remote_node_for(&ckey);
                 if self.reach_cache_node(app, node, now, &mut out) {
                     let lookup_start = now.as_nanos() + out.latency.as_nanos();
-                    let (hit, lat) = self.remote_lookup(app, &ckey, now);
+                    let (hit, lat) = self.remote_lookup_at(app, &ckey, now, now + out.latency);
                     out.latency += lat;
                     self.tracer.span(
                         "cache.lookup",
@@ -717,7 +915,9 @@ impl Deployment {
                             if !out.coalesced {
                                 if let Some(v) = val {
                                     let _ = self.cache_rpc_attempt(app, node);
-                                    out.latency += self.remote_update(app, &ckey, Some(v), now);
+                                    let at = now + out.latency;
+                                    out.latency +=
+                                        self.remote_update_at(app, &ckey, Some(v), now, at);
                                 }
                             }
                             self.finish_read(app, val, now, &mut out);
@@ -941,6 +1141,106 @@ impl Deployment {
         Ok(out)
     }
 
+    /// Serve a multi-key read as one client request (the app-side analogue
+    /// of netrpc's `MGET`). With the Remote architecture and batching
+    /// enabled, keys are grouped per owning cache node into frames of at
+    /// most `max_batch` keys: the first key of each frame pays the full
+    /// fixed per-RPC cost, the rest pay only the amortized per-key
+    /// marginal. Outcomes are position-matched to `keys` and semantically
+    /// identical to serving each key alone — batching moves CPU, never
+    /// hits, misses, or values. Other architectures (and batching off)
+    /// serve each key independently.
+    pub fn serve_kv_read_batch(
+        &mut self,
+        table: &str,
+        keys: &[i64],
+        now: SimTime,
+    ) -> StoreResult<Vec<ServeOutcome>> {
+        if self.config.arch != ArchKind::Remote || !self.config.batching.enabled() {
+            return keys
+                .iter()
+                .map(|&k| self.serve_kv_read(table, k, now))
+                .collect();
+        }
+        let max_batch = self.config.batching.max_batch.max(1) as usize;
+        // One app server fields the whole multi-key request (round-robin).
+        let app = self.route_app(&[]);
+        let ckeys: Vec<Vec<u8>> = keys.iter().map(|&k| Self::cache_key(table, k)).collect();
+        // Group key positions by owning cache node, preserving order
+        // (vec-indexed, so grouping is deterministic).
+        let mut groups: Vec<Vec<usize>> = vec![Vec::new(); self.remote.len().max(1)];
+        for (i, ck) in ckeys.iter().enumerate() {
+            groups[self.remote_node_for(ck)].push(i);
+        }
+        let mut outcomes = vec![ServeOutcome::default(); keys.len()];
+        for (node, members) in groups.iter().enumerate() {
+            for frame in members.chunks(max_batch) {
+                // Frame-level connectivity: one reachability check (with
+                // retries) covers every key in the frame.
+                let mut probe = ServeOutcome::default();
+                let up = self.reach_cache_node(app, node, now, &mut probe);
+                if up {
+                    self.metrics.counter(batch_counters::RPC_BATCHES).inc();
+                    self.metrics
+                        .counter(batch_counters::BATCHED_RPC_KEYS)
+                        .add(frame.len() as u64);
+                    *self
+                        .batch_size_counts
+                        .entry(frame.len() as u32)
+                        .or_insert(0) += 1;
+                    self.tracer.span(
+                        "cache.rpc_batch",
+                        "app",
+                        now.as_nanos() + probe.latency.as_nanos(),
+                        now.as_nanos() + probe.latency.as_nanos(),
+                        frame.len() as u32,
+                        SpanStatus::Ok,
+                    );
+                }
+                for (pos, &i) in frame.iter().enumerate() {
+                    let mut out = ServeOutcome {
+                        latency: probe.latency,
+                        ..ServeOutcome::default()
+                    };
+                    if pos == 0 {
+                        // Retry accounting belongs to the frame, not to
+                        // every rider: charge it once.
+                        out.retries = probe.retries;
+                    }
+                    if !up {
+                        self.degraded_read(app, table, keys[i], &ckeys[i], now, &mut out)?;
+                        outcomes[i] = out;
+                        continue;
+                    }
+                    let (hit, lat) =
+                        self.remote_lookup_role(app, node, &ckeys[i], now, pos > 0);
+                    out.latency += lat;
+                    match hit {
+                        Some(v) => {
+                            out.cache_hit = true;
+                            self.finish_read(app, Some(v), now, &mut out);
+                        }
+                        None => {
+                            let val =
+                                self.storage_fill(app, table, keys[i], &ckeys[i], now, &mut out)?;
+                            if !out.coalesced {
+                                if let Some(v) = val {
+                                    let _ = self.cache_rpc_attempt(app, node);
+                                    let at = now + out.latency;
+                                    out.latency +=
+                                        self.remote_update_at(app, &ckeys[i], Some(v), now, at);
+                                }
+                            }
+                            self.finish_read(app, val, now, &mut out);
+                        }
+                    }
+                    outcomes[i] = out;
+                }
+            }
+        }
+        Ok(outcomes)
+    }
+
     /// The §5.5 version check plus the app-side RPC around it.
     pub(crate) fn version_check(
         &mut self,
@@ -1029,7 +1329,8 @@ impl Deployment {
                 // misses and refills.
                 let node = self.remote_node_for(&ckey);
                 if self.cache_rpc_attempt(app, node) {
-                    out.latency += self.remote_update(app, &ckey, None, now);
+                    let at = now + out.latency;
+                    out.latency += self.remote_update_at(app, &ckey, None, now, at);
                 } else {
                     // A crashed shard lost the entry anyway (restart is
                     // cold), so skipping the invalidation is safe; record
@@ -1107,7 +1408,8 @@ impl Deployment {
             ArchKind::Remote => {
                 let node = self.remote_node_for(&ckey);
                 if self.cache_rpc_attempt(app, node) {
-                    out.latency += self.remote_update(app, &ckey, None, now);
+                    let at = now + out.latency;
+                    out.latency += self.remote_update_at(app, &ckey, None, now, at);
                 } else {
                     self.metrics
                         .counter(fault_counters::INVALIDATIONS_SKIPPED)
@@ -1599,6 +1901,173 @@ mod tests {
             assert_eq!(d.metrics.counter_value(fault_counters::DEGRADED_READS), 0);
             assert_eq!(d.metrics.counter_value(fault_counters::RETRIES), 0);
             assert_eq!(d.net.dropped, 0, "{arch}");
+        }
+    }
+
+    fn batching_deployment(window_us: f64, max_batch: u32) -> Deployment {
+        let mut cfg = DeploymentConfig::test_small(ArchKind::Remote);
+        cfg.batching = crate::config::BatchingConfig {
+            batch_window_us: window_us,
+            max_batch,
+        };
+        let mut d = Deployment::new(cfg, kv_catalog("kv"));
+        d.cluster
+            .bulk_load(
+                "kv",
+                (0..100i64).map(|k| {
+                    vec![
+                        Datum::Int(k),
+                        Datum::Payload { len: 1000, seed: 0 },
+                    ]
+                }),
+            )
+            .unwrap();
+        d
+    }
+
+    /// Total CPU the remote path burns: app tier + cache tier.
+    fn remote_path_cpu(d: &Deployment) -> SimDuration {
+        d.app_cpu_total().total() + d.cache_cpu_total().total()
+    }
+
+    #[test]
+    fn unwindowed_batching_charges_exactly_like_disabled() {
+        // max_batch > 1 but a zero-length window: every per-request RPC
+        // opens (and closes) its own frame, so CPU must be bit-identical
+        // to batching-off — the knob only moves costs when frames coalesce.
+        let mut off = deployment(ArchKind::Remote);
+        let mut on = batching_deployment(0.0, 8);
+        for i in 0..30u64 {
+            let a = off.serve_kv_read("kv", (i % 7) as i64, t(i + 1)).unwrap();
+            let b = on.serve_kv_read("kv", (i % 7) as i64, t(i + 1)).unwrap();
+            assert_eq!(a, b, "identical outcomes, latency included");
+        }
+        assert_eq!(remote_path_cpu(&off), remote_path_cpu(&on));
+        let frames = on.metrics.counter_value(batch_counters::RPC_BATCHES);
+        let keys = on.metrics.counter_value(batch_counters::BATCHED_RPC_KEYS);
+        assert!(frames > 0, "enabled batching still counts frames");
+        assert_eq!(frames, keys, "zero window ⇒ every frame has one key");
+        assert_eq!(
+            on.batch_size_counts.iter().collect::<Vec<_>>(),
+            vec![(&1u32, &frames)]
+        );
+        assert_eq!(off.metrics.counter_value(batch_counters::RPC_BATCHES), 0);
+    }
+
+    #[test]
+    fn windowed_batching_coalesces_and_trades_latency_for_cpu() {
+        let mut off = deployment(ArchKind::Remote);
+        let mut on = batching_deployment(10_000.0, 4);
+        // Warm one key in both, then read it 16 times in a tight burst that
+        // fits inside one coalescing window.
+        off.serve_kv_read("kv", 1, t(1)).unwrap();
+        on.serve_kv_read("kv", 1, t(1)).unwrap();
+        off.reset_metrics();
+        on.reset_metrics();
+        let mut off_lat = SimDuration::ZERO;
+        let mut on_lat = SimDuration::ZERO;
+        for i in 0..16u64 {
+            let at = t(100_000) + SimDuration::from_micros(i);
+            let a = off.serve_kv_read("kv", 1, at).unwrap();
+            let b = on.serve_kv_read("kv", 1, at).unwrap();
+            assert!(a.cache_hit && b.cache_hit);
+            assert_eq!(a.seed, b.seed);
+            off_lat += a.latency;
+            on_lat += b.latency;
+        }
+        let frames = on.metrics.counter_value(batch_counters::RPC_BATCHES);
+        let keys = on.metrics.counter_value(batch_counters::BATCHED_RPC_KEYS);
+        assert_eq!(keys, 16);
+        assert!(
+            frames < keys,
+            "a burst inside the window must coalesce: {frames} frames for {keys} keys"
+        );
+        assert!(
+            remote_path_cpu(&on) < remote_path_cpu(&off),
+            "coalesced frames must burn less CPU: {:?} vs {:?}",
+            remote_path_cpu(&on),
+            remote_path_cpu(&off)
+        );
+        assert!(
+            on_lat > off_lat,
+            "waiting out the window must show up in latency: {on_lat:?} vs {off_lat:?}"
+        );
+        // Each follower elides the fixed per-RPC cost on both message sides
+        // of both meters (app + cache node).
+        let followers = keys - frames;
+        let saved_per_follower = SimDuration::from_micros_f64(
+            4.0 * (on.config.app_cost.rpc_fixed_us - on.config.app_cost.rpc_batched_key_us),
+        );
+        assert_eq!(
+            remote_path_cpu(&off).as_nanos() - remote_path_cpu(&on).as_nanos(),
+            saved_per_follower.saturating_mul(followers).as_nanos(),
+            "CPU saving must be exactly followers × amortized constant"
+        );
+    }
+
+    #[test]
+    fn explicit_batch_read_matches_sequential_modulo_amortized_constant() {
+        let keys: Vec<i64> = (0..20).collect();
+        let mut seq = deployment(ArchKind::Remote);
+        let mut bat = batching_deployment(0.0, 8);
+        // Identical warmup fills in both; meters reset after.
+        for (i, &k) in keys.iter().enumerate() {
+            seq.serve_kv_read("kv", k, t(i as u64 + 1)).unwrap();
+            bat.serve_kv_read("kv", k, t(i as u64 + 1)).unwrap();
+        }
+        seq.reset_metrics();
+        bat.reset_metrics();
+
+        let seq_outs: Vec<ServeOutcome> = keys
+            .iter()
+            .map(|&k| seq.serve_kv_read("kv", k, t(1000)).unwrap())
+            .collect();
+        let bat_outs = bat.serve_kv_read_batch("kv", &keys, t(1000)).unwrap();
+
+        assert_eq!(bat_outs.len(), seq_outs.len());
+        for (a, b) in seq_outs.iter().zip(&bat_outs) {
+            // Same semantics: hit/miss, value identity, version. Latency is
+            // *not* compared — followers' cheaper RPC legs shorten it.
+            assert_eq!(a.cache_hit, b.cache_hit);
+            assert_eq!(a.bytes, b.bytes);
+            assert_eq!(a.seed, b.seed);
+            assert_eq!(a.version, b.version);
+            assert_eq!(a.not_found, b.not_found);
+            assert!(b.cache_hit, "warmed keys must hit");
+        }
+        let frames = bat.metrics.counter_value(batch_counters::RPC_BATCHES);
+        let carried = bat.metrics.counter_value(batch_counters::BATCHED_RPC_KEYS);
+        assert_eq!(carried, keys.len() as u64);
+        assert!(frames < carried, "chunks of 8 must produce followers");
+        let followers = carried - frames;
+        let saved_per_follower = SimDuration::from_micros_f64(
+            4.0 * (bat.config.app_cost.rpc_fixed_us - bat.config.app_cost.rpc_batched_key_us),
+        );
+        assert_eq!(
+            remote_path_cpu(&seq).as_nanos() - remote_path_cpu(&bat).as_nanos(),
+            saved_per_follower.saturating_mul(followers).as_nanos()
+        );
+        // The size histogram accounts for every key exactly once.
+        let histo_keys: u64 = bat
+            .batch_size_counts
+            .iter()
+            .map(|(&s, &c)| s as u64 * c)
+            .sum();
+        assert_eq!(histo_keys, carried);
+    }
+
+    #[test]
+    fn batch_read_on_non_remote_archs_loops_the_scalar_path() {
+        for arch in [ArchKind::Base, ArchKind::Linked] {
+            let mut a = deployment(arch);
+            let mut b = deployment(arch);
+            let keys: Vec<i64> = (0..6).collect();
+            let singles: Vec<ServeOutcome> = keys
+                .iter()
+                .map(|&k| a.serve_kv_read("kv", k, t(5)).unwrap())
+                .collect();
+            let batched = b.serve_kv_read_batch("kv", &keys, t(5)).unwrap();
+            assert_eq!(singles, batched, "{arch}");
         }
     }
 

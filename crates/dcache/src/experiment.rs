@@ -12,7 +12,7 @@
 //! paper measures steady state.
 
 use crate::config::{ArchKind, DeploymentConfig};
-use crate::deployment::{fault_counters, kv_catalog, Deployment};
+use crate::deployment::{batch_counters, fault_counters, kv_catalog, Deployment};
 use costmodel::{CostBreakdown, Pricing, ResourceUsage};
 use serde::Serialize;
 use simnet::{
@@ -132,6 +132,14 @@ pub struct ExperimentReport {
     /// Fault-fabric messages delivered / dropped during the measured window.
     pub net_delivered: u64,
     pub net_dropped: u64,
+    /// Remote-RPC frames issued while batching was enabled (0 otherwise).
+    pub rpc_batches: u64,
+    /// Keys that traveled in those frames (openers + followers).
+    pub batched_rpc_keys: u64,
+    /// Mean keys per frame; 0.0 when no frames were issued.
+    pub mean_batch_size: f64,
+    /// Frame-size histogram: `(size, frames)`, sorted by size ascending.
+    pub batch_size_counts: Vec<(u32, u64)>,
 }
 
 impl ExperimentReport {
@@ -373,6 +381,12 @@ pub(crate) fn build_report(
     let total_cores: f64 = tiers.iter().map(|t| t.cores).sum();
     let total_mem_gb: f64 = tiers.iter().map(|t| t.mem_gb).sum();
 
+    let rpc_batches = dep.metrics.counter_value(batch_counters::RPC_BATCHES);
+    let batched_rpc_keys = dep.metrics.counter_value(batch_counters::BATCHED_RPC_KEYS);
+    let mut batch_size_counts: Vec<(u32, u64)> =
+        dep.batch_size_counts.iter().map(|(&s, &c)| (s, c)).collect();
+    batch_size_counts.sort_unstable();
+
     ExperimentReport {
         arch: cfg.arch,
         qps,
@@ -406,6 +420,14 @@ pub(crate) fn build_report(
         cache_restarts: dep.metrics.counter_value(fault_counters::CACHE_RESTARTS),
         net_delivered: dep.net.delivered,
         net_dropped: dep.net.dropped,
+        rpc_batches,
+        batched_rpc_keys,
+        mean_batch_size: if rpc_batches == 0 {
+            0.0
+        } else {
+            batched_rpc_keys as f64 / rpc_batches as f64
+        },
+        batch_size_counts,
     }
 }
 
@@ -512,6 +534,18 @@ fn export_registry(
     );
     reg.set_counter("dcache_net_delivered_total", labels, report.net_delivered);
     reg.set_counter("dcache_net_dropped_total", labels, report.net_dropped);
+    reg.describe(
+        "dcache_rpc_batches_total",
+        Counter,
+        "Coalesced remote-RPC frames issued (batching enabled only).",
+    );
+    reg.set_counter("dcache_rpc_batches_total", labels, report.rpc_batches);
+    reg.set_counter(
+        "dcache_batched_rpc_keys_total",
+        labels,
+        report.batched_rpc_keys,
+    );
+    reg.set_gauge("dcache_mean_batch_size", labels, report.mean_batch_size);
 
     reg.describe(
         "dcache_monthly_cost_dollars",
@@ -785,7 +819,7 @@ pub fn run_trace_experiment(
             measuring = true;
             measure_start = now;
         }
-        if i as u64 % heartbeat_every == 0 {
+        if (i as u64).is_multiple_of(heartbeat_every) {
             dep.cluster.tick(now);
             dep.sharder.renew_all(now);
         }

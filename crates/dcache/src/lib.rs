@@ -39,6 +39,8 @@ pub mod lease;
 pub mod sessionapp;
 pub mod unityapp;
 
-pub use config::{AppCostConfig, ArchKind, DeploymentConfig, FaultToleranceConfig, RetryPolicy};
-pub use deployment::{fault_counters, Deployment, ServeOutcome};
+pub use config::{
+    AppCostConfig, ArchKind, BatchingConfig, DeploymentConfig, FaultToleranceConfig, RetryPolicy,
+};
+pub use deployment::{batch_counters, fault_counters, Deployment, ServeOutcome};
 pub use experiment::{run_kv_experiment, ExperimentReport, KvExperimentConfig};

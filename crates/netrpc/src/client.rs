@@ -111,4 +111,55 @@ impl CacheClient {
             other => Err(protocol_err(format!("unexpected response {other:?}"))),
         }
     }
+
+    /// MGET: fetch many keys in one frame. Results come back in request
+    /// order, `None` marking a miss — semantically identical to N
+    /// sequential [`Self::get`] calls, minus N−1 round trips.
+    pub async fn mget(&mut self, keys: &[&[u8]]) -> io::Result<Vec<Option<(Vec<u8>, u64)>>> {
+        let req = Request::MGet {
+            keys: keys.iter().map(|k| k.to_vec()).collect(),
+        };
+        match self.call(req).await? {
+            Response::Values { items } => {
+                if items.len() != keys.len() {
+                    return Err(protocol_err(format!(
+                        "mget returned {} items for {} keys",
+                        items.len(),
+                        keys.len()
+                    )));
+                }
+                Ok(items)
+            }
+            other => Err(protocol_err(format!("unexpected response {other:?}"))),
+        }
+    }
+
+    /// MSET: store many entries in one frame (one optional TTL for all).
+    /// Returns the assigned versions in entry order.
+    pub async fn mset(
+        &mut self,
+        entries: &[(&[u8], &[u8])],
+        ttl_ms: Option<u64>,
+    ) -> io::Result<Vec<u64>> {
+        let req = Request::MSet {
+            entries: entries
+                .iter()
+                .map(|(k, v)| (k.to_vec(), v.to_vec()))
+                .collect(),
+            ttl_ms,
+        };
+        match self.call(req).await? {
+            Response::StoredMany { versions } => {
+                if versions.len() != entries.len() {
+                    return Err(protocol_err(format!(
+                        "mset returned {} versions for {} entries",
+                        versions.len(),
+                        entries.len()
+                    )));
+                }
+                Ok(versions)
+            }
+            other => Err(protocol_err(format!("unexpected response {other:?}"))),
+        }
+    }
 }

@@ -30,6 +30,15 @@ pub enum Request {
     Stats,
     /// Liveness probe.
     Ping,
+    /// Batched GET: fetch many keys in one frame, amortizing the per-frame
+    /// cost (syscalls, framing, scheduling) over the whole batch.
+    MGet { keys: Vec<Vec<u8>> },
+    /// Batched SET: store many entries in one frame. One optional TTL
+    /// applies to every entry in the batch.
+    MSet {
+        entries: Vec<(Vec<u8>, Vec<u8>)>,
+        ttl_ms: Option<u64>,
+    },
 }
 
 /// Server → client messages.
@@ -55,6 +64,13 @@ pub enum Response {
     Pong,
     /// Protocol or server error, with a human-readable reason.
     Error { message: String },
+    /// MGET reply: one entry per requested key, in request order.
+    /// `None` marks a miss.
+    Values {
+        items: Vec<Option<(Vec<u8>, u64)>>,
+    },
+    /// MSET acknowledged: the assigned versions, in request order.
+    StoredMany { versions: Vec<u64> },
 }
 
 /// Errors surfaced while decoding.
@@ -103,6 +119,20 @@ fn take_u64(buf: &mut Bytes) -> Result<u64, CodecError> {
     Ok(buf.get_u64_le())
 }
 
+/// Read a batch element count. Guards against corrupt counts before any
+/// allocation: each element occupies at least `min_elem_bytes` of payload,
+/// so a larger count cannot be honest.
+fn take_count(buf: &mut Bytes, min_elem_bytes: usize) -> Result<usize, CodecError> {
+    if buf.remaining() < 4 {
+        return Err(CodecError::Corrupt("missing count"));
+    }
+    let count = buf.get_u32_le() as usize;
+    if count > buf.remaining() / min_elem_bytes.max(1) {
+        return Err(CodecError::Corrupt("batch count exceeds payload"));
+    }
+    Ok(count)
+}
+
 impl Request {
     /// Append this request as one frame (length prefix included).
     pub fn encode(&self, buf: &mut BytesMut) {
@@ -134,6 +164,28 @@ impl Request {
             }
             Request::Stats => payload.put_u8(4),
             Request::Ping => payload.put_u8(5),
+            Request::MGet { keys } => {
+                payload.put_u8(6);
+                payload.put_u32_le(keys.len() as u32);
+                for key in keys {
+                    put_bytes(&mut payload, key);
+                }
+            }
+            Request::MSet { entries, ttl_ms } => {
+                payload.put_u8(7);
+                payload.put_u32_le(entries.len() as u32);
+                for (key, value) in entries {
+                    put_bytes(&mut payload, key);
+                    put_bytes(&mut payload, value);
+                }
+                match ttl_ms {
+                    None => payload.put_u8(0),
+                    Some(t) => {
+                        payload.put_u8(1);
+                        payload.put_u64_le(*t);
+                    }
+                }
+            }
         }
         buf.put_u32_le(payload.len() as u32);
         buf.extend_from_slice(&payload);
@@ -169,6 +221,32 @@ impl Request {
             },
             4 => Request::Stats,
             5 => Request::Ping,
+            6 => {
+                let count = take_count(&mut payload, 4)?;
+                let mut keys = Vec::with_capacity(count);
+                for _ in 0..count {
+                    keys.push(take_bytes(&mut payload)?);
+                }
+                Request::MGet { keys }
+            }
+            7 => {
+                let count = take_count(&mut payload, 8)?;
+                let mut entries = Vec::with_capacity(count);
+                for _ in 0..count {
+                    let key = take_bytes(&mut payload)?;
+                    let value = take_bytes(&mut payload)?;
+                    entries.push((key, value));
+                }
+                if payload.remaining() < 1 {
+                    return Err(CodecError::Corrupt("missing ttl flag"));
+                }
+                let ttl_ms = match payload.get_u8() {
+                    0 => None,
+                    1 => Some(take_u64(&mut payload)?),
+                    _ => return Err(CodecError::Corrupt("bad ttl flag")),
+                };
+                Request::MSet { entries, ttl_ms }
+            }
             _ => return Err(CodecError::Corrupt("unknown request tag")),
         };
         if payload.has_remaining() {
@@ -214,6 +292,27 @@ impl Response {
                 payload.put_u8(7);
                 put_bytes(&mut payload, message.as_bytes());
             }
+            Response::Values { items } => {
+                payload.put_u8(8);
+                payload.put_u32_le(items.len() as u32);
+                for item in items {
+                    match item {
+                        None => payload.put_u8(0),
+                        Some((value, version)) => {
+                            payload.put_u8(1);
+                            put_bytes(&mut payload, value);
+                            payload.put_u64_le(*version);
+                        }
+                    }
+                }
+            }
+            Response::StoredMany { versions } => {
+                payload.put_u8(9);
+                payload.put_u32_le(versions.len() as u32);
+                for v in versions {
+                    payload.put_u64_le(*v);
+                }
+            }
         }
         buf.put_u32_le(payload.len() as u32);
         buf.extend_from_slice(&payload);
@@ -246,6 +345,33 @@ impl Response {
                 message: String::from_utf8(take_bytes(&mut payload)?)
                     .map_err(|_| CodecError::Corrupt("error message not utf8"))?,
             },
+            8 => {
+                let count = take_count(&mut payload, 1)?;
+                let mut items = Vec::with_capacity(count);
+                for _ in 0..count {
+                    if payload.remaining() < 1 {
+                        return Err(CodecError::Corrupt("missing hit flag"));
+                    }
+                    match payload.get_u8() {
+                        0 => items.push(None),
+                        1 => {
+                            let value = take_bytes(&mut payload)?;
+                            let version = take_u64(&mut payload)?;
+                            items.push(Some((value, version)));
+                        }
+                        _ => return Err(CodecError::Corrupt("bad hit flag")),
+                    }
+                }
+                Response::Values { items }
+            }
+            9 => {
+                let count = take_count(&mut payload, 8)?;
+                let mut versions = Vec::with_capacity(count);
+                for _ in 0..count {
+                    versions.push(take_u64(&mut payload)?);
+                }
+                Response::StoredMany { versions }
+            }
             _ => return Err(CodecError::Corrupt("unknown response tag")),
         };
         if payload.has_remaining() {
@@ -311,6 +437,22 @@ mod tests {
         round_trip_request(Request::Version { key: b"v".to_vec() });
         round_trip_request(Request::Stats);
         round_trip_request(Request::Ping);
+        round_trip_request(Request::MGet { keys: vec![] });
+        round_trip_request(Request::MGet {
+            keys: vec![b"a".to_vec(), vec![], vec![7; 300]],
+        });
+        round_trip_request(Request::MSet {
+            entries: vec![],
+            ttl_ms: None,
+        });
+        round_trip_request(Request::MSet {
+            entries: vec![
+                (b"k1".to_vec(), vec![1; 100]),
+                (vec![], vec![]),
+                (b"k3".to_vec(), vec![3; 4096]),
+            ],
+            ttl_ms: Some(12_345),
+        });
     }
 
     #[test]
@@ -333,6 +475,66 @@ mod tests {
         round_trip_response(Response::Error {
             message: "nope".into(),
         });
+        round_trip_response(Response::Values { items: vec![] });
+        round_trip_response(Response::Values {
+            items: vec![
+                Some((vec![1; 64], 9)),
+                None,
+                Some((vec![], u64::MAX)),
+                None,
+            ],
+        });
+        round_trip_response(Response::StoredMany { versions: vec![] });
+        round_trip_response(Response::StoredMany {
+            versions: vec![1, 2, u64::MAX],
+        });
+    }
+
+    #[test]
+    fn dishonest_batch_counts_are_rejected_before_allocation() {
+        // An MGET frame claiming u32::MAX keys in a 16-byte payload must be
+        // rejected by the count guard, not by a giant Vec::with_capacity.
+        let mut buf = BytesMut::new();
+        let mut payload = BytesMut::new();
+        payload.put_u8(6);
+        payload.put_u32_le(u32::MAX);
+        payload.put_slice(&[0; 16]);
+        buf.put_u32_le(payload.len() as u32);
+        buf.extend_from_slice(&payload);
+        assert_eq!(
+            Request::decode(&mut buf),
+            Err(CodecError::Corrupt("batch count exceeds payload"))
+        );
+
+        // Same for a Values response claiming more items than bytes.
+        let mut buf = BytesMut::new();
+        let mut payload = BytesMut::new();
+        payload.put_u8(8);
+        payload.put_u32_le(1_000);
+        payload.put_slice(&[0; 8]);
+        buf.put_u32_le(payload.len() as u32);
+        buf.extend_from_slice(&payload);
+        assert_eq!(
+            Response::decode(&mut buf),
+            Err(CodecError::Corrupt("batch count exceeds payload"))
+        );
+    }
+
+    #[test]
+    fn batch_frames_with_trailing_bytes_are_rejected() {
+        // An MGET payload with one key plus a stray trailing byte.
+        let mut payload = BytesMut::new();
+        payload.put_u8(6);
+        payload.put_u32_le(1);
+        put_bytes(&mut payload, b"k");
+        payload.put_u8(0xAB);
+        let mut buf = BytesMut::new();
+        buf.put_u32_le(payload.len() as u32);
+        buf.extend_from_slice(&payload);
+        assert_eq!(
+            Request::decode(&mut buf),
+            Err(CodecError::Corrupt("trailing bytes"))
+        );
     }
 
     #[test]

@@ -8,16 +8,22 @@
 //!
 //! * [`codec`] — the wire format: `u32` length prefix + tagged payload,
 //!   encoded/decoded with `bytes`. Every message round-trips bit-exactly
-//!   (property-tested).
+//!   (property-tested). Includes the batched `MGET`/`MSET` operations,
+//!   which carry many keys/entries per frame so the fixed per-RPC cost
+//!   (syscalls, framing, scheduling) is paid once per batch.
 //! * [`server`] — the cache server: one tokio task per connection, a
 //!   sharded in-memory store built on [`cachekit::Cache`], per-key MVCC
 //!   versions (`SET` returns the new version; `VERSION` reads it — the
-//!   §5.5 "version check" as a real network operation), and graceful
-//!   shutdown via a watch channel.
-//! * [`client`] — a straightforward request/response client.
+//!   §5.5 "version check" as a real network operation), whole-batch
+//!   `MGET`/`MSET` application under a single lock acquisition, and
+//!   graceful shutdown via a watch channel.
+//! * [`client`] — a straightforward request/response client, including
+//!   `mget`/`mset` batch helpers.
 //! * [`resilient`] — the fault-tolerant client: per-request deadlines,
 //!   automatic reconnect with jittered backoff, bounded retries on
-//!   idempotent operations, and an open/half-open circuit breaker.
+//!   idempotent operations (GET / VERSION / STATS / PING / MGET — a
+//!   batched read is still safe to replay; MSET, like SET, is attempted
+//!   once), and an open/half-open circuit breaker.
 //! * [`obs`] — wall-clock tracing: attach a [`obs::SharedTraceSink`] to
 //!   the resilient client and/or the server's [`server::Shared`] and every
 //!   RPC attempt / server apply records a `telemetry` span.

@@ -55,13 +55,13 @@ impl Default for RetryPolicy {
 
 impl RetryPolicy {
     /// Delay before retry number `attempt` (0-based), with `unit` ∈ [0, 1)
-    /// supplying the jitter draw.
+    /// supplying the jitter draw. `max_backoff` bounds the *jittered* delay:
+    /// clamping before stretching let the result exceed the configured
+    /// maximum by up to `1 + jitter`×.
     pub fn backoff(&self, attempt: u32, unit: f64) -> Duration {
-        let exp = self
-            .base_backoff
-            .saturating_mul(1u32 << attempt.min(16))
-            .min(self.max_backoff);
-        exp.mul_f64(1.0 + self.jitter.clamp(0.0, 1.0) * unit.clamp(0.0, 1.0))
+        let exp = self.base_backoff.saturating_mul(1u32 << attempt.min(16));
+        let jittered = exp.mul_f64(1.0 + self.jitter.clamp(0.0, 1.0) * unit.clamp(0.0, 1.0));
+        jittered.min(self.max_backoff)
     }
 }
 
@@ -403,6 +403,58 @@ impl ResilientClient {
             other => Err(protocol_err(format!("unexpected response {other:?}"))),
         }
     }
+
+    /// MGET with deadline + retries. A batched read is still a read:
+    /// replaying it cannot double-apply anything, so the whole frame is
+    /// retried under [`RetryPolicy`] like a single GET.
+    pub async fn mget(&mut self, keys: &[&[u8]]) -> io::Result<Vec<Option<(Vec<u8>, u64)>>> {
+        let req = Request::MGet {
+            keys: keys.iter().map(|k| k.to_vec()).collect(),
+        };
+        match self.call_idempotent(req).await? {
+            Response::Values { items } => {
+                if items.len() != keys.len() {
+                    return Err(protocol_err(format!(
+                        "mget returned {} items for {} keys",
+                        items.len(),
+                        keys.len()
+                    )));
+                }
+                Ok(items)
+            }
+            other => Err(protocol_err(format!("unexpected response {other:?}"))),
+        }
+    }
+
+    /// MSET with deadline, single attempt: a timed-out batch may have been
+    /// applied in part or in full on the server, so — like SET — it is
+    /// never blindly replayed.
+    pub async fn mset(
+        &mut self,
+        entries: &[(&[u8], &[u8])],
+        ttl_ms: Option<u64>,
+    ) -> io::Result<Vec<u64>> {
+        let req = Request::MSet {
+            entries: entries
+                .iter()
+                .map(|(k, v)| (k.to_vec(), v.to_vec()))
+                .collect(),
+            ttl_ms,
+        };
+        match self.call_once(req).await? {
+            Response::StoredMany { versions } => {
+                if versions.len() != entries.len() {
+                    return Err(protocol_err(format!(
+                        "mset returned {} versions for {} entries",
+                        versions.len(),
+                        entries.len()
+                    )));
+                }
+                Ok(versions)
+            }
+            other => Err(protocol_err(format!("unexpected response {other:?}"))),
+        }
+    }
 }
 
 #[cfg(test)]
@@ -422,6 +474,33 @@ mod tests {
         assert_eq!(p.backoff(2, 0.0), Duration::from_millis(40));
         assert_eq!(p.backoff(3, 0.0), Duration::from_millis(60), "capped");
         assert_eq!(p.backoff(0, 1.0), Duration::from_millis(15), "max jitter");
+    }
+
+    #[test]
+    fn jittered_backoff_never_exceeds_max() {
+        // Regression: jitter used to be applied after the clamp, so a
+        // capped delay could come out up to (1 + jitter)× the configured
+        // maximum. The cap must bound the final, jittered delay.
+        let p = RetryPolicy {
+            max_retries: 8,
+            base_backoff: Duration::from_millis(10),
+            max_backoff: Duration::from_millis(60),
+            jitter: 0.5,
+        };
+        for attempt in 0..10 {
+            for unit in [0.0, 0.25, 0.5, 0.75, 0.999, 1.0] {
+                let b = p.backoff(attempt, unit);
+                assert!(
+                    b <= p.max_backoff,
+                    "attempt {attempt} unit {unit}: {b:?} exceeds max {:?}",
+                    p.max_backoff
+                );
+            }
+        }
+        // At the cap, jitter has nothing left to stretch.
+        assert_eq!(p.backoff(3, 1.0), Duration::from_millis(60));
+        // Below the cap, jitter still applies in full.
+        assert_eq!(p.backoff(1, 1.0), Duration::from_millis(30));
     }
 
     #[test]

@@ -74,6 +74,8 @@ impl Shared {
             Request::Version { .. } => "net.server_version",
             Request::Stats => "net.server_stats",
             Request::Ping => "net.server_ping",
+            Request::MGet { .. } => "net.server_mget",
+            Request::MSet { .. } => "net.server_mset",
         };
         let sink = self.trace_sink.lock().clone();
         let start = now_nanos();
@@ -132,6 +134,46 @@ impl Shared {
                 }
             }
             Request::Ping => Response::Pong,
+            // Batched ops apply the whole frame under one lock acquisition:
+            // that single traversal of socket + lock + dispatch is exactly
+            // the fixed per-RPC cost MGET/MSET exist to amortize.
+            Request::MGet { keys } => {
+                let mut items = Vec::with_capacity(keys.len());
+                for key in keys {
+                    items.push(
+                        store
+                            .cache
+                            .get(&key, now)
+                            .map(|e| (e.value.clone(), e.version)),
+                    );
+                }
+                Response::Values { items }
+            }
+            Request::MSet { entries, ttl_ms } => {
+                let mut versions = Vec::with_capacity(entries.len());
+                for (key, value) in entries {
+                    let version = store.next_version;
+                    store.next_version += 1;
+                    let bytes = value.len() as u64;
+                    let entry = Entry { value, version };
+                    match ttl_ms {
+                        Some(t) => {
+                            store.cache.insert_with_ttl(
+                                key,
+                                entry,
+                                bytes,
+                                now,
+                                t.saturating_mul(1_000_000),
+                            );
+                        }
+                        None => {
+                            store.cache.insert(key, entry, bytes, now);
+                        }
+                    }
+                    versions.push(version);
+                }
+                Response::StoredMany { versions }
+            }
         }
     }
 }
@@ -329,6 +371,51 @@ mod tests {
     fn ping_pongs() {
         let shared = Shared::new(1024);
         assert_eq!(shared.apply(Request::Ping), Response::Pong);
+    }
+
+    #[test]
+    fn mset_then_mget_match_sequential_semantics() {
+        let shared = Shared::new(1 << 20);
+        let versions = match shared.apply(Request::MSet {
+            entries: vec![
+                (b"a".to_vec(), b"1".to_vec()),
+                (b"b".to_vec(), b"22".to_vec()),
+                (b"c".to_vec(), b"333".to_vec()),
+            ],
+            ttl_ms: None,
+        }) {
+            Response::StoredMany { versions } => versions,
+            other => panic!("{other:?}"),
+        };
+        assert_eq!(versions.len(), 3);
+        // Versions are assigned in entry order, strictly increasing — the
+        // same sequence three sequential SETs would have produced.
+        assert!(versions.windows(2).all(|w| w[0] < w[1]));
+
+        match shared.apply(Request::MGet {
+            keys: vec![b"b".to_vec(), b"missing".to_vec(), b"a".to_vec()],
+        }) {
+            Response::Values { items } => {
+                assert_eq!(items.len(), 3);
+                assert_eq!(items[0], Some((b"22".to_vec(), versions[1])));
+                assert_eq!(items[1], None);
+                assert_eq!(items[2], Some((b"1".to_vec(), versions[0])));
+            }
+            other => panic!("{other:?}"),
+        }
+
+        // Empty batches are legal no-ops.
+        assert_eq!(
+            shared.apply(Request::MGet { keys: vec![] }),
+            Response::Values { items: vec![] }
+        );
+        assert_eq!(
+            shared.apply(Request::MSet {
+                entries: vec![],
+                ttl_ms: None
+            }),
+            Response::StoredMany { versions: vec![] }
+        );
     }
 
     #[test]

@@ -136,7 +136,12 @@ proptest! {
         key in proptest::collection::vec(any::<u8>(), 0..64),
         value in proptest::collection::vec(any::<u8>(), 0..512),
         ttl in proptest::option::of(any::<u64>()),
-        which in 0u8..6,
+        keys in proptest::collection::vec(proptest::collection::vec(any::<u8>(), 0..32), 0..16),
+        entries in proptest::collection::vec(
+            (proptest::collection::vec(any::<u8>(), 0..32), proptest::collection::vec(any::<u8>(), 0..128)),
+            0..16,
+        ),
+        which in 0u8..8,
     ) {
         let req = match which {
             0 => Request::Get { key },
@@ -144,11 +149,33 @@ proptest! {
             2 => Request::Del { key },
             3 => Request::Version { key },
             4 => Request::Stats,
+            5 => Request::MGet { keys },
+            6 => Request::MSet { entries, ttl_ms: ttl },
             _ => Request::Ping,
         };
         let mut buf = BytesMut::new();
         req.encode(&mut buf);
         prop_assert_eq!(Request::decode(&mut buf), Ok(req));
+        prop_assert!(buf.is_empty());
+    }
+
+    /// Batched responses round-trip bit-exactly, hits and misses mixed.
+    #[test]
+    fn batched_response_round_trip(
+        items in proptest::collection::vec(
+            proptest::option::of((proptest::collection::vec(any::<u8>(), 0..128), any::<u64>())),
+            0..16,
+        ),
+        versions in proptest::collection::vec(any::<u64>(), 0..16),
+        which in 0u8..2,
+    ) {
+        let resp = match which {
+            0 => Response::Values { items },
+            _ => Response::StoredMany { versions },
+        };
+        let mut buf = BytesMut::new();
+        resp.encode(&mut buf);
+        prop_assert_eq!(Response::decode(&mut buf), Ok(resp));
         prop_assert!(buf.is_empty());
     }
 

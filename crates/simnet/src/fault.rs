@@ -127,7 +127,7 @@ impl FaultSchedule {
         let mut at = first_at;
         while at < until {
             self.crash_for(at, node, downtime);
-            at = at + period;
+            at += period;
         }
         self
     }

@@ -873,10 +873,12 @@ mod tests {
     #[test]
     fn block_cache_evicts_and_rewarns() {
         // One-block cache per pod: alternating keys thrash it.
-        let mut cfg = ClusterConfig::default();
-        cfg.block_cache_bytes = 33_000; // fits exactly one 32 KiB block
-        cfg.storage_nodes = 1; // single pod so both keys share the cache
-        cfg.replicas = 1;
+        let cfg = ClusterConfig {
+            block_cache_bytes: 33_000, // fits exactly one 32 KiB block
+            storage_nodes: 1,          // single pod so both keys share the cache
+            replicas: 1,
+            ..ClusterConfig::default()
+        };
         let mut c = SqlCluster::new(catalog(), cfg);
         c.execute("INSERT INTO kv VALUES (1, ?)", &[Datum::Bytes(vec![0; 100])], t(0))
             .unwrap();

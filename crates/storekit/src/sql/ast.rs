@@ -92,15 +92,15 @@ impl CmpOp {
     /// incomparable pair — e.g. anything with NULL — satisfies nothing).
     pub fn eval(self, ord: Option<std::cmp::Ordering>) -> bool {
         use std::cmp::Ordering::*;
-        match (self, ord) {
-            (CmpOp::Eq, Some(Equal)) => true,
-            (CmpOp::Neq, Some(Less | Greater)) => true,
-            (CmpOp::Lt, Some(Less)) => true,
-            (CmpOp::Le, Some(Less | Equal)) => true,
-            (CmpOp::Gt, Some(Greater)) => true,
-            (CmpOp::Ge, Some(Greater | Equal)) => true,
-            _ => false,
-        }
+        matches!(
+            (self, ord),
+            (CmpOp::Eq, Some(Equal))
+                | (CmpOp::Neq, Some(Less | Greater))
+                | (CmpOp::Lt, Some(Less))
+                | (CmpOp::Le, Some(Less | Equal))
+                | (CmpOp::Gt, Some(Greater))
+                | (CmpOp::Ge, Some(Greater | Equal))
+        )
     }
 }
 

@@ -58,7 +58,7 @@ impl SizeDist {
     /// Mean size estimated over a keyspace of `n` keys (used for converting
     /// byte capacities to entry counts in the analytic model).
     pub fn mean_over_keys(&self, n: u64, seed: u64) -> f64 {
-        let sample = n.min(10_000).max(1);
+        let sample = n.clamp(1, 10_000);
         let total: u64 = (0..sample)
             .map(|i| self.size_of(i * n.max(1) / sample, seed))
             .sum();

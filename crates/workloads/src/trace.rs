@@ -85,13 +85,56 @@ pub fn capture(workload: &mut KvWorkload, n: usize) -> Vec<TraceRecord> {
 }
 
 /// Write records as JSON lines.
+///
+/// The record is flat enough that the codec is hand-rolled (like
+/// `bench::golden`'s canonical JSON): trace capture and replay then work —
+/// and round-trip byte-for-byte — in every build of this repo, with no
+/// serializer behind them to drift.
 pub fn write_jsonl<W: Write>(records: &[TraceRecord], mut w: W) -> Result<(), TraceError> {
     for r in records {
-        serde_json::to_writer(&mut w, r)
-            .map_err(|e| TraceError::Parse { line: 0, message: e.to_string() })?;
-        w.write_all(b"\n")?;
+        writeln!(w, "{{\"op\":\"{}\",\"k\":{},\"b\":{}}}", r.op, r.k, r.b)?;
     }
     Ok(())
+}
+
+/// Parse one `{"op":"r","k":123,"b":1024}` line. Fields may come in any
+/// order and carry arbitrary whitespace, but all three must be present
+/// exactly once and nothing else may appear.
+fn parse_record(s: &str) -> Result<TraceRecord, String> {
+    let inner = s
+        .strip_prefix('{')
+        .and_then(|t| t.strip_suffix('}'))
+        .ok_or("expected a JSON object")?;
+    let (mut op, mut k, mut b) = (None::<char>, None::<u64>, None::<u64>);
+    for field in inner.split(',') {
+        let (key, value) = field.split_once(':').ok_or("expected \"key\": value")?;
+        let key = key.trim().strip_prefix('"').and_then(|t| t.strip_suffix('"'));
+        let value = value.trim();
+        match key {
+            Some("op") => {
+                let c = value
+                    .strip_prefix('"')
+                    .and_then(|t| t.strip_suffix('"'))
+                    .filter(|t| t.chars().count() == 1)
+                    .ok_or("\"op\" must be a one-character string")?;
+                if op.replace(c.chars().next().unwrap()).is_some() {
+                    return Err("duplicate field \"op\"".into());
+                }
+            }
+            Some(name @ ("k" | "b")) => {
+                let n: u64 = value.parse().map_err(|_| format!("\"{name}\" must be a u64"))?;
+                let slot = if name == "k" { &mut k } else { &mut b };
+                if slot.replace(n).is_some() {
+                    return Err(format!("duplicate field \"{name}\""));
+                }
+            }
+            _ => return Err(format!("unexpected field {}", field.trim())),
+        }
+    }
+    match (op, k, b) {
+        (Some(op), Some(k), Some(b)) => Ok(TraceRecord { op, k, b }),
+        _ => Err("missing field (need \"op\", \"k\", \"b\")".into()),
+    }
 }
 
 /// Read JSON-lines records; blank lines are skipped, malformed lines error
@@ -104,9 +147,9 @@ pub fn read_jsonl<R: BufRead>(r: R) -> Result<Vec<TraceRecord>, TraceError> {
         if trimmed.is_empty() {
             continue;
         }
-        let record: TraceRecord = serde_json::from_str(trimmed).map_err(|e| TraceError::Parse {
+        let record = parse_record(trimmed).map_err(|message| TraceError::Parse {
             line: i + 1,
-            message: e.to_string(),
+            message,
         })?;
         // Validate op eagerly so replay can't fail later.
         record.to_request()?;

@@ -30,7 +30,7 @@ fn golden_dir() -> PathBuf {
 }
 
 fn bless_mode() -> bool {
-    std::env::var("UPDATE_GOLDEN").map_or(false, |v| v == "1")
+    std::env::var("UPDATE_GOLDEN").is_ok_and(|v| v == "1")
 }
 
 #[test]

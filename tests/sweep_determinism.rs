@@ -104,6 +104,37 @@ fn parallel_sweep_telemetry_exports_are_byte_identical() {
 }
 
 #[test]
+fn parallel_batching_sweep_is_byte_identical_to_sequential() {
+    // The batching ablation carries extra per-run state (coalescing
+    // windows, the frame-size histogram) that must stay inside each
+    // experiment; a jobs=1 and a jobs=4 sweep over the same specs must
+    // serialize to the same bytes, report batch counters included.
+    use bench::batching::{run_sweep, sweep_specs};
+    let specs = sweep_specs();
+    let seq = run_sweep(&SweepRunner::sequential(), &specs, 500, 1_000);
+    let par = run_sweep(&SweepRunner::new(4), &specs, 500, 1_000);
+
+    assert_eq!(seq.len(), par.len());
+    let mut coalesced_cells = 0;
+    for (i, (s, p)) in seq.iter().zip(&par).enumerate() {
+        assert_eq!(
+            format!("{s:?}"),
+            format!("{p:?}"),
+            "batching spec {i} (max_batch {}): parallel diverged",
+            specs[i].max_batch
+        );
+        if s.mean_batch_size > 1.0 {
+            coalesced_cells += 1;
+        }
+    }
+    // The sweep must actually exercise coalescing, not just the baseline.
+    assert!(
+        coalesced_cells > 0,
+        "no cell coalesced; the determinism check would be vacuous"
+    );
+}
+
+#[test]
 fn four_workers_give_at_least_2x_speedup() {
     // Scheduling-only check with uniform synthetic jobs, so it holds even
     // on a loaded CI box: 8 sleeps of 50 ms are ≥400 ms sequentially and

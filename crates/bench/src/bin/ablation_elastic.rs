@@ -1,0 +1,154 @@
+//! Ablation — elastic provisioning: what a diurnal day really costs.
+//!
+//! The paper prices every architecture at a fixed provisioning point, but
+//! real services breathe: datacenter KV load swings 2–4x between the daily
+//! peak and trough. Static provisioning sizes the fleet — VMs *and* cache
+//! DRAM — for the peak window and pays for it around the clock. The
+//! `elastic` control plane instead profiles the live miss-ratio curve
+//! (bounded-memory SHARDS sampling), prices candidate cache sizes with the
+//! cost model, and resizes the running tier online: linked caches shrink
+//! and grow in place, remote shards drain and restore through the
+//! consistent-hash ring with the migration CPU charged to the bill.
+//!
+//! This sweep runs one compressed sinusoidal day per architecture, twice —
+//! static-peak vs elastic — and reports the headline dollar gap next to
+//! the hit-ratio cost of running leaner. Expected shape:
+//!
+//! * elastic cuts the monthly bill well over 15% (the compute peak/mean
+//!   ratio alone is ~1.6 at a 25% trough, and the cache memory line
+//!   shrinks to its time-average);
+//! * the measured hit ratio stays within 2 points of static — the planner
+//!   caps predicted extra misses at 1% and hysteresis suppresses churn;
+//! * every resize/drain/migration is counted, so the saving is auditable.
+
+use bench::elastic::{
+    elastic_dollars, run_sweep, saving, static_peak_dollars, sweep_specs, TROUGH,
+};
+use bench::sweep::SweepRunner;
+use bench::{print_table, ratio, request_budget, usd, write_json};
+use serde::Serialize;
+
+// Fields are read via `Serialize`; the offline serde stub derive is a no-op.
+#[allow(dead_code)]
+#[derive(Serialize)]
+struct Point {
+    arch: String,
+    elastic: bool,
+    monthly_dollars: f64,
+    static_peak_dollars: f64,
+    cache_hit_ratio: f64,
+    total_cores: f64,
+    peak_window_cores: f64,
+    mean_cache_bytes: f64,
+    peak_cache_bytes: u64,
+    decisions: u64,
+    plan_changes: u64,
+    resizes: u64,
+    shards_drained: u64,
+    shards_restored: u64,
+    migrated_entries: u64,
+    migrated_bytes: u64,
+}
+
+fn main() {
+    println!(
+        "Ablation: elastic cache provisioning over a diurnal day (trough = {TROUGH} x peak)"
+    );
+    let (warmup, measured) = request_budget(16_000, 32_000);
+
+    let specs = sweep_specs();
+    let reports = run_sweep(&SweepRunner::from_env(), &specs, warmup, measured);
+
+    let mut rows = Vec::new();
+    let mut points = Vec::new();
+    for (spec, r) in specs.iter().zip(&reports) {
+        rows.push(vec![
+            spec.label(),
+            usd(static_peak_dollars(r)),
+            usd(elastic_dollars(r)),
+            format!("{:.3}", r.cache_hit_ratio),
+            format!("{:.2}", r.total_cores),
+            format!("{:.2}", r.peak_window_cores),
+            format!("{:.1}", r.elastic_mean_cache_bytes / 1e6),
+            format!("{}", r.elastic_resizes),
+            format!("{}", r.elastic_shards_drained),
+            format!("{:.1}", r.elastic_migrated_bytes as f64 / 1e6),
+        ]);
+        points.push(Point {
+            arch: spec.arch.label().to_string(),
+            elastic: spec.elastic,
+            monthly_dollars: elastic_dollars(r),
+            static_peak_dollars: static_peak_dollars(r),
+            cache_hit_ratio: r.cache_hit_ratio,
+            total_cores: r.total_cores,
+            peak_window_cores: r.peak_window_cores,
+            mean_cache_bytes: r.elastic_mean_cache_bytes,
+            peak_cache_bytes: r.elastic_peak_cache_bytes,
+            decisions: r.elastic_decisions,
+            plan_changes: r.elastic_plan_changes,
+            resizes: r.elastic_resizes,
+            shards_drained: r.elastic_shards_drained,
+            shards_restored: r.elastic_shards_restored,
+            migrated_entries: r.elastic_migrated_entries,
+            migrated_bytes: r.elastic_migrated_bytes,
+        });
+    }
+    print_table(
+        "Elastic-provisioning ablation (diurnal day, 95% reads)",
+        &[
+            "cell",
+            "static_peak/mo",
+            "billed/mo",
+            "hit",
+            "cores",
+            "peak_cores",
+            "mean_MB",
+            "resizes",
+            "drained",
+            "migr_MB",
+        ],
+        &rows,
+    );
+    write_json("ablation_elastic", &points);
+
+    // The headline comparison: each arch's elastic run against its own
+    // static-peak baseline (specs come in static-then-elastic pairs).
+    println!("\nHeadline — elastic vs static-peak, per architecture:");
+    let mut headline_rows = Vec::new();
+    for (specs_pair, reports_pair) in specs.chunks(2).zip(reports.chunks(2)) {
+        let s_spec = &specs_pair[0];
+        debug_assert!(!s_spec.elastic && specs_pair[1].elastic);
+        let (st, el) = (&reports_pair[0], &reports_pair[1]);
+        let save = saving(st, el);
+        headline_rows.push(vec![
+            s_spec.arch.label().to_string(),
+            usd(static_peak_dollars(st)),
+            usd(elastic_dollars(el)),
+            format!("{:.1}%", save * 100.0),
+            format!("{:+.2}pt", (el.cache_hit_ratio - st.cache_hit_ratio) * 100.0),
+            ratio(st.peak_window_cores / st.total_cores.max(1e-9)),
+        ]);
+    }
+    print_table(
+        "Dollar cost over the simulated day",
+        &[
+            "arch",
+            "static_peak/mo",
+            "elastic/mo",
+            "saving",
+            "hit_delta",
+            "peak/mean_cpu",
+        ],
+        &headline_rows,
+    );
+
+    println!(
+        "\nStatic provisioning pays the peak window all day: its compute line\n\
+         scales with the hottest ~1 s of load and its DRAM line with the full\n\
+         configured cache. The elastic controller tracks the live MRC, picks\n\
+         the dollar-minimizing size each interval, and actually resizes the\n\
+         tier — so the bill follows the demand integral instead. The saving\n\
+         is the area between those two curves; the price is a sub-2-point\n\
+         hit-ratio dip from resize churn plus the metered migration CPU."
+    );
+}

@@ -32,6 +32,7 @@ const BINS: &[&str] = &[
     "ablation_failover",
     "ablation_faults",
     "ablation_batching",
+    "ablation_elastic",
     "exp_sessions",
     "telemetry_report",
 ];

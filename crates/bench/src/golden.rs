@@ -222,6 +222,7 @@ pub fn all_figures(runner: &SweepRunner) -> Vec<GoldenFigure> {
         fig7_rich_objects(runner),
         fig8_delayed_writes(),
         ablation_batching(runner),
+        ablation_elastic(runner),
     ]
 }
 
@@ -541,6 +542,60 @@ pub fn ablation_batching(runner: &SweepRunner) -> GoldenFigure {
         .collect();
     GoldenFigure {
         name: "ablation_batching".into(),
+        points,
+    }
+}
+
+/// The elastic-provisioning ablation at golden budget: a reduced cut of
+/// the `ablation_elastic` day (Remote + Linked, static vs elastic). The
+/// static cells also pin the diurnal clock itself — their elastic counters
+/// must stay exactly zero, which is what keeps fig4–fig7 byte-stable: the
+/// controller off is the default everywhere else. Warmup spans four
+/// decision intervals so the controller's convergence churn lands before
+/// the measured window.
+pub fn ablation_elastic(runner: &SweepRunner) -> GoldenFigure {
+    use crate::elastic::{run_sweep, saving, static_peak_dollars, ElasticSpec};
+    let specs: Vec<ElasticSpec> = [ArchKind::Remote, ArchKind::Linked]
+        .iter()
+        .flat_map(|&arch| {
+            [false, true]
+                .iter()
+                .map(move |&elastic| ElasticSpec { arch, elastic })
+        })
+        .collect();
+    let reports = run_sweep(runner, &specs, 8_000, 12_000);
+    let points = specs
+        .iter()
+        .zip(&reports)
+        .enumerate()
+        .map(|(i, (spec, r))| {
+            let mut metrics = vec![
+                ("cost_total".into(), r.total_cost.total()),
+                ("cost_memory".into(), r.total_cost.memory),
+                ("cost_static_peak".into(), static_peak_dollars(r)),
+                ("hit_cache".into(), r.cache_hit_ratio),
+                ("cores_total".into(), r.total_cores),
+                ("cores_peak_window".into(), r.peak_window_cores),
+                ("count_decisions".into(), r.elastic_decisions as f64),
+                ("count_resizes".into(), r.elastic_resizes as f64),
+                (
+                    "count_shards_drained".into(),
+                    r.elastic_shards_drained as f64,
+                ),
+                (
+                    "mean_cache_mb".into(),
+                    r.elastic_mean_cache_bytes / 1e6,
+                ),
+            ];
+            if spec.elastic {
+                // Each elastic cell is preceded by its static baseline.
+                metrics.push(("saving_vs_static".into(), saving(&reports[i - 1], r)));
+            }
+            GoldenPoint::new(spec.label(), metrics)
+        })
+        .collect();
+    GoldenFigure {
+        name: "ablation_elastic".into(),
         points,
     }
 }

@@ -10,6 +10,7 @@ use std::io::Write;
 use std::path::PathBuf;
 
 pub mod batching;
+pub mod elastic;
 pub mod golden;
 pub mod sweep;
 

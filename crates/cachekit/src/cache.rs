@@ -369,6 +369,33 @@ impl<K: Hash + Eq + Clone, V> Cache<K, V> {
         n
     }
 
+    /// Resize the cache to `capacity_bytes`, evicting (policy order) until
+    /// the resident set fits. Returns how many entries were evicted; growth
+    /// never evicts. This is the primitive an elastic controller uses to
+    /// track a changing capacity plan.
+    pub fn set_capacity(&mut self, capacity_bytes: u64) -> usize {
+        self.capacity_bytes = capacity_bytes;
+        let mut evicted = 0;
+        while self.used_bytes > self.capacity_bytes && !self.is_empty() {
+            self.evict_one();
+            evicted += 1;
+        }
+        evicted
+    }
+
+    /// Remove `key` without touching hit/miss/invalidation statistics,
+    /// returning its value and charge. For migration between shards, where
+    /// the move is an artifact of resharding rather than cache traffic.
+    pub fn take<Q>(&mut self, key: &Q) -> Option<(V, u64)>
+    where
+        K: Borrow<Q>,
+        Q: Hash + Eq + ?Sized,
+    {
+        let slot = *self.map.get(key)?;
+        let entry = self.drop_slot(slot);
+        Some((entry.value, entry.charge))
+    }
+
     /// Remove everything.
     pub fn clear(&mut self) {
         let occupied: Vec<usize> = self
@@ -586,6 +613,45 @@ mod tests {
         small.insert(1, 10, 100, 0);
         assert!(matches!(small.insert(1, 20, 100, 0), InsertOutcome::Replaced { .. }));
         assert_eq!(small.get(&1, 0), Some(&20));
+    }
+
+    #[test]
+    fn set_capacity_shrink_evicts_lru_order_and_grow_is_free() {
+        let mut c = cache(1_000);
+        for k in ["a", "b", "c", "d", "e"] {
+            c.insert(k.into(), 0, 100, T0); // charge 164 each, 820 total
+        }
+        c.get("a", T0); // warm "a" so "b" is the LRU victim
+        let evicted = c.set_capacity(500); // fits 3 entries of 164
+        assert_eq!(evicted, 2);
+        assert!(!c.contains("b", T0) && !c.contains("c", T0));
+        assert!(c.contains("a", T0));
+        assert!(c.used_bytes() <= c.capacity_bytes());
+        assert_eq!(c.stats().evictions, 2);
+        // Growing back never evicts and leaves residents intact.
+        assert_eq!(c.set_capacity(10_000), 0);
+        assert_eq!(c.len(), 3);
+        assert_eq!(c.capacity_bytes(), 10_000);
+    }
+
+    #[test]
+    fn set_capacity_to_zero_empties_the_cache() {
+        let mut c = cache(1_000);
+        c.insert("k".into(), 1, 100, T0);
+        assert_eq!(c.set_capacity(0), 1);
+        assert!(c.is_empty());
+        assert_eq!(c.used_bytes(), 0);
+    }
+
+    #[test]
+    fn take_returns_value_and_charge_without_stats() {
+        let mut c = cache(10_000);
+        c.insert("k".into(), 42, 100, T0);
+        let before = *c.stats();
+        assert_eq!(c.take("k"), Some((42, 100 + ENTRY_OVERHEAD_BYTES)));
+        assert_eq!(c.take("k"), None);
+        assert_eq!(*c.stats(), before, "take must not move any counter");
+        assert_eq!(c.used_bytes(), 0);
     }
 
     #[test]

@@ -37,5 +37,5 @@ pub use cache::{Cache, InsertOutcome};
 pub use mrc::{zipf_hit_ratio, MissRatioCurve, StackDistance};
 pub use policy::PolicyKind;
 pub use ring::HashRing;
-pub use sharded::ShardedCache;
+pub use sharded::{ReshardOutcome, ShardedCache};
 pub use stats::CacheStats;

@@ -92,12 +92,25 @@ impl HashRing {
         }
     }
 
-    /// Remove all of a shard's virtual nodes.
+    /// Remove all of a shard's virtual nodes. Idempotent for the same
+    /// reason `add_shard` is: the elastic drain path may ask to remove a
+    /// shard that a concurrent fault already took off the ring, and a
+    /// second removal must not disturb the remaining placement.
     pub fn remove_shard(&mut self, shard: u32) {
         if !self.shards.remove(&shard) {
             return;
         }
         self.points.retain(|&(_, s)| s != shard);
+    }
+
+    /// Whether `shard` currently has virtual nodes on the ring.
+    pub fn contains_shard(&self, shard: u32) -> bool {
+        self.shards.contains(&shard)
+    }
+
+    /// Shard ids currently on the ring, in ascending order.
+    pub fn shard_ids(&self) -> impl Iterator<Item = u32> + '_ {
+        self.shards.iter().copied()
     }
 
     /// The shard owning `key`, or `None` if the ring is empty.
@@ -256,6 +269,37 @@ mod tests {
         for k in keys(5_000) {
             assert_eq!(ring.shard_for(&k), baseline.shard_for(&k));
         }
+    }
+
+    #[test]
+    fn removing_an_absent_shard_is_a_noop() {
+        // Symmetric regression to `re_adding_a_present_shard_is_a_noop`:
+        // the elastic drain path can race a fault that already removed the
+        // shard, and a double remove (or a remove of a shard that never
+        // existed) must leave placement byte-identical.
+        let baseline = HashRing::with_shards(8, 128);
+        let mut ring = baseline.clone();
+        ring.remove_shard(99); // never on the ring
+        assert_eq!(ring.points, baseline.points);
+        assert_eq!(ring.shard_count(), 8);
+        ring.remove_shard(5);
+        ring.remove_shard(5); // double remove
+        ring.add_shard(5);
+        assert_eq!(ring.points, baseline.points);
+        assert_eq!(ring.shard_count(), baseline.shard_count());
+        for k in keys(5_000) {
+            assert_eq!(ring.shard_for(&k), baseline.shard_for(&k));
+        }
+    }
+
+    #[test]
+    fn membership_accessors_track_add_remove() {
+        let mut ring = HashRing::with_shards(3, 16);
+        assert!(ring.contains_shard(1));
+        assert!(!ring.contains_shard(7));
+        ring.remove_shard(1);
+        assert!(!ring.contains_shard(1));
+        assert_eq!(ring.shard_ids().collect::<Vec<_>>(), vec![0, 2]);
     }
 
     #[test]

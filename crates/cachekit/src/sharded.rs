@@ -6,10 +6,23 @@
 //! total memory bill is the sum of shard capacities; the hit ratio is that
 //! of whichever shard owns the key.
 
-use crate::cache::{Cache, InsertOutcome};
+use crate::cache::{Cache, InsertOutcome, ENTRY_OVERHEAD_BYTES};
 use crate::policy::PolicyKind;
 use crate::ring::HashRing;
 use crate::stats::CacheStats;
+
+/// Entry/byte accounting for a topology or capacity change, so an elastic
+/// controller can charge migration and re-fill work to the cost model.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct ReshardOutcome {
+    /// Entries successfully re-homed onto their new owner shard.
+    pub migrated_entries: u64,
+    /// Total charge (value bytes + per-entry overhead) of those entries.
+    pub migrated_bytes: u64,
+    /// Entries lost to the change: evicted by shrinking, displaced at the
+    /// destination, or rejected there (too large / not admitted).
+    pub evicted_entries: u64,
+}
 
 /// Keys are byte strings here because routing hashes bytes; higher layers
 /// provide typed wrappers.
@@ -88,6 +101,94 @@ impl<V> ShardedCache<V> {
             s.reset_stats();
         }
     }
+
+    /// Shards currently on the ring (drained shards keep their vector slot
+    /// but own no keys and hold no capacity).
+    pub fn active_shards(&self) -> usize {
+        self.ring.shard_count()
+    }
+
+    /// Resize every active shard to `per_shard_bytes`, evicting in policy
+    /// order where a shard shrank. Drained shards stay at zero capacity.
+    pub fn set_per_shard_capacity(&mut self, per_shard_bytes: u64) -> ReshardOutcome {
+        let mut out = ReshardOutcome::default();
+        for (i, shard) in self.shards.iter_mut().enumerate() {
+            if self.ring.contains_shard(i as u32) {
+                out.evicted_entries += shard.set_capacity(per_shard_bytes) as u64;
+            }
+        }
+        out
+    }
+
+    /// Take `shard` off the ring and migrate its residents to their new
+    /// owners (sorted key order, so the result is deterministic regardless
+    /// of insertion history). The shard keeps its vector slot at zero
+    /// capacity and can be brought back with [`ShardedCache::restore_shard`].
+    /// Draining an absent shard — or the last active one — is a no-op.
+    pub fn drain_shard(&mut self, shard: u32, now: u64) -> ReshardOutcome {
+        let mut out = ReshardOutcome::default();
+        if !self.ring.contains_shard(shard) || self.ring.shard_count() <= 1 {
+            return out;
+        }
+        self.ring.remove_shard(shard);
+        let idx = shard as usize;
+        let mut keys: Vec<Vec<u8>> = self.shards[idx].keys().cloned().collect();
+        keys.sort_unstable();
+        for key in keys {
+            let (value, charge) = self.shards[idx].take(&key).expect("key was resident");
+            let owner = self.owner(&key);
+            match self.shards[owner].insert(key, value, charge - ENTRY_OVERHEAD_BYTES, now) {
+                InsertOutcome::Inserted { evicted } | InsertOutcome::Replaced { evicted } => {
+                    out.migrated_entries += 1;
+                    out.migrated_bytes += charge;
+                    out.evicted_entries += evicted as u64;
+                }
+                InsertOutcome::TooLarge | InsertOutcome::NotAdmitted => {
+                    out.evicted_entries += 1;
+                }
+            }
+        }
+        self.shards[idx].set_capacity(0);
+        out
+    }
+
+    /// Re-add a drained shard at `per_shard_bytes` and migrate the keys it
+    /// now owns back from the other shards (sorted key order per source
+    /// shard). Restoring a shard already on the ring is a no-op.
+    pub fn restore_shard(&mut self, shard: u32, per_shard_bytes: u64, now: u64) -> ReshardOutcome {
+        let mut out = ReshardOutcome::default();
+        let idx = shard as usize;
+        if idx >= self.shards.len() || self.ring.contains_shard(shard) {
+            return out;
+        }
+        self.ring.add_shard(shard);
+        self.shards[idx].set_capacity(per_shard_bytes);
+        for src in 0..self.shards.len() {
+            if src == idx {
+                continue;
+            }
+            let mut moving: Vec<Vec<u8>> = self.shards[src]
+                .keys()
+                .filter(|k| self.ring.shard_for(k) == Some(shard))
+                .cloned()
+                .collect();
+            moving.sort_unstable();
+            for key in moving {
+                let (value, charge) = self.shards[src].take(&key).expect("key was resident");
+                match self.shards[idx].insert(key, value, charge - ENTRY_OVERHEAD_BYTES, now) {
+                    InsertOutcome::Inserted { evicted } | InsertOutcome::Replaced { evicted } => {
+                        out.migrated_entries += 1;
+                        out.migrated_bytes += charge;
+                        out.evicted_entries += evicted as u64;
+                    }
+                    InsertOutcome::TooLarge | InsertOutcome::NotAdmitted => {
+                        out.evicted_entries += 1;
+                    }
+                }
+            }
+        }
+        out
+    }
 }
 
 #[cfg(test)]
@@ -147,5 +248,75 @@ mod tests {
         assert_eq!(c.remove(b"k"), Some(7));
         assert!(!c.contains(b"k", 0));
         assert_eq!(c.stats().invalidations, 1);
+    }
+
+    fn filled(shards: u32, per_shard: u64, keys: u32) -> ShardedCache<u32> {
+        let mut c = ShardedCache::new(shards, per_shard, PolicyKind::Lru);
+        for i in 0..keys {
+            let k = format!("key{i}").into_bytes();
+            c.insert(&k, i, 100, 0);
+        }
+        c
+    }
+
+    #[test]
+    fn resize_shrinks_and_grows_active_shards() {
+        let mut c = filled(4, 1 << 20, 400);
+        let before = c.total_used_bytes();
+        let out = c.set_per_shard_capacity(1 << 10); // ~6 entries per shard
+        assert!(out.evicted_entries > 0);
+        assert!(c.total_used_bytes() < before);
+        assert_eq!(c.total_capacity_bytes(), 4 << 10);
+        let regrow = c.set_per_shard_capacity(1 << 20);
+        assert_eq!(regrow.evicted_entries, 0, "growth never evicts");
+        assert_eq!(c.total_capacity_bytes(), 4 << 20);
+    }
+
+    #[test]
+    fn drain_migrates_residents_to_surviving_shards() {
+        let mut c = filled(4, 1 << 20, 400);
+        let before_used = c.total_used_bytes();
+        let out = c.drain_shard(2, 0);
+        assert!(out.migrated_entries > 0, "shard 2 owned some keys");
+        assert_eq!(out.evicted_entries, 0, "plenty of headroom: nothing lost");
+        assert_eq!(c.active_shards(), 3);
+        assert_eq!(c.total_used_bytes(), before_used, "bytes conserved");
+        // Every key is still resident and routed away from the drained shard.
+        for i in 0..400u32 {
+            let k = format!("key{i}").into_bytes();
+            assert_ne!(c.owner(&k), 2);
+            assert_eq!(c.get(&k, 0), Some(&i));
+        }
+        // Draining again (or a shard that never existed) is a no-op.
+        assert_eq!(c.drain_shard(2, 0), ReshardOutcome::default());
+    }
+
+    #[test]
+    fn drain_then_restore_matches_fresh_placement() {
+        let mut c = filled(4, 1 << 20, 400);
+        c.drain_shard(1, 0);
+        c.restore_shard(1, 1 << 20, 0);
+        assert_eq!(c.active_shards(), 4);
+        let fresh: ShardedCache<u32> = ShardedCache::new(4, 1 << 20, PolicyKind::Lru);
+        for i in 0..400u32 {
+            let k = format!("key{i}").into_bytes();
+            assert_eq!(c.owner(&k), fresh.owner(&k), "placement restored exactly");
+            assert_eq!(c.get(&k, 0), Some(&i), "no key lost across drain+restore");
+        }
+        // Restoring a shard already on the ring changes nothing.
+        assert_eq!(c.restore_shard(1, 1 << 20, 0), ReshardOutcome::default());
+    }
+
+    #[test]
+    fn last_active_shard_cannot_be_drained() {
+        let mut c = filled(2, 1 << 20, 50);
+        c.drain_shard(0, 0);
+        assert_eq!(c.active_shards(), 1);
+        assert_eq!(c.drain_shard(1, 0), ReshardOutcome::default());
+        assert_eq!(c.active_shards(), 1);
+        for i in 0..50u32 {
+            let k = format!("key{i}").into_bytes();
+            assert_eq!(c.get(&k, 0), Some(&i));
+        }
     }
 }

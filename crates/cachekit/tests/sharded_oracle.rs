@@ -111,6 +111,21 @@ impl ShardedOracle {
             None
         }
     }
+
+    /// Elastic resize: every shard's capacity changes and each over-full
+    /// shard evicts from its LRU tail until it fits. Returns evictions.
+    fn resize(&mut self, per_shard_capacity: u64) -> u64 {
+        self.per_shard_capacity = per_shard_capacity;
+        let mut evicted = 0;
+        for shard in 0..self.shards.len() {
+            while self.shard_used(shard) > per_shard_capacity {
+                self.shards[shard].pop_back();
+                self.stats.evictions += 1;
+                evicted += 1;
+            }
+        }
+        evicted
+    }
 }
 
 #[derive(Debug, Clone, Copy)]
@@ -118,6 +133,8 @@ enum Op {
     Get(u8),
     Insert(u8, u64),
     Remove(u8),
+    /// Set every shard's byte capacity (the elastic controller's move).
+    Resize(u64),
 }
 
 fn key_bytes(k: u8) -> Vec<u8> {
@@ -152,6 +169,13 @@ fn check_trace(shard_count: u32, ops: &[Op]) {
                 let expect = oracle.remove(&key);
                 assert_eq!(real, expect, "remove(key{k}) at op {i}");
             }
+            Op::Resize(cap) => {
+                let real = cache.set_per_shard_capacity(cap);
+                let expect = oracle.resize(cap);
+                assert_eq!(real.evicted_entries, expect, "resize({cap}) at op {i}");
+                assert_eq!(real.migrated_entries, 0, "resize never migrates");
+                assert_eq!(cache.total_capacity_bytes(), cap * shard_count as u64);
+            }
         }
         assert_eq!(cache.total_used_bytes(), oracle.used(), "bytes at op {i}");
         assert!(cache.total_used_bytes() <= cache.total_capacity_bytes());
@@ -185,12 +209,15 @@ fn random_trace(seed: u64, len: usize) -> Vec<Op> {
         .map(|_| {
             let r = splitmix64(&mut state);
             let key = (r >> 8) as u8 % KEY_UNIVERSE;
-            match r % 7 {
-                0..=2 => Op::Get(key),
+            match r % 16 {
+                0..=5 => Op::Get(key),
                 // Sizes span "many fit" through "one barely fits" through
                 // "rejected as too large for a whole shard".
-                3..=5 => Op::Insert(key, 1 + (r >> 16) % 2_200),
-                _ => Op::Remove(key),
+                6..=11 => Op::Insert(key, 1 + (r >> 16) % 2_200),
+                12 | 13 => Op::Remove(key),
+                // Capacities span "evict almost everything" through "larger
+                // than the starting capacity".
+                _ => Op::Resize(ENTRY_OVERHEAD_BYTES + (r >> 16) % 3_000),
             }
         })
         .collect()
@@ -232,11 +259,40 @@ fn sharded_cache_matches_oracle_on_edge_traces() {
     check_trace(2, &ops);
 }
 
+/// Resize edges: shrink below the resident set, shrink to the point where
+/// nothing fits, then regrow and refill. Recency from a prior hit must
+/// steer which entries the shrink keeps, exactly as in the oracle.
+#[test]
+fn sharded_cache_matches_oracle_across_resizes() {
+    let mut ops = vec![
+        Op::Insert(0, 500),
+        Op::Insert(1, 500),
+        Op::Insert(2, 500),
+        Op::Insert(3, 500),
+        Op::Get(0), // promote key0 so the shrink keeps it if it can
+        Op::Resize(700),
+        Op::Get(0),
+        Op::Resize(ENTRY_OVERHEAD_BYTES), // nothing fits: shards empty out
+        Op::Get(0),
+        Op::Insert(4, 100), // rejected while capacity is tiny
+        Op::Resize(PER_SHARD_CAPACITY),
+        Op::Insert(4, 100),
+        Op::Get(4),
+    ];
+    // And a grow applied while already under capacity changes nothing.
+    ops.push(Op::Resize(PER_SHARD_CAPACITY * 2));
+    ops.push(Op::Get(4));
+    for shards in 1..=4u32 {
+        check_trace(shards, &ops);
+    }
+}
+
 fn op_strategy() -> impl Strategy<Value = Op> {
     prop_oneof![
         3 => (0u8..KEY_UNIVERSE).prop_map(Op::Get),
         3 => ((0u8..KEY_UNIVERSE), (1u64..2_200)).prop_map(|(k, sz)| Op::Insert(k, sz)),
         1 => (0u8..KEY_UNIVERSE).prop_map(Op::Remove),
+        1 => (ENTRY_OVERHEAD_BYTES..3_000u64).prop_map(Op::Resize),
     ]
 }
 

@@ -322,6 +322,12 @@ pub struct DeploymentConfig {
     pub fault_tolerance: FaultToleranceConfig,
     /// App-side RPC coalescing for the remote-cache path (default off).
     pub batching: BatchingConfig,
+    /// Online MRC profiling + cost-aware elastic provisioning (default
+    /// off: `decision_interval_secs == 0`). When enabled, the deployment
+    /// embeds an [`elastic::ElasticController`] that watches the read key
+    /// stream and periodically resizes the external cache tier to the
+    /// dollar-minimizing capacity.
+    pub elastic: elastic::ElasticConfig,
     /// Deterministic seed for the deployment's internals.
     pub seed: u64,
 }
@@ -344,6 +350,7 @@ impl DeploymentConfig {
             cluster: ClusterConfig::default(),
             fault_tolerance: FaultToleranceConfig::default(),
             batching: BatchingConfig::default(),
+            elastic: elastic::ElasticConfig::default(),
             seed: 42,
         }
     }
@@ -503,6 +510,16 @@ mod tests {
         // batching would amortize nothing.
         let c = AppCostConfig::default();
         assert!(c.rpc_batched_side_cost(1024) < c.rpc_side_cost(1024));
+    }
+
+    #[test]
+    fn elastic_defaults_off() {
+        // The fig2–fig8 goldens are byte-identical only while the elastic
+        // control plane stays disabled by default.
+        let d = DeploymentConfig::paper(ArchKind::Linked);
+        assert!(!d.elastic.enabled());
+        let t = DeploymentConfig::test_small(ArchKind::Remote);
+        assert!(!t.elastic.enabled());
     }
 
     #[test]

@@ -60,6 +60,35 @@ pub mod batch_counters {
     pub const BATCHED_RPC_KEYS: &str = "batched_rpc_keys";
 }
 
+/// Names of the elastic-provisioning counters a deployment maintains in its
+/// [`MetricSet`] when [`elastic::ElasticConfig`] is enabled; the experiment
+/// runner lifts them into `ExperimentReport`. All stay absent (zero) while
+/// the controller is off, so default runs export identical metrics.
+pub mod elastic_counters {
+    /// Plan applications that changed at least one cache's capacity.
+    pub const RESIZES: &str = "elastic_resizes";
+    /// Entries evicted by capacity shrinks (not by normal cache pressure).
+    pub const RESIZE_EVICTIONS: &str = "elastic_resize_evictions";
+    /// Remote cache nodes drained out of the ring by a scale-down.
+    pub const SHARDS_DRAINED: &str = "elastic_shards_drained";
+    /// Remote cache nodes restored into the ring by a scale-up.
+    pub const SHARDS_RESTORED: &str = "elastic_shards_restored";
+    /// Entries moved between remote nodes by drain/restore migration.
+    pub const MIGRATED_ENTRIES: &str = "elastic_migrated_entries";
+    /// Bytes moved between remote nodes by drain/restore migration.
+    pub const MIGRATED_BYTES: &str = "elastic_migrated_bytes";
+
+    /// Every elastic counter, for bulk snapshot/carry-over.
+    pub const ALL: &[&str] = &[
+        RESIZES,
+        RESIZE_EVICTIONS,
+        SHARDS_DRAINED,
+        SHARDS_RESTORED,
+        MIGRATED_ENTRIES,
+        MIGRATED_BYTES,
+    ];
+}
+
 /// One open coalescing frame on an (app server, cache node) pair: requests
 /// admitted within `[opened_at, departs_at)` ride the same wire frame, up
 /// to `max_batch` occupants. The lower bound matters: admission times are
@@ -199,6 +228,11 @@ pub struct Deployment {
     /// nothing and stay byte-identical. Span clocks are virtual nanos:
     /// request arrival plus latency accumulated so far.
     pub tracer: Tracer,
+    /// Online MRC profiler + cost planner (see [`elastic`]). Disabled by
+    /// default: `observe`/`maybe_decide` are no-ops, so baseline runs stay
+    /// byte-identical. The experiment runner drives decisions from its
+    /// heartbeat and applies them via [`Deployment::apply_elastic_plan`].
+    pub elastic: elastic::ElasticController,
 }
 
 /// Remote cache node `i` appears on the fault fabric as `CACHE_NODE_BASE+i`;
@@ -267,6 +301,7 @@ impl Deployment {
             batch_windows: HashMap::new(),
             batch_size_counts: HashMap::new(),
             tracer: Tracer::disabled(),
+            elastic: elastic::ElasticController::new(config.elastic),
             cluster,
             config,
         }
@@ -288,7 +323,23 @@ impl Deployment {
             c.reset_stats();
         }
         self.cluster.reset_metrics();
+        // Provisioning lifecycle counters survive the warmup reset: a shard
+        // drained or a cache resized during convergence is still a
+        // control-plane action the report must account for, and the
+        // controller's own decisions()/plan_changes() are cumulative too.
+        let carried: Vec<(&'static str, u64)> = if self.elastic.enabled() {
+            elastic_counters::ALL
+                .iter()
+                .map(|&n| (n, self.metrics.counter_value(n)))
+                .filter(|&(_, v)| v > 0)
+                .collect()
+        } else {
+            Vec::new()
+        };
         self.metrics = MetricSet::new();
+        for (n, v) in carried {
+            self.metrics.counter(n).add(v);
+        }
         self.net.reset_counters();
         self.batch_windows.clear();
         self.batch_size_counts.clear();
@@ -882,6 +933,8 @@ impl Deployment {
     ) -> StoreResult<ServeOutcome> {
         let ckey = Self::cache_key(table, key);
         let app = self.route_app(&ckey);
+        // Feed the MRC profiler (no-op unless elastic is enabled).
+        self.elastic.observe(&ckey);
         let mut out = ServeOutcome::default();
 
         match self.config.arch {
@@ -1166,6 +1219,9 @@ impl Deployment {
         // One app server fields the whole multi-key request (round-robin).
         let app = self.route_app(&[]);
         let ckeys: Vec<Vec<u8>> = keys.iter().map(|&k| Self::cache_key(table, k)).collect();
+        for ck in &ckeys {
+            self.elastic.observe(ck);
+        }
         // Group key positions by owning cache node, preserving order
         // (vec-indexed, so grouping is deterministic).
         let mut groups: Vec<Vec<usize>> = vec![Vec::new(); self.remote.len().max(1)];
@@ -1451,6 +1507,152 @@ impl Deployment {
             m.merge(c);
         }
         m
+    }
+
+    /// Total *configured* capacity of the elastic-managed cache tier right
+    /// now (drained remote nodes count as 0). This is what elastic billing
+    /// integrates over time; `cache_resident_bytes` is what's in use.
+    pub fn elastic_cache_capacity_bytes(&self) -> u64 {
+        match self.config.arch {
+            ArchKind::Remote => self.remote.iter().map(|c| c.capacity_bytes()).sum(),
+            _ if self.config.arch.has_linked_cache() => {
+                self.linked.iter().map(|c| c.capacity_bytes()).sum()
+            }
+            _ => 0,
+        }
+    }
+
+    /// Remote cache nodes currently serving ring traffic.
+    pub fn active_remote_nodes(&self) -> usize {
+        if self.config.arch == ArchKind::Remote {
+            self.remote_ring.shard_count()
+        } else {
+            0
+        }
+    }
+
+    /// Apply one provisioning decision to the live cache tier.
+    ///
+    /// * Linked-family: the cache rides inside the fixed app-server fleet,
+    ///   so the plan's total capacity is split evenly across servers and
+    ///   each shard resized in place (`Cache::set_capacity`); shrinks evict
+    ///   in LRU order and the evicted keys refill through normal misses,
+    ///   which is where the re-fill CPU gets charged.
+    /// * Remote: the node count follows `plan.shards` (clamped to the
+    ///   deployed fleet). Scale-downs drain the highest-index nodes —
+    ///   removed from the ring first, then their residents migrate to the
+    ///   surviving owners with per-entry CPU charged to both cache nodes.
+    ///   Scale-ups restore nodes in index order and migrate the keys they
+    ///   now own. Placement equals a fresh ring of the same membership
+    ///   (`HashRing` add/remove round-trip is exact), so routing stays
+    ///   deterministic across resizes.
+    /// * Base: nothing to resize.
+    pub fn apply_elastic_plan(&mut self, plan: elastic::Plan, now: SimTime) {
+        match self.config.arch {
+            ArchKind::Remote => self.apply_remote_plan(plan, now),
+            _ if self.config.arch.has_linked_cache() => {
+                let per_server = (plan.cache_bytes / self.linked.len().max(1) as u64).max(1);
+                let mut evicted = 0u64;
+                let mut changed = false;
+                for c in &mut self.linked {
+                    if c.capacity_bytes() != per_server {
+                        evicted += c.set_capacity(per_server) as u64;
+                        changed = true;
+                    }
+                }
+                if changed {
+                    self.metrics.counter(elastic_counters::RESIZES).inc();
+                    self.metrics
+                        .counter(elastic_counters::RESIZE_EVICTIONS)
+                        .add(evicted);
+                }
+            }
+            _ => {}
+        }
+    }
+
+    fn apply_remote_plan(&mut self, plan: elastic::Plan, now: SimTime) {
+        let nodes = self.remote.len();
+        if nodes == 0 {
+            return;
+        }
+        let target = (plan.shards as usize).clamp(1, nodes);
+        let current = self.remote_ring.shard_count();
+        let per_node = plan.cache_bytes.div_ceil(target as u64).max(1);
+        let mut evicted = 0u64;
+        let mut changed = false;
+        if target > current {
+            for j in current..target {
+                self.remote_ring.add_shard(j as u32);
+                self.metrics.counter(elastic_counters::SHARDS_RESTORED).inc();
+            }
+            changed = true;
+        } else if target < current {
+            // Take every leaving shard off the ring before migrating, so
+            // each resident maps straight to its final owner (no double
+            // hops when several nodes drain at once).
+            for j in target..current {
+                self.remote_ring.remove_shard(j as u32);
+                self.metrics.counter(elastic_counters::SHARDS_DRAINED).inc();
+            }
+            changed = true;
+        }
+        for j in 0..target {
+            if self.remote[j].capacity_bytes() != per_node {
+                evicted += self.remote[j].set_capacity(per_node) as u64;
+                changed = true;
+            }
+        }
+        if target != current {
+            self.rebalance_remote(now);
+            for j in target..nodes {
+                self.remote[j].set_capacity(0);
+            }
+        }
+        if changed {
+            self.metrics.counter(elastic_counters::RESIZES).inc();
+            self.metrics
+                .counter(elastic_counters::RESIZE_EVICTIONS)
+                .add(evicted);
+        }
+    }
+
+    /// Move every remote resident to its current ring owner, charging the
+    /// migration CPU (one cache op per side plus the wire bytes) to both
+    /// cache nodes. Keys move in sorted order per source node, so the whole
+    /// migration is deterministic.
+    fn rebalance_remote(&mut self, now: SimTime) {
+        for src in 0..self.remote.len() {
+            let mut keys: Vec<Vec<u8>> = self.remote[src].keys().cloned().collect();
+            keys.sort_unstable();
+            for k in keys {
+                let owner = self.remote_node_for(&k);
+                if owner == src {
+                    continue;
+                }
+                if let Some((v, _charge)) = self.remote[src].take(&k) {
+                    let vb = v.bytes;
+                    self.charge_migration(src, owner, vb);
+                    self.remote[owner].insert(k, v, vb, now.as_nanos());
+                }
+            }
+        }
+    }
+
+    fn charge_migration(&mut self, src: usize, dst: usize, bytes: u64) {
+        let cost = self.config.app_cost;
+        let op = SimDuration::from_micros_f64(cost.cache_server_op_us);
+        let wire = SimDuration::from_micros_f64(cost.rpc_per_byte_ns * bytes as f64 / 1e3);
+        self.cache_cpu[src].charge(CpuCategory::CacheOp, op);
+        self.cache_cpu[src].charge(CpuCategory::RpcStack, wire);
+        self.cache_cpu[dst].charge(CpuCategory::CacheOp, op);
+        self.cache_cpu[dst].charge(CpuCategory::RpcStack, wire);
+        self.metrics
+            .counter(elastic_counters::MIGRATED_ENTRIES)
+            .inc();
+        self.metrics
+            .counter(elastic_counters::MIGRATED_BYTES)
+            .add(bytes);
     }
 }
 
@@ -2083,5 +2285,158 @@ mod tests {
             .filter(|c| c.stats().lookups() > 0)
             .count();
         assert_eq!(shards_touched, 1);
+    }
+
+    fn test_plan(cache_bytes: u64, shards: u32) -> elastic::Plan {
+        elastic::Plan {
+            cache_bytes,
+            shards,
+            per_shard_bytes: cache_bytes.div_ceil(shards.max(1) as u64),
+            vms: 1,
+            predicted_miss_ratio: 0.1,
+            monthly_dollars: 1.0,
+        }
+    }
+
+    fn remote_deployment(nodes: usize) -> Deployment {
+        let mut cfg = DeploymentConfig::test_small(ArchKind::Remote);
+        cfg.remote_cache_nodes = nodes;
+        let mut d = Deployment::new(cfg, kv_catalog("kv"));
+        d.cluster
+            .bulk_load(
+                "kv",
+                (0..100i64).map(|k| {
+                    vec![Datum::Int(k), Datum::Payload { len: 1000, seed: 0 }]
+                }),
+            )
+            .unwrap();
+        d
+    }
+
+    #[test]
+    fn elastic_is_inert_by_default() {
+        let mut d = deployment(ArchKind::Remote);
+        assert!(!d.elastic.enabled());
+        for k in 0..20 {
+            d.serve_kv_read("kv", k, t(k as u64)).unwrap();
+        }
+        assert_eq!(d.elastic.profiler().raw_accesses(), 0);
+        assert_eq!(d.metrics.counter_value(elastic_counters::RESIZES), 0);
+        assert_eq!(d.metrics.counter_value(elastic_counters::MIGRATED_ENTRIES), 0);
+    }
+
+    #[test]
+    fn elastic_observe_feeds_the_profiler_when_enabled() {
+        let mut cfg = DeploymentConfig::test_small(ArchKind::Remote);
+        cfg.elastic = elastic::ElasticConfig::with_interval(10.0);
+        let mut d = Deployment::new(cfg, kv_catalog("kv"));
+        d.cluster
+            .bulk_load(
+                "kv",
+                (0..20i64).map(|k| {
+                    vec![Datum::Int(k), Datum::Payload { len: 1000, seed: 0 }]
+                }),
+            )
+            .unwrap();
+        for k in 0..20 {
+            d.serve_kv_read("kv", k, t(k as u64)).unwrap();
+        }
+        assert_eq!(d.elastic.profiler().raw_accesses(), 20);
+    }
+
+    #[test]
+    fn elastic_remote_drain_migrates_residents_to_survivors() {
+        let mut d = remote_deployment(4);
+        let keys: Vec<i64> = (0..60).collect();
+        for &k in &keys {
+            d.serve_kv_read("kv", k, t(k as u64)).unwrap();
+        }
+        let full_capacity = d.elastic_cache_capacity_bytes();
+        assert_eq!(d.active_remote_nodes(), 4);
+        let cpu_before = d.cache_cpu_total().total();
+
+        d.apply_elastic_plan(test_plan(full_capacity, 2), t(1_000));
+        assert_eq!(d.active_remote_nodes(), 2);
+        assert_eq!(d.metrics.counter_value(elastic_counters::SHARDS_DRAINED), 2);
+        let migrated = d.metrics.counter_value(elastic_counters::MIGRATED_ENTRIES);
+        assert!(migrated > 0, "draining half the ring must move entries");
+        assert!(d.metrics.counter_value(elastic_counters::MIGRATED_BYTES) >= 1000 * migrated);
+        assert!(
+            d.cache_cpu_total().total() > cpu_before,
+            "migration CPU must be charged to the cache tier"
+        );
+        // Drained nodes hold nothing and bill nothing.
+        assert_eq!(d.remote[2].capacity_bytes(), 0);
+        assert_eq!(d.remote[3].capacity_bytes(), 0);
+        assert_eq!(d.remote[2].used_bytes() + d.remote[3].used_bytes(), 0);
+        // Every warmed key survived the drain: all reads still hit.
+        for &k in &keys {
+            let r = d.serve_kv_read("kv", k, t(2_000 + k as u64)).unwrap();
+            assert!(r.cache_hit, "key {k} lost during drain");
+        }
+    }
+
+    #[test]
+    fn elastic_remote_restore_round_trips_placement() {
+        let mut d = remote_deployment(4);
+        let fresh_ids: Vec<u32> = d.remote_ring.shard_ids().collect();
+        for k in 0..60 {
+            d.serve_kv_read("kv", k, t(k as u64)).unwrap();
+        }
+        let capacity = d.elastic_cache_capacity_bytes();
+        d.apply_elastic_plan(test_plan(capacity / 4, 1), t(1_000));
+        assert_eq!(d.active_remote_nodes(), 1);
+        d.apply_elastic_plan(test_plan(capacity, 4), t(2_000));
+        assert_eq!(d.active_remote_nodes(), 4);
+        assert_eq!(
+            d.remote_ring.shard_ids().collect::<Vec<u32>>(),
+            fresh_ids,
+            "drain + restore must reproduce the original ring membership"
+        );
+        assert_eq!(d.metrics.counter_value(elastic_counters::SHARDS_RESTORED), 3);
+        // Residents sit where a fresh ring would place them.
+        for node in 0..4 {
+            let misplaced = d.remote[node]
+                .keys()
+                .filter(|k| d.remote_node_for(k) != node)
+                .count();
+            assert_eq!(misplaced, 0, "node {node} holds keys it does not own");
+        }
+        for k in 0..60 {
+            let r = d.serve_kv_read("kv", k, t(3_000 + k as u64)).unwrap();
+            assert!(r.cache_hit, "key {k} lost across drain/restore");
+        }
+    }
+
+    #[test]
+    fn elastic_linked_shrink_resizes_every_server_and_counts_evictions() {
+        let mut d = deployment(ArchKind::Linked);
+        for k in 0..100 {
+            d.serve_kv_read("kv", k, t(k as u64)).unwrap();
+        }
+        let resident = d.cache_resident_bytes();
+        assert!(resident > 0);
+        // Shrink to roughly a third of what's resident: must evict.
+        let target = resident / 3;
+        d.apply_elastic_plan(test_plan(target, 1), t(1_000));
+        let per_server = (target / d.linked.len() as u64).max(1);
+        for c in &d.linked {
+            assert_eq!(c.capacity_bytes(), per_server);
+            assert!(c.used_bytes() <= per_server);
+        }
+        assert_eq!(d.elastic_cache_capacity_bytes(), per_server * d.linked.len() as u64);
+        assert_eq!(d.metrics.counter_value(elastic_counters::RESIZES), 1);
+        assert!(d.metrics.counter_value(elastic_counters::RESIZE_EVICTIONS) > 0);
+        // Re-applying the same plan is a no-op.
+        d.apply_elastic_plan(test_plan(target, 1), t(2_000));
+        assert_eq!(d.metrics.counter_value(elastic_counters::RESIZES), 1);
+    }
+
+    #[test]
+    fn elastic_plan_on_base_arch_is_a_noop() {
+        let mut d = deployment(ArchKind::Base);
+        assert_eq!(d.elastic_cache_capacity_bytes(), 0);
+        d.apply_elastic_plan(test_plan(1 << 20, 2), t(1));
+        assert_eq!(d.metrics.counter_value(elastic_counters::RESIZES), 0);
     }
 }

@@ -12,7 +12,9 @@
 //! paper measures steady state.
 
 use crate::config::{ArchKind, DeploymentConfig};
-use crate::deployment::{batch_counters, fault_counters, kv_catalog, Deployment};
+use crate::deployment::{
+    batch_counters, elastic_counters, fault_counters, kv_catalog, Deployment,
+};
 use costmodel::{CostBreakdown, Pricing, ResourceUsage};
 use serde::Serialize;
 use simnet::{
@@ -140,6 +142,23 @@ pub struct ExperimentReport {
     pub mean_batch_size: f64,
     /// Frame-size histogram: `(size, frames)`, sorted by size ascending.
     pub batch_size_counts: Vec<(u32, u64)>,
+    /// Elastic-provisioning activity (all zero when the controller is off).
+    pub elastic_decisions: u64,
+    pub elastic_plan_changes: u64,
+    pub elastic_resizes: u64,
+    pub elastic_shards_drained: u64,
+    pub elastic_shards_restored: u64,
+    pub elastic_migrated_entries: u64,
+    pub elastic_migrated_bytes: u64,
+    /// Peak ~1-virtual-second-window cores over the measured run. 0.0 unless
+    /// the run tracked load windows (diurnal load or elastic enabled) — it's
+    /// what static provisioning must pay for all day.
+    pub peak_window_cores: f64,
+    /// Time-averaged configured cache capacity over the measured run (0.0
+    /// unless windows were tracked) — what elastic billing charges for.
+    pub elastic_mean_cache_bytes: f64,
+    /// Largest configured cache capacity seen during the measured run.
+    pub elastic_peak_cache_bytes: u64,
 }
 
 impl ExperimentReport {
@@ -214,6 +233,11 @@ pub struct KvExperimentConfig {
     /// a span. `None` disables tracing entirely (the default everywhere),
     /// leaving the serve paths byte-identical to an uninstrumented run.
     pub trace_sample_every: Option<u64>,
+    /// Diurnal load modulation: scales the instantaneous arrival rate by
+    /// `schedule.multiplier(t)` (requests arrive every `1/(qps·m)` seconds),
+    /// so `cfg.qps` becomes the *peak* rate. `None` (the default) keeps the
+    /// classic fixed-interval clock byte-for-byte.
+    pub diurnal: Option<workloads::DiurnalSchedule>,
     pub pricing: Pricing,
 }
 
@@ -235,6 +259,7 @@ impl KvExperimentConfig {
             crash_leaders_at_request: None,
             cache_fault_schedule: None,
             trace_sample_every: None,
+            diurnal: None,
             pricing: Pricing::default(),
         }
     }
@@ -428,7 +453,56 @@ pub(crate) fn build_report(
             batched_rpc_keys as f64 / rpc_batches as f64
         },
         batch_size_counts,
+        elastic_decisions: dep.elastic.decisions(),
+        elastic_plan_changes: dep.elastic.plan_changes(),
+        elastic_resizes: dep.metrics.counter_value(elastic_counters::RESIZES),
+        elastic_shards_drained: dep
+            .metrics
+            .counter_value(elastic_counters::SHARDS_DRAINED),
+        elastic_shards_restored: dep
+            .metrics
+            .counter_value(elastic_counters::SHARDS_RESTORED),
+        elastic_migrated_entries: dep
+            .metrics
+            .counter_value(elastic_counters::MIGRATED_ENTRIES),
+        elastic_migrated_bytes: dep
+            .metrics
+            .counter_value(elastic_counters::MIGRATED_BYTES),
+        // Window-derived figures are filled post-hoc by the KV runner; other
+        // runners (Unity/session/trace) don't track load windows.
+        peak_window_cores: 0.0,
+        elastic_mean_cache_bytes: 0.0,
+        elastic_peak_cache_bytes: 0,
     }
+}
+
+/// Re-bill the cache tier's memory at its *time-averaged* configured
+/// capacity instead of the static configured maximum — the dollars an
+/// elastic deployment actually pays. Compute costs already track the
+/// measured busy time, so only the memory line moves.
+fn apply_elastic_billing(
+    report: &mut ExperimentReport,
+    dep: &Deployment,
+    mean_cache_bytes: f64,
+    pricing: &Pricing,
+) {
+    let cfg = &dep.config;
+    let (tier_name, base_mem) = match cfg.arch {
+        ArchKind::Remote => (
+            "remote_cache",
+            cfg.remote_cache_nodes as u64 * (1 << 30),
+        ),
+        _ if cfg.arch.has_linked_cache() => {
+            ("app", cfg.app_servers as u64 * cfg.app_base_mem_bytes)
+        }
+        _ => return,
+    };
+    if let Some(t) = report.tiers.iter_mut().find(|t| t.name == tier_name) {
+        t.mem_gb = (base_mem as f64 + mean_cache_bytes) / 1e9;
+        t.cost = pricing.monthly(&ResourceUsage::new(t.cores, t.mem_gb, t.disk_gb));
+    }
+    report.total_cost = report.tiers.iter().map(|t| t.cost).sum();
+    report.total_mem_gb = report.tiers.iter().map(|t| t.mem_gb).sum();
 }
 
 /// Run `f`, recovering from a dead Raft leader by electing a replacement
@@ -592,6 +666,76 @@ fn export_registry(
         );
     }
 
+    // Elastic-provisioning telemetry, only when the controller is on (so
+    // default runs export byte-identical registries).
+    if dep.elastic.enabled() {
+        reg.describe(
+            "dcache_elastic_cache_capacity_bytes",
+            Gauge,
+            "Configured capacity of the elastic-managed cache tier at run end.",
+        );
+        reg.set_gauge(
+            "dcache_elastic_cache_capacity_bytes",
+            labels,
+            dep.elastic_cache_capacity_bytes() as f64,
+        );
+        reg.set_gauge(
+            "dcache_elastic_mean_cache_bytes",
+            labels,
+            report.elastic_mean_cache_bytes,
+        );
+        reg.set_gauge(
+            "dcache_elastic_peak_cache_bytes",
+            labels,
+            report.elastic_peak_cache_bytes as f64,
+        );
+        reg.set_gauge("dcache_peak_window_cores", labels, report.peak_window_cores);
+        if let Some(p) = dep.elastic.current_plan() {
+            reg.describe(
+                "dcache_elastic_plan_cache_bytes",
+                Gauge,
+                "Capacity target of the most recent provisioning plan.",
+            );
+            reg.set_gauge("dcache_elastic_plan_cache_bytes", labels, p.cache_bytes as f64);
+            reg.set_gauge("dcache_elastic_plan_shards", labels, p.shards as f64);
+            reg.set_gauge(
+                "dcache_elastic_plan_monthly_dollars",
+                labels,
+                p.monthly_dollars,
+            );
+        }
+        reg.set_counter(
+            "dcache_elastic_decisions_total",
+            labels,
+            report.elastic_decisions,
+        );
+        reg.set_counter(
+            "dcache_elastic_resizes_total",
+            labels,
+            report.elastic_resizes,
+        );
+        reg.set_counter(
+            "dcache_elastic_migrated_entries_total",
+            labels,
+            report.elastic_migrated_entries,
+        );
+        reg.set_counter(
+            "dcache_elastic_migrated_bytes_total",
+            labels,
+            report.elastic_migrated_bytes,
+        );
+        reg.set_gauge(
+            "dcache_elastic_profiler_sampling_rate",
+            labels,
+            dep.elastic.profiler().rate(),
+        );
+        reg.set_gauge(
+            "dcache_elastic_profiler_tracked_keys",
+            labels,
+            dep.elastic.profiler().tracked_keys() as f64,
+        );
+    }
+
     // Fault/degraded-path counters straight off the deployment.
     dep.metrics.export(&mut reg, "dcache_fault_", labels);
     // External-cache statistics (hits/misses/evictions/...).
@@ -664,7 +808,7 @@ fn run_kv_experiment_core(
     let mut workload = wl_cfg.build();
     // Per-key write generation; reads expect the latest generation.
     let mut generation: std::collections::HashMap<u64, u64> = std::collections::HashMap::new();
-    let dt = SimDuration::from_secs_f64(1.0 / cfg.qps.max(1.0));
+    let base_dt = SimDuration::from_secs_f64(1.0 / cfg.qps.max(1.0));
     let mut now = SimTime::ZERO;
     let mut metrics = RunMetrics::new();
 
@@ -675,16 +819,55 @@ fn run_kv_experiment_core(
     let mut fault_driver = cfg.cache_fault_schedule.as_ref().map(FaultDriver::new);
     let deadline = cfg.deployment.fault_tolerance.request_deadline;
 
+    // Load-window tracking: per-heartbeat cores (the peak of which is what
+    // static provisioning pays for) and the capacity-over-time integral
+    // (what elastic provisioning pays for). Only tracked when a run can
+    // actually vary — diurnal load or an enabled controller — so the
+    // default fixed-rate path stays untouched.
+    let track_windows = cfg.diurnal.is_some() || dep.elastic.enabled();
+    let mut peak_window_cores = 0.0f64;
+    let mut window_busy_anchor = 0u64; // busy nanos at window start
+    let mut window_start = SimTime::ZERO;
+    let mut cap_integral = 0.0f64; // bytes · seconds
+    let mut cap_peak = 0u64;
+    let total_busy = |dep: &Deployment| -> u64 {
+        (dep.app_cpu_total().total()
+            + dep.cache_cpu_total().total()
+            + dep.cluster.frontend_cpu_total().total()
+            + dep.cluster.storage_cpu_total().total())
+        .as_nanos()
+    };
+
     for i in 0..total {
         if i == cfg.warmup_requests {
             dep.reset_metrics();
             metrics = RunMetrics::new();
             measuring = true;
             measure_start = now;
+            window_busy_anchor = 0;
+            window_start = now;
         }
         if i % heartbeat_every == 0 {
             dep.cluster.tick(now);
             dep.sharder.renew_all(now);
+            if track_windows {
+                if measuring && now > window_start {
+                    let busy = total_busy(&dep);
+                    let window = now.since(window_start);
+                    let cores =
+                        (busy - window_busy_anchor) as f64 / window.as_nanos() as f64;
+                    peak_window_cores = peak_window_cores.max(cores);
+                    let cap = dep.elastic_cache_capacity_bytes();
+                    cap_integral += cap as f64 * window.as_secs_f64();
+                    cap_peak = cap_peak.max(cap);
+                    window_busy_anchor = busy;
+                    window_start = now;
+                }
+                if let Some(plan) = dep.elastic.maybe_decide(now.as_secs_f64(), &cfg.pricing)
+                {
+                    dep.apply_elastic_plan(plan, now);
+                }
+            }
         }
         if let Some(at) = cfg.crash_leaders_at_request {
             if measuring && i == cfg.warmup_requests + at {
@@ -770,11 +953,38 @@ fn run_kv_experiment_core(
         if sampled {
             dep.tracer.end_request();
         }
-        now += dt;
+        now += match &cfg.diurnal {
+            None => base_dt,
+            Some(d) => SimDuration::from_secs_f64(
+                base_dt.as_secs_f64() / d.multiplier(now.as_secs_f64()).max(1e-6),
+            ),
+        };
     }
 
     let duration = now.since(measure_start);
-    let report = build_report(&dep, &metrics, cfg.qps, cfg.requests, duration, &cfg.pricing);
+    let mut report =
+        build_report(&dep, &metrics, cfg.qps, cfg.requests, duration, &cfg.pricing);
+    if track_windows {
+        // Close the final partial window, then fill the window-derived
+        // figures and re-bill elastic memory at its time-averaged capacity.
+        if now > window_start {
+            let busy = total_busy(&dep);
+            let window = now.since(window_start);
+            let cores = (busy - window_busy_anchor) as f64 / window.as_nanos() as f64;
+            peak_window_cores = peak_window_cores.max(cores);
+            let cap = dep.elastic_cache_capacity_bytes();
+            cap_integral += cap as f64 * window.as_secs_f64();
+            cap_peak = cap_peak.max(cap);
+        }
+        report.peak_window_cores = peak_window_cores;
+        report.elastic_mean_cache_bytes =
+            cap_integral / duration.as_secs_f64().max(1e-9);
+        report.elastic_peak_cache_bytes = cap_peak;
+        if dep.elastic.enabled() {
+            let mean = report.elastic_mean_cache_bytes;
+            apply_elastic_billing(&mut report, &dep, mean, &cfg.pricing);
+        }
+    }
     Ok((report, RunState { dep, metrics }))
 }
 
@@ -913,8 +1123,40 @@ mod tests {
             crash_leaders_at_request: None,
             cache_fault_schedule: None,
             trace_sample_every: None,
+            diurnal: None,
             pricing: Pricing::default(),
         }
+    }
+
+    /// tiny_cfg compressed onto a fast virtual day: ~1 heartbeat (and so
+    /// ~1 load window) per virtual second at peak rate, a full diurnal
+    /// cycle every 8 virtual seconds, and a provisioning decision every 2.
+    fn elastic_cfg(arch: ArchKind) -> KvExperimentConfig {
+        let mut cfg = tiny_cfg(arch);
+        cfg.qps = 2_000.0;
+        // Warmup spans several decision intervals so the controller's big
+        // first convergence step (and its refill churn) lands pre-measurement.
+        cfg.warmup_requests = 8_000;
+        cfg.requests = 12_000;
+        cfg.diurnal = Some(workloads::DiurnalSchedule::sinusoid(8.0, 0.25));
+        cfg.deployment.elastic = elastic::ElasticConfig {
+            decision_interval_secs: 2.0,
+            profiler: elastic::ShardsConfig::default(),
+            planner: elastic::PlannerConfig {
+                min_cache_bytes: 64 << 10,
+                max_cache_bytes: cfg
+                    .deployment
+                    .total_linked_bytes()
+                    .max(cfg.deployment.total_remote_bytes())
+                    .max(1 << 20),
+                mean_entry_bytes: 1_064,
+                // Half the acceptance budget on *predicted* misses, leaving
+                // the other half for refill churn after resizes.
+                max_miss_ratio_delta: 0.01,
+                ..elastic::PlannerConfig::default()
+            },
+        };
+        cfg
     }
 
     #[test]
@@ -1192,6 +1434,85 @@ mod tests {
             "linked {} vs base {}",
             linked.memory_cost_fraction(),
             base.memory_cost_fraction()
+        );
+    }
+
+    #[test]
+    fn default_runs_report_no_elastic_activity() {
+        let r = run_kv_experiment(&tiny_cfg(ArchKind::Remote)).unwrap();
+        assert_eq!(r.elastic_decisions, 0);
+        assert_eq!(r.elastic_resizes, 0);
+        assert_eq!(r.elastic_migrated_entries, 0);
+        assert_eq!(r.peak_window_cores, 0.0);
+        assert_eq!(r.elastic_mean_cache_bytes, 0.0);
+        assert_eq!(r.elastic_peak_cache_bytes, 0);
+    }
+
+    #[test]
+    fn diurnal_schedule_stretches_the_virtual_day() {
+        let mut flat_cfg = elastic_cfg(ArchKind::Linked);
+        flat_cfg.deployment.elastic = elastic::ElasticConfig::default();
+        flat_cfg.diurnal = None;
+        let flat = run_kv_experiment(&flat_cfg).unwrap();
+        let mut cfg = elastic_cfg(ArchKind::Linked);
+        cfg.deployment.elastic = elastic::ElasticConfig::default();
+        let wavy = run_kv_experiment(&cfg).unwrap();
+        assert_eq!(flat.requests, wavy.requests);
+        // Sub-peak arrival rates stretch inter-arrival gaps, so the same
+        // request count spans more virtual time than the flat-rate run.
+        assert!(
+            wavy.duration_secs > flat.duration_secs * 1.2,
+            "diurnal {} vs flat {}",
+            wavy.duration_secs,
+            flat.duration_secs
+        );
+        // Windows were tracked, and the peak window runs hotter than the
+        // run-average cores (that gap is the static-provisioning waste).
+        assert!(wavy.peak_window_cores > wavy.total_cores, "{wavy:?}");
+        assert_eq!(wavy.elastic_resizes, 0, "controller still off");
+    }
+
+    #[test]
+    fn elastic_run_is_deterministic_and_actually_resizes() {
+        let a = run_kv_experiment(&elastic_cfg(ArchKind::Remote)).unwrap();
+        let b = run_kv_experiment(&elastic_cfg(ArchKind::Remote)).unwrap();
+        assert_eq!(
+            serde_json::to_string(&a).unwrap(),
+            serde_json::to_string(&b).unwrap(),
+            "elastic control loop must be fully deterministic"
+        );
+        assert!(a.elastic_decisions > 0, "{a:?}");
+        assert!(a.elastic_resizes > 0, "plan must differ from the static size");
+        assert!(a.elastic_peak_cache_bytes > 0);
+        assert!(a.elastic_mean_cache_bytes > 0.0);
+    }
+
+    #[test]
+    fn elastic_trims_the_memory_bill_and_keeps_hits() {
+        // Same diurnal day, controller off vs on.
+        let mut static_cfg = elastic_cfg(ArchKind::Linked);
+        static_cfg.deployment.elastic = elastic::ElasticConfig::default();
+        let fixed = run_kv_experiment(&static_cfg).unwrap();
+        let flexed = run_kv_experiment(&elastic_cfg(ArchKind::Linked)).unwrap();
+
+        assert!(
+            flexed.elastic_mean_cache_bytes
+                < static_cfg.deployment.total_linked_bytes() as f64,
+            "mean capacity {} must undercut the static {} bytes",
+            flexed.elastic_mean_cache_bytes,
+            static_cfg.deployment.total_linked_bytes()
+        );
+        assert!(
+            flexed.total_cost.memory < fixed.total_cost.memory,
+            "elastic memory bill {} must beat static {}",
+            flexed.total_cost.memory,
+            fixed.total_cost.memory
+        );
+        assert!(
+            (fixed.cache_hit_ratio - flexed.cache_hit_ratio).abs() <= 0.02,
+            "hit ratio must stay within 2 points: static {} vs elastic {}",
+            fixed.cache_hit_ratio,
+            flexed.cache_hit_ratio
         );
     }
 }

@@ -42,5 +42,5 @@ pub mod unityapp;
 pub use config::{
     AppCostConfig, ArchKind, BatchingConfig, DeploymentConfig, FaultToleranceConfig, RetryPolicy,
 };
-pub use deployment::{batch_counters, fault_counters, Deployment, ServeOutcome};
+pub use deployment::{batch_counters, elastic_counters, fault_counters, Deployment, ServeOutcome};
 pub use experiment::{run_kv_experiment, ExperimentReport, KvExperimentConfig};

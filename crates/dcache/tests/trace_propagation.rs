@@ -35,6 +35,7 @@ fn traced_cfg(arch: ArchKind) -> KvExperimentConfig {
         crash_leaders_at_request: None,
         cache_fault_schedule: None,
         trace_sample_every: Some(1),
+        diurnal: None,
         pricing: Default::default(),
     }
 }
@@ -172,6 +173,48 @@ fn crashed_run_traces_are_deterministic() {
     assert_eq!(
         a.registry.to_prometheus_text(),
         b.registry.to_prometheus_text()
+    );
+}
+
+#[test]
+fn elastic_run_exports_provisioning_series() {
+    // An elastic-enabled run must surface the whole provisioning story in
+    // its Prometheus export — live capacity, the current plan, decision and
+    // migration counters, profiler state — and a default run must export
+    // none of it (the gauges are gated, keeping default registries stable).
+    let mut cfg = traced_cfg(ArchKind::Remote);
+    cfg.trace_sample_every = None;
+    cfg.qps = 2_000.0;
+    cfg.warmup_requests = 4_000;
+    cfg.requests = 6_000;
+    cfg.diurnal = Some(workloads::DiurnalSchedule::sinusoid(8.0, 0.25));
+    cfg.deployment.elastic = elastic::ElasticConfig::with_interval(2.0);
+    let (report, bundle) = run_kv_experiment_with_telemetry(&cfg).unwrap();
+    assert!(report.elastic_decisions > 0, "controller never decided");
+
+    let text = bundle.registry.to_prometheus_text();
+    for name in [
+        "dcache_elastic_cache_capacity_bytes",
+        "dcache_elastic_mean_cache_bytes",
+        "dcache_elastic_peak_cache_bytes",
+        "dcache_peak_window_cores",
+        "dcache_elastic_plan_cache_bytes",
+        "dcache_elastic_plan_shards",
+        "dcache_elastic_plan_monthly_dollars",
+        "dcache_elastic_decisions_total",
+        "dcache_elastic_resizes_total",
+        "dcache_elastic_migrated_entries_total",
+        "dcache_elastic_migrated_bytes_total",
+        "dcache_elastic_profiler_sampling_rate",
+        "dcache_elastic_profiler_tracked_keys",
+    ] {
+        assert!(text.contains(name), "export is missing {name}:\n{text}");
+    }
+
+    let (_, base) = run_kv_experiment_with_telemetry(&traced_cfg(ArchKind::Remote)).unwrap();
+    assert!(
+        !base.registry.to_prometheus_text().contains("dcache_elastic"),
+        "default run leaked elastic series into its registry"
     );
 }
 

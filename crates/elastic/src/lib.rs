@@ -1,0 +1,33 @@
+//! # elastic — online MRC profiling and cost-aware cache provisioning
+//!
+//! The paper prices distributed caches under *static* provisioning: every
+//! tier is sized for peak demand and billed around the clock. This crate
+//! supplies the missing control plane that turns those prices into a
+//! function of live load:
+//!
+//! * [`shards::ShardsProfiler`] — a streaming, bounded-memory miss-ratio
+//!   -curve estimator using SHARDS spatial sampling (Waldspurger et al.,
+//!   FAST '15): track only keys whose stable hash falls under a threshold,
+//!   measure Mattson stack distances within the sampled stream, and scale
+//!   distances and weights by the inverse sampling rate. Validated against
+//!   `cachekit::mrc::StackDistance` as the exact oracle.
+//! * [`planner`] — combines the live curve with `costmodel` pricing to
+//!   pick the dollar-minimizing cache size / shard count / VM count,
+//!   subject to a hit-ratio floor and switching-cost hysteresis so the
+//!   plan doesn't flap.
+//! * [`controller::ElasticController`] — the periodic decision loop a
+//!   deployment embeds: observe every request, re-plan on a fixed
+//!   simulated-time cadence, and hand resize actions back to the caller.
+//!
+//! Everything here is deterministic: no RNG, no wall clock — decisions are
+//! pure functions of the observed key stream and simulated time, which is
+//! what lets the experiment harness assert byte-identical reports across
+//! parallel sweep workers.
+
+pub mod controller;
+pub mod planner;
+pub mod shards;
+
+pub use controller::{ElasticConfig, ElasticController};
+pub use planner::{plan, Plan, PlannerConfig};
+pub use shards::{ShardsConfig, ShardsProfiler};

@@ -20,10 +20,13 @@
 //!   Figure 3 distributions (≈23 KB median values, Zipfian table
 //!   popularity, ≈93% reads).
 //!
+//! [`diurnal`] modulates any of them over simulated time (day/night
+//! sinusoid plus explicit phase shifts) for the elastic-provisioning study,
 //! [`zipf`] provides the O(1) scrambled-Zipfian sampler underneath,
 //! [`sizes`] the per-key deterministic value-size model, and [`trace`]
 //! capture/replay so real production traces can drive the experiments.
 
+pub mod diurnal;
 pub mod kv;
 pub mod meta;
 pub mod sessions;
@@ -33,6 +36,7 @@ pub mod twitter;
 pub mod unity;
 pub mod zipf;
 
+pub use diurnal::DiurnalSchedule;
 pub use kv::{KvOp, KvRequest, KvWorkload, KvWorkloadConfig};
 pub use sessions::{SessionOp, SessionWorkload, SessionWorkloadConfig};
 pub use trace::{TraceRecord, TraceStats};

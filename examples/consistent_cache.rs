@@ -34,6 +34,7 @@ fn main() {
             crash_leaders_at_request: None,
             cache_fault_schedule: None,
             trace_sample_every: None,
+            diurnal: None,
             pricing: Default::default(),
         };
         run_kv_experiment(&cfg).expect("run")

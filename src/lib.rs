@@ -47,6 +47,7 @@
 //!     crash_leaders_at_request: None,
 //!     cache_fault_schedule: None,
 //!     trace_sample_every: None,
+//!     diurnal: None,
 //!     pricing: Pricing::default(),
 //! };
 //! let report = run_kv_experiment(&cfg).unwrap();

@@ -23,6 +23,7 @@ fn mid_cfg(arch: ArchKind) -> KvExperimentConfig {
         crash_leaders_at_request: None,
         cache_fault_schedule: None,
         trace_sample_every: None,
+        diurnal: None,
         pricing: Pricing::default(),
     }
 }

@@ -75,6 +75,7 @@ fn run_linked(per_server_cache_bytes: u64) -> dcache_cost::study::ExperimentRepo
         crash_leaders_at_request: None,
         cache_fault_schedule: None,
         trace_sample_every: None,
+        diurnal: None,
         pricing: Pricing::default(),
     };
     run_kv_experiment(&cfg).unwrap()

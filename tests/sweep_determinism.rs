@@ -135,6 +135,39 @@ fn parallel_batching_sweep_is_byte_identical_to_sequential() {
 }
 
 #[test]
+fn parallel_elastic_sweep_is_byte_identical_to_sequential() {
+    // The elastic ablation adds the most run-local state yet: a SHARDS
+    // profiler, planner hysteresis, live resizes and ring drains with
+    // migration, plus diurnal clock stretching and load-window tracking.
+    // All of it must stay inside each experiment: jobs=1 and jobs=4 over
+    // the same specs must serialize to the same bytes, elastic counters
+    // and billing adjustments included.
+    use bench::elastic::{run_sweep, sweep_specs};
+    let specs = sweep_specs();
+    let seq = run_sweep(&SweepRunner::sequential(), &specs, 6_000, 6_000);
+    let par = run_sweep(&SweepRunner::new(4), &specs, 6_000, 6_000);
+
+    assert_eq!(seq.len(), par.len());
+    let mut resized_cells = 0;
+    for (i, (s, p)) in seq.iter().zip(&par).enumerate() {
+        assert_eq!(
+            format!("{s:?}"),
+            format!("{p:?}"),
+            "elastic spec {i} ({}): parallel diverged",
+            specs[i].label()
+        );
+        if s.elastic_resizes > 0 {
+            resized_cells += 1;
+        }
+    }
+    // The sweep must actually exercise the controller, not just baselines.
+    assert!(
+        resized_cells > 0,
+        "no cell resized; the determinism check would be vacuous"
+    );
+}
+
+#[test]
 fn four_workers_give_at_least_2x_speedup() {
     // Scheduling-only check with uniform synthetic jobs, so it holds even
     // on a loaded CI box: 8 sleeps of 50 ms are ≥400 ms sequentially and

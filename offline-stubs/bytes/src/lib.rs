@@ -1,0 +1,343 @@
+//! Offline stand-in for `bytes` 1.x.
+//!
+//! `Bytes` and `BytesMut` are plain `Vec<u8>` wrappers — no refcounted
+//! zero-copy slabs. The workspace's frames are small (KV protocol messages),
+//! so copy-on-split is fine; what matters is API fidelity for the subset the
+//! `netrpc` codec and the tokio stub use:
+//! `put_u8/put_u32_le/put_u64_le/put_slice/extend_from_slice`,
+//! `get_u8/get_u32_le/get_u64_le/remaining/advance/copy_to_bytes`,
+//! `split_to/freeze`, indexing, and `Deref<[u8]>`.
+
+use std::ops::{Deref, DerefMut};
+
+/// Read-side cursor operations.
+pub trait Buf {
+    fn remaining(&self) -> usize;
+    fn chunk(&self) -> &[u8];
+    fn advance(&mut self, cnt: usize);
+
+    fn has_remaining(&self) -> bool {
+        self.remaining() > 0
+    }
+
+    fn get_u8(&mut self) -> u8 {
+        let b = self.chunk()[0];
+        self.advance(1);
+        b
+    }
+
+    fn get_u32_le(&mut self) -> u32 {
+        let mut raw = [0u8; 4];
+        raw.copy_from_slice(&self.chunk()[..4]);
+        self.advance(4);
+        u32::from_le_bytes(raw)
+    }
+
+    fn get_u64_le(&mut self) -> u64 {
+        let mut raw = [0u8; 8];
+        raw.copy_from_slice(&self.chunk()[..8]);
+        self.advance(8);
+        u64::from_le_bytes(raw)
+    }
+
+    fn copy_to_bytes(&mut self, len: usize) -> Bytes {
+        assert!(len <= self.remaining(), "copy_to_bytes past end of buffer");
+        let out = Bytes::copy_from_slice(&self.chunk()[..len]);
+        self.advance(len);
+        out
+    }
+}
+
+/// Write-side append operations.
+pub trait BufMut {
+    fn put_slice(&mut self, src: &[u8]);
+
+    fn put_u8(&mut self, v: u8) {
+        self.put_slice(&[v]);
+    }
+
+    fn put_u32_le(&mut self, v: u32) {
+        self.put_slice(&v.to_le_bytes());
+    }
+
+    fn put_u64_le(&mut self, v: u64) {
+        self.put_slice(&v.to_le_bytes());
+    }
+}
+
+/// Immutable byte buffer. Here: an owned `Vec` plus a read cursor.
+#[derive(Clone, Default, PartialEq, Eq, Hash)]
+pub struct Bytes {
+    data: Vec<u8>,
+    pos: usize,
+}
+
+impl Bytes {
+    pub const fn new() -> Self {
+        Bytes { data: Vec::new(), pos: 0 }
+    }
+
+    pub fn copy_from_slice(src: &[u8]) -> Self {
+        Bytes { data: src.to_vec(), pos: 0 }
+    }
+
+    pub fn from_static(src: &'static [u8]) -> Self {
+        Bytes::copy_from_slice(src)
+    }
+
+    pub fn len(&self) -> usize {
+        self.data.len() - self.pos
+    }
+
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+
+    pub fn as_slice(&self) -> &[u8] {
+        &self.data[self.pos..]
+    }
+
+    pub fn to_vec(&self) -> Vec<u8> {
+        self.as_slice().to_vec()
+    }
+
+    pub fn slice(&self, range: std::ops::Range<usize>) -> Bytes {
+        Bytes::copy_from_slice(&self.as_slice()[range])
+    }
+}
+
+impl Buf for Bytes {
+    fn remaining(&self) -> usize {
+        self.len()
+    }
+
+    fn chunk(&self) -> &[u8] {
+        self.as_slice()
+    }
+
+    fn advance(&mut self, cnt: usize) {
+        assert!(cnt <= self.len(), "advance past end of Bytes");
+        self.pos += cnt;
+    }
+}
+
+impl Deref for Bytes {
+    type Target = [u8];
+    fn deref(&self) -> &[u8] {
+        self.as_slice()
+    }
+}
+
+impl AsRef<[u8]> for Bytes {
+    fn as_ref(&self) -> &[u8] {
+        self.as_slice()
+    }
+}
+
+impl From<Vec<u8>> for Bytes {
+    fn from(data: Vec<u8>) -> Self {
+        Bytes { data, pos: 0 }
+    }
+}
+
+impl From<&[u8]> for Bytes {
+    fn from(src: &[u8]) -> Self {
+        Bytes::copy_from_slice(src)
+    }
+}
+
+impl std::fmt::Debug for Bytes {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "Bytes({:?})", self.as_slice())
+    }
+}
+
+/// Growable byte buffer with a read cursor at the front.
+#[derive(Clone, Default, PartialEq, Eq)]
+pub struct BytesMut {
+    data: Vec<u8>,
+    pos: usize,
+}
+
+impl BytesMut {
+    pub const fn new() -> Self {
+        BytesMut { data: Vec::new(), pos: 0 }
+    }
+
+    pub fn with_capacity(cap: usize) -> Self {
+        BytesMut { data: Vec::with_capacity(cap), pos: 0 }
+    }
+
+    pub fn len(&self) -> usize {
+        self.data.len() - self.pos
+    }
+
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+
+    pub fn as_slice(&self) -> &[u8] {
+        &self.data[self.pos..]
+    }
+
+    pub fn clear(&mut self) {
+        self.data.clear();
+        self.pos = 0;
+    }
+
+    pub fn reserve(&mut self, additional: usize) {
+        self.data.reserve(additional);
+    }
+
+    pub fn capacity(&self) -> usize {
+        self.data.capacity() - self.pos
+    }
+
+    pub fn extend_from_slice(&mut self, src: &[u8]) {
+        self.data.extend_from_slice(src);
+    }
+
+    /// Split off the first `at` readable bytes into a new `BytesMut`,
+    /// leaving the rest in `self`.
+    pub fn split_to(&mut self, at: usize) -> BytesMut {
+        assert!(at <= self.len(), "split_to past end of BytesMut");
+        let head = BytesMut {
+            data: self.as_slice()[..at].to_vec(),
+            pos: 0,
+        };
+        self.pos += at;
+        self.compact();
+        head
+    }
+
+    pub fn split(&mut self) -> BytesMut {
+        let n = self.len();
+        self.split_to(n)
+    }
+
+    pub fn freeze(self) -> Bytes {
+        Bytes { data: self.as_slice().to_vec(), pos: 0 }
+    }
+
+    fn compact(&mut self) {
+        if self.pos > 0 {
+            self.data.drain(..self.pos);
+            self.pos = 0;
+        }
+    }
+}
+
+impl Buf for BytesMut {
+    fn remaining(&self) -> usize {
+        self.len()
+    }
+
+    fn chunk(&self) -> &[u8] {
+        self.as_slice()
+    }
+
+    fn advance(&mut self, cnt: usize) {
+        assert!(cnt <= self.len(), "advance past end of BytesMut");
+        self.pos += cnt;
+        self.compact();
+    }
+}
+
+impl BufMut for BytesMut {
+    fn put_slice(&mut self, src: &[u8]) {
+        self.extend_from_slice(src);
+    }
+}
+
+impl BufMut for Vec<u8> {
+    fn put_slice(&mut self, src: &[u8]) {
+        self.extend_from_slice(src);
+    }
+}
+
+impl Deref for BytesMut {
+    type Target = [u8];
+    fn deref(&self) -> &[u8] {
+        self.as_slice()
+    }
+}
+
+impl DerefMut for BytesMut {
+    fn deref_mut(&mut self) -> &mut [u8] {
+        let pos = self.pos;
+        &mut self.data[pos..]
+    }
+}
+
+impl AsRef<[u8]> for BytesMut {
+    fn as_ref(&self) -> &[u8] {
+        self.as_slice()
+    }
+}
+
+impl From<&[u8]> for BytesMut {
+    fn from(src: &[u8]) -> Self {
+        BytesMut { data: src.to_vec(), pos: 0 }
+    }
+}
+
+impl std::fmt::Debug for BytesMut {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "BytesMut({:?})", self.as_slice())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn put_get_round_trip() {
+        let mut buf = BytesMut::new();
+        buf.put_u8(7);
+        buf.put_u32_le(0xDEAD_BEEF);
+        buf.put_u64_le(42);
+        buf.put_slice(b"hello");
+
+        let mut frame = buf.freeze();
+        assert_eq!(frame.get_u8(), 7);
+        assert_eq!(frame.get_u32_le(), 0xDEAD_BEEF);
+        assert_eq!(frame.get_u64_le(), 42);
+        assert_eq!(frame.copy_to_bytes(5).to_vec(), b"hello");
+        assert_eq!(frame.remaining(), 0);
+    }
+
+    #[test]
+    fn split_to_and_freeze() {
+        let mut buf = BytesMut::from(&b"0123456789"[..]);
+        let head = buf.split_to(4).freeze();
+        assert_eq!(&head[..], b"0123");
+        assert_eq!(&buf[..], b"456789");
+        assert_eq!(buf.len(), 6);
+    }
+
+    #[test]
+    fn advance_then_index() {
+        let mut buf = BytesMut::from(&b"abcdef"[..]);
+        buf.advance(2);
+        assert_eq!(&buf[0..2], b"cd");
+        assert_eq!(buf.len(), 4);
+    }
+
+    #[test]
+    fn length_prefix_framing_shape() {
+        // The exact pattern split_frame uses: peek 4-byte LE length, then
+        // advance + split_to + freeze.
+        let mut buf = BytesMut::new();
+        let payload = b"payload";
+        buf.put_u32_le(payload.len() as u32);
+        buf.put_slice(payload);
+        buf.put_slice(b"next-frame-partial");
+
+        let len = u32::from_le_bytes([buf[0], buf[1], buf[2], buf[3]]) as usize;
+        buf.advance(4);
+        let frame = buf.split_to(len).freeze();
+        assert_eq!(&frame[..], payload);
+        assert_eq!(&buf[..], b"next-frame-partial");
+    }
+}

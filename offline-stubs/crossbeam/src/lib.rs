@@ -1,0 +1,2 @@
+//! Offline stand-in for `crossbeam`. Nothing in the workspace uses it today;
+//! the patch entry exists so the dependency table stays complete offline.

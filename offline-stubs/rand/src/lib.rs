@@ -1,0 +1,297 @@
+//! Offline stand-in for `rand` 0.8.
+//!
+//! Implements the API subset the workspace uses (`StdRng`, `SeedableRng`,
+//! `Rng::{gen, gen_bool, gen_range}`) with a deterministic splitmix64
+//! generator. The simulator's headline invariant is *determinism*, not any
+//! particular stream: same seed → same sequence, forever, on every platform.
+//! Golden figures and calibration bands are blessed against this stream.
+//!
+//! Distribution details (kept stable — goldens depend on them):
+//! - `next_u64` is one splitmix64 step (Steele et al., the SplitMix64
+//!   finalizer over a Weyl sequence).
+//! - `gen::<f64>()` is the standard 53-bit mantissa construction,
+//!   `(next_u64 >> 11) * 2^-53`, uniform in `[0, 1)`.
+//! - `gen_bool(p)` consumes one `f64` draw unless `p >= 1.0` (always true,
+//!   no draw — mirrors rand's `Bernoulli` short-circuit so pure-read
+//!   workloads don't burn stream positions).
+//! - `gen_range(a..b)` maps one `next_u64` by modulo. The bias is < 2^-11
+//!   for every range the workspace draws from; determinism matters here,
+//!   statistical perfection does not.
+
+use std::ops::Range;
+
+#[inline]
+fn splitmix64(state: &mut u64) -> u64 {
+    *state = state.wrapping_add(0x9E37_79B9_7F4A_7C15);
+    let mut z = *state;
+    z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+    z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+    z ^ (z >> 31)
+}
+
+/// Core RNG interface: everything derives from `next_u64`.
+pub trait RngCore {
+    fn next_u64(&mut self) -> u64;
+
+    fn next_u32(&mut self) -> u32 {
+        (self.next_u64() >> 32) as u32
+    }
+
+    fn fill_bytes(&mut self, dest: &mut [u8]) {
+        for chunk in dest.chunks_mut(8) {
+            let word = self.next_u64().to_le_bytes();
+            chunk.copy_from_slice(&word[..chunk.len()]);
+        }
+    }
+}
+
+/// Types drawable from the "standard" distribution via [`Rng::gen`].
+pub trait Standard: Sized {
+    fn draw<R: RngCore + ?Sized>(rng: &mut R) -> Self;
+}
+
+impl Standard for u64 {
+    fn draw<R: RngCore + ?Sized>(rng: &mut R) -> Self {
+        rng.next_u64()
+    }
+}
+
+impl Standard for u32 {
+    fn draw<R: RngCore + ?Sized>(rng: &mut R) -> Self {
+        rng.next_u32()
+    }
+}
+
+impl Standard for u8 {
+    fn draw<R: RngCore + ?Sized>(rng: &mut R) -> Self {
+        (rng.next_u64() >> 56) as u8
+    }
+}
+
+impl Standard for usize {
+    fn draw<R: RngCore + ?Sized>(rng: &mut R) -> Self {
+        rng.next_u64() as usize
+    }
+}
+
+impl Standard for i64 {
+    fn draw<R: RngCore + ?Sized>(rng: &mut R) -> Self {
+        rng.next_u64() as i64
+    }
+}
+
+impl Standard for bool {
+    fn draw<R: RngCore + ?Sized>(rng: &mut R) -> Self {
+        rng.next_u64() & 1 == 1
+    }
+}
+
+impl Standard for f64 {
+    fn draw<R: RngCore + ?Sized>(rng: &mut R) -> Self {
+        // 53 random mantissa bits, uniform in [0, 1).
+        (rng.next_u64() >> 11) as f64 * (1.0 / (1u64 << 53) as f64)
+    }
+}
+
+impl Standard for f32 {
+    fn draw<R: RngCore + ?Sized>(rng: &mut R) -> Self {
+        (rng.next_u64() >> 40) as f32 * (1.0 / (1u64 << 24) as f32)
+    }
+}
+
+/// Range types usable with [`Rng::gen_range`].
+pub trait SampleRange {
+    type Output;
+    fn draw_from<R: RngCore + ?Sized>(self, rng: &mut R) -> Self::Output;
+}
+
+macro_rules! int_sample_range {
+    ($($t:ty),*) => {$(
+        impl SampleRange for Range<$t> {
+            type Output = $t;
+            fn draw_from<R: RngCore + ?Sized>(self, rng: &mut R) -> $t {
+                assert!(self.start < self.end, "gen_range: empty range");
+                let span = (self.end as i128 - self.start as i128) as u128;
+                let v = rng.next_u64() as u128 % span;
+                (self.start as i128 + v as i128) as $t
+            }
+        }
+    )*};
+}
+
+int_sample_range!(u8, u16, u32, u64, usize, i8, i16, i32, i64, isize);
+
+impl SampleRange for Range<f64> {
+    type Output = f64;
+    fn draw_from<R: RngCore + ?Sized>(self, rng: &mut R) -> f64 {
+        assert!(self.start < self.end, "gen_range: empty range");
+        self.start + f64::draw(rng) * (self.end - self.start)
+    }
+}
+
+/// The user-facing extension trait, blanket-implemented for every RNG.
+pub trait Rng: RngCore {
+    fn gen<T: Standard>(&mut self) -> T {
+        T::draw(self)
+    }
+
+    /// One Bernoulli draw. `p >= 1` is always-true without consuming a
+    /// stream position (mirrors rand's short-circuit); `p <= 0` consumes
+    /// one draw and is always false.
+    fn gen_bool(&mut self, p: f64) -> bool {
+        if p >= 1.0 {
+            return true;
+        }
+        f64::draw(self) < p
+    }
+
+    fn gen_range<S: SampleRange>(&mut self, range: S) -> S::Output {
+        range.draw_from(self)
+    }
+}
+
+impl<R: RngCore + ?Sized> Rng for R {}
+
+/// Seeding interface (rand-core shaped).
+pub trait SeedableRng: Sized {
+    type Seed: Default + AsMut<[u8]>;
+
+    fn from_seed(seed: Self::Seed) -> Self;
+
+    /// Seed from a bare u64. The full seed is the splitmix64 expansion of
+    /// the input, so nearby integer seeds give unrelated streams.
+    fn seed_from_u64(state: u64) -> Self {
+        let mut s = state;
+        let mut seed = Self::Seed::default();
+        for chunk in seed.as_mut().chunks_mut(8) {
+            let word = splitmix64(&mut s).to_le_bytes();
+            chunk.copy_from_slice(&word[..chunk.len()]);
+        }
+        Self::from_seed(seed)
+    }
+}
+
+pub mod rngs {
+    use super::{splitmix64, RngCore, SeedableRng};
+
+    /// The standard deterministic RNG: a splitmix64 stream.
+    #[derive(Debug, Clone)]
+    pub struct StdRng {
+        state: u64,
+    }
+
+    impl RngCore for StdRng {
+        #[inline]
+        fn next_u64(&mut self) -> u64 {
+            splitmix64(&mut self.state)
+        }
+    }
+
+    impl SeedableRng for StdRng {
+        type Seed = [u8; 32];
+
+        fn from_seed(seed: Self::Seed) -> Self {
+            let mut first = [0u8; 8];
+            first.copy_from_slice(&seed[..8]);
+            StdRng {
+                state: u64::from_le_bytes(first),
+            }
+        }
+    }
+
+    /// Small-footprint RNG: same stream family as [`StdRng`] here.
+    #[derive(Debug, Clone)]
+    pub struct SmallRng {
+        state: u64,
+    }
+
+    impl RngCore for SmallRng {
+        #[inline]
+        fn next_u64(&mut self) -> u64 {
+            splitmix64(&mut self.state)
+        }
+    }
+
+    impl SeedableRng for SmallRng {
+        type Seed = [u8; 16];
+
+        fn from_seed(seed: Self::Seed) -> Self {
+            let mut first = [0u8; 8];
+            first.copy_from_slice(&seed[..8]);
+            SmallRng {
+                state: u64::from_le_bytes(first),
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::rngs::StdRng;
+    use super::{Rng, SeedableRng};
+
+    #[test]
+    fn same_seed_same_stream() {
+        let mut a = StdRng::seed_from_u64(42);
+        let mut b = StdRng::seed_from_u64(42);
+        for _ in 0..100 {
+            assert_eq!(a.gen::<u64>(), b.gen::<u64>());
+        }
+    }
+
+    #[test]
+    fn different_seeds_diverge() {
+        let mut a = StdRng::seed_from_u64(1);
+        let mut b = StdRng::seed_from_u64(2);
+        let xs: Vec<u64> = (0..8).map(|_| a.gen()).collect();
+        let ys: Vec<u64> = (0..8).map(|_| b.gen()).collect();
+        assert_ne!(xs, ys);
+    }
+
+    #[test]
+    fn f64_in_unit_interval() {
+        let mut rng = StdRng::seed_from_u64(7);
+        for _ in 0..10_000 {
+            let x: f64 = rng.gen();
+            assert!((0.0..1.0).contains(&x));
+        }
+    }
+
+    #[test]
+    fn f64_mean_is_near_half() {
+        let mut rng = StdRng::seed_from_u64(11);
+        let n = 100_000;
+        let sum: f64 = (0..n).map(|_| rng.gen::<f64>()).sum();
+        let mean = sum / n as f64;
+        assert!((mean - 0.5).abs() < 0.01, "mean {mean}");
+    }
+
+    #[test]
+    fn gen_bool_edge_cases() {
+        let mut rng = StdRng::seed_from_u64(3);
+        let before = rng.clone();
+        assert!(rng.gen_bool(1.0));
+        // p >= 1 must not consume a stream position.
+        assert_eq!(rng.gen::<u64>(), before.clone().gen::<u64>());
+        assert!(!rng.gen_bool(0.0));
+        let hits = (0..10_000).filter(|_| rng.gen_bool(0.3)).count();
+        assert!((2_800..3_200).contains(&hits), "hits {hits}");
+    }
+
+    #[test]
+    fn gen_range_bounds_and_coverage() {
+        let mut rng = StdRng::seed_from_u64(5);
+        let mut seen = [false; 10];
+        for _ in 0..1_000 {
+            let v = rng.gen_range(0usize..10);
+            seen[v] = true;
+        }
+        assert!(seen.iter().all(|&s| s));
+        for _ in 0..1_000 {
+            let v = rng.gen_range(-5i64..5);
+            assert!((-5..5).contains(&v));
+        }
+        let x = rng.gen_range(0.25f64..0.75);
+        assert!((0.25..0.75).contains(&x));
+    }
+}

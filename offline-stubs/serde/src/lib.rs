@@ -1,0 +1,31 @@
+//! Offline stand-in for `serde`.
+//!
+//! Serialization is a no-op in this environment (the JSON writer emits empty
+//! strings; stdout tables are the observable output), so `Serialize` and
+//! `Deserialize` are blanket-implemented marker traits and the derives are
+//! no-ops. Bounds like `T: Serialize` and `#[derive(Serialize)]` compile
+//! unchanged.
+
+pub trait Serialize {}
+
+impl<T: ?Sized> Serialize for T {}
+
+pub trait Deserialize<'de>: Sized {}
+
+impl<'de, T> Deserialize<'de> for T {}
+
+pub mod de {
+    /// Owned-deserialization marker, blanket-implemented like the real
+    /// `DeserializeOwned` (which is auto-implemented for all
+    /// `for<'de> Deserialize<'de>` types).
+    pub trait DeserializeOwned: Sized {}
+
+    impl<T> DeserializeOwned for T {}
+}
+
+pub mod ser {
+    pub use super::Serialize;
+}
+
+#[cfg(feature = "derive")]
+pub use serde_derive::{Deserialize, Serialize};

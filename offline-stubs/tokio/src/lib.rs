@@ -1,0 +1,768 @@
+//! Offline stand-in for `tokio`.
+//!
+//! A deliberately simple runtime with real concurrency semantics:
+//!
+//! - `block_on` drives a future by polling with a no-op waker, sleeping
+//!   ~200µs between `Pending` polls. No reactor, no wakeups — just cheap
+//!   re-polls. Latency floor per await point is one poll interval, which is
+//!   well inside every timeout the workspace's tests use.
+//! - `spawn` runs each task on its own OS thread with the same polling
+//!   loop, so spawned servers and clients are genuinely concurrent.
+//! - `net::TcpStream`/`net::TcpListener` wrap std sockets in nonblocking
+//!   mode; `WouldBlock` maps to `Pending`, so `time::timeout` really does
+//!   preempt a stalled read (the resilience tests depend on this).
+//! - `select!` supports the two-arm form the workspace uses, polling arms
+//!   in order and dropping the loser (cancel-safe the same way the real
+//!   one is for these futures: a pending `read_buf`/`changed` holds no
+//!   partial state).
+//!
+//! Everything here is driven by the test suite that uses it; it is not a
+//! general-purpose runtime.
+
+use std::future::Future;
+use std::pin::Pin;
+use std::task::{Context, Poll, RawWaker, RawWakerVTable, Waker};
+use std::time::Duration;
+
+pub use tokio_macros::{main, test};
+
+/// Interval between polls of a pending future. Low enough that network
+/// round-trips stay in the tens-of-microseconds-to-millisecond range.
+const POLL_INTERVAL: Duration = Duration::from_micros(200);
+
+fn noop_waker() -> Waker {
+    fn clone(_: *const ()) -> RawWaker {
+        RawWaker::new(std::ptr::null(), &VTABLE)
+    }
+    fn noop(_: *const ()) {}
+    static VTABLE: RawWakerVTable = RawWakerVTable::new(clone, noop, noop, noop);
+    // SAFETY: every vtable entry is a no-op on a null pointer.
+    unsafe { Waker::from_raw(RawWaker::new(std::ptr::null(), &VTABLE)) }
+}
+
+pub mod runtime {
+    use super::*;
+
+    /// Drive a future to completion on the current thread.
+    pub fn block_on<F: Future>(fut: F) -> F::Output {
+        let waker = noop_waker();
+        let mut cx = Context::from_waker(&waker);
+        let mut fut = std::pin::pin!(fut);
+        loop {
+            match fut.as_mut().poll(&mut cx) {
+                Poll::Ready(v) => return v,
+                Poll::Pending => std::thread::sleep(POLL_INTERVAL),
+            }
+        }
+    }
+}
+
+pub mod task {
+    use super::*;
+    use std::sync::atomic::{AtomicBool, Ordering};
+    use std::sync::{Arc, Mutex};
+
+    /// Why a join completed without a value.
+    #[derive(Debug)]
+    pub struct JoinError {
+        panicked: bool,
+    }
+
+    impl JoinError {
+        pub fn is_panic(&self) -> bool {
+            self.panicked
+        }
+
+        pub fn is_cancelled(&self) -> bool {
+            !self.panicked
+        }
+    }
+
+    impl std::fmt::Display for JoinError {
+        fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+            if self.panicked {
+                write!(f, "task panicked")
+            } else {
+                write!(f, "task was cancelled")
+            }
+        }
+    }
+
+    impl std::error::Error for JoinError {}
+
+    pub(crate) struct TaskState<T> {
+        pub(crate) result: Mutex<Option<Result<T, JoinError>>>,
+        pub(crate) aborted: AtomicBool,
+        pub(crate) finished: AtomicBool,
+    }
+
+    /// Await to join; `abort()` to request cancellation at the next poll
+    /// boundary.
+    pub struct JoinHandle<T> {
+        pub(crate) state: Arc<TaskState<T>>,
+    }
+
+    impl<T> JoinHandle<T> {
+        pub fn abort(&self) {
+            self.state.aborted.store(true, Ordering::SeqCst);
+        }
+
+        pub fn is_finished(&self) -> bool {
+            self.state.finished.load(Ordering::SeqCst)
+        }
+    }
+
+    impl<T> Future for JoinHandle<T> {
+        type Output = Result<T, JoinError>;
+
+        fn poll(self: Pin<&mut Self>, _cx: &mut Context<'_>) -> Poll<Self::Output> {
+            if !self.state.finished.load(Ordering::Acquire) {
+                return Poll::Pending;
+            }
+            let taken = self
+                .state
+                .result
+                .lock()
+                .unwrap_or_else(std::sync::PoisonError::into_inner)
+                .take()
+                .expect("JoinHandle polled after completion was consumed");
+            Poll::Ready(taken)
+        }
+    }
+
+    pub(crate) fn spawn_inner<F>(fut: F) -> JoinHandle<F::Output>
+    where
+        F: Future + Send + 'static,
+        F::Output: Send + 'static,
+    {
+        let state = Arc::new(TaskState {
+            result: Mutex::new(None),
+            aborted: AtomicBool::new(false),
+            finished: AtomicBool::new(false),
+        });
+        let task_state = state.clone();
+        std::thread::spawn(move || {
+            let outcome = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
+                let waker = noop_waker();
+                let mut cx = Context::from_waker(&waker);
+                let mut fut = Box::pin(fut);
+                loop {
+                    if task_state.aborted.load(Ordering::SeqCst) {
+                        return None;
+                    }
+                    match fut.as_mut().poll(&mut cx) {
+                        Poll::Ready(v) => return Some(v),
+                        Poll::Pending => std::thread::sleep(POLL_INTERVAL),
+                    }
+                }
+            }));
+            let stored = match outcome {
+                Ok(Some(v)) => Ok(v),
+                Ok(None) => Err(JoinError { panicked: false }),
+                Err(_) => Err(JoinError { panicked: true }),
+            };
+            *task_state
+                .result
+                .lock()
+                .unwrap_or_else(std::sync::PoisonError::into_inner) = Some(stored);
+            task_state.finished.store(true, Ordering::Release);
+        });
+        JoinHandle { state }
+    }
+}
+
+/// Spawn a task on its own thread; returns a handle that is a future.
+pub fn spawn<F>(fut: F) -> task::JoinHandle<F::Output>
+where
+    F: Future + Send + 'static,
+    F::Output: Send + 'static,
+{
+    task::spawn_inner(fut)
+}
+
+pub mod net {
+    use super::*;
+    use std::io::{self, Read, Write};
+    use std::net::{SocketAddr, ToSocketAddrs};
+
+    /// Nonblocking std TCP stream driven by polling.
+    pub struct TcpStream {
+        pub(crate) inner: std::net::TcpStream,
+    }
+
+    impl TcpStream {
+        /// Connects synchronously (loopback dials resolve immediately —
+        /// either established or refused), then switches to nonblocking for
+        /// all I/O so read/write futures can yield.
+        pub async fn connect<A: ToSocketAddrs>(addr: A) -> io::Result<TcpStream> {
+            let inner = std::net::TcpStream::connect(addr)?;
+            inner.set_nonblocking(true)?;
+            Ok(TcpStream { inner })
+        }
+
+        pub fn set_nodelay(&self, nodelay: bool) -> io::Result<()> {
+            self.inner.set_nodelay(nodelay)
+        }
+
+        pub fn local_addr(&self) -> io::Result<SocketAddr> {
+            self.inner.local_addr()
+        }
+
+        pub fn peer_addr(&self) -> io::Result<SocketAddr> {
+            self.inner.peer_addr()
+        }
+
+        pub(crate) fn poll_read_into(&self, sink: &mut dyn FnMut(&[u8])) -> Poll<io::Result<usize>> {
+            let mut scratch = [0u8; 16 * 1024];
+            match (&self.inner).read(&mut scratch) {
+                Ok(0) => Poll::Ready(Ok(0)),
+                Ok(n) => {
+                    sink(&scratch[..n]);
+                    Poll::Ready(Ok(n))
+                }
+                Err(e) if e.kind() == io::ErrorKind::WouldBlock => Poll::Pending,
+                Err(e) if e.kind() == io::ErrorKind::Interrupted => Poll::Pending,
+                Err(e) => Poll::Ready(Err(e)),
+            }
+        }
+
+        pub(crate) fn poll_write_some(&self, data: &[u8]) -> Poll<io::Result<usize>> {
+            match (&self.inner).write(data) {
+                Ok(n) => Poll::Ready(Ok(n)),
+                Err(e) if e.kind() == io::ErrorKind::WouldBlock => Poll::Pending,
+                Err(e) if e.kind() == io::ErrorKind::Interrupted => Poll::Pending,
+                Err(e) => Poll::Ready(Err(e)),
+            }
+        }
+    }
+
+    /// Nonblocking std TCP listener driven by polling.
+    pub struct TcpListener {
+        inner: std::net::TcpListener,
+    }
+
+    impl TcpListener {
+        pub async fn bind<A: ToSocketAddrs>(addr: A) -> io::Result<TcpListener> {
+            let inner = std::net::TcpListener::bind(addr)?;
+            inner.set_nonblocking(true)?;
+            Ok(TcpListener { inner })
+        }
+
+        pub fn local_addr(&self) -> io::Result<SocketAddr> {
+            self.inner.local_addr()
+        }
+
+        pub fn accept(&self) -> Accept<'_> {
+            Accept { listener: self }
+        }
+    }
+
+    pub struct Accept<'a> {
+        listener: &'a TcpListener,
+    }
+
+    impl Future for Accept<'_> {
+        type Output = io::Result<(TcpStream, SocketAddr)>;
+
+        fn poll(self: Pin<&mut Self>, _cx: &mut Context<'_>) -> Poll<Self::Output> {
+            match self.listener.inner.accept() {
+                Ok((stream, peer)) => {
+                    if let Err(e) = stream.set_nonblocking(true) {
+                        return Poll::Ready(Err(e));
+                    }
+                    Poll::Ready(Ok((TcpStream { inner: stream }, peer)))
+                }
+                Err(e) if e.kind() == io::ErrorKind::WouldBlock => Poll::Pending,
+                Err(e) if e.kind() == io::ErrorKind::Interrupted => Poll::Pending,
+                Err(e) => Poll::Ready(Err(e)),
+            }
+        }
+    }
+}
+
+pub mod io {
+    use super::net::TcpStream;
+    use super::*;
+    use bytes::BytesMut;
+    use std::io as stdio;
+
+    /// Async read combinators for [`TcpStream`]. (Implemented concretely,
+    /// not over a generic `AsyncRead` — this runtime has one stream type.)
+    pub trait AsyncReadExt {
+        fn read_buf<'a>(&'a mut self, buf: &'a mut BytesMut) -> ReadBuf<'a>;
+        fn read_to_end<'a>(&'a mut self, buf: &'a mut Vec<u8>) -> ReadToEnd<'a>;
+    }
+
+    impl AsyncReadExt for TcpStream {
+        fn read_buf<'a>(&'a mut self, buf: &'a mut BytesMut) -> ReadBuf<'a> {
+            ReadBuf { stream: self, buf }
+        }
+
+        fn read_to_end<'a>(&'a mut self, buf: &'a mut Vec<u8>) -> ReadToEnd<'a> {
+            ReadToEnd { stream: self, buf, total: 0 }
+        }
+    }
+
+    /// Async write combinators for [`TcpStream`].
+    pub trait AsyncWriteExt {
+        fn write_all<'a>(&'a mut self, data: &'a [u8]) -> WriteAll<'a>;
+    }
+
+    impl AsyncWriteExt for TcpStream {
+        fn write_all<'a>(&'a mut self, data: &'a [u8]) -> WriteAll<'a> {
+            WriteAll { stream: self, data, written: 0 }
+        }
+    }
+
+    pub struct ReadBuf<'a> {
+        stream: &'a TcpStream,
+        buf: &'a mut BytesMut,
+    }
+
+    impl Future for ReadBuf<'_> {
+        type Output = stdio::Result<usize>;
+
+        fn poll(self: Pin<&mut Self>, _cx: &mut Context<'_>) -> Poll<Self::Output> {
+            let this = self.get_mut();
+            let buf = &mut *this.buf;
+            this.stream.poll_read_into(&mut |chunk| buf.extend_from_slice(chunk))
+        }
+    }
+
+    pub struct ReadToEnd<'a> {
+        stream: &'a TcpStream,
+        buf: &'a mut Vec<u8>,
+        total: usize,
+    }
+
+    impl Future for ReadToEnd<'_> {
+        type Output = stdio::Result<usize>;
+
+        fn poll(self: Pin<&mut Self>, _cx: &mut Context<'_>) -> Poll<Self::Output> {
+            let this = self.get_mut();
+            loop {
+                let buf = &mut *this.buf;
+                match this.stream.poll_read_into(&mut |chunk| buf.extend_from_slice(chunk)) {
+                    Poll::Ready(Ok(0)) => return Poll::Ready(Ok(this.total)),
+                    Poll::Ready(Ok(n)) => this.total += n,
+                    Poll::Ready(Err(e)) => return Poll::Ready(Err(e)),
+                    Poll::Pending => return Poll::Pending,
+                }
+            }
+        }
+    }
+
+    pub struct WriteAll<'a> {
+        stream: &'a TcpStream,
+        data: &'a [u8],
+        written: usize,
+    }
+
+    impl Future for WriteAll<'_> {
+        type Output = stdio::Result<()>;
+
+        fn poll(self: Pin<&mut Self>, _cx: &mut Context<'_>) -> Poll<Self::Output> {
+            let this = self.get_mut();
+            while this.written < this.data.len() {
+                match this.stream.poll_write_some(&this.data[this.written..]) {
+                    Poll::Ready(Ok(0)) => {
+                        return Poll::Ready(Err(stdio::Error::new(
+                            stdio::ErrorKind::WriteZero,
+                            "wrote zero bytes",
+                        )))
+                    }
+                    Poll::Ready(Ok(n)) => this.written += n,
+                    Poll::Ready(Err(e)) => return Poll::Ready(Err(e)),
+                    Poll::Pending => return Poll::Pending,
+                }
+            }
+            Poll::Ready(Ok(()))
+        }
+    }
+}
+
+pub mod sync {
+    pub mod watch {
+        use std::future::Future;
+        use std::pin::Pin;
+        use std::sync::{Arc, Mutex, PoisonError};
+        use std::task::{Context, Poll};
+
+        pub mod error {
+            /// All senders are gone and the current value was already seen.
+            #[derive(Debug, PartialEq, Eq)]
+            pub struct RecvError(pub(crate) ());
+
+            impl std::fmt::Display for RecvError {
+                fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+                    write!(f, "watch channel closed")
+                }
+            }
+
+            impl std::error::Error for RecvError {}
+
+            #[derive(Debug)]
+            pub struct SendError<T>(pub T);
+
+            impl<T> std::fmt::Display for SendError<T> {
+                fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+                    write!(f, "watch channel closed")
+                }
+            }
+        }
+
+        struct State<T> {
+            value: T,
+            version: u64,
+            closed: bool,
+        }
+
+        struct Shared<T> {
+            state: Mutex<State<T>>,
+        }
+
+        impl<T> Shared<T> {
+            fn lock(&self) -> std::sync::MutexGuard<'_, State<T>> {
+                self.state.lock().unwrap_or_else(PoisonError::into_inner)
+            }
+        }
+
+        pub struct Sender<T> {
+            shared: Arc<Shared<T>>,
+        }
+
+        impl<T> Sender<T> {
+            pub fn send(&self, value: T) -> Result<(), error::SendError<T>> {
+                let mut st = self.shared.lock();
+                st.value = value;
+                st.version += 1;
+                Ok(())
+            }
+        }
+
+        impl<T> Drop for Sender<T> {
+            fn drop(&mut self) {
+                self.shared.lock().closed = true;
+            }
+        }
+
+        pub struct Receiver<T> {
+            shared: Arc<Shared<T>>,
+            seen: u64,
+        }
+
+        impl<T> Receiver<T> {
+            /// Completes when a value newer than the last-seen one is
+            /// available, marking it seen. Dropping the returned future
+            /// before completion marks nothing (cancel-safe).
+            pub fn changed(&mut self) -> Changed<'_, T> {
+                Changed { rx: self }
+            }
+
+            pub fn borrow(&self) -> Ref<'_, T> {
+                Ref { guard: self.shared.lock() }
+            }
+        }
+
+        impl<T> Clone for Receiver<T> {
+            /// The clone starts having seen whatever the source has seen.
+            fn clone(&self) -> Self {
+                Receiver { shared: self.shared.clone(), seen: self.seen }
+            }
+        }
+
+        pub struct Ref<'a, T> {
+            guard: std::sync::MutexGuard<'a, super::watch::State<T>>,
+        }
+
+        impl<T> std::ops::Deref for Ref<'_, T> {
+            type Target = T;
+            fn deref(&self) -> &T {
+                &self.guard.value
+            }
+        }
+
+        pub struct Changed<'a, T> {
+            rx: &'a mut Receiver<T>,
+        }
+
+        impl<T> Future for Changed<'_, T> {
+            type Output = Result<(), error::RecvError>;
+
+            fn poll(self: Pin<&mut Self>, _cx: &mut Context<'_>) -> Poll<Self::Output> {
+                let this = self.get_mut();
+                let (version, closed) = {
+                    let st = this.rx.shared.lock();
+                    (st.version, st.closed)
+                };
+                if version != this.rx.seen {
+                    this.rx.seen = version;
+                    Poll::Ready(Ok(()))
+                } else if closed {
+                    Poll::Ready(Err(error::RecvError(())))
+                } else {
+                    Poll::Pending
+                }
+            }
+        }
+
+        pub fn channel<T>(initial: T) -> (Sender<T>, Receiver<T>) {
+            let shared = Arc::new(Shared {
+                state: Mutex::new(State { value: initial, version: 0, closed: false }),
+            });
+            (
+                Sender { shared: shared.clone() },
+                Receiver { shared, seen: 0 },
+            )
+        }
+    }
+}
+
+pub mod time {
+    use super::*;
+    use std::time::Instant;
+
+    pub mod error {
+        /// A [`super::timeout`] deadline fired before the inner future
+        /// finished.
+        #[derive(Debug, PartialEq, Eq)]
+        pub struct Elapsed(pub(crate) ());
+
+        impl std::fmt::Display for Elapsed {
+            fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+                write!(f, "deadline has elapsed")
+            }
+        }
+
+        impl std::error::Error for Elapsed {}
+    }
+
+    pub use error::Elapsed;
+
+    pub struct Sleep {
+        deadline: Instant,
+    }
+
+    impl Future for Sleep {
+        type Output = ();
+
+        fn poll(self: Pin<&mut Self>, _cx: &mut Context<'_>) -> Poll<()> {
+            if Instant::now() >= self.deadline {
+                Poll::Ready(())
+            } else {
+                Poll::Pending
+            }
+        }
+    }
+
+    pub fn sleep(duration: Duration) -> Sleep {
+        Sleep { deadline: Instant::now() + duration }
+    }
+
+    pub struct Timeout<F> {
+        fut: F,
+        deadline: Instant,
+    }
+
+    impl<F: Future> Future for Timeout<F> {
+        type Output = Result<F::Output, Elapsed>;
+
+        fn poll(self: Pin<&mut Self>, cx: &mut Context<'_>) -> Poll<Self::Output> {
+            // SAFETY: `fut` is structurally pinned — never moved out of
+            // `self`, and `Timeout` has no Drop impl that would move it.
+            let this = unsafe { self.get_unchecked_mut() };
+            let fut = unsafe { Pin::new_unchecked(&mut this.fut) };
+            match fut.poll(cx) {
+                Poll::Ready(v) => Poll::Ready(Ok(v)),
+                Poll::Pending => {
+                    if Instant::now() >= this.deadline {
+                        Poll::Ready(Err(Elapsed(())))
+                    } else {
+                        Poll::Pending
+                    }
+                }
+            }
+        }
+    }
+
+    /// Deadline starts now, like the real `tokio::time::timeout`.
+    pub fn timeout<F: Future>(duration: Duration, fut: F) -> Timeout<F> {
+        Timeout { fut, deadline: Instant::now() + duration }
+    }
+}
+
+pub mod signal {
+    /// Never resolves in the stub: the standalone server bins run until
+    /// killed, which is how they are used in this environment.
+    pub async fn ctrl_c() -> std::io::Result<()> {
+        std::future::pending::<()>().await;
+        Ok(())
+    }
+}
+
+#[doc(hidden)]
+pub mod macros_support {
+    use super::*;
+
+    pub enum Either2<A, B> {
+        A(A),
+        B(B),
+    }
+
+    /// Two-future race for `select!`: polls in declaration order, first
+    /// ready wins, the loser is dropped with the `Select2`.
+    pub struct Select2<A: Future, B: Future> {
+        a: Pin<Box<A>>,
+        b: Pin<Box<B>>,
+    }
+
+    impl<A: Future, B: Future> Select2<A, B> {
+        pub fn new(a: A, b: B) -> Self {
+            Select2 { a: Box::pin(a), b: Box::pin(b) }
+        }
+    }
+
+    impl<A: Future, B: Future> Future for Select2<A, B> {
+        type Output = Either2<A::Output, B::Output>;
+
+        fn poll(self: Pin<&mut Self>, cx: &mut Context<'_>) -> Poll<Self::Output> {
+            let this = self.get_mut();
+            if let Poll::Ready(v) = this.a.as_mut().poll(cx) {
+                return Poll::Ready(Either2::A(v));
+            }
+            if let Poll::Ready(v) = this.b.as_mut().poll(cx) {
+                return Poll::Ready(Either2::B(v));
+            }
+            Poll::Pending
+        }
+    }
+}
+
+/// Two-arm `select!`. Arms are polled in order (biased); `break`,
+/// `continue`, `return`, and `?` work inside arm bodies because the
+/// expansion is a plain `match` in the enclosing scope.
+#[macro_export]
+macro_rules! select {
+    ($p1:pat = $f1:expr => $b1:block $p2:pat = $f2:expr => $b2:expr $(,)?) => {
+        match $crate::macros_support::Select2::new($f1, $f2).await {
+            $crate::macros_support::Either2::A($p1) => $b1,
+            $crate::macros_support::Either2::B($p2) => $b2,
+        }
+    };
+    ($p1:pat = $f1:expr => $b1:expr, $p2:pat = $f2:expr => $b2:expr $(,)?) => {
+        match $crate::macros_support::Select2::new($f1, $f2).await {
+            $crate::macros_support::Either2::A($p1) => $b1,
+            $crate::macros_support::Either2::B($p2) => $b2,
+        }
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn block_on_and_spawn_round_trip() {
+        let out = runtime::block_on(async {
+            let handle = spawn(async { 21 * 2 });
+            handle.await.unwrap()
+        });
+        assert_eq!(out, 42);
+    }
+
+    #[test]
+    fn abort_cancels_a_pending_task() {
+        runtime::block_on(async {
+            let handle = spawn(async {
+                std::future::pending::<()>().await;
+            });
+            handle.abort();
+            let err = (handle).await.unwrap_err();
+            assert!(err.is_cancelled());
+        });
+    }
+
+    #[test]
+    fn timeout_fires_on_pending() {
+        runtime::block_on(async {
+            let r = time::timeout(Duration::from_millis(20), std::future::pending::<()>()).await;
+            assert!(r.is_err());
+            let r = time::timeout(Duration::from_millis(200), async { 5 }).await;
+            assert_eq!(r.unwrap(), 5);
+        });
+    }
+
+    #[test]
+    fn sleep_waits_roughly_the_duration() {
+        let start = std::time::Instant::now();
+        runtime::block_on(time::sleep(Duration::from_millis(30)));
+        assert!(start.elapsed() >= Duration::from_millis(30));
+    }
+
+    #[test]
+    fn watch_changed_sees_send_and_close() {
+        runtime::block_on(async {
+            let (tx, mut rx) = sync::watch::channel(false);
+            let mut rx2 = rx.clone();
+            tx.send(true).unwrap();
+            rx.changed().await.unwrap();
+            assert!(*rx.borrow());
+            rx2.changed().await.unwrap();
+            drop(tx);
+            assert!(rx.changed().await.is_err(), "closed channel errors");
+        });
+    }
+
+    #[test]
+    fn select_is_biased_and_supports_break() {
+        runtime::block_on(async {
+            let mut hits = 0;
+            loop {
+                select! {
+                    v = async { 1 } => {
+                        hits += v;
+                        if hits >= 3 {
+                            break;
+                        }
+                    }
+                    _ = std::future::pending::<()>() => unreachable!(),
+                }
+            }
+            assert_eq!(hits, 3);
+            // Second-arm completion with the expr-arm syntax.
+            let picked = select! {
+                _ = std::future::pending::<()>() => 0,
+                v = async { 7 } => v,
+            };
+            assert_eq!(picked, 7);
+        });
+    }
+
+    #[test]
+    fn tcp_echo_between_tasks() {
+        use crate::io::{AsyncReadExt, AsyncWriteExt};
+        runtime::block_on(async {
+            let listener = net::TcpListener::bind("127.0.0.1:0").await.unwrap();
+            let addr = listener.local_addr().unwrap();
+            let server = spawn(async move {
+                let (mut sock, _) = listener.accept().await.unwrap();
+                let mut buf = bytes::BytesMut::new();
+                while sock.read_buf(&mut buf).await.unwrap() > 0 {
+                    if buf.len() >= 4 {
+                        break;
+                    }
+                }
+                let echoed = buf.to_vec();
+                sock.write_all(&echoed).await.unwrap();
+                echoed
+            });
+            let mut client = net::TcpStream::connect(addr).await.unwrap();
+            client.set_nodelay(true).unwrap();
+            client.write_all(b"ping").await.unwrap();
+            let mut back = Vec::new();
+            client.read_to_end(&mut back).await.unwrap();
+            assert_eq!(back, b"ping");
+            assert_eq!(server.await.unwrap(), b"ping");
+        });
+    }
+}

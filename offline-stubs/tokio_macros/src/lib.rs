@@ -1,0 +1,58 @@
+//! `#[tokio::main]` / `#[tokio::test]` without syn/quote: a token-level
+//! rewrite. Given an `async fn`, drop the `async` qualifier and wrap the
+//! body in `::tokio::runtime::block_on(async move { ... })`. Attribute
+//! arguments (`flavor`, `worker_threads`, …) are accepted and ignored — the
+//! stub runtime has one flavor.
+
+use proc_macro::{Delimiter, Group, TokenStream, TokenTree};
+
+fn transform(item: TokenStream, is_test: bool) -> TokenStream {
+    let tokens: Vec<TokenTree> = item.into_iter().collect();
+    let body_idx = tokens
+        .iter()
+        .rposition(|t| matches!(t, TokenTree::Group(g) if g.delimiter() == Delimiter::Brace))
+        .expect("tokio attribute macros require a fn with a body");
+
+    let mut out = TokenStream::new();
+    if is_test {
+        out.extend("#[test]".parse::<TokenStream>().unwrap());
+    }
+    for (i, token) in tokens.iter().enumerate() {
+        if i == body_idx {
+            let body = match token {
+                TokenTree::Group(g) => g.stream(),
+                _ => unreachable!(),
+            };
+            // { ::tokio::runtime::block_on(async move { <body> }) }
+            let mut async_block = TokenStream::new();
+            async_block.extend("async move".parse::<TokenStream>().unwrap());
+            async_block.extend([TokenTree::Group(Group::new(Delimiter::Brace, body))]);
+
+            let mut call = TokenStream::new();
+            call.extend("::tokio::runtime::block_on".parse::<TokenStream>().unwrap());
+            call.extend([TokenTree::Group(Group::new(
+                Delimiter::Parenthesis,
+                async_block,
+            ))]);
+
+            out.extend([TokenTree::Group(Group::new(Delimiter::Brace, call))]);
+        } else if matches!(token, TokenTree::Ident(id) if id.to_string() == "async") {
+            // The fn qualifier; everything before the body is signature, so
+            // this cannot be an async block inside user code.
+            continue;
+        } else {
+            out.extend([token.clone()]);
+        }
+    }
+    out
+}
+
+#[proc_macro_attribute]
+pub fn main(_attr: TokenStream, item: TokenStream) -> TokenStream {
+    transform(item, false)
+}
+
+#[proc_macro_attribute]
+pub fn test(_attr: TokenStream, item: TokenStream) -> TokenStream {
+    transform(item, true)
+}

@@ -33,6 +33,7 @@ const BINS: &[&str] = &[
     "ablation_faults",
     "ablation_batching",
     "ablation_elastic",
+    "ablation_recovery",
     "exp_sessions",
     "telemetry_report",
 ];

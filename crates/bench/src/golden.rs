@@ -223,6 +223,7 @@ pub fn all_figures(runner: &SweepRunner) -> Vec<GoldenFigure> {
         fig8_delayed_writes(),
         ablation_batching(runner),
         ablation_elastic(runner),
+        ablation_recovery(runner),
     ]
 }
 
@@ -596,6 +597,58 @@ pub fn ablation_elastic(runner: &SweepRunner) -> GoldenFigure {
         .collect();
     GoldenFigure {
         name: "ablation_elastic".into(),
+        points,
+    }
+}
+
+/// The crash-recovery ablation at golden budget: a reduced cut of the
+/// `ablation_recovery` sweep (per arch: the durability-off baseline, the
+/// fsync-every-entry cell, and the group-commit default). The off cells
+/// pin the durability-off invariant — every WAL/recovery counter must stay
+/// exactly zero even with crashes scheduled, which is also what keeps
+/// fig4–fig7 byte-stable: durability off is the default everywhere else.
+pub fn ablation_recovery(runner: &SweepRunner) -> GoldenFigure {
+    use crate::recovery::{mean_recovery_ms, run_sweep, DurabilityKnobs, RecoverySpec};
+    let specs: Vec<RecoverySpec> = [ArchKind::Remote, ArchKind::Linked]
+        .iter()
+        .flat_map(|&arch| {
+            [
+                None,
+                Some(DurabilityKnobs { fsync_group: 1, snapshot_every: 1_024 }),
+                Some(DurabilityKnobs { fsync_group: 8, snapshot_every: 256 }),
+            ]
+            .into_iter()
+            .map(move |durability| RecoverySpec {
+                arch,
+                durability,
+                crashes: 2,
+            })
+        })
+        .collect();
+    let reports = run_sweep(runner, &specs, 2_000, 4_000);
+    let points = specs
+        .iter()
+        .zip(&reports)
+        .map(|(spec, r)| {
+            GoldenPoint::new(
+                spec.label(),
+                vec![
+                    ("cost_total".into(), r.total_cost.total()),
+                    ("cost_ssd".into(), r.total_cost.ssd),
+                    ("hit_cache".into(), r.cache_hit_ratio),
+                    ("count_wal_appends".into(), r.wal_appends as f64),
+                    ("count_fsync_batches".into(), r.wal_fsync_batches as f64),
+                    ("count_recoveries".into(), r.recoveries as f64),
+                    ("count_replayed_entries".into(), r.replayed_entries as f64),
+                    ("count_lost_tail_entries".into(), r.lost_tail_entries as f64),
+                    ("count_stale_reads".into(), r.stale_reads as f64),
+                    ("lat_recovery_ms".into(), mean_recovery_ms(r)),
+                ],
+            )
+        })
+        .collect();
+    GoldenFigure {
+        name: "ablation_recovery".into(),
         points,
     }
 }

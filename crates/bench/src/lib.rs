@@ -12,6 +12,7 @@ use std::path::PathBuf;
 pub mod batching;
 pub mod elastic;
 pub mod golden;
+pub mod recovery;
 pub mod sweep;
 
 /// Parse the common CLI convention: `--quick` shrinks the run.

@@ -16,6 +16,10 @@ pub struct Pricing {
     pub cpu_core_month: f64,
     pub mem_gb_month: f64,
     pub disk_gb_month: f64,
+    /// Local NVMe/SSD $/GB·month — between DRAM and cold persistent disk;
+    /// bills the storage tier's WAL + snapshot residency. Matches
+    /// [`crate::ssd::SsdTier::default`].
+    pub ssd_gb_month: f64,
 }
 
 impl Default for Pricing {
@@ -25,6 +29,7 @@ impl Default for Pricing {
             cpu_core_month: 17.0,
             mem_gb_month: 2.0,
             disk_gb_month: 0.02,
+            ssd_gb_month: 0.08,
         }
     }
 }
@@ -43,6 +48,7 @@ impl Pricing {
             compute: usage.cores * self.cpu_core_month,
             memory: usage.mem_gb * self.mem_gb_month,
             disk: usage.disk_gb * self.disk_gb_month,
+            ssd: usage.ssd_gb * self.ssd_gb_month,
         }
     }
 }
@@ -53,11 +59,20 @@ pub struct ResourceUsage {
     pub cores: f64,
     pub mem_gb: f64,
     pub disk_gb: f64,
+    /// Local SSD residency (WAL + snapshots); 0 everywhere durability is
+    /// off, keeping legacy bundles and their totals untouched.
+    pub ssd_gb: f64,
 }
 
 impl ResourceUsage {
     pub fn new(cores: f64, mem_gb: f64, disk_gb: f64) -> Self {
-        ResourceUsage { cores, mem_gb, disk_gb }
+        ResourceUsage { cores, mem_gb, disk_gb, ssd_gb: 0.0 }
+    }
+
+    /// The same bundle with an SSD residency attached.
+    pub fn with_ssd(mut self, ssd_gb: f64) -> Self {
+        self.ssd_gb = ssd_gb;
+        self
     }
 }
 
@@ -68,6 +83,7 @@ impl Add for ResourceUsage {
             cores: self.cores + rhs.cores,
             mem_gb: self.mem_gb + rhs.mem_gb,
             disk_gb: self.disk_gb + rhs.disk_gb,
+            ssd_gb: self.ssd_gb + rhs.ssd_gb,
         }
     }
 }
@@ -84,11 +100,13 @@ pub struct CostBreakdown {
     pub compute: f64,
     pub memory: f64,
     pub disk: f64,
+    /// SSD-tier dollars (WAL + snapshot residency); 0 with durability off.
+    pub ssd: f64,
 }
 
 impl CostBreakdown {
     pub fn total(&self) -> f64 {
-        self.compute + self.memory + self.disk
+        self.compute + self.memory + self.disk + self.ssd
     }
 
     /// Fraction of total cost that is memory — the paper reports 6–22% for
@@ -110,6 +128,7 @@ impl Add for CostBreakdown {
             compute: self.compute + rhs.compute,
             memory: self.memory + rhs.memory,
             disk: self.disk + rhs.disk,
+            ssd: self.ssd + rhs.ssd,
         }
     }
 }
@@ -158,8 +177,21 @@ mod tests {
 
     #[test]
     fn memory_fraction_bounds() {
-        let c = CostBreakdown { compute: 90.0, memory: 10.0, disk: 0.0 };
+        let c = CostBreakdown { compute: 90.0, memory: 10.0, disk: 0.0, ssd: 0.0 };
         assert!((c.memory_fraction() - 0.1).abs() < 1e-12);
         assert_eq!(CostBreakdown::default().memory_fraction(), 0.0);
+    }
+
+    #[test]
+    fn ssd_residency_bills_between_dram_and_disk() {
+        let p = Pricing::default();
+        assert!(p.ssd_gb_month < p.mem_gb_month && p.ssd_gb_month > p.disk_gb_month);
+        let c = p.monthly(&ResourceUsage::new(0.0, 0.0, 0.0).with_ssd(100.0));
+        assert!((c.ssd - 8.0).abs() < 1e-9);
+        assert!((c.total() - 8.0).abs() < 1e-9);
+        // Zero-SSD bundles price exactly as before the tier existed.
+        let legacy = p.monthly(&ResourceUsage::new(1.0, 2.0, 3.0));
+        assert_eq!(legacy.ssd, 0.0);
+        assert!((legacy.total() - (17.0 + 4.0 + 0.06)).abs() < 1e-9);
     }
 }

@@ -228,6 +228,11 @@ pub struct Deployment {
     /// nothing and stay byte-identical. Span clocks are virtual nanos:
     /// request arrival plus latency accumulated so far.
     pub tracer: Tracer,
+    /// Storage pods taken down by scheduled crash faults while durability
+    /// is on, keyed by the region id the fault addressed (so the paired
+    /// `Restart` event recovers the same pod). Empty unless the fault
+    /// engine actually crashes durable pods.
+    pub(crate) crashed_storage_pods: std::collections::BTreeMap<usize, usize>,
     /// Online MRC profiler + cost planner (see [`elastic`]). Disabled by
     /// default: `observe`/`maybe_decide` are no-ops, so baseline runs stay
     /// byte-identical. The experiment runner drives decisions from its
@@ -300,6 +305,7 @@ impl Deployment {
             single_flight: SingleFlight::default(),
             batch_windows: HashMap::new(),
             batch_size_counts: HashMap::new(),
+            crashed_storage_pods: std::collections::BTreeMap::new(),
             tracer: Tracer::disabled(),
             elastic: elastic::ElasticController::new(config.elastic),
             cluster,
@@ -2290,6 +2296,7 @@ mod tests {
     fn test_plan(cache_bytes: u64, shards: u32) -> elastic::Plan {
         elastic::Plan {
             cache_bytes,
+            ssd_bytes: 0,
             shards,
             per_shard_bytes: cache_bytes.div_ceil(shards.max(1) as u64),
             vms: 1,

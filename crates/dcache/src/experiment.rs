@@ -159,6 +159,25 @@ pub struct ExperimentReport {
     pub elastic_mean_cache_bytes: f64,
     /// Largest configured cache capacity seen during the measured run.
     pub elastic_peak_cache_bytes: u64,
+    /// Durability/recovery activity (all zero when durability is off).
+    pub wal_appends: u64,
+    pub wal_fsync_batches: u64,
+    /// Bytes written by snapshots during the measured window.
+    pub snapshot_bytes: u64,
+    /// Pod recoveries (snapshot load + WAL replay) in the measured window.
+    pub recoveries: u64,
+    /// Summed simulated recovery wall time across those recoveries.
+    pub recovery_time_us: u64,
+    /// WAL records replayed during recoveries.
+    pub replayed_entries: u64,
+    /// Un-fsynced WAL records discarded by crashes (re-replicated from the
+    /// quorum, never acked-and-lost).
+    pub lost_tail_entries: u64,
+    /// Estimated CPU to re-heat block-cache blocks lost to crashes.
+    pub cold_refill_cpu_us: u64,
+    /// Bytes resident on the storage SSD tier (snapshots + WALs) at run
+    /// end — the $/GB billing basis.
+    pub ssd_resident_bytes: u64,
 }
 
 impl ExperimentReport {
@@ -286,14 +305,29 @@ pub(crate) fn apply_fault(dep: &mut Deployment, ev: &FaultEvent, now: SimTime) {
             let r = (node.0 - STORAGE_FAULT_NODE_BASE) as usize;
             if r < dep.cluster.region_count() {
                 if let Some(slot) = dep.cluster.region(r).leader_slot() {
-                    dep.cluster.region_mut(r).crash(slot);
+                    if dep.cluster.durability_enabled() {
+                        // With durable storage the crash takes down the whole
+                        // pod hosting the leader: memtables, block cache and
+                        // the un-fsynced WAL tail are lost, and every region
+                        // replica on that pod goes down with it. The paired
+                        // Restart event replays snapshot+WAL and rejoins.
+                        let pod = dep.cluster.region(r).replicas[slot];
+                        dep.cluster.crash_pod(pod);
+                        dep.crashed_storage_pods.insert(r, pod);
+                    } else {
+                        dep.cluster.region_mut(r).crash(slot);
+                    }
                 }
             }
         }
         FaultKind::Restart { node } => {
             let r = (node.0 - STORAGE_FAULT_NODE_BASE) as usize;
             if r < dep.cluster.region_count() {
-                let _ = dep.cluster.region_mut(r).elect(now);
+                if let Some(pod) = dep.crashed_storage_pods.remove(&r) {
+                    dep.cluster.recover_pod(pod, now);
+                } else {
+                    let _ = dep.cluster.region_mut(r).elect(now);
+                }
             }
         }
         _ => ev.apply_to(&mut dep.net),
@@ -392,7 +426,7 @@ pub(crate) fn build_report(
 
     let storage_disk =
         dep.cluster.primary_data_bytes() * cfg.cluster.replicas as u64;
-    tiers.push(TierReport::from_meter(
+    let mut storage_tier = TierReport::from_meter(
         "storage",
         cfg.cluster.storage_nodes,
         &dep.cluster.storage_cpu_total(),
@@ -400,12 +434,27 @@ pub(crate) fn build_report(
         cfg.cluster.storage_nodes as u64 * dep.cluster.storage_mem_bytes_per_node(),
         storage_disk,
         pricing,
-    ));
+    );
+    if dep.cluster.durability_enabled() {
+        // The WAL + snapshots live on a log-structured SSD tier billed at
+        // $/GB between DRAM and cold disk.
+        let ssd_gb = dep.cluster.ssd_resident_bytes() as f64 / 1e9;
+        storage_tier.cost = pricing.monthly(
+            &ResourceUsage::new(
+                storage_tier.cores,
+                storage_tier.mem_gb,
+                storage_tier.disk_gb,
+            )
+            .with_ssd(ssd_gb),
+        );
+    }
+    tiers.push(storage_tier);
 
     let total_cost: CostBreakdown = tiers.iter().map(|t| t.cost).sum();
     let total_cores: f64 = tiers.iter().map(|t| t.cores).sum();
     let total_mem_gb: f64 = tiers.iter().map(|t| t.mem_gb).sum();
 
+    let durability = dep.cluster.durability_stats();
     let rpc_batches = dep.metrics.counter_value(batch_counters::RPC_BATCHES);
     let batched_rpc_keys = dep.metrics.counter_value(batch_counters::BATCHED_RPC_KEYS);
     let mut batch_size_counts: Vec<(u32, u64)> =
@@ -473,6 +522,15 @@ pub(crate) fn build_report(
         peak_window_cores: 0.0,
         elastic_mean_cache_bytes: 0.0,
         elastic_peak_cache_bytes: 0,
+        wal_appends: durability.wal_appends,
+        wal_fsync_batches: durability.fsync_batches,
+        snapshot_bytes: durability.snapshot_bytes,
+        recoveries: durability.recoveries,
+        recovery_time_us: durability.recovery_time_us,
+        replayed_entries: durability.replayed_entries,
+        lost_tail_entries: durability.lost_tail_entries,
+        cold_refill_cpu_us: durability.cold_refill_cpu_us,
+        ssd_resident_bytes: dep.cluster.ssd_resident_bytes(),
     }
 }
 
@@ -733,6 +791,58 @@ fn export_registry(
             "dcache_elastic_profiler_tracked_keys",
             labels,
             dep.elastic.profiler().tracked_keys() as f64,
+        );
+    }
+
+    // Durability/recovery telemetry, only when the WAL layer is on (so
+    // default runs export byte-identical registries).
+    if dep.cluster.durability_enabled() {
+        reg.describe(
+            "dcache_durability_wal_appends_total",
+            Counter,
+            "WAL records appended across storage pods.",
+        );
+        reg.set_counter("dcache_durability_wal_appends_total", labels, report.wal_appends);
+        reg.set_counter(
+            "dcache_durability_fsync_batches_total",
+            labels,
+            report.wal_fsync_batches,
+        );
+        reg.set_counter(
+            "dcache_durability_snapshot_bytes_total",
+            labels,
+            report.snapshot_bytes,
+        );
+        reg.describe(
+            "dcache_durability_recoveries_total",
+            Counter,
+            "Storage-pod recoveries (snapshot load + WAL replay).",
+        );
+        reg.set_counter("dcache_durability_recoveries_total", labels, report.recoveries);
+        reg.set_counter(
+            "dcache_durability_replayed_entries_total",
+            labels,
+            report.replayed_entries,
+        );
+        reg.set_counter(
+            "dcache_durability_lost_tail_entries_total",
+            labels,
+            report.lost_tail_entries,
+        );
+        reg.set_gauge(
+            "dcache_durability_recovery_time_us",
+            labels,
+            report.recovery_time_us as f64,
+        );
+        reg.set_gauge(
+            "dcache_durability_cold_refill_cpu_us",
+            labels,
+            report.cold_refill_cpu_us as f64,
+        );
+        reg.set_gauge(
+            "dcache_durability_ssd_resident_bytes",
+            labels,
+            report.ssd_resident_bytes as f64,
         );
     }
 
@@ -1423,6 +1533,83 @@ mod tests {
         let report = run_kv_experiment(&cfg).unwrap();
         assert!(report.failovers > 0, "dead leaders must trigger elections");
         assert_eq!(report.stale_reads, 0);
+    }
+
+    #[test]
+    fn default_runs_report_no_durability_activity() {
+        let r = run_kv_experiment(&tiny_cfg(ArchKind::Remote)).unwrap();
+        assert_eq!(r.wal_appends, 0);
+        assert_eq!(r.wal_fsync_batches, 0);
+        assert_eq!(r.snapshot_bytes, 0);
+        assert_eq!(r.recoveries, 0);
+        assert_eq!(r.recovery_time_us, 0);
+        assert_eq!(r.replayed_entries, 0);
+        assert_eq!(r.lost_tail_entries, 0);
+        assert_eq!(r.cold_refill_cpu_us, 0);
+        assert_eq!(r.ssd_resident_bytes, 0);
+        assert_eq!(r.total_cost.ssd, 0.0, "no SSD line without durability");
+    }
+
+    fn durable_cfg(arch: ArchKind) -> KvExperimentConfig {
+        let mut cfg = tiny_cfg(arch);
+        cfg.deployment.cluster.durability = storekit::DurabilityConfig {
+            enabled: true,
+            fsync: storekit::FsyncPolicy::Group(8),
+            snapshot_every_entries: 256,
+        };
+        cfg
+    }
+
+    #[test]
+    fn scheduled_storage_crash_recovers_through_wal_replay() {
+        use simnet::NodeId;
+        let mut cfg = durable_cfg(ArchKind::Base);
+        let dt = SimDuration::from_secs_f64(1.0 / cfg.qps);
+        let crash_at = SimTime::ZERO + dt.saturating_mul(cfg.warmup_requests + 1_000);
+        let mut schedule = FaultSchedule::new();
+        // Crash the pod hosting region 0's leader; bring it back after a
+        // 500-request outage.
+        schedule.crash_for(
+            crash_at,
+            NodeId(STORAGE_FAULT_NODE_BASE),
+            dt.saturating_mul(500),
+        );
+        cfg.cache_fault_schedule = Some(schedule);
+        let r = run_kv_experiment(&cfg).unwrap();
+        assert!(r.wal_appends > 0, "writes must be WAL'd");
+        assert_eq!(r.recoveries, 1, "one pod recovery");
+        assert!(r.recovery_time_us > 0);
+        assert!(r.cold_refill_cpu_us > 0, "block cache lost residency");
+        assert!(r.ssd_resident_bytes > 0);
+        assert!(r.total_cost.ssd > 0.0, "SSD residency is billed");
+        assert!(r.failovers > 0, "requests tripped over dead leaders");
+        assert_eq!(r.stale_reads, 0, "no acked write is ever lost");
+    }
+
+    #[test]
+    fn durable_runs_are_deterministic() {
+        use simnet::NodeId;
+        let build = || {
+            let mut cfg = durable_cfg(ArchKind::Base);
+            let dt = SimDuration::from_secs_f64(1.0 / cfg.qps);
+            let mut schedule = FaultSchedule::new();
+            schedule.crash_for(
+                SimTime::ZERO + dt.saturating_mul(cfg.warmup_requests + 800),
+                NodeId(STORAGE_FAULT_NODE_BASE + 1),
+                dt.saturating_mul(400),
+            );
+            cfg.cache_fault_schedule = Some(schedule);
+            cfg
+        };
+        let a = run_kv_experiment(&build()).unwrap();
+        let b = run_kv_experiment(&build()).unwrap();
+        assert_eq!(
+            serde_json::to_string(&a).unwrap(),
+            serde_json::to_string(&b).unwrap(),
+            "crash-replay must be fully deterministic"
+        );
+        assert_eq!(a.recoveries, b.recoveries);
+        assert_eq!(a.replayed_entries, b.replayed_entries);
     }
 
     #[test]

@@ -56,6 +56,16 @@ pub struct PlannerConfig {
     pub target_utilization: f64,
     /// vCPUs per VM for the reported VM count.
     pub vcpus_per_node: f64,
+    /// SSD victim tier the planner may add behind the DRAM cache: entries
+    /// that would miss DRAM but fit in DRAM+SSD pay `ssd_hit_cpu_us`
+    /// instead of the full storage round trip, billed at
+    /// `Pricing::ssd_gb_month`. 0 (the default) disables the spill
+    /// dimension and keeps every plan bit-identical to the DRAM-only
+    /// planner.
+    pub max_ssd_bytes: u64,
+    /// CPU per SSD hit (µs): NVMe read + checksum + copy. Matches
+    /// `costmodel::ssd::SsdTier::default` (25 µs).
+    pub ssd_hit_cpu_us: f64,
 }
 
 impl Default for PlannerConfig {
@@ -72,6 +82,8 @@ impl Default for PlannerConfig {
             bytes_per_shard: 2 << 30,
             target_utilization: 0.7,
             vcpus_per_node: 8.0,
+            max_ssd_bytes: 0,
+            ssd_hit_cpu_us: 25.0,
         }
     }
 }
@@ -87,30 +99,42 @@ pub struct Plan {
     pub per_shard_bytes: u64,
     /// VMs needed for the projected CPU at target utilization.
     pub vms: u32,
-    /// Predicted miss ratio at this size, from the live curve.
+    /// Predicted miss ratio at this size, from the live curve. With an SSD
+    /// spill this is the *full* miss ratio past DRAM+SSD.
     pub predicted_miss_ratio: f64,
-    /// Projected monthly dollars (compute + cache memory) at current load.
+    /// Projected monthly dollars (compute + cache memory + SSD) at current
+    /// load.
     pub monthly_dollars: f64,
+    /// SSD spill capacity behind the DRAM tier (0 unless the planner's
+    /// `max_ssd_bytes` dimension is enabled and flash pays for itself).
+    pub ssd_bytes: u64,
 }
 
-/// Price one candidate size at the given load.
+/// Price one (DRAM, SSD) candidate at the given load.
 fn price(
     curve: &MissRatioCurve,
     rps: f64,
     cache_bytes: u64,
+    ssd_bytes: u64,
     cfg: &PlannerConfig,
     pricing: &Pricing,
 ) -> Plan {
     let entries = cache_bytes / cfg.mean_entry_bytes.max(1);
-    let mr = curve.miss_ratio(entries);
-    let cpu_us = cfg.hit_cpu_us + mr * cfg.miss_cpu_us;
+    let mr_dram = curve.miss_ratio(entries);
+    let both_entries = (cache_bytes + ssd_bytes) / cfg.mean_entry_bytes.max(1);
+    let mr = curve.miss_ratio(both_entries);
+    // Requests that miss DRAM but land in the spill pay the flash path
+    // instead of the storage round trip.
+    let ssd_hits = (mr_dram - mr).max(0.0);
+    let cpu_us = cfg.hit_cpu_us + ssd_hits * cfg.ssd_hit_cpu_us + mr * cfg.miss_cpu_us;
     let used_cores = rps * cpu_us * 1e-6;
     let provisioned_cores = used_cores / cfg.target_utilization.max(1e-6);
     let shards = cache_bytes.div_ceil(cfg.bytes_per_shard.max(1)).max(1) as u32;
     let per_shard_bytes = cache_bytes.div_ceil(shards as u64);
     let vms = (provisioned_cores / cfg.vcpus_per_node.max(1.0)).ceil().max(1.0) as u32;
     let monthly = provisioned_cores * pricing.cpu_core_month
-        + (cache_bytes as f64 / (1u64 << 30) as f64) * pricing.mem_gb_month;
+        + (cache_bytes as f64 / (1u64 << 30) as f64) * pricing.mem_gb_month
+        + (ssd_bytes as f64 / (1u64 << 30) as f64) * pricing.ssd_gb_month;
     Plan {
         cache_bytes,
         shards,
@@ -118,6 +142,7 @@ fn price(
         vms,
         predicted_miss_ratio: mr,
         monthly_dollars: monthly,
+        ssd_bytes,
     }
 }
 
@@ -136,8 +161,28 @@ fn candidates(cfg: &PlannerConfig) -> Vec<u64> {
     sizes
 }
 
+/// SSD spill candidates: just `{0}` when the dimension is off, else 0 plus
+/// a coarse geometric grid up to the cap.
+fn ssd_candidates(cfg: &PlannerConfig) -> Vec<u64> {
+    if cfg.max_ssd_bytes == 0 {
+        return vec![0];
+    }
+    let mut sizes = vec![0u64];
+    let mut s = cfg.min_cache_bytes.max(1);
+    while s < cfg.max_ssd_bytes {
+        sizes.push(s);
+        s = s.saturating_mul(4);
+    }
+    sizes.push(cfg.max_ssd_bytes);
+    sizes.sort_unstable();
+    sizes.dedup();
+    sizes
+}
+
 /// Pick the dollar-minimizing plan subject to the hit-ratio floor, with
-/// hysteresis against `prev`. Pure and deterministic.
+/// hysteresis against `prev`. Pure and deterministic. When `max_ssd_bytes`
+/// is set the search runs over the (DRAM, SSD) grid, trading DRAM dollars
+/// against SSD dollars against miss CPU three ways.
 pub fn plan(
     curve: &MissRatioCurve,
     rps: f64,
@@ -146,25 +191,34 @@ pub fn plan(
     prev: Option<&Plan>,
 ) -> Plan {
     let sizes = candidates(cfg);
-    let reference = price(curve, rps, *sizes.last().expect("non-empty grid"), cfg, pricing);
+    let spills = ssd_candidates(cfg);
+    // The floor reference stays the largest DRAM-only candidate, so adding
+    // the SSD dimension never *relaxes* the degradation bound.
+    let reference =
+        price(curve, rps, *sizes.last().expect("non-empty grid"), 0, cfg, pricing);
     let floor = reference.predicted_miss_ratio + cfg.max_miss_ratio_delta;
     let mut best = reference;
     for &s in &sizes {
-        let p = price(curve, rps, s, cfg, pricing);
-        if p.predicted_miss_ratio > floor {
-            continue;
-        }
-        // Strict `<` keeps the smaller size on ties (grid is ascending).
-        if p.monthly_dollars < best.monthly_dollars {
-            best = p;
+        for &f in &spills {
+            let p = price(curve, rps, s, f, cfg, pricing);
+            if p.predicted_miss_ratio > floor {
+                continue;
+            }
+            // Strict `<` keeps the smaller size on ties (grid is ascending).
+            if p.monthly_dollars < best.monthly_dollars {
+                best = p;
+            }
         }
     }
     if let Some(prev) = prev {
         // Re-price the incumbent at current load and keep it unless the
         // challenger clears the hysteresis margin.
-        let incumbent = price(curve, rps, prev.cache_bytes, cfg, pricing);
+        let incumbent = price(curve, rps, prev.cache_bytes, prev.ssd_bytes, cfg, pricing);
         let margin = incumbent.monthly_dollars * (1.0 - cfg.hysteresis_fraction);
-        if best.cache_bytes != incumbent.cache_bytes && best.monthly_dollars >= margin {
+        if (best.cache_bytes, best.ssd_bytes)
+            != (incumbent.cache_bytes, incumbent.ssd_bytes)
+            && best.monthly_dollars >= margin
+        {
             return incumbent;
         }
     }
@@ -271,5 +325,57 @@ mod tests {
         let hi = plan(&c, 200_000.0, &k, &Pricing::default(), None);
         let lo = plan(&c, 20_000.0, &k, &Pricing::default(), None);
         assert!(lo.monthly_dollars < hi.monthly_dollars);
+    }
+
+    #[test]
+    fn ssd_dimension_off_by_default_plans_carry_no_spill() {
+        let c = curve(64 << 10, 0.05);
+        let k = cfg();
+        assert_eq!(k.max_ssd_bytes, 0);
+        let p = plan(&c, 100_000.0, &k, &Pricing::default(), None);
+        assert_eq!(p.ssd_bytes, 0);
+        let again = plan(&c, 100_000.0, &k, &Pricing::default(), Some(&p));
+        assert_eq!(again.ssd_bytes, 0);
+    }
+
+    #[test]
+    fn cheap_ssd_displaces_dram_for_the_tail() {
+        // A wide working set (1 GiB of 1 KiB entries to reach the knee) at
+        // low load: memory dollars dominate CPU dollars, so serving the
+        // tail from $0.08/GB flash at +25 µs/hit beats $2/GB DRAM.
+        let c = curve(1 << 20, 0.05);
+        let mut k = cfg();
+        k.max_ssd_bytes = 4 << 30;
+        let pricing = Pricing::default();
+        let with_ssd = plan(&c, 1_000.0, &k, &pricing, None);
+        let mut dram_only = k;
+        dram_only.max_ssd_bytes = 0;
+        let baseline = plan(&c, 1_000.0, &dram_only, &pricing, None);
+        assert!(with_ssd.ssd_bytes > 0, "spill unused: {with_ssd:?}");
+        assert!(
+            with_ssd.monthly_dollars < baseline.monthly_dollars,
+            "flash did not pay: {} vs {}",
+            with_ssd.monthly_dollars,
+            baseline.monthly_dollars
+        );
+        // The degradation bound still references the DRAM-only maximum.
+        let reference = c.miss_ratio(k.max_cache_bytes / k.mean_entry_bytes);
+        assert!(with_ssd.predicted_miss_ratio <= reference + k.max_miss_ratio_delta + 1e-12);
+    }
+
+    #[test]
+    fn overpriced_ssd_stays_unused() {
+        let c = curve(1 << 20, 0.05);
+        let mut k = cfg();
+        k.max_ssd_bytes = 4 << 30;
+        // Flash priced above DRAM: every nonzero spill strictly loses.
+        let pricing = Pricing {
+            ssd_gb_month: 10.0,
+            ..Pricing::default()
+        };
+        let p = plan(&c, 1_000.0, &k, &pricing, None);
+        let mut dram_only = k;
+        dram_only.max_ssd_bytes = 0;
+        assert_eq!(p, plan(&c, 1_000.0, &dram_only, &pricing, None));
     }
 }

@@ -14,7 +14,9 @@
 //! The breaker trips after [`ResilientConfig::failure_threshold`]
 //! consecutive failures: while open, calls fail fast without touching the
 //! socket; after [`ResilientConfig::open_for`], one half-open probe is let
-//! through — success closes the breaker, failure re-opens it.
+//! through — success closes the breaker, failure re-opens it with an
+//! exponentially widened window (`open_for · 2^streak`, capped), so a
+//! server that keeps failing its probes is bothered less and less often.
 //!
 //! Backoff jitter comes from a small splitmix/LCG seeded at construction,
 //! so the crate stays free of heavyweight RNG dependencies and two clients
@@ -140,6 +142,10 @@ pub struct ResilientClient {
     breaker: Breaker,
     opened_at: Option<Instant>,
     consecutive_failures: u32,
+    /// Consecutive failed half-open probes since the breaker first
+    /// tripped; each one doubles the open window (capped). Reset on any
+    /// success.
+    reopen_streak: u32,
     rng: Lcg,
     stats: ResilienceStats,
     trace_sink: Option<SharedTraceSink>,
@@ -161,6 +167,7 @@ impl ResilientClient {
             breaker: Breaker::Closed,
             opened_at: None,
             consecutive_failures: 0,
+            reopen_streak: 0,
             rng: Lcg(seed),
             stats: ResilienceStats::default(),
             trace_sink: None,
@@ -194,15 +201,21 @@ impl ResilientClient {
         self.breaker == Breaker::Open
             && self
                 .opened_at
-                .map(|t| t.elapsed() < self.cfg.open_for)
+                .map(|t| t.elapsed() < self.open_window())
                 .unwrap_or(false)
+    }
+
+    /// How long the breaker stays open before the next half-open probe:
+    /// `open_for` doubled per failed probe, capped at 2^10 ≈ 1000×.
+    fn open_window(&self) -> Duration {
+        self.cfg.open_for.saturating_mul(1u32 << self.reopen_streak.min(10))
     }
 
     fn breaker_admit(&mut self) -> io::Result<()> {
         if self.breaker == Breaker::Open {
             let cooled = self
                 .opened_at
-                .map(|t| t.elapsed() >= self.cfg.open_for)
+                .map(|t| t.elapsed() >= self.open_window())
                 .unwrap_or(true);
             if cooled {
                 self.breaker = Breaker::HalfOpen;
@@ -219,14 +232,21 @@ impl ResilientClient {
 
     fn record_success(&mut self) {
         self.consecutive_failures = 0;
+        self.reopen_streak = 0;
         self.breaker = Breaker::Closed;
         self.opened_at = None;
     }
 
     fn record_failure(&mut self) {
         self.consecutive_failures += 1;
-        let trip = self.breaker == Breaker::HalfOpen
-            || self.consecutive_failures >= self.cfg.failure_threshold;
+        let probe_failed = self.breaker == Breaker::HalfOpen;
+        let trip = probe_failed || self.consecutive_failures >= self.cfg.failure_threshold;
+        if probe_failed {
+            // A failed probe re-opens with a widened window rather than
+            // forgetting the history: the server just proved it is still
+            // down, so back off before bothering it again.
+            self.reopen_streak += 1;
+        }
         if trip && self.breaker != Breaker::Open {
             self.breaker = Breaker::Open;
             self.opened_at = Some(Instant::now());
@@ -501,6 +521,68 @@ mod tests {
         assert_eq!(p.backoff(3, 1.0), Duration::from_millis(60));
         // Below the cap, jitter still applies in full.
         assert_eq!(p.backoff(1, 1.0), Duration::from_millis(30));
+    }
+
+    fn test_client() -> ResilientClient {
+        ResilientClient::new("127.0.0.1:1".parse().unwrap(), ResilientConfig::default())
+    }
+
+    #[test]
+    fn failed_probes_reopen_with_widening_windows() {
+        let mut c = test_client();
+        for _ in 0..c.cfg.failure_threshold {
+            c.record_failure();
+        }
+        assert_eq!(c.breaker, Breaker::Open);
+        assert_eq!(c.stats.breaker_opens, 1);
+        assert_eq!(c.open_window(), c.cfg.open_for);
+        // Still hot: calls fail fast.
+        assert!(c.breaker_admit().is_err());
+        assert_eq!(c.stats.fast_failures, 1);
+        // Cooled (rewind the clock instead of sleeping): one probe passes.
+        c.opened_at = Some(Instant::now() - c.open_window());
+        assert!(c.breaker_admit().is_ok());
+        assert_eq!(c.breaker, Breaker::HalfOpen);
+        // The probe fails → re-open with a doubled window.
+        c.record_failure();
+        assert_eq!(c.breaker, Breaker::Open);
+        assert_eq!(c.stats.breaker_opens, 2);
+        assert_eq!(c.open_window(), c.cfg.open_for * 2);
+        // Another failed probe doubles it again.
+        c.opened_at = Some(Instant::now() - c.open_window());
+        assert!(c.breaker_admit().is_ok());
+        c.record_failure();
+        assert_eq!(c.open_window(), c.cfg.open_for * 4);
+        // The old cool-down no longer admits: the window widened.
+        c.opened_at = Some(Instant::now() - c.cfg.open_for * 2);
+        assert!(c.breaker_admit().is_err(), "must respect the backed-off window");
+        assert!(c.circuit_open());
+    }
+
+    #[test]
+    fn successful_probe_closes_and_resets_the_backoff() {
+        let mut c = test_client();
+        for _ in 0..c.cfg.failure_threshold {
+            c.record_failure();
+        }
+        c.opened_at = Some(Instant::now() - c.open_window());
+        assert!(c.breaker_admit().is_ok());
+        c.record_failure(); // failed probe: streak 1
+        c.opened_at = Some(Instant::now() - c.open_window());
+        assert!(c.breaker_admit().is_ok());
+        c.record_success(); // probe lands: closed, history forgotten
+        assert_eq!(c.breaker, Breaker::Closed);
+        assert_eq!(c.consecutive_failures, 0);
+        assert_eq!(c.open_window(), c.cfg.open_for, "backoff reset");
+        // A fresh outage needs a full threshold again, and starts over at
+        // the base window.
+        c.record_failure();
+        c.record_failure();
+        assert_eq!(c.breaker, Breaker::Closed);
+        c.record_failure();
+        assert_eq!(c.breaker, Breaker::Open);
+        assert_eq!(c.stats.breaker_opens, 3);
+        assert_eq!(c.open_window(), c.cfg.open_for);
     }
 
     #[test]

@@ -106,6 +106,17 @@ impl BlockCache {
         self.cache.stats().hit_ratio()
     }
 
+    /// Number of DRAM-resident blocks right now.
+    pub fn resident_blocks(&self) -> usize {
+        self.cache.len()
+    }
+
+    /// Drop every resident block (a crash: the block cache is volatile).
+    /// Stats are preserved — the refill misses that follow are the point.
+    pub fn wipe(&mut self) {
+        self.cache.clear();
+    }
+
     pub fn reset_stats(&mut self) {
         self.cache.reset_stats();
     }
@@ -167,5 +178,19 @@ mod tests {
         let mut bc = cache(4);
         let (h, m) = bc.access(b"empty", 0);
         assert_eq!((h, m), (0, 1));
+    }
+
+    #[test]
+    fn wipe_empties_residency_but_keeps_stats() {
+        let mut bc = cache(8);
+        bc.access_one(b"a");
+        bc.access_one(b"a");
+        assert_eq!(bc.resident_blocks(), 1);
+        let ratio_before = bc.hit_ratio();
+        bc.wipe();
+        assert_eq!(bc.resident_blocks(), 0);
+        assert_eq!(bc.hit_ratio(), ratio_before, "wipe is not a stats reset");
+        // Post-crash traffic is cold again.
+        assert_eq!(bc.access_one(b"a"), BlockAccess::Miss);
     }
 }

@@ -56,6 +56,25 @@ pub struct StorageCostConfig {
     pub rpc_fixed_us: f64,
     /// Per-byte (de)serialization + kernel copy cost, each side.
     pub rpc_per_byte_ns: f64,
+
+    // --- Durability IO (WAL + snapshots on the SSD tier; only charged
+    // when `DurabilityConfig.enabled`) ---
+    /// Fixed cost of appending one record to the WAL.
+    pub wal_append_us: f64,
+    /// Per byte of WAL record appended.
+    pub wal_append_per_byte_ns: f64,
+    /// One fsync (group-commit flush) of the WAL.
+    pub wal_fsync_us: f64,
+    /// Per byte persisted by a snapshot.
+    pub snapshot_per_byte_ns: f64,
+    /// Per byte loaded from a snapshot during recovery.
+    pub snapshot_load_per_byte_ns: f64,
+    /// Fixed cost of replaying one WAL record during recovery.
+    pub wal_replay_us: f64,
+    /// Per byte replayed from the WAL during recovery.
+    pub wal_replay_per_byte_ns: f64,
+    /// First-byte latency of an SSD read (recovery seek).
+    pub ssd_read_latency_us: f64,
 }
 
 impl Default for StorageCostConfig {
@@ -81,6 +100,15 @@ impl Default for StorageCostConfig {
 
             rpc_fixed_us: 30.0,
             rpc_per_byte_ns: 0.9,
+
+            wal_append_us: 6.0,
+            wal_append_per_byte_ns: 0.3,
+            wal_fsync_us: 110.0,
+            snapshot_per_byte_ns: 0.15,
+            snapshot_load_per_byte_ns: 0.12,
+            wal_replay_us: 12.0,
+            wal_replay_per_byte_ns: 0.4,
+            ssd_read_latency_us: 80.0,
         }
     }
 }
@@ -123,6 +151,40 @@ impl StorageCostConfig {
             self.raft_follower_apply_us + self.raft_per_byte_ns * bytes as f64 / 1e3,
         )
     }
+
+    /// Appending one WAL record of `bytes` (excluding any fsync).
+    pub fn wal_append_cost(&self, bytes: u64) -> SimDuration {
+        SimDuration::from_micros_f64(
+            self.wal_append_us + self.wal_append_per_byte_ns * bytes as f64 / 1e3,
+        )
+    }
+
+    /// One group-commit fsync of the WAL.
+    pub fn wal_fsync_cost(&self) -> SimDuration {
+        SimDuration::from_micros_f64(self.wal_fsync_us)
+    }
+
+    /// Persisting a snapshot of `bytes`.
+    pub fn snapshot_write_cost(&self, bytes: u64) -> SimDuration {
+        SimDuration::from_micros_f64(self.snapshot_per_byte_ns * bytes as f64 / 1e3)
+    }
+
+    /// Loading a snapshot of `bytes` during recovery.
+    pub fn snapshot_load_cost(&self, bytes: u64) -> SimDuration {
+        SimDuration::from_micros_f64(self.snapshot_load_per_byte_ns * bytes as f64 / 1e3)
+    }
+
+    /// Replaying one WAL record of `bytes` during recovery.
+    pub fn wal_replay_cost(&self, bytes: u64) -> SimDuration {
+        SimDuration::from_micros_f64(
+            self.wal_replay_us + self.wal_replay_per_byte_ns * bytes as f64 / 1e3,
+        )
+    }
+
+    /// First-byte SSD latency paid once per recovery.
+    pub fn ssd_seek_latency(&self) -> SimDuration {
+        SimDuration::from_micros_f64(self.ssd_read_latency_us)
+    }
 }
 
 #[cfg(test)]
@@ -162,6 +224,18 @@ mod tests {
         let c = StorageCostConfig::default();
         assert!(c.raft_leader_cost(128) > c.raft_follower_cost(128));
         assert!(c.raft_follower_cost(1 << 20) > c.raft_follower_cost(0));
+    }
+
+    #[test]
+    fn durability_io_costs_scale_with_bytes() {
+        let c = StorageCostConfig::default();
+        assert!(c.wal_append_cost(4096) > c.wal_append_cost(0));
+        assert!(c.wal_replay_cost(4096) > c.wal_replay_cost(0));
+        assert!(c.snapshot_write_cost(1 << 20) > SimDuration::ZERO);
+        assert_eq!(c.snapshot_write_cost(0), SimDuration::ZERO);
+        // fsync dominates a small append — the reason group commit pays.
+        assert!(c.wal_fsync_cost() > c.wal_append_cost(64) * 4);
+        assert_eq!(c.ssd_seek_latency().as_micros(), 80);
     }
 
     #[test]

@@ -69,6 +69,18 @@ impl KvEngine {
         self.data.values().map(|v| v.len()).sum()
     }
 
+    /// Logical bytes of the live dataset: key plus latest non-tombstone
+    /// value per key. This is the size a full snapshot persists.
+    pub fn live_bytes(&self) -> u64 {
+        self.data
+            .iter()
+            .filter_map(|(k, vs)| {
+                let latest = vs.last()?.value.as_ref()?;
+                Some(k.len() as u64 + latest.len() as u64)
+            })
+            .sum()
+    }
+
     pub fn bytes_written(&self) -> u64 {
         self.bytes_written
     }

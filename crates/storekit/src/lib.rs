@@ -23,10 +23,14 @@
 //!   [`cluster::QueryReceipt`] describing the work done, and charges CPU to
 //!   the pods that did it.
 //! * [`cost`] — the calibrated CPU cost constants (see DESIGN.md §5).
+//! * [`durability`] — per-pod WAL + snapshots on a log-structured SSD tier,
+//!   with group-commit fsync and crash recovery (snapshot load + WAL
+//!   replay). Off by default; see DESIGN.md §10.
 
 pub mod block;
 pub mod cluster;
 pub mod cost;
+pub mod durability;
 pub mod error;
 pub mod kv;
 pub mod raft;
@@ -37,6 +41,7 @@ pub mod value;
 
 pub use cluster::{ClusterConfig, QueryReceipt, SqlCluster};
 pub use cost::StorageCostConfig;
+pub use durability::{DurabilityConfig, DurabilityStats, FsyncPolicy};
 pub use error::{StoreError, StoreResult};
 pub use row::Row;
 pub use schema::{Catalog, ColumnDef, TableSchema};

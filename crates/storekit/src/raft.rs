@@ -188,9 +188,27 @@ impl RaftGroup {
         }
     }
 
-    /// Restart a crashed replica; it rejoins with whatever log it had.
+    /// Restart a crashed replica. A crash loses volatile state, so the
+    /// replica rejoins claiming only the prefix its state machine had
+    /// actually applied — an entry it had appended but not applied when it
+    /// crashed must be re-fetched from the leader, never silently
+    /// resurrected. Recovery paths that replay a WAL should call
+    /// [`RaftGroup::restart_recovered`] with the replayed prefix instead.
     pub fn restart(&mut self, slot: usize) {
+        let durable = self.applied[slot];
+        self.restart_recovered(slot, durable);
+    }
+
+    /// Rejoin a crashed replica whose recovery rebuilt `durable_len`
+    /// entries (snapshot + synced WAL). The replica claims exactly that
+    /// prefix: its match/applied indices are clamped so the leader
+    /// re-replicates everything beyond it. `durable_len` is capped by what
+    /// the replica had ever acknowledged — recovery cannot mint entries.
+    pub fn restart_recovered(&mut self, slot: usize, durable_len: usize) {
+        let durable = durable_len.min(self.match_len[slot]).min(self.log.len());
         self.alive[slot] = true;
+        self.match_len[slot] = durable;
+        self.applied[slot] = self.applied[slot].min(durable);
     }
 
     /// Elect a new leader: the live replica with the longest log (which,
@@ -347,6 +365,56 @@ mod tests {
         assert!(g.elect(SimTime::ZERO).is_err());
         g.restart(1);
         assert!(g.elect(SimTime::ZERO).is_ok());
+    }
+
+    #[test]
+    fn recovered_restart_does_not_resurrect_lost_tail() {
+        let mut g = group();
+        g.propose(batch(1), 1, SimTime::ZERO).unwrap();
+        g.propose(batch(1), 2, SimTime::ZERO).unwrap();
+        assert_eq!(g.committed(), 2);
+        // Replica 2 crashed between appending/applying entry 2 and making
+        // it durable: its recovery only rebuilt entry 1.
+        g.crash(2);
+        g.restart_recovered(2, 1);
+        // The lost entry must be re-replicated and re-applied — with the
+        // old restart (full in-memory log intact) no op was emitted and the
+        // replica's state machine silently diverged.
+        let ops = g.tick(SimTime::ZERO);
+        let slot2: Vec<usize> = ops.iter().filter(|o| o.slot == 2).map(|o| o.index).collect();
+        assert_eq!(slot2, vec![1], "lost entry is re-applied, not resurrected");
+    }
+
+    #[test]
+    fn recovery_cannot_claim_beyond_prior_ack() {
+        let mut g = group();
+        g.propose(batch(1), 1, SimTime::ZERO).unwrap();
+        g.crash(1);
+        g.propose(batch(1), 2, SimTime::ZERO).unwrap();
+        // Replica 1 never saw entry 2; a buggy recovery claiming 99 entries
+        // must still be clamped to what it had acknowledged (1).
+        g.restart_recovered(1, 99);
+        let ops = g.tick(SimTime::ZERO);
+        let slot1: Vec<usize> = ops.iter().filter(|o| o.slot == 1).map(|o| o.index).collect();
+        assert_eq!(slot1, vec![1], "replica catches up from its real prefix");
+    }
+
+    #[test]
+    fn election_prefers_fully_recovered_replica() {
+        let mut g = group();
+        for v in 1..=3 {
+            g.propose(batch(1), v, SimTime::ZERO).unwrap();
+        }
+        // Leader 0 crashes; replica 1 also crashed and recovered only a
+        // durable prefix of 1. The election must pick replica 2 (full log),
+        // and committed entries all survive.
+        g.crash(0);
+        g.crash(1);
+        g.restart_recovered(1, 1);
+        let new_leader = g.elect(SimTime::ZERO).unwrap();
+        assert_eq!(new_leader, 12);
+        assert_eq!(g.committed(), 3);
+        assert_eq!(g.log_len(), 3);
     }
 
     #[test]

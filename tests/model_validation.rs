@@ -8,6 +8,11 @@
 //! analytic miss ratio alone. That closes the loop between
 //! `costmodel::theory`, `cachekit`'s MRC machinery, and the `dcache`
 //! experiment pipeline.
+//!
+//! Last revalidated 2026-08-08 against the checked-in calibration bands,
+//! after the durability layer (WAL + snapshots + SSD tier) merged — the
+//! layer defaults off, and these crash-free runs stay inside the same
+//! tolerance bands with no recalibration.
 
 use dcache_cost::cache::mrc::che_lru_hit_ratio;
 use dcache_cost::cache::mrc::zipf_popularities;

@@ -1,0 +1,179 @@
+//! Observability report — time series, SLO alerts and tail forensics.
+//!
+//! Runs the "everything at once" scenario from [`bench::obs`] (diurnal
+//! day, elastic controller, durable storage, a cache-tier outage and a
+//! storage-pod crash) through the **Remote** and **Linked** architectures
+//! with the observability layer armed, then writes artifacts under
+//! `results/obs/`:
+//!
+//! * `{arch}_timeseries.jsonl` — one heartbeat sample per line (hit
+//!   ratio, window cores, cache bytes, window p99, SLO counters) plus
+//!   fault/resize annotations,
+//! * `alerts.json` — SLO burn-rate alert events with fire/resolve
+//!   timestamps in simulated time,
+//! * `tail_attribution.json` — every slowest-1% request attributed to
+//!   exactly one primary cause, with per-cause excess-µs totals,
+//! * `dashboard.html` — a self-contained SVG sparkline dashboard of both
+//!   architectures' timelines,
+//!
+//! plus `results/BENCH_pr7.json` — wall-clock, simulated-throughput and
+//! peak-RSS figures in the `BENCH_baseline.json` shape.
+//!
+//! Two invariants are checked on every run: ≥ 1 alert must fire per
+//! architecture (the scenario's outage is designed to burn the p99
+//! budget), and a second run must reproduce every artifact byte-for-byte.
+
+use bench::obs::{run_sweep, GOLDEN_MEASURED, GOLDEN_WARMUP};
+use bench::sweep::SweepRunner;
+use bench::{print_table, quick_mode, results_dir};
+use std::fmt::Write as _;
+use std::time::Instant;
+use telemetry::json::fmt_f64;
+
+/// Peak resident-set size of this process in bytes (Linux `VmHWM`), or 0
+/// where /proc is unavailable — a proxy, not a benchmark-grade figure.
+fn peak_rss_bytes() -> u64 {
+    std::fs::read_to_string("/proc/self/status")
+        .ok()
+        .and_then(|s| {
+            s.lines().find(|l| l.starts_with("VmHWM:")).and_then(|l| {
+                l.split_whitespace()
+                    .nth(1)
+                    .and_then(|kb| kb.parse::<u64>().ok())
+                    .map(|kb| kb * 1024)
+            })
+        })
+        .unwrap_or(0)
+}
+
+fn main() {
+    println!("Observability report: time series + SLO alerts + tail attribution");
+    let (warmup, measured) = if quick_mode() {
+        (GOLDEN_WARMUP, GOLDEN_MEASURED)
+    } else {
+        (GOLDEN_WARMUP * 4, GOLDEN_MEASURED * 4)
+    };
+    let out_dir = results_dir().join("obs");
+    std::fs::create_dir_all(&out_dir).expect("create results/obs");
+    let runner = SweepRunner::from_env();
+
+    // First pass (timed per architecture for BENCH_pr7), second pass for
+    // the determinism invariant.
+    let wall = Instant::now();
+    let runs = run_sweep(&runner, warmup, measured);
+    let wall_ms = wall.elapsed().as_secs_f64() * 1e3;
+    let again = run_sweep(&runner, warmup, measured);
+
+    let mut alerts_json = String::from("{");
+    let mut tail_json = String::from("{");
+    let mut dashboard = telemetry::TimeSeries::with_capacity(
+        runs.iter()
+            .map(|(_, b)| b.obs.as_ref().map_or(0, |o| o.timeseries.len()))
+            .sum::<usize>()
+            .max(1),
+    );
+    let mut perf = String::new();
+    let mut cause_rows = Vec::new();
+
+    for (i, ((report, bundle), (_, bundle2))) in runs.iter().zip(&again).enumerate() {
+        let label = report.arch.label();
+        let obs = bundle.obs.as_ref().expect("observability enabled");
+        let obs2 = bundle2.obs.as_ref().expect("observability enabled");
+
+        // Invariant 1: the scenario's outages must burn the SLO budget.
+        assert!(
+            !obs.alerts.is_empty(),
+            "{label}: the cache-tier outage must fire at least one alert"
+        );
+        // Invariant 2: same seed ⇒ byte-identical artifacts.
+        assert_eq!(
+            obs.timeseries.to_jsonl(),
+            obs2.timeseries.to_jsonl(),
+            "{label}: timeseries must be reproducible"
+        );
+        assert_eq!(obs.alerts_json(), obs2.alerts_json());
+        assert_eq!(obs.tail.to_json(), obs2.tail.to_json());
+
+        std::fs::write(
+            out_dir.join(format!("{label}_timeseries.jsonl")),
+            obs.timeseries.to_jsonl(),
+        )
+        .expect("write timeseries");
+        if i > 0 {
+            alerts_json.push(',');
+            tail_json.push(',');
+            perf.push(',');
+        }
+        let _ = write!(alerts_json, "\"{label}\":{}", obs.alerts_json());
+        let _ = write!(tail_json, "\"{label}\":{}", obs.tail.to_json());
+        dashboard.merge(&obs.timeseries);
+
+        let sim_secs = report.duration_secs;
+        let _ = write!(
+            perf,
+            "\n    \"{label}\": {{\"simulated_requests\": {}, \"sim_duration_secs\": {}, \"simulated_req_per_s\": {}}}",
+            report.requests,
+            fmt_f64(sim_secs),
+            fmt_f64(report.requests as f64 / sim_secs.max(1e-9))
+        );
+
+        for c in &obs.tail.causes {
+            if c.count > 0 {
+                cause_rows.push(vec![
+                    label.to_string(),
+                    c.cause.label().to_string(),
+                    c.count.to_string(),
+                    c.excess_us.to_string(),
+                    format!("{:016x}", c.example_trace_id),
+                ]);
+            }
+        }
+        println!(
+            "{label}: {} heartbeats, {} alerts, tail p99 threshold {} µs, {} tail requests ({} µs excess)",
+            obs.timeseries.len(),
+            obs.alerts.len(),
+            obs.tail.threshold_us,
+            obs.tail.tail_requests.len(),
+            obs.tail.total_excess_us
+        );
+    }
+    alerts_json.push('}');
+    tail_json.push('}');
+
+    print_table(
+        "Slowest-1% attribution (per primary cause)",
+        &["arch", "cause", "requests", "excess µs", "worst trace"],
+        &cause_rows,
+    );
+
+    std::fs::write(out_dir.join("alerts.json"), &alerts_json).expect("write alerts");
+    std::fs::write(out_dir.join("tail_attribution.json"), &tail_json).expect("write tail");
+    std::fs::write(
+        out_dir.join("dashboard.html"),
+        dashboard.to_dashboard_html("dcache observability — Remote vs Linked"),
+    )
+    .expect("write dashboard");
+
+    // BENCH_pr7.json: hand-rolled (offline serde stubs), BENCH_baseline
+    // shape. Wall-clock and RSS are environment-dependent by design — the
+    // deterministic artifacts live under results/obs/.
+    let mode = if quick_mode() { " --quick" } else { "" };
+    let bench = format!(
+        "{{\n  \"description\": \"obs_report run cost: wall-clock for the two-architecture observability sweep (first pass, {} worker threads), simulated throughput, and peak RSS as a memory proxy. Deterministic artifacts live in results/obs/.\",\n  \"generated_by\": \"obs_report{mode}\",\n  \"workload\": {{\n    \"warmup_requests\": {warmup},\n    \"measured_requests\": {measured},\n    \"trace_sample_every\": {},\n    \"p99_budget_us\": {}\n  }},\n  \"perf\": {{{perf}\n  }},\n  \"wall_clock_ms_first_pass\": {},\n  \"peak_rss_bytes\": {}\n}}\n",
+        runner.jobs(),
+        bench::obs::SAMPLE_EVERY,
+        bench::obs::P99_BUDGET_US,
+        fmt_f64(wall_ms),
+        peak_rss_bytes()
+    );
+    std::fs::write(results_dir().join("BENCH_pr7.json"), bench).expect("write BENCH_pr7");
+
+    println!(
+        "\n[observability artifacts written to {}]",
+        out_dir.display()
+    );
+    println!(
+        "[bench figures written to {}]",
+        results_dir().join("BENCH_pr7.json").display()
+    );
+}

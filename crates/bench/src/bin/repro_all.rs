@@ -36,6 +36,7 @@ const BINS: &[&str] = &[
     "ablation_recovery",
     "exp_sessions",
     "telemetry_report",
+    "obs_report",
 ];
 
 struct BinResult {
@@ -50,7 +51,11 @@ fn main() {
     let runner = SweepRunner::from_env();
     if runner.jobs() > 1 {
         // stderr, so stdout stays byte-identical to a --jobs 1 run.
-        eprintln!("[repro_all: {} figure binaries across {} workers]", BINS.len(), runner.jobs());
+        eprintln!(
+            "[repro_all: {} figure binaries across {} workers]",
+            BINS.len(),
+            runner.jobs()
+        );
     }
 
     let results = runner.run_map(BINS, |_, &bin| {

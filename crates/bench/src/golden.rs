@@ -129,10 +129,7 @@ impl GoldenFigure {
             }
             points.push(GoldenPoint::new(label, metrics));
         }
-        Ok(GoldenFigure {
-            name,
-            points,
-        })
+        Ok(GoldenFigure { name, points })
     }
 }
 
@@ -183,7 +180,10 @@ pub fn compare(expected: &GoldenFigure, actual: &GoldenFigure) -> Vec<String> {
     for (ep, ap) in expected.points.iter().zip(&actual.points) {
         for (key, evalue) in &ep.metrics {
             let Some(avalue) = ap.metric(key) else {
-                violations.push(format!("{}/{}: metric {key} missing", expected.name, ep.label));
+                violations.push(format!(
+                    "{}/{}: metric {key} missing",
+                    expected.name, ep.label
+                ));
                 continue;
             };
             let (abs, rel) = tolerance_for(key);
@@ -224,6 +224,7 @@ pub fn all_figures(runner: &SweepRunner) -> Vec<GoldenFigure> {
         ablation_batching(runner),
         ablation_elastic(runner),
         ablation_recovery(runner),
+        obs_report(runner),
     ]
 }
 
@@ -255,9 +256,15 @@ pub fn fig2_theory() -> GoldenFigure {
         points.push(GoldenPoint::new(
             format!("replicas_{n_r}"),
             vec![
-                ("model_saving_fixed".into(), m.cost_saving_vs_base(8.0, 1.0, 1.0)),
+                (
+                    "model_saving_fixed".into(),
+                    m.cost_saving_vs_base(8.0, 1.0, 1.0),
+                ),
                 ("model_optimal_s_a_gb".into(), s_a),
-                ("model_saving_optimal".into(), m.cost_saving_vs_base(s_a, 1.0, 1.0)),
+                (
+                    "model_saving_optimal".into(),
+                    m.cost_saving_vs_base(s_a, 1.0, 1.0),
+                ),
             ],
         ));
     }
@@ -268,7 +275,10 @@ pub fn fig2_theory() -> GoldenFigure {
             format!("mem_price_{mult}x"),
             vec![
                 ("model_optimal_s_a_gb".into(), s_a),
-                ("model_saving_optimal".into(), m.cost_saving_vs_base(s_a, 1.0, 1.0)),
+                (
+                    "model_saving_optimal".into(),
+                    m.cost_saving_vs_base(s_a, 1.0, 1.0),
+                ),
             ],
         ));
     }
@@ -325,7 +335,10 @@ pub fn fig3_unity_trace() -> GoldenFigure {
                 vec![
                     ("hit_read_ratio".into(), reads as f64 / draws as f64),
                     ("count_rank1_accesses".into(), freq[0] as f64),
-                    ("count_rank10_accesses".into(), freq.get(9).copied().unwrap_or(0) as f64),
+                    (
+                        "count_rank10_accesses".into(),
+                        freq.get(9).copied().unwrap_or(0) as f64,
+                    ),
                     ("count_distinct_tables".into(), counts.len() as f64),
                 ],
             ),
@@ -445,9 +458,7 @@ pub fn fig6_cpu_breakdown(runner: &SweepRunner) -> GoldenFigure {
             })
             .unwrap_or(0.0)
     };
-    let cores_of = |r: &ExperimentReport, tier: &str| {
-        r.tier(tier).map(|t| t.cores).unwrap_or(0.0)
-    };
+    let cores_of = |r: &ExperimentReport, tier: &str| r.tier(tier).map(|t| t.cores).unwrap_or(0.0);
     let points = archs
         .iter()
         .zip(&reports)
@@ -583,10 +594,7 @@ pub fn ablation_elastic(runner: &SweepRunner) -> GoldenFigure {
                     "count_shards_drained".into(),
                     r.elastic_shards_drained as f64,
                 ),
-                (
-                    "mean_cache_mb".into(),
-                    r.elastic_mean_cache_bytes / 1e6,
-                ),
+                ("mean_cache_mb".into(), r.elastic_mean_cache_bytes / 1e6),
             ];
             if spec.elastic {
                 // Each elastic cell is preceded by its static baseline.
@@ -614,8 +622,14 @@ pub fn ablation_recovery(runner: &SweepRunner) -> GoldenFigure {
         .flat_map(|&arch| {
             [
                 None,
-                Some(DurabilityKnobs { fsync_group: 1, snapshot_every: 1_024 }),
-                Some(DurabilityKnobs { fsync_group: 8, snapshot_every: 256 }),
+                Some(DurabilityKnobs {
+                    fsync_group: 1,
+                    snapshot_every: 1_024,
+                }),
+                Some(DurabilityKnobs {
+                    fsync_group: 8,
+                    snapshot_every: 256,
+                }),
             ]
             .into_iter()
             .map(move |durability| RecoverySpec {
@@ -653,6 +667,50 @@ pub fn ablation_recovery(runner: &SweepRunner) -> GoldenFigure {
     }
 }
 
+/// The observability report: heartbeat count, SLO alerts and the per-cause
+/// tail attribution for both architectures under the incident day. Counts
+/// are exact — the whole pipeline (virtual clock, burn-rate engine, tail
+/// classifier) is deterministic, so any drift is a real behavior change.
+pub fn obs_report(runner: &SweepRunner) -> GoldenFigure {
+    use crate::obs::{run_sweep, GOLDEN_MEASURED, GOLDEN_WARMUP};
+    use dcache::obs::TailCause;
+    let runs = run_sweep(runner, GOLDEN_WARMUP, GOLDEN_MEASURED);
+    let points = runs
+        .iter()
+        .map(|(report, bundle)| {
+            let obs = bundle.obs.as_ref().expect("observability enabled");
+            let mut metrics = vec![
+                ("count_heartbeats".into(), obs.timeseries.len() as f64),
+                (
+                    "count_annotations".into(),
+                    obs.timeseries.annotations().len() as f64,
+                ),
+                ("count_alerts".into(), obs.alerts.len() as f64),
+                (
+                    "count_tail_requests".into(),
+                    obs.tail.tail_requests.len() as f64,
+                ),
+                ("lat_tail_threshold_us".into(), obs.tail.threshold_us as f64),
+                ("lat_tail_excess_us".into(), obs.tail.total_excess_us as f64),
+            ];
+            for cause in TailCause::ALL {
+                let row = obs
+                    .tail
+                    .causes
+                    .iter()
+                    .find(|c| c.cause == cause)
+                    .expect("attribution covers every cause");
+                metrics.push((format!("count_cause_{}", cause.label()), row.count as f64));
+            }
+            GoldenPoint::new(report.arch.label(), metrics)
+        })
+        .collect();
+    GoldenFigure {
+        name: "obs_report".into(),
+        points,
+    }
+}
+
 /// The delayed-write hazard and its fencing fix — all-boolean, exact.
 pub fn fig8_delayed_writes() -> GoldenFigure {
     let flag = |b: bool| if b { 1.0 } else { 0.0 };
@@ -662,12 +720,19 @@ pub fn fig8_delayed_writes() -> GoldenFigure {
         .map(|&fenced| {
             let o = delayed_write_scenario(fenced).expect("scenario runs");
             GoldenPoint::new(
-                if fenced { "epoch_fencing" } else { "no_fencing" },
+                if fenced {
+                    "epoch_fencing"
+                } else {
+                    "no_fencing"
+                },
                 vec![
                     ("flag_write_admitted".into(), flag(o.delayed_write_admitted)),
                     ("flag_linearizable".into(), flag(o.linearizable)),
                     ("count_final_cache_value".into(), opt(o.final_cache_value)),
-                    ("count_final_storage_value".into(), opt(o.final_storage_value)),
+                    (
+                        "count_final_storage_value".into(),
+                        opt(o.final_storage_value),
+                    ),
                 ],
             )
         })
@@ -902,12 +967,7 @@ impl<'a> JsonParser<'a> {
                             out.push(char::from_u32(code).ok_or("bad \\u escape")?);
                             self.pos += 4;
                         }
-                        other => {
-                            return Err(format!(
-                                "bad escape {:?}",
-                                other.map(|&b| b as char)
-                            ))
-                        }
+                        other => return Err(format!("bad escape {:?}", other.map(|&b| b as char))),
                     }
                     self.pos += 1;
                 }
@@ -983,7 +1043,11 @@ mod tests {
         assert!(compare(&fig, &fig).is_empty());
         let mut close = fig.clone();
         close.points[0].metrics[0] = ("cost_total".into(), 1234.5678 * 1.01);
-        assert!(compare(&fig, &close).is_empty(), "{:?}", compare(&fig, &close));
+        assert!(
+            compare(&fig, &close).is_empty(),
+            "{:?}",
+            compare(&fig, &close)
+        );
     }
 
     #[test]
@@ -1019,6 +1083,9 @@ mod tests {
     fn fig2_and_fig8_are_reproducible() {
         // Pure analytics and the consistency scenario: same bytes each time.
         assert_eq!(fig2_theory().to_json(), fig2_theory().to_json());
-        assert_eq!(fig8_delayed_writes().to_json(), fig8_delayed_writes().to_json());
+        assert_eq!(
+            fig8_delayed_writes().to_json(),
+            fig8_delayed_writes().to_json()
+        );
     }
 }

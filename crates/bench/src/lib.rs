@@ -12,6 +12,7 @@ use std::path::PathBuf;
 pub mod batching;
 pub mod elastic;
 pub mod golden;
+pub mod obs;
 pub mod recovery;
 pub mod sweep;
 
@@ -83,7 +84,10 @@ pub fn print_table(title: &str, header: &[&str], rows: &[Vec<String>]) {
     };
     let header_cells: Vec<String> = header.iter().map(|h| h.to_string()).collect();
     println!("{}", fmt_row(&header_cells));
-    println!("{}", "-".repeat(widths.iter().sum::<usize>() + 2 * widths.len()));
+    println!(
+        "{}",
+        "-".repeat(widths.iter().sum::<usize>() + 2 * widths.len())
+    );
     for row in rows {
         println!("{}", fmt_row(row));
     }

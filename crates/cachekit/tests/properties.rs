@@ -5,6 +5,9 @@
 //! operation-for-operation, rings rebalance minimally, and the analytic MRC
 //! agrees with brute force.
 
+// The offline `proptest` stub swallows `proptest!` blocks, leaving the
+// strategy helpers (and some imports) unreferenced in offline builds.
+#![allow(dead_code, unused_imports)]
 use cachekit::cache::ENTRY_OVERHEAD_BYTES;
 use cachekit::{Cache, HashRing, PolicyKind, StackDistance};
 use proptest::prelude::*;

@@ -13,6 +13,9 @@
 //! `proptest!` blocks), and a `proptest!` block that adds shrinking and
 //! broader exploration when the real crate is available.
 
+// The offline `proptest` stub swallows `proptest!` blocks, leaving the
+// strategy helpers (and some imports) unreferenced in offline builds.
+#![allow(dead_code, unused_imports)]
 use cachekit::cache::ENTRY_OVERHEAD_BYTES;
 use cachekit::{CacheStats, HashRing, InsertOutcome, PolicyKind, ShardedCache};
 use proptest::prelude::*;

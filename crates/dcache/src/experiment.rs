@@ -12,9 +12,7 @@
 //! paper measures steady state.
 
 use crate::config::{ArchKind, DeploymentConfig};
-use crate::deployment::{
-    batch_counters, elastic_counters, fault_counters, kv_catalog, Deployment,
-};
+use crate::deployment::{batch_counters, elastic_counters, fault_counters, kv_catalog, Deployment};
 use costmodel::{CostBreakdown, Pricing, ResourceUsage};
 use serde::Serialize;
 use simnet::{
@@ -74,8 +72,9 @@ impl TierReport {
             .map(|(c, _)| (c.label().to_string(), meter.fraction(c)))
             .collect();
         cpu_fractions.sort_by(|a, b| b.1.total_cmp(&a.1));
-        let vms_at_target_util =
-            (cores / TARGET_UTILIZATION / VCPUS_PER_NODE).ceil().max(0.0) as u64;
+        let vms_at_target_util = (cores / TARGET_UTILIZATION / VCPUS_PER_NODE)
+            .ceil()
+            .max(0.0) as u64;
         let provisioned_cores = (vms_at_target_util as f64 * VCPUS_PER_NODE) as u32;
         let expected_queue_wait = if provisioned_cores == 0 {
             0.0
@@ -112,8 +111,11 @@ pub struct ExperimentReport {
     pub block_cache_hit_ratio: f64,
     pub read_latency_p50_us: u64,
     pub read_latency_p99_us: u64,
+    /// Extreme-tail read latency (99.9th percentile).
+    pub read_latency_p999_us: u64,
     pub write_latency_p50_us: u64,
     pub write_latency_p99_us: u64,
+    pub write_latency_p999_us: u64,
     /// Reads that returned a value older than the latest committed write.
     pub stale_reads: u64,
     pub version_checks: u64,
@@ -178,6 +180,17 @@ pub struct ExperimentReport {
     /// Bytes resident on the storage SSD tier (snapshots + WALs) at run
     /// end — the $/GB billing basis.
     pub ssd_resident_bytes: u64,
+    /// SLO burn-rate alerts fired during the measured run (0 unless
+    /// `observability` is enabled).
+    pub slo_alerts_fired: u64,
+    /// Exact nearest-rank p99 over every measured latency, microseconds
+    /// (0 unless `observability` is enabled) — the tail-attribution cut.
+    pub tail_p99_threshold_us: u64,
+    /// Per-cause tail attribution `(cause, requests, excess_µs)` for the
+    /// slowest-1% requests; empty unless `observability` is enabled. Every
+    /// tail request carries exactly one cause, so the excess columns sum to
+    /// the total measured tail excess.
+    pub tail_causes: Vec<(String, u64, u64)>,
 }
 
 impl ExperimentReport {
@@ -257,6 +270,12 @@ pub struct KvExperimentConfig {
     /// so `cfg.qps` becomes the *peak* rate. `None` (the default) keeps the
     /// classic fixed-interval clock byte-for-byte.
     pub diurnal: Option<workloads::DiurnalSchedule>,
+    /// Run-time observability (heartbeat time series, SLO burn-rate alerts,
+    /// slowest-1% cause attribution). `None` (the default everywhere) keeps
+    /// the runner and every artifact byte-identical to an uninstrumented
+    /// run; `Some` additionally captures per-bucket latency exemplars for
+    /// traced requests and fills the report's `slo_*`/`tail_*` fields.
+    pub observability: Option<crate::obs::ObsConfig>,
     pub pricing: Pricing,
 }
 
@@ -279,6 +298,7 @@ impl KvExperimentConfig {
             cache_fault_schedule: None,
             trace_sample_every: None,
             diurnal: None,
+            observability: None,
             pricing: Pricing::default(),
         }
     }
@@ -424,8 +444,7 @@ pub(crate) fn build_report(
         pricing,
     ));
 
-    let storage_disk =
-        dep.cluster.primary_data_bytes() * cfg.cluster.replicas as u64;
+    let storage_disk = dep.cluster.primary_data_bytes() * cfg.cluster.replicas as u64;
     let mut storage_tier = TierReport::from_meter(
         "storage",
         cfg.cluster.storage_nodes,
@@ -457,8 +476,11 @@ pub(crate) fn build_report(
     let durability = dep.cluster.durability_stats();
     let rpc_batches = dep.metrics.counter_value(batch_counters::RPC_BATCHES);
     let batched_rpc_keys = dep.metrics.counter_value(batch_counters::BATCHED_RPC_KEYS);
-    let mut batch_size_counts: Vec<(u32, u64)> =
-        dep.batch_size_counts.iter().map(|(&s, &c)| (s, c)).collect();
+    let mut batch_size_counts: Vec<(u32, u64)> = dep
+        .batch_size_counts
+        .iter()
+        .map(|(&s, &c)| (s, c))
+        .collect();
     batch_size_counts.sort_unstable();
 
     ExperimentReport {
@@ -478,8 +500,10 @@ pub(crate) fn build_report(
         block_cache_hit_ratio: dep.cluster.block_cache_hit_ratio(),
         read_latency_p50_us: metrics.read_latency.p50() / 1_000,
         read_latency_p99_us: metrics.read_latency.p99() / 1_000,
+        read_latency_p999_us: metrics.read_latency.p999() / 1_000,
         write_latency_p50_us: metrics.write_latency.p50() / 1_000,
         write_latency_p99_us: metrics.write_latency.p99() / 1_000,
+        write_latency_p999_us: metrics.write_latency.p999() / 1_000,
         stale_reads: metrics.stale_reads,
         version_checks: metrics.version_checks,
         sql_statements: metrics.sql_statements,
@@ -505,18 +529,12 @@ pub(crate) fn build_report(
         elastic_decisions: dep.elastic.decisions(),
         elastic_plan_changes: dep.elastic.plan_changes(),
         elastic_resizes: dep.metrics.counter_value(elastic_counters::RESIZES),
-        elastic_shards_drained: dep
-            .metrics
-            .counter_value(elastic_counters::SHARDS_DRAINED),
-        elastic_shards_restored: dep
-            .metrics
-            .counter_value(elastic_counters::SHARDS_RESTORED),
+        elastic_shards_drained: dep.metrics.counter_value(elastic_counters::SHARDS_DRAINED),
+        elastic_shards_restored: dep.metrics.counter_value(elastic_counters::SHARDS_RESTORED),
         elastic_migrated_entries: dep
             .metrics
             .counter_value(elastic_counters::MIGRATED_ENTRIES),
-        elastic_migrated_bytes: dep
-            .metrics
-            .counter_value(elastic_counters::MIGRATED_BYTES),
+        elastic_migrated_bytes: dep.metrics.counter_value(elastic_counters::MIGRATED_BYTES),
         // Window-derived figures are filled post-hoc by the KV runner; other
         // runners (Unity/session/trace) don't track load windows.
         peak_window_cores: 0.0,
@@ -531,6 +549,11 @@ pub(crate) fn build_report(
         lost_tail_entries: durability.lost_tail_entries,
         cold_refill_cpu_us: durability.cold_refill_cpu_us,
         ssd_resident_bytes: dep.cluster.ssd_resident_bytes(),
+        // Observability figures are filled post-hoc by the KV runner when
+        // `cfg.observability` is enabled.
+        slo_alerts_fired: 0,
+        tail_p99_threshold_us: 0,
+        tail_causes: Vec::new(),
     }
 }
 
@@ -546,10 +569,7 @@ fn apply_elastic_billing(
 ) {
     let cfg = &dep.config;
     let (tier_name, base_mem) = match cfg.arch {
-        ArchKind::Remote => (
-            "remote_cache",
-            cfg.remote_cache_nodes as u64 * (1 << 30),
-        ),
+        ArchKind::Remote => ("remote_cache", cfg.remote_cache_nodes as u64 * (1 << 30)),
         _ if cfg.arch.has_linked_cache() => {
             ("app", cfg.app_servers as u64 * cfg.app_base_mem_bytes)
         }
@@ -576,7 +596,9 @@ pub(crate) fn with_failover<T>(
     match f(dep, now) {
         Ok(v) => Ok((v, SimDuration::ZERO)),
         Err(StoreError::NoLeader { region }) => {
-            dep.cluster.region_mut(region as usize).elect(now + FAILOVER_PENALTY)?;
+            dep.cluster
+                .region_mut(region as usize)
+                .elect(now + FAILOVER_PENALTY)?;
             if measuring {
                 metrics.failovers += 1;
             }
@@ -605,6 +627,9 @@ pub struct TelemetryBundle {
     /// Collapsed-stack CPU attribution (`arch;tier;category nanos`),
     /// folded from the same meters the report's cost accounting uses.
     pub profile: telemetry::CpuProfile,
+    /// Time series, SLO alerts and tail attribution — `None` unless
+    /// `cfg.observability` was enabled.
+    pub obs: Option<crate::obs::ObsArtifacts>,
 }
 
 /// Map a request outcome to the status of its root span.
@@ -645,13 +670,18 @@ fn export_registry(
     report: &ExperimentReport,
     dep: &Deployment,
     metrics: &RunMetrics,
+    obs: Option<&crate::obs::ObsArtifacts>,
 ) -> telemetry::Registry {
     use telemetry::InstrumentKind::{Counter, Gauge, Summary};
     let mut reg = telemetry::Registry::new();
     let arch = dep.config.arch.label();
     let labels: &[(&str, &str)] = &[("arch", arch)];
 
-    reg.describe("dcache_requests_total", Counter, "Measured requests served.");
+    reg.describe(
+        "dcache_requests_total",
+        Counter,
+        "Measured requests served.",
+    );
     reg.set_counter("dcache_requests_total", labels, report.requests);
     reg.set_counter("dcache_reads_total", labels, metrics.reads);
     reg.set_counter("dcache_writes_total", labels, metrics.writes);
@@ -684,7 +714,11 @@ fn export_registry(
         Gauge,
         "Total monthly cost of the deployment.",
     );
-    reg.set_gauge("dcache_monthly_cost_dollars", labels, report.total_cost.total());
+    reg.set_gauge(
+        "dcache_monthly_cost_dollars",
+        labels,
+        report.total_cost.total(),
+    );
     reg.set_gauge("dcache_cache_hit_ratio", labels, report.cache_hit_ratio);
     reg.set_gauge(
         "dcache_block_cache_hit_ratio",
@@ -696,11 +730,7 @@ fn export_registry(
     for tier in &report.tiers {
         let tier_labels: &[(&str, &str)] = &[("arch", arch), ("tier", &tier.name)];
         reg.set_gauge("dcache_tier_cores", tier_labels, tier.cores);
-        reg.set_gauge(
-            "dcache_tier_cost_dollars",
-            tier_labels,
-            tier.cost.total(),
-        );
+        reg.set_gauge("dcache_tier_cost_dollars", tier_labels, tier.cost.total());
         reg.set_gauge(
             "dcache_tier_vms_at_target_util",
             tier_labels,
@@ -714,7 +744,11 @@ fn export_registry(
         "End-to-end read latency (virtual nanoseconds).",
     );
     if !metrics.read_latency.is_empty() {
-        reg.set_summary("dcache_read_latency_ns", labels, metrics.read_latency.summary());
+        reg.set_summary(
+            "dcache_read_latency_ns",
+            labels,
+            metrics.read_latency.summary(),
+        );
     }
     if !metrics.write_latency.is_empty() {
         reg.set_summary(
@@ -754,7 +788,11 @@ fn export_registry(
                 Gauge,
                 "Capacity target of the most recent provisioning plan.",
             );
-            reg.set_gauge("dcache_elastic_plan_cache_bytes", labels, p.cache_bytes as f64);
+            reg.set_gauge(
+                "dcache_elastic_plan_cache_bytes",
+                labels,
+                p.cache_bytes as f64,
+            );
             reg.set_gauge("dcache_elastic_plan_shards", labels, p.shards as f64);
             reg.set_gauge(
                 "dcache_elastic_plan_monthly_dollars",
@@ -802,7 +840,11 @@ fn export_registry(
             Counter,
             "WAL records appended across storage pods.",
         );
-        reg.set_counter("dcache_durability_wal_appends_total", labels, report.wal_appends);
+        reg.set_counter(
+            "dcache_durability_wal_appends_total",
+            labels,
+            report.wal_appends,
+        );
         reg.set_counter(
             "dcache_durability_fsync_batches_total",
             labels,
@@ -818,7 +860,11 @@ fn export_registry(
             Counter,
             "Storage-pod recoveries (snapshot load + WAL replay).",
         );
-        reg.set_counter("dcache_durability_recoveries_total", labels, report.recoveries);
+        reg.set_counter(
+            "dcache_durability_recoveries_total",
+            labels,
+            report.recoveries,
+        );
         reg.set_counter(
             "dcache_durability_replayed_entries_total",
             labels,
@@ -846,6 +892,66 @@ fn export_registry(
         );
     }
 
+    // Observability telemetry, only when the layer is on (so default runs
+    // export byte-identical registries).
+    if let Some(art) = obs {
+        reg.describe(
+            "dcache_latency_p999_us",
+            Gauge,
+            "99.9th-percentile end-to-end latency (microseconds).",
+        );
+        let read_labels: &[(&str, &str)] = &[("arch", arch), ("op", "read")];
+        let write_labels: &[(&str, &str)] = &[("arch", arch), ("op", "write")];
+        reg.set_gauge(
+            "dcache_latency_p999_us",
+            read_labels,
+            report.read_latency_p999_us as f64,
+        );
+        reg.set_gauge(
+            "dcache_latency_p999_us",
+            write_labels,
+            report.write_latency_p999_us as f64,
+        );
+        reg.describe(
+            "dcache_slo_alerts_total",
+            Counter,
+            "SLO burn-rate alerts fired during the measured run.",
+        );
+        for rule in ["availability", "latency_p99_budget"] {
+            let rule_labels: &[(&str, &str)] = &[("arch", arch), ("rule", rule)];
+            reg.set_counter(
+                "dcache_slo_alerts_total",
+                rule_labels,
+                art.alerts.iter().filter(|a| a.rule == rule).count() as u64,
+            );
+        }
+        reg.describe(
+            "dcache_tail_excess_us_total",
+            Counter,
+            "Latency excess above the p99 threshold, attributed per cause.",
+        );
+        for c in &art.tail.causes {
+            let cause_labels: &[(&str, &str)] = &[("arch", arch), ("cause", c.cause.label())];
+            reg.set_counter("dcache_tail_requests_total", cause_labels, c.count);
+            reg.set_counter("dcache_tail_excess_us_total", cause_labels, c.excess_us);
+        }
+        reg.set_gauge(
+            "dcache_tail_p99_threshold_us",
+            labels,
+            art.tail.threshold_us as f64,
+        );
+        reg.set_gauge(
+            "dcache_obs_timeseries_samples",
+            labels,
+            art.timeseries.len() as f64,
+        );
+        reg.set_counter(
+            "dcache_obs_timeseries_dropped_total",
+            labels,
+            art.timeseries.dropped(),
+        );
+    }
+
     // Fault/degraded-path counters straight off the deployment.
     dep.metrics.export(&mut reg, "dcache_fault_", labels);
     // External-cache statistics (hits/misses/evictions/...).
@@ -860,6 +966,7 @@ fn export_registry(
 struct RunState {
     dep: Deployment,
     metrics: RunMetrics,
+    obs: Option<crate::obs::ObsArtifacts>,
 }
 
 /// Run one KV cost experiment end to end.
@@ -875,17 +982,16 @@ pub fn run_kv_experiment_with_telemetry(
 ) -> StoreResult<(ExperimentReport, TelemetryBundle)> {
     let (report, state) = run_kv_experiment_core(cfg)?;
     let bundle = TelemetryBundle {
-        registry: export_registry(&report, &state.dep, &state.metrics),
+        registry: export_registry(&report, &state.dep, &state.metrics, state.obs.as_ref()),
         spans: state.dep.tracer.sink().iter().cloned().collect(),
         traces_jsonl: state.dep.tracer.sink().to_jsonl(),
         profile: cpu_profile(&state.dep),
+        obs: state.obs,
     };
     Ok((report, bundle))
 }
 
-fn run_kv_experiment_core(
-    cfg: &KvExperimentConfig,
-) -> StoreResult<(ExperimentReport, RunState)> {
+fn run_kv_experiment_core(cfg: &KvExperimentConfig) -> StoreResult<(ExperimentReport, RunState)> {
     let mut dep = Deployment::new(cfg.deployment.clone(), kv_catalog("kv"));
     if cfg.trace_sample_every.is_some() {
         dep.tracer = telemetry::Tracer::with_capacity(TRACE_SINK_CAPACITY);
@@ -928,13 +1034,20 @@ fn run_kv_experiment_core(
     let mut measure_start = SimTime::ZERO;
     let mut fault_driver = cfg.cache_fault_schedule.as_ref().map(FaultDriver::new);
     let deadline = cfg.deployment.fault_tolerance.request_deadline;
+    let mut obs = cfg.observability.clone().map(|oc| {
+        crate::obs::ObsState::new(
+            oc,
+            cfg.deployment.arch.label(),
+            dep.cluster.durability_enabled(),
+        )
+    });
 
     // Load-window tracking: per-heartbeat cores (the peak of which is what
     // static provisioning pays for) and the capacity-over-time integral
     // (what elastic provisioning pays for). Only tracked when a run can
     // actually vary — diurnal load or an enabled controller — so the
     // default fixed-rate path stays untouched.
-    let track_windows = cfg.diurnal.is_some() || dep.elastic.enabled();
+    let track_windows = cfg.diurnal.is_some() || dep.elastic.enabled() || obs.is_some();
     let mut peak_window_cores = 0.0f64;
     let mut window_busy_anchor = 0u64; // busy nanos at window start
     let mut window_start = SimTime::ZERO;
@@ -956,6 +1069,9 @@ fn run_kv_experiment_core(
             measure_start = now;
             window_busy_anchor = 0;
             window_start = now;
+            if let Some(o) = obs.as_mut() {
+                o.on_measure_start();
+            }
         }
         if i % heartbeat_every == 0 {
             dep.cluster.tick(now);
@@ -964,18 +1080,26 @@ fn run_kv_experiment_core(
                 if measuring && now > window_start {
                     let busy = total_busy(&dep);
                     let window = now.since(window_start);
-                    let cores =
-                        (busy - window_busy_anchor) as f64 / window.as_nanos() as f64;
+                    let cores = (busy - window_busy_anchor) as f64 / window.as_nanos() as f64;
                     peak_window_cores = peak_window_cores.max(cores);
                     let cap = dep.elastic_cache_capacity_bytes();
                     cap_integral += cap as f64 * window.as_secs_f64();
                     cap_peak = cap_peak.max(cap);
                     window_busy_anchor = busy;
                     window_start = now;
+                    if let Some(o) = obs.as_mut() {
+                        o.heartbeat(now.as_nanos(), cores, cap, &metrics.read_latency);
+                    }
                 }
-                if let Some(plan) = dep.elastic.maybe_decide(now.as_secs_f64(), &cfg.pricing)
-                {
+                if let Some(plan) = dep.elastic.maybe_decide(now.as_secs_f64(), &cfg.pricing) {
+                    let before = dep.elastic_cache_capacity_bytes();
                     dep.apply_elastic_plan(plan, now);
+                    let after = dep.elastic_cache_capacity_bytes();
+                    if before != after {
+                        if let Some(o) = obs.as_mut() {
+                            o.on_resize(now.as_nanos(), before, after);
+                        }
+                    }
                 }
             }
         }
@@ -991,6 +1115,9 @@ fn run_kv_experiment_core(
         if let Some(driver) = fault_driver.as_mut() {
             for ev in driver.due(now) {
                 apply_fault(&mut dep, ev, now);
+                if let Some(o) = obs.as_mut() {
+                    o.on_fault(ev);
+                }
             }
         }
         // Arm the tracer for sampled measured requests: the trace id is a
@@ -1001,9 +1128,11 @@ fn run_kv_experiment_core(
             && cfg
                 .trace_sample_every
                 .is_some_and(|k| measured_index % k.max(1) == 0);
+        // The trace id is the request's identity everywhere: tracer, latency
+        // exemplars, and tail attribution all derive it the same way.
+        let tid = telemetry::trace_id(cfg.workload.seed, measured_index);
         if sampled {
-            dep.tracer
-                .start_request(telemetry::trace_id(cfg.workload.seed, measured_index));
+            dep.tracer.start_request(tid);
         }
         let req = workload.next_request();
         match req.op {
@@ -1021,8 +1150,16 @@ fn run_kv_experiment_core(
                     outcome_status(&out),
                 );
                 if measuring {
+                    let latency_ns = (out.latency + penalty).as_nanos();
                     metrics.reads += 1;
-                    metrics.read_latency.record((out.latency + penalty).as_nanos());
+                    // Exemplar capture only runs with observability on, so
+                    // plain runs keep byte-identical latency state; counts
+                    // and sums are identical either way.
+                    if obs.is_some() && sampled {
+                        metrics.read_latency.record_with_exemplar(latency_ns, tid);
+                    } else {
+                        metrics.read_latency.record(latency_ns);
+                    }
                     metrics.cache_hits += out.cache_hit as u64;
                     metrics.version_checks += out.version_checks;
                     metrics.sql_statements += out.sql_statements;
@@ -1030,6 +1167,23 @@ fn run_kv_experiment_core(
                     let expect = generation.get(&req.key).copied().unwrap_or(0);
                     if out.seed != Some(expect) {
                         metrics.stale_reads += 1;
+                    }
+                    if let Some(o) = obs.as_mut() {
+                        o.observe(crate::obs::RequestSample {
+                            trace_id: tid,
+                            t_ns: now.as_nanos(),
+                            latency_ns,
+                            is_read: true,
+                            cache_hit: out.cache_hit,
+                            degraded: out.degraded,
+                            coalesced: out.coalesced,
+                            retries: out.retries,
+                            failover: penalty > SimDuration::ZERO,
+                            over_deadline: out.latency + penalty > deadline,
+                            in_fault_window: false,
+                            in_resize_window: false,
+                            traced: sampled,
+                        });
                     }
                 }
             }
@@ -1053,10 +1207,32 @@ fn run_kv_experiment_core(
                     outcome_status(&out),
                 );
                 if measuring {
+                    let latency_ns = (out.latency + penalty).as_nanos();
                     metrics.writes += 1;
-                    metrics.write_latency.record((out.latency + penalty).as_nanos());
+                    if obs.is_some() && sampled {
+                        metrics.write_latency.record_with_exemplar(latency_ns, tid);
+                    } else {
+                        metrics.write_latency.record(latency_ns);
+                    }
                     metrics.sql_statements += out.sql_statements;
                     metrics.check_deadline(out.latency + penalty, deadline);
+                    if let Some(o) = obs.as_mut() {
+                        o.observe(crate::obs::RequestSample {
+                            trace_id: tid,
+                            t_ns: now.as_nanos(),
+                            latency_ns,
+                            is_read: false,
+                            cache_hit: false,
+                            degraded: out.degraded,
+                            coalesced: out.coalesced,
+                            retries: out.retries,
+                            failover: penalty > SimDuration::ZERO,
+                            over_deadline: out.latency + penalty > deadline,
+                            in_fault_window: false,
+                            in_resize_window: false,
+                            traced: sampled,
+                        });
+                    }
                 }
             }
         }
@@ -1072,8 +1248,14 @@ fn run_kv_experiment_core(
     }
 
     let duration = now.since(measure_start);
-    let mut report =
-        build_report(&dep, &metrics, cfg.qps, cfg.requests, duration, &cfg.pricing);
+    let mut report = build_report(
+        &dep,
+        &metrics,
+        cfg.qps,
+        cfg.requests,
+        duration,
+        &cfg.pricing,
+    );
     if track_windows {
         // Close the final partial window, then fill the window-derived
         // figures and re-bill elastic memory at its time-averaged capacity.
@@ -1087,15 +1269,35 @@ fn run_kv_experiment_core(
             cap_peak = cap_peak.max(cap);
         }
         report.peak_window_cores = peak_window_cores;
-        report.elastic_mean_cache_bytes =
-            cap_integral / duration.as_secs_f64().max(1e-9);
+        report.elastic_mean_cache_bytes = cap_integral / duration.as_secs_f64().max(1e-9);
         report.elastic_peak_cache_bytes = cap_peak;
         if dep.elastic.enabled() {
             let mean = report.elastic_mean_cache_bytes;
             apply_elastic_billing(&mut report, &dep, mean, &cfg.pricing);
         }
     }
-    Ok((report, RunState { dep, metrics }))
+    let obs_artifacts = obs.map(|o| {
+        let spans: Vec<telemetry::SpanRecord> = dep.tracer.sink().iter().cloned().collect();
+        let art = o.finish(now.as_nanos(), &spans);
+        report.slo_alerts_fired = art.alerts.len() as u64;
+        report.tail_p99_threshold_us = art.tail.threshold_us;
+        report.tail_causes = art
+            .tail
+            .causes
+            .iter()
+            .filter(|c| c.count > 0)
+            .map(|c| (c.cause.label().to_string(), c.count, c.excess_us))
+            .collect();
+        art
+    });
+    Ok((
+        report,
+        RunState {
+            dep,
+            metrics,
+            obs: obs_artifacts,
+        },
+    ))
 }
 
 /// Run a cost experiment from a captured/imported trace instead of a
@@ -1118,9 +1320,9 @@ pub fn run_trace_experiment(
     }
     dep.cluster.bulk_load(
         "kv",
-        first_size.iter().map(|(&k, &b)| {
-            vec![Datum::Int(k as i64), Datum::Payload { len: b, seed: 0 }]
-        }),
+        first_size
+            .iter()
+            .map(|(&k, &b)| vec![Datum::Int(k as i64), Datum::Payload { len: b, seed: 0 }]),
     )?;
 
     let warmup = ((trace.len() as f64) * warmup_fraction.clamp(0.0, 1.0)) as usize;
@@ -1181,7 +1383,9 @@ pub fn run_trace_experiment(
 
     let measured = (trace.len() - warmup) as u64;
     let duration = now.since(measure_start);
-    Ok(build_report(&dep, &metrics, qps, measured, duration, pricing))
+    Ok(build_report(
+        &dep, &metrics, qps, measured, duration, pricing,
+    ))
 }
 
 /// Convenience: run the same workload across several architectures.
@@ -1234,6 +1438,7 @@ mod tests {
             cache_fault_schedule: None,
             trace_sample_every: None,
             diurnal: None,
+            observability: None,
             pricing: Pricing::default(),
         }
     }
@@ -1308,7 +1513,10 @@ mod tests {
             remote.total_cost.total(),
             linked.total_cost.total(),
         );
-        assert!(l < r && r < b, "expected linked {l} < remote {r} < base {b}");
+        assert!(
+            l < r && r < b,
+            "expected linked {l} < remote {r} < base {b}"
+        );
     }
 
     #[test]
@@ -1410,7 +1618,10 @@ mod tests {
         let mut cfg = tiny_cfg(ArchKind::Base);
         cfg.crash_leaders_at_request = Some(2_000);
         let crashed = run_kv_experiment(&cfg).unwrap();
-        assert!(crashed.failovers > 0, "crashed leaders must trigger elections");
+        assert!(
+            crashed.failovers > 0,
+            "crashed leaders must trigger elections"
+        );
         assert_eq!(crashed.stale_reads, 0, "failover must not corrupt data");
 
         let clean = run_kv_experiment(&tiny_cfg(ArchKind::Base)).unwrap();
@@ -1474,9 +1685,18 @@ mod tests {
         clean_cfg.deployment.fault_tolerance.single_flight = true;
         let clean = run_kv_experiment(&clean_cfg).unwrap();
 
-        assert_eq!(faulty.cache_crashes, cfg.deployment.remote_cache_nodes as u64);
-        assert_eq!(faulty.cache_restarts, cfg.deployment.remote_cache_nodes as u64);
-        assert!(faulty.degraded_reads > 0, "outage window must degrade reads");
+        assert_eq!(
+            faulty.cache_crashes,
+            cfg.deployment.remote_cache_nodes as u64
+        );
+        assert_eq!(
+            faulty.cache_restarts,
+            cfg.deployment.remote_cache_nodes as u64
+        );
+        assert!(
+            faulty.degraded_reads > 0,
+            "outage window must degrade reads"
+        );
         assert!(faulty.cache_retries > 0);
         assert!(faulty.net_dropped > 0);
         assert_eq!(clean.degraded_reads, 0);
@@ -1669,7 +1889,10 @@ mod tests {
             "elastic control loop must be fully deterministic"
         );
         assert!(a.elastic_decisions > 0, "{a:?}");
-        assert!(a.elastic_resizes > 0, "plan must differ from the static size");
+        assert!(
+            a.elastic_resizes > 0,
+            "plan must differ from the static size"
+        );
         assert!(a.elastic_peak_cache_bytes > 0);
         assert!(a.elastic_mean_cache_bytes > 0.0);
     }
@@ -1683,8 +1906,7 @@ mod tests {
         let flexed = run_kv_experiment(&elastic_cfg(ArchKind::Linked)).unwrap();
 
         assert!(
-            flexed.elastic_mean_cache_bytes
-                < static_cfg.deployment.total_linked_bytes() as f64,
+            flexed.elastic_mean_cache_bytes < static_cfg.deployment.total_linked_bytes() as f64,
             "mean capacity {} must undercut the static {} bytes",
             flexed.elastic_mean_cache_bytes,
             static_cfg.deployment.total_linked_bytes()
@@ -1701,5 +1923,97 @@ mod tests {
             fixed.cache_hit_ratio,
             flexed.cache_hit_ratio
         );
+    }
+
+    #[test]
+    fn default_runs_report_no_obs_activity() {
+        let r = run_kv_experiment(&tiny_cfg(ArchKind::Remote)).unwrap();
+        assert_eq!(r.slo_alerts_fired, 0);
+        assert_eq!(r.tail_p99_threshold_us, 0);
+        assert!(r.tail_causes.is_empty());
+        // p999 is always reported, observability or not.
+        assert!(r.read_latency_p999_us >= r.read_latency_p99_us);
+        assert!(r.write_latency_p999_us >= r.write_latency_p99_us);
+    }
+
+    #[test]
+    fn observability_leaves_the_report_unchanged() {
+        // The obs layer only *observes*: the cost/latency report of an
+        // instrumented run must be byte-identical to the plain run. Lower
+        // qps so the measured window spans several heartbeats (~1 virtual
+        // second each).
+        let slow = |arch| {
+            let mut cfg = tiny_cfg(arch);
+            cfg.qps = 2_000.0;
+            cfg.warmup_requests = 4_000;
+            cfg.requests = 8_000;
+            cfg
+        };
+        let plain = run_kv_experiment(&slow(ArchKind::Linked)).unwrap();
+        let mut cfg = slow(ArchKind::Linked);
+        cfg.trace_sample_every = Some(20);
+        cfg.observability = Some(crate::obs::ObsConfig::default());
+        let (observed, bundle) = run_kv_experiment_with_telemetry(&cfg).unwrap();
+        assert_eq!(plain.total_cost.total(), observed.total_cost.total());
+        assert_eq!(plain.read_latency_p99_us, observed.read_latency_p99_us);
+        assert_eq!(plain.read_latency_p999_us, observed.read_latency_p999_us);
+        assert_eq!(plain.cache_hit_ratio, observed.cache_hit_ratio);
+        let obs = bundle.obs.expect("artifacts present when enabled");
+        assert!(!obs.timeseries.is_empty(), "heartbeats must be recorded");
+        // Attribution covers the measured run and each tail request has
+        // exactly one cause.
+        assert_eq!(obs.tail.measured_requests, cfg.requests);
+        let count: u64 = obs.tail.causes.iter().map(|c| c.count).sum();
+        assert_eq!(count, obs.tail.tail_requests.len() as u64);
+        assert!(observed.tail_p99_threshold_us > 0);
+    }
+
+    #[test]
+    fn observed_fault_run_is_deterministic_and_attributes_the_tail() {
+        use simnet::NodeId;
+        let build = || {
+            let mut cfg = tiny_cfg(ArchKind::Remote);
+            cfg.deployment.fault_tolerance.single_flight = true;
+            cfg.trace_sample_every = Some(10);
+            cfg.observability = Some(crate::obs::ObsConfig {
+                p99_budget_us: 400,
+                ..crate::obs::ObsConfig::default()
+            });
+            let dt = SimDuration::from_secs_f64(1.0 / cfg.qps);
+            let crash_at = SimTime::ZERO + dt.saturating_mul(cfg.warmup_requests + 1_000);
+            let mut schedule = FaultSchedule::new();
+            for shard in 0..cfg.deployment.remote_cache_nodes {
+                schedule.crash_for(crash_at, NodeId(shard as u32), dt.saturating_mul(1_000));
+            }
+            cfg.cache_fault_schedule = Some(schedule);
+            cfg
+        };
+        let (ra, ba) = run_kv_experiment_with_telemetry(&build()).unwrap();
+        let (rb, bb) = run_kv_experiment_with_telemetry(&build()).unwrap();
+        let (oa, ob) = (ba.obs.unwrap(), bb.obs.unwrap());
+        assert_eq!(oa.timeseries.to_jsonl(), ob.timeseries.to_jsonl());
+        assert_eq!(oa.alerts_json(), ob.alerts_json());
+        assert_eq!(oa.tail.to_json(), ob.tail.to_json());
+        assert_eq!(ra.slo_alerts_fired, rb.slo_alerts_fired);
+        // The outage window must be annotated and charged to the tail.
+        assert!(!oa.timeseries.annotations().is_empty(), "fault annotations");
+        let fault_excess: u64 = oa
+            .tail
+            .causes
+            .iter()
+            .filter(|c| {
+                matches!(
+                    c.cause,
+                    crate::obs::TailCause::FaultWindow | crate::obs::TailCause::RetryBackoff
+                )
+            })
+            .map(|c| c.excess_us)
+            .sum();
+        assert!(
+            fault_excess > 0,
+            "outage must dominate the tail: {:?}",
+            oa.tail.causes
+        );
+        assert!(ra.requests > 0);
     }
 }

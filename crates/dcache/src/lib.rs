@@ -36,6 +36,7 @@ pub mod consistency;
 pub mod deployment;
 pub mod experiment;
 pub mod lease;
+pub mod obs;
 pub mod sessionapp;
 pub mod unityapp;
 

@@ -1,0 +1,848 @@
+//! Run-time observability: heartbeat time series, tail-latency forensics,
+//! and SLO burn-rate evaluation for KV experiment runs.
+//!
+//! The experiment runner owns an optional [`ObsState`]: every measured
+//! request flows through [`ObsState::observe`], every heartbeat snapshots a
+//! windowed [`telemetry::TimeSeries`] sample (hit ratio, cores, cache
+//! bytes, window p99), fault events and elastic resizes annotate the
+//! timeline, and at run end [`ObsState::finish`] evaluates the SLO rules
+//! and attributes every slowest-1% request to exactly one primary cause.
+//!
+//! Everything is driven by *simulated* time and deterministic inputs, so
+//! double runs (and jobs=1 vs jobs=N sweeps) produce byte-identical JSONL,
+//! alert logs, and attribution tables — the property
+//! `tests/obs_determinism.rs` pins.
+
+use crate::experiment::STORAGE_FAULT_NODE_BASE;
+use simnet::{FaultEvent, FaultKind, Histogram};
+use std::collections::BTreeMap;
+use std::fmt::Write;
+use telemetry::json::push_json_str;
+use telemetry::slo::{AlertEvent, BurnPoint, SloRule};
+use telemetry::timeseries::{Annotation, TimeSeries};
+use telemetry::SpanRecord;
+
+/// Configuration of the observability layer (off unless
+/// `KvExperimentConfig::observability` is `Some`).
+#[derive(Debug, Clone)]
+pub struct ObsConfig {
+    /// Flight-recorder bound on retained heartbeat samples.
+    pub timeseries_capacity: usize,
+    /// Availability SLO objective (fraction of requests meeting their
+    /// deadline), e.g. `0.999`.
+    pub availability_objective: f64,
+    /// Latency SLO: at most 1% of requests may exceed this budget.
+    pub p99_budget_us: u64,
+    /// Long (significance) burn window, virtual seconds.
+    pub long_window_secs: f64,
+    /// Short (fast-resolve) burn window, virtual seconds.
+    pub short_window_secs: f64,
+    /// Burn-rate multiple of budget at which alerts fire.
+    pub burn_threshold: f64,
+}
+
+impl Default for ObsConfig {
+    fn default() -> Self {
+        ObsConfig {
+            timeseries_capacity: 4_096,
+            availability_objective: 0.999,
+            p99_budget_us: 2_000,
+            long_window_secs: 4.0,
+            short_window_secs: 1.0,
+            burn_threshold: 10.0,
+        }
+    }
+}
+
+/// The single primary cause assigned to each slowest-1% request.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord)]
+pub enum TailCause {
+    /// WAL fsync stall, crash recovery, or election of a durable pod.
+    WalFsyncRecovery,
+    /// Served inside a fault/partition window, degraded to storage, or
+    /// paid a (non-durable) leader failover.
+    FaultWindow,
+    /// Cache-RPC retries with backoff.
+    RetryBackoff,
+    /// Served during an elastic drain/migration window.
+    ElasticResize,
+    /// Waited on single-flight / batch coalescing.
+    BatchCoalescing,
+    /// Plain cache miss filling from storage.
+    StorageFill,
+    /// None of the above — intrinsic service-time tail.
+    Other,
+}
+
+impl TailCause {
+    pub const ALL: [TailCause; 7] = [
+        TailCause::WalFsyncRecovery,
+        TailCause::FaultWindow,
+        TailCause::RetryBackoff,
+        TailCause::ElasticResize,
+        TailCause::BatchCoalescing,
+        TailCause::StorageFill,
+        TailCause::Other,
+    ];
+
+    pub fn label(self) -> &'static str {
+        match self {
+            TailCause::WalFsyncRecovery => "wal_fsync_recovery",
+            TailCause::FaultWindow => "fault_window",
+            TailCause::RetryBackoff => "retry_backoff",
+            TailCause::ElasticResize => "elastic_resize",
+            TailCause::BatchCoalescing => "batch_coalescing",
+            TailCause::StorageFill => "storage_fill",
+            TailCause::Other => "other",
+        }
+    }
+}
+
+/// Per-request observation the runner hands to [`ObsState::observe`].
+/// Window-membership flags are stamped by the state itself.
+#[derive(Debug, Clone, Copy)]
+pub struct RequestSample {
+    pub trace_id: u64,
+    /// Virtual arrival time (nanoseconds from run start).
+    pub t_ns: u64,
+    pub latency_ns: u64,
+    pub is_read: bool,
+    pub cache_hit: bool,
+    pub degraded: bool,
+    pub coalesced: bool,
+    pub retries: u64,
+    /// Paid the leader-failover (detection + election) penalty.
+    pub failover: bool,
+    /// Blew the request deadline (stamped by the runner's budget check).
+    pub over_deadline: bool,
+    /// Stamped by `observe`: a fault/partition window was active.
+    pub in_fault_window: bool,
+    /// Stamped by `observe`: within the settle window of an elastic resize.
+    pub in_resize_window: bool,
+    /// The tracer recorded spans for this request.
+    pub traced: bool,
+}
+
+/// Classify a tail request to its single primary cause. The priority chain
+/// guarantees exactly one cause per request, so per-cause excess sums equal
+/// the total tail excess identically.
+pub fn classify(s: &RequestSample, durability_on: bool) -> TailCause {
+    if durability_on && s.failover {
+        // The request tripped over a dead durable pod and waited out
+        // leader election plus WAL replay. A fault window is usually open
+        // around the crash, but the recovery machinery is the mechanism
+        // that actually spent the time, so it wins the attribution.
+        return TailCause::WalFsyncRecovery;
+    }
+    if s.in_fault_window || s.degraded || s.failover {
+        return TailCause::FaultWindow;
+    }
+    if s.retries > 0 {
+        return TailCause::RetryBackoff;
+    }
+    if durability_on && !s.is_read {
+        // A write outside any incident: the excess is the WAL append and
+        // its share of the group-commit fsync wait.
+        return TailCause::WalFsyncRecovery;
+    }
+    if s.in_resize_window {
+        return TailCause::ElasticResize;
+    }
+    if s.coalesced {
+        return TailCause::BatchCoalescing;
+    }
+    if s.is_read && !s.cache_hit {
+        return TailCause::StorageFill;
+    }
+    TailCause::Other
+}
+
+/// Reconstruct the span tree of one trace (intervals nest: a parent
+/// encloses its children) and return the critical path — root to leaf,
+/// always descending into the longest child.
+pub fn critical_path(spans: &[&SpanRecord]) -> Vec<&'static str> {
+    if spans.is_empty() {
+        return Vec::new();
+    }
+    let mut order: Vec<usize> = (0..spans.len()).collect();
+    // Parents sort before children: earlier start first, longer span first
+    // on equal starts; recording order breaks exact ties.
+    order.sort_by(|&a, &b| {
+        spans[a]
+            .start_ns
+            .cmp(&spans[b].start_ns)
+            .then(spans[b].end_ns.cmp(&spans[a].end_ns))
+            .then(a.cmp(&b))
+    });
+    let mut children: Vec<Vec<usize>> = vec![Vec::new(); spans.len()];
+    let mut roots: Vec<usize> = Vec::new();
+    let mut stack: Vec<usize> = Vec::new();
+    for &i in &order {
+        while let Some(&top) = stack.last() {
+            if spans[i].start_ns >= spans[top].start_ns && spans[i].end_ns <= spans[top].end_ns {
+                break;
+            }
+            stack.pop();
+        }
+        match stack.last() {
+            Some(&p) => children[p].push(i),
+            None => roots.push(i),
+        }
+        stack.push(i);
+    }
+    let longest = |candidates: &[usize]| -> usize {
+        let mut best = candidates[0];
+        for &c in &candidates[1..] {
+            if spans[c].duration_ns() > spans[best].duration_ns() {
+                best = c;
+            }
+        }
+        best
+    };
+    let mut path = Vec::new();
+    let mut cur = longest(&roots);
+    loop {
+        path.push(spans[cur].name);
+        if children[cur].is_empty() {
+            break;
+        }
+        cur = longest(&children[cur]);
+    }
+    path
+}
+
+/// One slowest-1% request with its attribution.
+#[derive(Debug, Clone)]
+pub struct TailRequest {
+    pub trace_id: u64,
+    pub t_ns: u64,
+    pub latency_us: u64,
+    pub excess_us: u64,
+    pub cause: TailCause,
+    /// Span names along the critical path (empty if untraced).
+    pub critical_path: Vec<&'static str>,
+}
+
+/// Per-cause rollup of the tail.
+#[derive(Debug, Clone, Copy)]
+pub struct CauseSummary {
+    pub cause: TailCause,
+    pub count: u64,
+    pub excess_us: u64,
+    /// Trace id of the worst request with this cause (0 if none).
+    pub example_trace_id: u64,
+}
+
+/// The headline artifact: where the p99 excess comes from.
+#[derive(Debug, Clone, Default)]
+pub struct TailAttribution {
+    /// Exact p99 (nearest-rank over every measured latency), microseconds.
+    pub threshold_us: u64,
+    pub measured_requests: u64,
+    pub tail_requests: Vec<TailRequest>,
+    /// Fixed [`TailCause::ALL`] order, zero rows included.
+    pub causes: Vec<CauseSummary>,
+    /// Σ excess over the tail, microseconds (equals the cause sums).
+    pub total_excess_us: u64,
+}
+
+impl TailAttribution {
+    pub fn to_json(&self) -> String {
+        let mut out = String::from("{");
+        let _ = write!(
+            out,
+            "\"threshold_us\":{},\"measured_requests\":{},\"tail_request_count\":{},\"total_excess_us\":{}",
+            self.threshold_us,
+            self.measured_requests,
+            self.tail_requests.len(),
+            self.total_excess_us
+        );
+        out.push_str(",\"causes\":[");
+        for (i, c) in self.causes.iter().enumerate() {
+            if i > 0 {
+                out.push(',');
+            }
+            let _ = write!(
+                out,
+                "{{\"cause\":\"{}\",\"count\":{},\"excess_us\":{},\"example_trace_id\":\"{:016x}\"}}",
+                c.cause.label(),
+                c.count,
+                c.excess_us,
+                c.example_trace_id
+            );
+        }
+        out.push_str("],\"requests\":[");
+        for (i, r) in self.tail_requests.iter().enumerate() {
+            if i > 0 {
+                out.push(',');
+            }
+            let _ = write!(
+                out,
+                "{{\"trace_id\":\"{:016x}\",\"t_ns\":{},\"latency_us\":{},\"excess_us\":{},\"cause\":\"{}\",\"critical_path\":",
+                r.trace_id,
+                r.t_ns,
+                r.latency_us,
+                r.excess_us,
+                r.cause.label()
+            );
+            push_json_str(&mut out, &r.critical_path.join(";"));
+            out.push('}');
+        }
+        out.push_str("]}");
+        out
+    }
+}
+
+/// Attribute the slowest-1% requests: threshold is the exact nearest-rank
+/// p99 over every measured latency; each strictly-above-threshold request
+/// gets one cause from [`classify`]; excess sums are computed in
+/// nanoseconds so cause totals equal the tail total identically.
+pub fn attribute_tail(
+    samples: &[RequestSample],
+    spans: &[SpanRecord],
+    durability_on: bool,
+) -> TailAttribution {
+    if samples.is_empty() {
+        return TailAttribution::default();
+    }
+    let mut latencies: Vec<u64> = samples.iter().map(|s| s.latency_ns).collect();
+    latencies.sort_unstable();
+    let n = latencies.len();
+    let rank = ((0.99 * n as f64).ceil().max(1.0) as usize).min(n);
+    let threshold_ns = latencies[rank - 1];
+
+    let mut by_trace: BTreeMap<u64, Vec<&SpanRecord>> = BTreeMap::new();
+    for s in spans {
+        by_trace.entry(s.trace_id).or_default().push(s);
+    }
+
+    let mut tail = Vec::new();
+    let mut agg: BTreeMap<TailCause, (u64, u64, u64, u64)> = BTreeMap::new(); // count, excess_ns, worst_excess, worst_trace
+    let mut total_excess_ns = 0u64;
+    for s in samples {
+        if s.latency_ns <= threshold_ns {
+            continue;
+        }
+        let excess_ns = s.latency_ns - threshold_ns;
+        total_excess_ns += excess_ns;
+        let cause = classify(s, durability_on);
+        let path = if s.traced {
+            by_trace
+                .get(&s.trace_id)
+                .map(|sp| critical_path(sp))
+                .unwrap_or_default()
+        } else {
+            Vec::new()
+        };
+        tail.push(TailRequest {
+            trace_id: s.trace_id,
+            t_ns: s.t_ns,
+            latency_us: s.latency_ns / 1_000,
+            excess_us: excess_ns / 1_000,
+            cause,
+            critical_path: path,
+        });
+        let e = agg.entry(cause).or_insert((0, 0, 0, 0));
+        e.0 += 1;
+        e.1 += excess_ns;
+        if excess_ns > e.2 {
+            e.2 = excess_ns;
+            e.3 = s.trace_id;
+        }
+    }
+    let causes = TailCause::ALL
+        .iter()
+        .map(|&cause| {
+            let (count, excess_ns, _, worst) = agg.get(&cause).copied().unwrap_or((0, 0, 0, 0));
+            CauseSummary {
+                cause,
+                count,
+                excess_us: excess_ns / 1_000,
+                example_trace_id: worst,
+            }
+        })
+        .collect();
+    TailAttribution {
+        threshold_us: threshold_ns / 1_000,
+        measured_requests: samples.len() as u64,
+        tail_requests: tail,
+        causes,
+        total_excess_us: total_excess_ns / 1_000,
+    }
+}
+
+/// What [`ObsState::finish`] hands back, carried on the telemetry bundle
+/// and written out by the `obs_report` bench.
+#[derive(Debug, Clone)]
+pub struct ObsArtifacts {
+    pub timeseries: TimeSeries,
+    pub alerts: Vec<AlertEvent>,
+    pub tail: TailAttribution,
+}
+
+impl ObsArtifacts {
+    pub fn alerts_json(&self) -> String {
+        let mut out = String::from("[");
+        for (i, a) in self.alerts.iter().enumerate() {
+            if i > 0 {
+                out.push(',');
+            }
+            out.push_str(&a.to_json());
+        }
+        out.push(']');
+        out
+    }
+}
+
+/// Runner-side observability state for one KV experiment.
+#[derive(Debug)]
+pub struct ObsState {
+    cfg: ObsConfig,
+    arch: String,
+    durability_on: bool,
+    ts: TimeSeries,
+    samples: Vec<RequestSample>,
+    avail_points: Vec<BurnPoint>,
+    lat_points: Vec<BurnPoint>,
+    deg_points: Vec<BurnPoint>,
+    // Measured-phase running counters.
+    requests: u64,
+    reads: u64,
+    hits: u64,
+    over_budget: u64,
+    deadline_exceeded: u64,
+    degraded: u64,
+    retried: u64,
+    // Heartbeat anchors (previous snapshot of the counters above).
+    hb: HeartbeatAnchor,
+    prev_read_hist: Histogram,
+    /// Open fault windows: stable key → start time.
+    open_faults: BTreeMap<String, u64>,
+    last_resize_ns: Option<u64>,
+    /// Settle window after a resize during which tail latency is charged
+    /// to the resize (one nominal heartbeat of virtual time).
+    resize_window_ns: u64,
+}
+
+#[derive(Debug, Default, Clone, Copy)]
+struct HeartbeatAnchor {
+    requests: u64,
+    reads: u64,
+    hits: u64,
+    over_budget: u64,
+    deadline_exceeded: u64,
+    degraded: u64,
+    retried: u64,
+}
+
+impl ObsState {
+    pub fn new(cfg: ObsConfig, arch: &str, durability_on: bool) -> Self {
+        let capacity = cfg.timeseries_capacity;
+        ObsState {
+            cfg,
+            arch: arch.to_string(),
+            durability_on,
+            ts: TimeSeries::with_capacity(capacity),
+            samples: Vec::new(),
+            avail_points: Vec::new(),
+            lat_points: Vec::new(),
+            deg_points: Vec::new(),
+            requests: 0,
+            reads: 0,
+            hits: 0,
+            over_budget: 0,
+            deadline_exceeded: 0,
+            degraded: 0,
+            retried: 0,
+            hb: HeartbeatAnchor::default(),
+            prev_read_hist: Histogram::new(),
+            open_faults: BTreeMap::new(),
+            last_resize_ns: None,
+            resize_window_ns: 1_000_000_000, // one nominal 1s heartbeat
+        }
+    }
+
+    /// Reset measured-phase accumulators at the warmup boundary (fault
+    /// windows opened during warmup stay open — they are wall-time state).
+    pub fn on_measure_start(&mut self) {
+        self.samples.clear();
+        self.avail_points.clear();
+        self.lat_points.clear();
+        self.deg_points.clear();
+        self.requests = 0;
+        self.reads = 0;
+        self.hits = 0;
+        self.over_budget = 0;
+        self.deadline_exceeded = 0;
+        self.degraded = 0;
+        self.retried = 0;
+        self.hb = HeartbeatAnchor::default();
+        self.prev_read_hist = Histogram::new();
+    }
+
+    /// Whether a fault/partition window is currently open.
+    pub fn fault_window_active(&self) -> bool {
+        !self.open_faults.is_empty()
+    }
+
+    /// Ingest one measured request. Stamps window membership from the
+    /// state's own fault/resize bookkeeping.
+    pub fn observe(&mut self, mut s: RequestSample) {
+        s.in_fault_window = !self.open_faults.is_empty();
+        s.in_resize_window = self
+            .last_resize_ns
+            .is_some_and(|r| s.t_ns.saturating_sub(r) <= self.resize_window_ns);
+        self.requests += 1;
+        if s.is_read {
+            self.reads += 1;
+            if s.cache_hit {
+                self.hits += 1;
+            }
+        }
+        if s.latency_ns > self.cfg.p99_budget_us.saturating_mul(1_000) {
+            self.over_budget += 1;
+        }
+        if s.over_deadline {
+            self.deadline_exceeded += 1;
+        }
+        if s.degraded {
+            self.degraded += 1;
+        }
+        if s.retries > 0 {
+            self.retried += 1;
+        }
+        self.samples.push(s);
+    }
+
+    /// Snapshot one heartbeat of the measured run into the time series and
+    /// the burn-point streams. `window_cores` and `cache_bytes` come from
+    /// the runner's existing load-window tracking.
+    pub fn heartbeat(
+        &mut self,
+        t_ns: u64,
+        window_cores: f64,
+        cache_bytes: u64,
+        read_latency: &Histogram,
+    ) {
+        let d_requests = self.requests - self.hb.requests;
+        let d_reads = self.reads - self.hb.reads;
+        let d_hits = self.hits - self.hb.hits;
+        let d_over = self.over_budget - self.hb.over_budget;
+        let d_deadline = self.deadline_exceeded - self.hb.deadline_exceeded;
+        let d_degraded = self.degraded - self.hb.degraded;
+        let d_retried = self.retried - self.hb.retried;
+        let window = read_latency.since(&self.prev_read_hist);
+        let hit_ratio = if d_reads == 0 {
+            0.0
+        } else {
+            d_hits as f64 / d_reads as f64
+        };
+        self.ts.record(
+            t_ns,
+            &self.arch,
+            &[
+                ("hit_ratio", hit_ratio),
+                ("cores", window_cores),
+                ("cache_bytes", cache_bytes as f64),
+                ("read_p99_us", (window.p99() / 1_000) as f64),
+                ("requests", d_requests as f64),
+                ("deadline_exceeded", d_deadline as f64),
+                ("over_latency_budget", d_over as f64),
+                ("degraded_reads", d_degraded as f64),
+                ("retried_requests", d_retried as f64),
+            ],
+        );
+        self.avail_points.push(BurnPoint {
+            t_ns,
+            bad: d_deadline as f64,
+            total: d_requests as f64,
+        });
+        self.lat_points.push(BurnPoint {
+            t_ns,
+            bad: d_over as f64,
+            total: d_requests as f64,
+        });
+        self.deg_points.push(BurnPoint {
+            t_ns,
+            bad: d_degraded as f64,
+            total: d_requests as f64,
+        });
+        self.hb = HeartbeatAnchor {
+            requests: self.requests,
+            reads: self.reads,
+            hits: self.hits,
+            over_budget: self.over_budget,
+            deadline_exceeded: self.deadline_exceeded,
+            degraded: self.degraded,
+            retried: self.retried,
+        };
+        self.prev_read_hist = read_latency.clone();
+    }
+
+    /// Track a scheduled fault transition: start events open a timeline
+    /// window, their paired end events close it and emit the annotation.
+    pub fn on_fault(&mut self, ev: &FaultEvent) {
+        let t = ev.at.as_nanos();
+        match ev.kind {
+            FaultKind::Crash { node } => {
+                self.open_faults.insert(fault_key_node(node.0), t);
+            }
+            FaultKind::Restart { node } => {
+                self.close_fault(&fault_key_node(node.0), fault_label_node(node.0), t);
+            }
+            FaultKind::PartitionStart { a, b } => {
+                self.open_faults
+                    .insert(format!("partition:{}:{}", a.0, b.0), t);
+            }
+            FaultKind::PartitionHeal { a, b } => {
+                let label = format!("partition {}~{}", a.0, b.0);
+                self.close_fault(&format!("partition:{}:{}", a.0, b.0), label, t);
+            }
+            FaultKind::LatencySpikeStart { .. } => {
+                self.open_faults.insert("latency_spike".to_string(), t);
+            }
+            FaultKind::LatencySpikeEnd => {
+                self.close_fault("latency_spike", "latency spike".to_string(), t);
+            }
+            FaultKind::DropWindowStart { .. } => {
+                self.open_faults.insert("drop_window".to_string(), t);
+            }
+            FaultKind::DropWindowEnd => {
+                self.close_fault("drop_window", "loss window".to_string(), t);
+            }
+        }
+    }
+
+    fn close_fault(&mut self, key: &str, label: String, end_ns: u64) {
+        if let Some(start) = self.open_faults.remove(key) {
+            self.ts.annotate(Annotation {
+                start_ns: start,
+                end_ns,
+                kind: "fault".to_string(),
+                series: self.arch.clone(),
+                label,
+            });
+        }
+    }
+
+    /// Track an applied elastic resize: annotate the settle window and arm
+    /// the resize-membership test for tail attribution.
+    pub fn on_resize(&mut self, t_ns: u64, old_bytes: u64, new_bytes: u64) {
+        self.last_resize_ns = Some(t_ns);
+        self.ts.annotate(Annotation {
+            start_ns: t_ns,
+            end_ns: t_ns + self.resize_window_ns,
+            kind: "resize".to_string(),
+            series: self.arch.clone(),
+            label: format!("cache {old_bytes}→{new_bytes} B"),
+        });
+    }
+
+    /// Close the run: flush open fault windows, evaluate the SLO rules,
+    /// and attribute the tail. `spans` is the tracer's retained sample.
+    pub fn finish(mut self, end_ns: u64, spans: &[SpanRecord]) -> ObsArtifacts {
+        let open: Vec<(String, u64)> = self
+            .open_faults
+            .iter()
+            .map(|(k, &v)| (k.clone(), v))
+            .collect();
+        for (key, start) in open {
+            self.open_faults.remove(&key);
+            self.ts.annotate(Annotation {
+                start_ns: start,
+                end_ns,
+                kind: "fault".to_string(),
+                series: self.arch.clone(),
+                label: format!("{key} (unresolved)"),
+            });
+        }
+        let long_ns = (self.cfg.long_window_secs * 1e9) as u64;
+        let short_ns = (self.cfg.short_window_secs * 1e9) as u64;
+        let rules = [
+            SloRule {
+                name: "availability".to_string(),
+                error_budget: (1.0 - self.cfg.availability_objective).max(1e-12),
+                long_window_ns: long_ns,
+                short_window_ns: short_ns,
+                burn_threshold: self.cfg.burn_threshold,
+            },
+            SloRule {
+                name: "latency_p99_budget".to_string(),
+                error_budget: 0.01,
+                long_window_ns: long_ns,
+                short_window_ns: short_ns,
+                burn_threshold: self.cfg.burn_threshold,
+            },
+            // Degraded serving burns the same budget as unavailability: a
+            // read answered from storage because its cache shard is down
+            // is a papered-over failure, and it is the signal that moves
+            // for architectures whose p99 barely shifts when the cache
+            // dies (linked caches already pay ~storage latency on a miss).
+            SloRule {
+                name: "degraded_reads".to_string(),
+                error_budget: (1.0 - self.cfg.availability_objective).max(1e-12),
+                long_window_ns: long_ns,
+                short_window_ns: short_ns,
+                burn_threshold: self.cfg.burn_threshold,
+            },
+        ];
+        let mut alerts = rules[0].evaluate(&self.avail_points);
+        alerts.extend(rules[1].evaluate(&self.lat_points));
+        alerts.extend(rules[2].evaluate(&self.deg_points));
+        let tail = attribute_tail(&self.samples, spans, self.durability_on);
+        ObsArtifacts {
+            timeseries: self.ts,
+            alerts,
+            tail,
+        }
+    }
+}
+
+fn fault_key_node(id: u32) -> String {
+    format!("crash:{id}")
+}
+
+fn fault_label_node(id: u32) -> String {
+    if id >= STORAGE_FAULT_NODE_BASE {
+        format!("storage region {} crash", id - STORAGE_FAULT_NODE_BASE)
+    } else {
+        format!("cache shard {id} crash")
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use telemetry::SpanStatus;
+
+    fn sample(latency_ns: u64) -> RequestSample {
+        RequestSample {
+            trace_id: latency_ns, // distinct, deterministic
+            t_ns: latency_ns,
+            latency_ns,
+            is_read: true,
+            cache_hit: true,
+            degraded: false,
+            coalesced: false,
+            retries: 0,
+            failover: false,
+            over_deadline: false,
+            in_fault_window: false,
+            in_resize_window: false,
+            traced: false,
+        }
+    }
+
+    #[test]
+    fn classify_priority_chain_is_exclusive() {
+        let mut s = sample(100);
+        assert_eq!(classify(&s, false), TailCause::Other);
+        s.cache_hit = false;
+        assert_eq!(classify(&s, false), TailCause::StorageFill);
+        s.coalesced = true;
+        assert_eq!(classify(&s, false), TailCause::BatchCoalescing);
+        s.in_resize_window = true;
+        assert_eq!(classify(&s, false), TailCause::ElasticResize);
+        s.retries = 2;
+        assert_eq!(classify(&s, false), TailCause::RetryBackoff);
+        s.in_fault_window = true;
+        assert_eq!(classify(&s, false), TailCause::FaultWindow);
+        // Durable failover outranks everything, even an open fault
+        // window: the recovery wait is the time sink.
+        let mut f = sample(100);
+        f.failover = true;
+        assert_eq!(classify(&f, false), TailCause::FaultWindow);
+        assert_eq!(classify(&f, true), TailCause::WalFsyncRecovery);
+        f.in_fault_window = true;
+        assert_eq!(classify(&f, true), TailCause::WalFsyncRecovery);
+        // A durable write's excess is fsync wait — unless an incident is
+        // a better explanation.
+        let mut w = sample(100);
+        w.is_read = false;
+        assert_eq!(classify(&w, false), TailCause::Other);
+        assert_eq!(classify(&w, true), TailCause::WalFsyncRecovery);
+        w.in_fault_window = true;
+        assert_eq!(classify(&w, true), TailCause::FaultWindow);
+    }
+
+    #[test]
+    fn attribution_sums_exactly_and_each_request_has_one_cause() {
+        // 990 fast requests + 10 slow with mixed causes.
+        let mut samples: Vec<RequestSample> = (0..990).map(|i| sample(1_000 + i % 7)).collect();
+        for i in 0..10u64 {
+            let mut s = sample(1_000_000 + i * 100_000);
+            match i % 3 {
+                0 => s.retries = 1,
+                1 => s.cache_hit = false,
+                _ => {}
+            }
+            samples.push(s);
+        }
+        let a = attribute_tail(&samples, &[], false);
+        assert!(!a.tail_requests.is_empty());
+        assert!(a.tail_requests.len() <= 10 + 1);
+        let cause_total: u64 = a.causes.iter().map(|c| c.excess_us).sum();
+        let cause_count: u64 = a.causes.iter().map(|c| c.count).sum();
+        assert_eq!(cause_count, a.tail_requests.len() as u64);
+        // Summed in nanoseconds before the µs conversion, so the rollup
+        // matches the total within integer-division slack only.
+        assert!(
+            (cause_total as i64 - a.total_excess_us as i64).abs() <= a.causes.len() as i64,
+            "cause sum {cause_total} vs total {}",
+            a.total_excess_us
+        );
+        assert_eq!(a.causes.len(), TailCause::ALL.len());
+        // Deterministic bytes.
+        let b = attribute_tail(&samples, &[], false);
+        assert_eq!(a.to_json(), b.to_json());
+    }
+
+    #[test]
+    fn critical_path_descends_longest_children() {
+        let span = |name: &'static str, start: u64, end: u64| SpanRecord {
+            trace_id: 1,
+            name,
+            tier: "t",
+            start_ns: start,
+            end_ns: end,
+            attempt: 0,
+            status: SpanStatus::Ok,
+        };
+        let spans = [
+            span("cache.lookup", 10, 30),
+            span("storage.fill", 30, 90),
+            span("storage.seek", 35, 80),
+            span("request.read", 0, 100),
+        ];
+        let refs: Vec<&SpanRecord> = spans.iter().collect();
+        let path = critical_path(&refs);
+        assert_eq!(path, vec!["request.read", "storage.fill", "storage.seek"]);
+        assert!(critical_path(&[]).is_empty());
+    }
+
+    #[test]
+    fn fault_windows_annotate_and_stamp_requests() {
+        use simnet::{NodeId, SimTime};
+        let mut obs = ObsState::new(ObsConfig::default(), "remote", false);
+        obs.on_fault(&FaultEvent {
+            at: SimTime::ZERO + simnet::SimDuration::from_secs_f64(1.0),
+            kind: FaultKind::Crash { node: NodeId(0) },
+        });
+        assert!(obs.fault_window_active());
+        let mut s = sample(500);
+        s.t_ns = 1_500_000_000;
+        obs.observe(s);
+        obs.on_fault(&FaultEvent {
+            at: SimTime::ZERO + simnet::SimDuration::from_secs_f64(2.0),
+            kind: FaultKind::Restart { node: NodeId(0) },
+        });
+        assert!(!obs.fault_window_active());
+        let art = obs.finish(3_000_000_000, &[]);
+        assert_eq!(art.timeseries.annotations().len(), 1);
+        let ann = &art.timeseries.annotations()[0];
+        assert_eq!(ann.kind, "fault");
+        assert_eq!(ann.start_ns, 1_000_000_000);
+        assert_eq!(ann.end_ns, 2_000_000_000);
+        assert!(ann.label.contains("cache shard 0"));
+    }
+}

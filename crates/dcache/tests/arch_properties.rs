@@ -2,6 +2,9 @@
 //! operation sequences, every architecture agrees with a ground-truth map
 //! on the guarantees it claims.
 
+// The offline `proptest` stub swallows `proptest!` blocks, leaving the
+// strategy helpers (and some imports) unreferenced in offline builds.
+#![allow(dead_code, unused_imports)]
 use dcache::deployment::{kv_catalog, Deployment};
 use dcache::{ArchKind, DeploymentConfig};
 use proptest::prelude::*;

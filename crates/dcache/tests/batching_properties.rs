@@ -6,6 +6,9 @@
 //! the offline test harness; the `proptest!` block re-states the property
 //! for environments with a full proptest.
 
+// The offline `proptest` stub swallows `proptest!` blocks, leaving the
+// strategy helpers (and some imports) unreferenced in offline builds.
+#![allow(dead_code, unused_imports)]
 use dcache::deployment::{batch_counters, kv_catalog, Deployment};
 use dcache::{ArchKind, BatchingConfig, DeploymentConfig, ServeOutcome};
 use proptest::prelude::*;

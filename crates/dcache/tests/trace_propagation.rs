@@ -36,6 +36,7 @@ fn traced_cfg(arch: ArchKind) -> KvExperimentConfig {
         cache_fault_schedule: None,
         trace_sample_every: Some(1),
         diurnal: None,
+        observability: None,
         pricing: Default::default(),
     }
 }
@@ -213,7 +214,10 @@ fn elastic_run_exports_provisioning_series() {
 
     let (_, base) = run_kv_experiment_with_telemetry(&traced_cfg(ArchKind::Remote)).unwrap();
     assert!(
-        !base.registry.to_prometheus_text().contains("dcache_elastic"),
+        !base
+            .registry
+            .to_prometheus_text()
+            .contains("dcache_elastic"),
         "default run leaked elastic series into its registry"
     );
 }

@@ -12,6 +12,9 @@
 //! a `proptest!` block adds exploration when the real crate is available
 //! (the offline stub swallows it).
 
+// The offline `proptest` stub swallows `proptest!` blocks, leaving the
+// strategy helpers (and some imports) unreferenced in offline builds.
+#![allow(dead_code, unused_imports)]
 use cachekit::ring::splitmix64;
 use cachekit::StackDistance;
 use elastic::{ShardsConfig, ShardsProfiler};

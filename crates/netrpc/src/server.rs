@@ -226,6 +226,8 @@ impl CacheServer {
         let accept_shared = shared.clone();
         let mut accept_shutdown = shutdown_rx.clone();
         let join = tokio::spawn(async move {
+            // Not a `while let`: the shutdown arm breaks the loop too.
+            #[allow(clippy::while_let_loop)]
             loop {
                 tokio::select! {
                     accepted = listener.accept() => {

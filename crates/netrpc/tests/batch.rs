@@ -132,12 +132,14 @@ async fn resilient_client_batches_with_deadlines() {
 
     // With the server gone, MGET exhausts its retries (counted), while
     // MSET fails after exactly one attempt — the idempotency split.
-    let mut cfg = ResilientConfig::default();
-    cfg.request_timeout = std::time::Duration::from_millis(100);
-    cfg.connect_timeout = std::time::Duration::from_millis(100);
+    let mut cfg = ResilientConfig {
+        request_timeout: std::time::Duration::from_millis(100),
+        connect_timeout: std::time::Duration::from_millis(100),
+        failure_threshold: 100, // keep the breaker out of the way
+        ..ResilientConfig::default()
+    };
     cfg.retry.base_backoff = std::time::Duration::from_millis(1);
     cfg.retry.max_backoff = std::time::Duration::from_millis(5);
-    cfg.failure_threshold = 100; // keep the breaker out of the way
     let mut dead = ResilientClient::new(addr, cfg);
     assert!(dead.mget(&[b"a".as_slice()]).await.is_err());
     let retries_after_mget = dead.stats().retries;

@@ -1,6 +1,9 @@
 //! End-to-end tests of the remote cache over real TCP (loopback), plus
 //! property tests of the codec against arbitrary inputs.
 
+// The offline `proptest` stub swallows `proptest!` blocks, leaving the
+// strategy helpers (and some imports) unreferenced in offline builds.
+#![allow(dead_code, unused_imports)]
 use bytes::BytesMut;
 use netrpc::codec::{CodecError, Request, Response};
 use netrpc::{CacheClient, CacheServer};

@@ -30,6 +30,15 @@ impl Counter {
 const SUB_BUCKET_BITS: u32 = 5; // 32 linear sub-buckets per power of two
 const SUB_BUCKETS: u64 = 1 << SUB_BUCKET_BITS;
 
+/// A representative sample attached to a histogram bucket: the largest
+/// value recorded into that bucket together with the trace id that produced
+/// it, so tail buckets can be walked back to concrete traces.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub struct Exemplar {
+    pub value: u64,
+    pub trace_id: u64,
+}
+
 /// Log-bucketed histogram of `u64` samples (we record nanoseconds or bytes).
 /// Relative error per sample is bounded by `1 / SUB_BUCKETS ≈ 3.1%`.
 #[derive(Debug, Clone, Default, Serialize, Deserialize)]
@@ -39,6 +48,10 @@ pub struct Histogram {
     sum: u128,
     min: u64,
     max: u64,
+    /// Per-bucket exemplars; only populated via
+    /// [`Histogram::record_with_exemplar`], so plain recording stays
+    /// byte-identical to the pre-exemplar histogram.
+    exemplars: BTreeMap<u32, Exemplar>,
 }
 
 fn bucket_of(value: u64) -> u32 {
@@ -82,6 +95,7 @@ impl Histogram {
             sum: 0,
             min: u64::MAX,
             max: 0,
+            exemplars: BTreeMap::new(),
         }
     }
 
@@ -91,6 +105,39 @@ impl Histogram {
         self.sum += value as u128;
         self.min = self.min.min(value);
         self.max = self.max.max(value);
+    }
+
+    /// Record a value and attach `trace_id` as the bucket's exemplar if this
+    /// is the largest value the bucket has seen (strictly-greater keeps the
+    /// first on ties, so replays are deterministic).
+    pub fn record_with_exemplar(&mut self, value: u64, trace_id: u64) {
+        self.record(value);
+        let b = bucket_of(value);
+        match self.exemplars.entry(b) {
+            std::collections::btree_map::Entry::Vacant(e) => {
+                e.insert(Exemplar { value, trace_id });
+            }
+            std::collections::btree_map::Entry::Occupied(mut e) => {
+                if value > e.get().value {
+                    e.insert(Exemplar { value, trace_id });
+                }
+            }
+        }
+    }
+
+    /// Bucket exemplars in ascending bucket (≈ value) order.
+    pub fn exemplars(&self) -> impl Iterator<Item = &Exemplar> {
+        self.exemplars.values()
+    }
+
+    /// Exemplars from buckets whose range reaches `threshold` or above —
+    /// the concrete trace ids behind the tail of the distribution.
+    pub fn exemplars_at_or_above(&self, threshold: u64) -> Vec<Exemplar> {
+        self.exemplars
+            .iter()
+            .filter(|(&b, _)| bucket_high(b) >= threshold)
+            .map(|(_, e)| *e)
+            .collect()
     }
 
     pub fn count(&self) -> u64 {
@@ -160,7 +207,14 @@ impl Histogram {
         self.quantile(0.99)
     }
 
-    /// Merge another histogram into this one.
+    pub fn p999(&self) -> u64 {
+        self.quantile(0.999)
+    }
+
+    /// Merge another histogram into this one. Colliding bucket exemplars
+    /// keep the larger value (ties keep `self`'s), matching
+    /// [`Histogram::record_with_exemplar`]'s rule so merge order cannot
+    /// change the result.
     pub fn merge(&mut self, other: &Histogram) {
         for (&b, &c) in &other.counts {
             *self.counts.entry(b).or_insert(0) += c;
@@ -169,9 +223,58 @@ impl Histogram {
         self.sum += other.sum;
         self.min = self.min.min(other.min);
         self.max = self.max.max(other.max);
+        for (&b, e) in &other.exemplars {
+            match self.exemplars.entry(b) {
+                std::collections::btree_map::Entry::Vacant(v) => {
+                    v.insert(*e);
+                }
+                std::collections::btree_map::Entry::Occupied(mut o) => {
+                    if e.value > o.get().value {
+                        o.insert(*e);
+                    }
+                }
+            }
+        }
     }
 
-    /// Snapshot as a [`telemetry::Summary`] (p50/p90/p99) for registry export.
+    /// The histogram of everything recorded *after* `earlier` was
+    /// snapshotted, assuming `earlier` is a prefix of `self` (as when a
+    /// runner clones the histogram every heartbeat). Counts and sums
+    /// subtract exactly; min/max are re-derived from the surviving buckets'
+    /// bounds (clamped to `self`'s true extremes), which is the same ≤3.1%
+    /// bucket error the histogram already carries. Exemplars are not
+    /// windowed — the cumulative histogram keeps those.
+    pub fn since(&self, earlier: &Histogram) -> Histogram {
+        let mut counts = BTreeMap::new();
+        for (&b, &c) in &self.counts {
+            let prev = earlier.counts.get(&b).copied().unwrap_or(0);
+            if c > prev {
+                counts.insert(b, c - prev);
+            }
+        }
+        let total = self.total.saturating_sub(earlier.total);
+        let (min, max) = if total == 0 || counts.is_empty() {
+            (u64::MAX, 0)
+        } else {
+            let first = *counts.keys().next().unwrap();
+            let last = *counts.keys().next_back().unwrap();
+            (
+                bucket_low(first).max(self.min),
+                bucket_high(last).min(self.max),
+            )
+        };
+        Histogram {
+            counts,
+            total,
+            sum: self.sum.saturating_sub(earlier.sum),
+            min,
+            max,
+            exemplars: BTreeMap::new(),
+        }
+    }
+
+    /// Snapshot as a [`telemetry::Summary`] (p50/p90/p99/p999) for registry
+    /// export.
     pub fn summary(&self) -> telemetry::Summary {
         telemetry::Summary {
             count: self.total,
@@ -182,6 +285,7 @@ impl Histogram {
                 (0.5, self.quantile(0.5) as f64),
                 (0.9, self.quantile(0.9) as f64),
                 (0.99, self.quantile(0.99) as f64),
+                (0.999, self.quantile(0.999) as f64),
             ],
         }
     }
@@ -281,7 +385,18 @@ mod tests {
 
     #[test]
     fn bucket_bounds_are_consistent() {
-        for v in [0u64, 1, 31, 32, 33, 100, 1_000, 123_456, u32::MAX as u64, 1 << 40] {
+        for v in [
+            0u64,
+            1,
+            31,
+            32,
+            33,
+            100,
+            1_000,
+            123_456,
+            u32::MAX as u64,
+            1 << 40,
+        ] {
             let b = bucket_of(v);
             assert!(
                 bucket_low(b) <= v && v <= bucket_high(b),
@@ -300,7 +415,10 @@ mod tests {
         }
         let p50 = h.p50() as f64;
         let exact = 5_000.0 * 17.0;
-        assert!((p50 - exact).abs() / exact < 0.05, "p50={p50} exact={exact}");
+        assert!(
+            (p50 - exact).abs() / exact < 0.05,
+            "p50={p50} exact={exact}"
+        );
         let p99 = h.p99() as f64;
         let exact99 = 9_900.0 * 17.0;
         assert!((p99 - exact99).abs() / exact99 < 0.05);
@@ -399,7 +517,15 @@ mod tests {
             samples.sort_unstable();
             assert_eq!(h.quantile(0.0), samples[0], "case {case}: q=0 not min");
             assert_eq!(h.quantile(1.0), samples[n - 1], "case {case}: q=1 not max");
-            for q in [0.01, 0.25, 0.5, 0.75, 0.9, 0.99] {
+            // q→1 boundary: a quantile within one ulp-ish of 1 must land on
+            // the true maximum (ceil-rank puts the target at rank n, and
+            // interpolation in the top bucket clamps to max).
+            assert_eq!(
+                h.quantile(1.0 - 1e-9),
+                samples[n - 1],
+                "case {case}: q→1 not max"
+            );
+            for q in [0.01, 0.25, 0.5, 0.75, 0.9, 0.99, 0.999] {
                 let rank = ((q * n as f64).ceil().max(1.0) as usize).min(n) - 1;
                 let exact = samples[rank];
                 let got = h.quantile(q);
@@ -424,9 +550,80 @@ mod tests {
         assert_eq!(s.count, 100);
         assert_eq!(s.min, 1_000.0);
         assert_eq!(s.max, 100_000.0);
-        assert_eq!(s.quantiles.len(), 3);
+        assert_eq!(s.quantiles.len(), 4);
         assert_eq!(s.quantiles[0].0, 0.5);
         assert_eq!(s.quantiles[0].1, h.p50() as f64);
+        assert_eq!(s.quantiles[3].0, 0.999);
+        assert_eq!(s.quantiles[3].1, h.p999() as f64);
+    }
+
+    #[test]
+    fn p999_sits_between_p99_and_max() {
+        let mut h = Histogram::new();
+        for i in 1..=10_000u64 {
+            h.record(i);
+        }
+        let (p99, p999, max) = (h.p99(), h.p999(), h.max());
+        assert!(p99 <= p999 && p999 <= max, "{p99} {p999} {max}");
+        let exact = 9_990.0;
+        assert!((p999 as f64 - exact).abs() / exact < 0.05, "p999={p999}");
+    }
+
+    #[test]
+    fn exemplars_keep_bucket_maximum_deterministically() {
+        // Sub-buckets at ~1000 are 16 wide (992..=1007), so these three
+        // share one bucket.
+        let mut h = Histogram::new();
+        h.record_with_exemplar(1_000, 0xaaaa);
+        h.record_with_exemplar(1_007, 0xbbbb); // same bucket, larger value
+        h.record_with_exemplar(1_007, 0xcccc); // tie — first writer wins
+        h.record_with_exemplar(5, 0xdddd);
+        let tail = h.exemplars_at_or_above(900);
+        assert_eq!(tail.len(), 1);
+        assert_eq!(tail[0].value, 1_007);
+        assert_eq!(tail[0].trace_id, 0xbbbb);
+        assert_eq!(h.exemplars().count(), 2);
+        // Plain record never creates exemplars (baseline byte-compat).
+        let mut plain = Histogram::new();
+        plain.record(1_000);
+        assert_eq!(plain.exemplars().count(), 0);
+        // Merge applies the same keep-max rule in either order.
+        let mut a = Histogram::new();
+        a.record_with_exemplar(1_000, 1);
+        let mut b = Histogram::new();
+        b.record_with_exemplar(1_007, 2);
+        let mut ab = a.clone();
+        ab.merge(&b);
+        let mut ba = b.clone();
+        ba.merge(&a);
+        assert_eq!(
+            ab.exemplars().collect::<Vec<_>>(),
+            ba.exemplars().collect::<Vec<_>>()
+        );
+        assert_eq!(ab.exemplars().next().unwrap().trace_id, 2);
+    }
+
+    #[test]
+    fn since_returns_the_window_delta() {
+        let mut h = Histogram::new();
+        for v in [10u64, 20, 30] {
+            h.record(v);
+        }
+        let snap = h.clone();
+        for v in [1_000u64, 2_000] {
+            h.record(v);
+        }
+        let w = h.since(&snap);
+        assert_eq!(w.count(), 2);
+        assert_eq!(w.mean(), 1_500.0);
+        // Window extremes come from bucket bounds, clamped to the true max.
+        assert!(w.min() >= 960 && w.min() <= 1_000, "min={}", w.min());
+        assert_eq!(w.max(), 2_000);
+        assert!(w.p99() >= 1_900);
+        // Empty window is safe.
+        let empty = h.since(&h.clone());
+        assert_eq!(empty.count(), 0);
+        assert_eq!(empty.p99(), 0);
     }
 
     #[test]
@@ -437,10 +634,17 @@ mod tests {
         m.histogram("empty_one"); // never recorded — must be skipped
         let mut reg = telemetry::Registry::new();
         m.export(&mut reg, "sim_", &[("arch", "linked")]);
-        assert_eq!(reg.counter_value("sim_reads", &[("arch", "linked")]), Some(7));
-        let s = reg.summary_value("sim_latency_ns", &[("arch", "linked")]).unwrap();
+        assert_eq!(
+            reg.counter_value("sim_reads", &[("arch", "linked")]),
+            Some(7)
+        );
+        let s = reg
+            .summary_value("sim_latency_ns", &[("arch", "linked")])
+            .unwrap();
         assert_eq!(s.count, 1);
-        assert!(reg.summary_value("sim_empty_one", &[("arch", "linked")]).is_none());
+        assert!(reg
+            .summary_value("sim_empty_one", &[("arch", "linked")])
+            .is_none());
         assert_eq!(reg.series_count(), 2);
     }
 }

@@ -2,6 +2,9 @@
 //! key-encoding order preservation, row codec totality, and SQL engine
 //! equivalence against a naive reference implementation.
 
+// The offline `proptest` stub swallows `proptest!` blocks, leaving the
+// strategy helpers (and some imports) unreferenced in offline builds.
+#![allow(dead_code, unused_imports)]
 use proptest::prelude::*;
 use storekit::kv::{encode_key_datum, KvEngine};
 use storekit::row::Row;

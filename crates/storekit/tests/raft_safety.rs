@@ -3,6 +3,9 @@
 //! committed entries are never lost and replica state machines never
 //! diverge.
 
+// The offline `proptest` stub swallows `proptest!` blocks, leaving the
+// strategy helpers (and some imports) unreferenced in offline builds.
+#![allow(dead_code, unused_imports)]
 use proptest::prelude::*;
 use simnet::{SimDuration, SimTime};
 use storekit::raft::RaftGroup;

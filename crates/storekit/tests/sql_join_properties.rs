@@ -1,6 +1,9 @@
 //! Property tests for the SQL engine's joins, ranges, ordering and limits
 //! against a brute-force reference over the same data.
 
+// The offline `proptest` stub swallows `proptest!` blocks, leaving the
+// strategy helpers (and some imports) unreferenced in offline builds.
+#![allow(dead_code, unused_imports)]
 use proptest::prelude::*;
 use std::collections::HashMap;
 use storekit::schema::{Catalog, ColumnDef, ColumnType, TableSchema};

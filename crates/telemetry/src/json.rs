@@ -7,7 +7,7 @@
 use std::fmt::Write;
 
 /// Append `s` as a JSON string (with surrounding quotes) to `out`.
-pub(crate) fn push_json_str(out: &mut String, s: &str) {
+pub fn push_json_str(out: &mut String, s: &str) {
     out.push('"');
     for c in s.chars() {
         match c {
@@ -28,7 +28,7 @@ pub(crate) fn push_json_str(out: &mut String, s: &str) {
 /// Format an `f64` deterministically for JSON/Prometheus output. Uses Rust's
 /// shortest-roundtrip `Display`, with non-finite values mapped to the
 /// Prometheus spellings.
-pub(crate) fn fmt_f64(v: f64) -> String {
+pub fn fmt_f64(v: f64) -> String {
     if v.is_nan() {
         "NaN".to_string()
     } else if v.is_infinite() {

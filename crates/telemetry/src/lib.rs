@@ -23,14 +23,17 @@
 //! exporter output, which the bench harness relies on (two runs with the
 //! same seed must diff clean).
 
+pub mod json;
 pub mod profile;
 pub mod registry;
+pub mod slo;
+pub mod timeseries;
 pub mod trace;
-
-mod json;
 
 pub use profile::CpuProfile;
 pub use registry::{InstrumentKind, Registry, Summary};
+pub use slo::{AlertEvent, SloRule};
+pub use timeseries::{Sample, TimeSeries};
 pub use trace::{SpanRecord, SpanStatus, TraceSink, Tracer};
 
 /// splitmix64 — the statelessly seedable mixer used for trace ids.

@@ -42,6 +42,44 @@ pub struct Summary {
     pub quantiles: Vec<(f64, f64)>,
 }
 
+impl Summary {
+    /// Combine another snapshot of the *same* distribution into this one:
+    /// counts and sums add, min/max widen, and each quantile estimate is
+    /// merged as the count-weighted average of the two snapshots' values —
+    /// exact for identical distributions and a standard mergeable-summary
+    /// approximation otherwise. Quantiles present in only one snapshot are
+    /// kept as-is. Symmetric in its inputs, so merge order cannot change
+    /// the result (the property `Registry::merge` relies on).
+    pub fn combine(&mut self, other: &Summary) {
+        if other.count == 0 {
+            return;
+        }
+        if self.count == 0 {
+            *self = other.clone();
+            return;
+        }
+        let (wa, wb) = (self.count as f64, other.count as f64);
+        let mut merged: Vec<(f64, f64)> = Vec::new();
+        for (q, v) in &self.quantiles {
+            match other.quantiles.iter().find(|(oq, _)| oq == q) {
+                Some((_, ov)) => merged.push((*q, (v * wa + ov * wb) / (wa + wb))),
+                None => merged.push((*q, *v)),
+            }
+        }
+        for (q, v) in &other.quantiles {
+            if !self.quantiles.iter().any(|(sq, _)| sq == q) {
+                merged.push((*q, *v));
+            }
+        }
+        merged.sort_by(|a, b| a.0.total_cmp(&b.0));
+        self.quantiles = merged;
+        self.count += other.count;
+        self.sum += other.sum;
+        self.min = self.min.min(other.min);
+        self.max = self.max.max(other.max);
+    }
+}
+
 /// `(name, sorted labels)` — the identity of one time series.
 #[derive(Debug, Clone, PartialEq, Eq, PartialOrd, Ord)]
 struct SeriesKey {
@@ -196,10 +234,12 @@ impl Registry {
     /// parallel sweep, where each experiment exports into its own registry
     /// and the combined view is assembled after all workers join.
     ///
-    /// Counters sum; gauges and summaries take `other`'s value on key
+    /// Counters sum; summaries combine via [`Summary::combine`] (counts and
+    /// sums add, min/max widen, quantile estimates merge count-weighted), so
+    /// two workers observing halves of the same distribution merge to the
+    /// whole regardless of order. Gauges take `other`'s value on key
     /// collision (they are point-in-time snapshots, and sweep series are
-    /// disambiguated by labels — e.g. `arch` — so collisions only happen
-    /// when the same experiment is merged twice). Descriptors keep the
+    /// disambiguated by labels — e.g. `arch`). Descriptors keep the
     /// existing help text unless it is empty.
     pub fn merge(&mut self, other: &Registry) {
         for (name, (kind, help)) in &other.descriptors {
@@ -221,7 +261,14 @@ impl Registry {
             self.gauges.insert(key.clone(), *value);
         }
         for (key, summary) in &other.summaries {
-            self.summaries.insert(key.clone(), summary.clone());
+            match self.summaries.entry(key.clone()) {
+                std::collections::btree_map::Entry::Vacant(e) => {
+                    e.insert(summary.clone());
+                }
+                std::collections::btree_map::Entry::Occupied(mut e) => {
+                    e.get_mut().combine(summary);
+                }
+            }
         }
     }
 
@@ -444,6 +491,48 @@ mod tests {
         assert_eq!(a.counter_value("hits", &[]), Some(5));
         assert!(a.to_prometheus_text().contains("# HELP hits Cache hits."));
         assert_eq!(a.summary_value("lat", &[]).unwrap().count, 1);
+    }
+
+    #[test]
+    fn merge_combines_colliding_summaries_order_insensitively() {
+        // Two workers snapshot halves of the same latency distribution under
+        // the *same* series key: the merged summary must be the combined
+        // distribution, not last-write-wins, and must not depend on order.
+        let part = |count: u64, sum: f64, min: f64, max: f64, p50: f64| {
+            let mut r = Registry::new();
+            r.set_summary(
+                "lat_us",
+                &[("arch", "remote")],
+                Summary {
+                    count,
+                    sum,
+                    min,
+                    max,
+                    quantiles: vec![(0.5, p50), (0.99, max)],
+                },
+            );
+            r
+        };
+        let a = part(30, 900.0, 5.0, 80.0, 25.0);
+        let b = part(10, 700.0, 20.0, 200.0, 65.0);
+
+        let mut ab = Registry::new();
+        ab.merge(&a);
+        ab.merge(&b);
+        let mut ba = Registry::new();
+        ba.merge(&b);
+        ba.merge(&a);
+        assert_eq!(ab.to_prometheus_text(), ba.to_prometheus_text());
+        assert_eq!(ab.to_jsonl(), ba.to_jsonl());
+
+        let s = ab.summary_value("lat_us", &[("arch", "remote")]).unwrap();
+        assert_eq!(s.count, 40, "counts must sum, not overwrite");
+        assert!((s.sum - 1_600.0).abs() < 1e-9);
+        assert_eq!(s.min, 5.0);
+        assert_eq!(s.max, 200.0);
+        // Count-weighted p50: (25*30 + 65*10) / 40 = 35.
+        let p50 = s.quantiles.iter().find(|(q, _)| *q == 0.5).unwrap().1;
+        assert!((p50 - 35.0).abs() < 1e-9, "p50 = {p50}");
     }
 
     #[test]

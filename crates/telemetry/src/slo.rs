@@ -1,0 +1,234 @@
+//! Deterministic SLO engine: multi-window burn-rate alerting over a time
+//! series of simulated time.
+//!
+//! The rules follow the SRE-workbook shape: an SLO gives an error *budget*
+//! (1 − objective); the *burn rate* over a window is the observed error
+//! ratio divided by the budget (burn 1.0 = spending exactly the budget).
+//! An alert fires when **both** a long and a short window exceed the
+//! threshold — the long window gives significance, the short window makes
+//! the alert resolve quickly once the incident ends. Everything is
+//! evaluated over explicit `(t_ns, bad, total)` points in simulated time,
+//! so two runs of the same experiment produce byte-identical alert logs.
+
+use crate::json::{fmt_f64, push_json_str};
+use std::fmt::Write;
+
+/// One windowed burn-rate rule.
+#[derive(Debug, Clone, PartialEq)]
+pub struct SloRule {
+    /// Rule name (e.g. `availability`, `latency_p99`).
+    pub name: String,
+    /// Fraction of events allowed to be bad, e.g. `0.001` for a 99.9% SLO.
+    pub error_budget: f64,
+    /// Long (significance) window, nanoseconds of simulated time.
+    pub long_window_ns: u64,
+    /// Short (fast-resolve) window, nanoseconds of simulated time.
+    pub short_window_ns: u64,
+    /// Fire when both windows' burn rates reach this multiple of budget.
+    pub burn_threshold: f64,
+}
+
+impl SloRule {
+    /// Evaluate the rule over `(t_ns, bad, total)` points sorted by time,
+    /// returning fire/resolve events. Points outside a window no longer
+    /// contribute to it; an alert still active after the last point is
+    /// returned unresolved.
+    pub fn evaluate(&self, points: &[BurnPoint]) -> Vec<AlertEvent> {
+        debug_assert!(points.windows(2).all(|w| w[0].t_ns <= w[1].t_ns));
+        let budget = self.error_budget.max(1e-12);
+        let mut events = Vec::new();
+        let mut active: Option<AlertEvent> = None;
+        // Sliding sums with explicit window starts — O(n) over points.
+        let mut long = WindowSum::default();
+        let mut short = WindowSum::default();
+        let mut long_start = 0usize;
+        let mut short_start = 0usize;
+        for (i, p) in points.iter().enumerate() {
+            long.add(p);
+            short.add(p);
+            while points[long_start].t_ns + self.long_window_ns < p.t_ns {
+                long.remove(&points[long_start]);
+                long_start += 1;
+            }
+            while points[short_start].t_ns + self.short_window_ns < p.t_ns {
+                short.remove(&points[short_start]);
+                short_start += 1;
+            }
+            let burn_long = long.error_ratio() / budget;
+            let burn_short = short.error_ratio() / budget;
+            let firing = burn_long >= self.burn_threshold && burn_short >= self.burn_threshold;
+            match (&mut active, firing) {
+                (None, true) => {
+                    active = Some(AlertEvent {
+                        rule: self.name.clone(),
+                        fired_at_ns: p.t_ns,
+                        resolved_at_ns: None,
+                        peak_burn: burn_short.max(burn_long.min(burn_short)),
+                    });
+                }
+                (Some(ev), true) => {
+                    // Track the worst sustained burn (the min of the two
+                    // windows is the defensible "at least this bad" figure).
+                    ev.peak_burn = ev.peak_burn.max(burn_long.min(burn_short));
+                }
+                (Some(_), false) => {
+                    let mut ev = active.take().unwrap();
+                    ev.resolved_at_ns = Some(p.t_ns);
+                    events.push(ev);
+                }
+                (None, false) => {}
+            }
+            let _ = i;
+        }
+        if let Some(ev) = active {
+            events.push(ev);
+        }
+        events
+    }
+}
+
+/// One observation bucket: `bad` of `total` events went wrong in the
+/// heartbeat ending at `t_ns`.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct BurnPoint {
+    pub t_ns: u64,
+    pub bad: f64,
+    pub total: f64,
+}
+
+#[derive(Debug, Default)]
+struct WindowSum {
+    bad: f64,
+    total: f64,
+}
+
+impl WindowSum {
+    fn add(&mut self, p: &BurnPoint) {
+        self.bad += p.bad;
+        self.total += p.total;
+    }
+    fn remove(&mut self, p: &BurnPoint) {
+        self.bad -= p.bad;
+        self.total -= p.total;
+    }
+    fn error_ratio(&self) -> f64 {
+        if self.total <= 0.0 {
+            0.0
+        } else {
+            (self.bad / self.total).clamp(0.0, 1.0)
+        }
+    }
+}
+
+/// A fired alert with its (simulated-time) lifecycle.
+#[derive(Debug, Clone, PartialEq)]
+pub struct AlertEvent {
+    pub rule: String,
+    pub fired_at_ns: u64,
+    /// `None` if still firing at the end of the run.
+    pub resolved_at_ns: Option<u64>,
+    /// Worst burn rate sustained across both windows while firing.
+    pub peak_burn: f64,
+}
+
+impl AlertEvent {
+    pub fn to_json(&self) -> String {
+        let mut out = String::from("{\"rule\":");
+        push_json_str(&mut out, &self.rule);
+        let _ = write!(out, ",\"fired_at_ns\":{}", self.fired_at_ns);
+        match self.resolved_at_ns {
+            Some(t) => {
+                let _ = write!(out, ",\"resolved_at_ns\":{t}");
+            }
+            None => out.push_str(",\"resolved_at_ns\":null"),
+        }
+        let _ = write!(out, ",\"peak_burn\":{}}}", fmt_f64(self.peak_burn));
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn rule() -> SloRule {
+        SloRule {
+            name: "availability".into(),
+            error_budget: 0.001,
+            long_window_ns: 4_000,
+            short_window_ns: 1_000,
+            burn_threshold: 10.0,
+        }
+    }
+
+    fn pt(t_ns: u64, bad: f64) -> BurnPoint {
+        BurnPoint {
+            t_ns,
+            bad,
+            total: 100.0,
+        }
+    }
+
+    #[test]
+    fn clean_series_never_fires() {
+        let points: Vec<BurnPoint> = (0..20).map(|i| pt(i * 500, 0.0)).collect();
+        assert!(rule().evaluate(&points).is_empty());
+    }
+
+    #[test]
+    fn outage_fires_and_resolves() {
+        // 5% errors from t=2µs..4µs: burn 50 (short) / 22 (long) against a
+        // 0.1% budget — both windows clear the ×10 threshold.
+        let points: Vec<BurnPoint> = (0..20)
+            .map(|i| {
+                let t = i * 500;
+                pt(
+                    t,
+                    if (2_000..4_000).contains(&t) {
+                        5.0
+                    } else {
+                        0.0
+                    },
+                )
+            })
+            .collect();
+        let events = rule().evaluate(&points);
+        assert_eq!(events.len(), 1, "{events:?}");
+        let ev = &events[0];
+        assert_eq!(ev.fired_at_ns, 2_000);
+        assert!(ev.resolved_at_ns.unwrap() > 4_000);
+        assert!(ev.peak_burn >= 10.0);
+        // Deterministic: same input, same events and bytes.
+        let again = rule().evaluate(&points);
+        assert_eq!(events, again);
+        assert_eq!(ev.to_json(), again[0].to_json());
+    }
+
+    #[test]
+    fn unresolved_alert_survives_to_end() {
+        let points: Vec<BurnPoint> = (0..10).map(|i| pt(i * 500, 5.0)).collect();
+        let events = rule().evaluate(&points);
+        assert_eq!(events.len(), 1);
+        assert_eq!(events[0].resolved_at_ns, None);
+    }
+
+    #[test]
+    fn short_window_gates_resolution() {
+        // A single bad burst shorter than the long window: the short window
+        // must clear the alert soon after the burst ends even though the
+        // long window still carries the errors.
+        let points: Vec<BurnPoint> = (0..20)
+            .map(|i| {
+                let t = i * 500;
+                pt(t, if t == 2_000 { 50.0 } else { 0.0 })
+            })
+            .collect();
+        let events = rule().evaluate(&points);
+        assert_eq!(events.len(), 1);
+        let resolved = events[0].resolved_at_ns.unwrap();
+        assert!(
+            resolved <= 2_000 + 2_000,
+            "short window should resolve quickly, got {resolved}"
+        );
+    }
+}

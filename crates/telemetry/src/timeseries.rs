@@ -1,0 +1,481 @@
+//! Windowed time-series recorder: a flight recorder over *simulated* time.
+//!
+//! End-of-run means erase every transient the simulator now produces —
+//! diurnal resizes, crash-recovery stalls, fault windows, retry storms. The
+//! [`TimeSeries`] captures one [`Sample`] per heartbeat of simulated time
+//! (hit ratio, busy cores, cache bytes, window p99, ...) into a bounded
+//! ring, plus interval [`Annotation`]s for fault windows and elastic resize
+//! events. Like everything in this crate it is deterministic: samples carry
+//! their own timestamps and a series tag, so recorders produced by parallel
+//! sweep workers merge into the same bytes regardless of merge order.
+//!
+//! Exports: JSONL (one object per sample, then one per annotation) and a
+//! self-contained HTML dashboard with inline SVG sparklines — no external
+//! assets, viewable from a CI artifact tarball.
+
+use crate::json::{fmt_f64, push_json_str};
+use std::collections::BTreeSet;
+use std::collections::VecDeque;
+use std::fmt::Write;
+
+/// One snapshot of named values at one instant of simulated time.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Sample {
+    /// Simulated time of the snapshot, nanoseconds since run start.
+    pub t_ns: u64,
+    /// Which logical series this sample belongs to (e.g. the architecture
+    /// label). Orders samples with equal timestamps during merges.
+    pub series: String,
+    /// `(metric name, value)`, sorted by name.
+    pub values: Vec<(String, f64)>,
+}
+
+impl Sample {
+    pub fn value(&self, name: &str) -> Option<f64> {
+        self.values.iter().find(|(n, _)| n == name).map(|(_, v)| *v)
+    }
+
+    fn to_json(&self) -> String {
+        let mut out = String::from("{\"t_ns\":");
+        let _ = write!(out, "{}", self.t_ns);
+        out.push_str(",\"series\":");
+        push_json_str(&mut out, &self.series);
+        out.push_str(",\"values\":{");
+        for (i, (name, v)) in self.values.iter().enumerate() {
+            if i > 0 {
+                out.push(',');
+            }
+            push_json_str(&mut out, name);
+            out.push(':');
+            out.push_str(&fmt_f64(*v));
+        }
+        out.push_str("}}");
+        out
+    }
+}
+
+/// An interval event painted onto the timeline: a fault window, an elastic
+/// resize, a crash-recovery stall.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Annotation {
+    pub start_ns: u64,
+    pub end_ns: u64,
+    /// Event class (`fault`, `resize`, `recovery`, ...) — used for dashboard
+    /// coloring and for grouping in analysis.
+    pub kind: String,
+    /// Which logical series the event belongs to (matches [`Sample::series`]).
+    pub series: String,
+    /// Human-readable detail (`crash shard 2`, `cache 4.0→2.5 MiB`, ...).
+    pub label: String,
+}
+
+impl Annotation {
+    fn to_json(&self) -> String {
+        let mut out = String::from("{\"annotation\":");
+        push_json_str(&mut out, &self.kind);
+        out.push_str(",\"series\":");
+        push_json_str(&mut out, &self.series);
+        let _ = write!(
+            out,
+            ",\"start_ns\":{},\"end_ns\":{}",
+            self.start_ns, self.end_ns
+        );
+        out.push_str(",\"label\":");
+        push_json_str(&mut out, &self.label);
+        out.push('}');
+        out
+    }
+
+    fn sort_key(&self) -> (u64, u64, &str, &str, &str) {
+        (
+            self.start_ns,
+            self.end_ns,
+            self.series.as_str(),
+            self.kind.as_str(),
+            self.label.as_str(),
+        )
+    }
+}
+
+/// Bounded flight recorder of [`Sample`]s plus timeline [`Annotation`]s.
+#[derive(Debug, Clone, Default)]
+pub struct TimeSeries {
+    capacity: usize,
+    samples: VecDeque<Sample>,
+    annotations: Vec<Annotation>,
+    dropped: u64,
+}
+
+impl TimeSeries {
+    /// A recorder that keeps the most recent `capacity` samples
+    /// (flight-recorder semantics: old samples fall off the front and are
+    /// counted in [`TimeSeries::dropped`]).
+    pub fn with_capacity(capacity: usize) -> Self {
+        TimeSeries {
+            capacity: capacity.max(1),
+            samples: VecDeque::new(),
+            annotations: Vec::new(),
+            dropped: 0,
+        }
+    }
+
+    /// Record a snapshot. `values` may arrive in any order; they are stored
+    /// sorted by name so exports are byte-stable.
+    pub fn record(&mut self, t_ns: u64, series: &str, values: &[(&str, f64)]) {
+        let mut values: Vec<(String, f64)> =
+            values.iter().map(|(n, v)| (n.to_string(), *v)).collect();
+        values.sort_by(|a, b| a.0.cmp(&b.0));
+        self.push(Sample {
+            t_ns,
+            series: series.to_string(),
+            values,
+        });
+    }
+
+    /// Append an already-built sample, evicting the oldest when full.
+    pub fn push(&mut self, sample: Sample) {
+        if self.samples.len() == self.capacity {
+            self.samples.pop_front();
+            self.dropped += 1;
+        }
+        self.samples.push_back(sample);
+    }
+
+    /// Paint an interval annotation onto the timeline.
+    pub fn annotate(&mut self, ann: Annotation) {
+        self.annotations.push(ann);
+    }
+
+    pub fn len(&self) -> usize {
+        self.samples.len()
+    }
+
+    pub fn is_empty(&self) -> bool {
+        self.samples.is_empty()
+    }
+
+    /// Samples evicted by the ring bound.
+    pub fn dropped(&self) -> u64 {
+        self.dropped
+    }
+
+    pub fn samples(&self) -> impl Iterator<Item = &Sample> {
+        self.samples.iter()
+    }
+
+    pub fn annotations(&self) -> &[Annotation] {
+        &self.annotations
+    }
+
+    /// The `(t_ns, value)` trajectory of one metric within one series.
+    pub fn metric(&self, series: &str, name: &str) -> Vec<(u64, f64)> {
+        self.samples
+            .iter()
+            .filter(|s| s.series == series)
+            .filter_map(|s| s.value(name).map(|v| (s.t_ns, v)))
+            .collect()
+    }
+
+    /// Sorted set of series tags present.
+    pub fn series_names(&self) -> Vec<String> {
+        let set: BTreeSet<&str> = self.samples.iter().map(|s| s.series.as_str()).collect();
+        set.into_iter().map(str::to_string).collect()
+    }
+
+    /// Sorted union of metric names across all samples.
+    pub fn metric_names(&self) -> Vec<String> {
+        let set: BTreeSet<&str> = self
+            .samples
+            .iter()
+            .flat_map(|s| s.values.iter().map(|(n, _)| n.as_str()))
+            .collect();
+        set.into_iter().map(str::to_string).collect()
+    }
+
+    /// Fold another recorder into this one — the post-hoc merge step of a
+    /// parallel sweep. Samples are re-sorted by `(t_ns, series)` and
+    /// annotations by `(start, end, series, kind, label)`, so any merge
+    /// order over disjoint series tags yields identical bytes. The ring
+    /// bound still applies: the merged view keeps the *latest* `capacity`
+    /// samples in timeline order.
+    pub fn merge(&mut self, other: &TimeSeries) {
+        let mut all: Vec<Sample> = self.samples.iter().cloned().collect();
+        all.extend(other.samples.iter().cloned());
+        all.sort_by(|a, b| a.t_ns.cmp(&b.t_ns).then_with(|| a.series.cmp(&b.series)));
+        self.dropped += other.dropped;
+        if all.len() > self.capacity {
+            self.dropped += (all.len() - self.capacity) as u64;
+            all.drain(..all.len() - self.capacity);
+        }
+        self.samples = all.into();
+        self.annotations.extend(other.annotations.iter().cloned());
+        self.annotations
+            .sort_by(|a, b| a.sort_key().cmp(&b.sort_key()));
+    }
+
+    /// One JSON object per line: every sample in timeline order, then every
+    /// annotation. Byte-deterministic for identical contents.
+    pub fn to_jsonl(&self) -> String {
+        let mut out = String::new();
+        for s in &self.samples {
+            out.push_str(&s.to_json());
+            out.push('\n');
+        }
+        let mut anns: Vec<&Annotation> = self.annotations.iter().collect();
+        anns.sort_by(|a, b| a.sort_key().cmp(&b.sort_key()));
+        for a in anns {
+            out.push_str(&a.to_json());
+            out.push('\n');
+        }
+        out
+    }
+
+    /// Self-contained HTML dashboard: one SVG sparkline per metric with all
+    /// series overlaid, annotations painted as shaded bands. No external
+    /// assets; byte-deterministic.
+    pub fn to_dashboard_html(&self, title: &str) -> String {
+        const W: f64 = 640.0;
+        const H: f64 = 90.0;
+        const PAD: f64 = 4.0;
+        const COLORS: [&str; 4] = ["#1f77b4", "#d62728", "#2ca02c", "#9467bd"];
+        const BAND_COLORS: [(&str, &str); 3] = [
+            ("fault", "#d6272822"),
+            ("recovery", "#ff7f0e22"),
+            ("resize", "#2ca02c22"),
+        ];
+
+        let (t_min, t_max) = self.samples.iter().fold((u64::MAX, 0u64), |(lo, hi), s| {
+            (lo.min(s.t_ns), hi.max(s.t_ns))
+        });
+        let span = if t_max > t_min {
+            (t_max - t_min) as f64
+        } else {
+            1.0
+        };
+        let x_of =
+            |t: u64| -> f64 { PAD + (W - 2.0 * PAD) * (t.saturating_sub(t_min)) as f64 / span };
+
+        let mut out = String::new();
+        out.push_str("<!DOCTYPE html>\n<html><head><meta charset=\"utf-8\"><title>");
+        out.push_str(&html_escape(title));
+        out.push_str(
+            "</title>\n<style>body{font-family:monospace;background:#fff;color:#111;\
+             max-width:720px;margin:2em auto}h1{font-size:1.2em}h2{font-size:1em;\
+             margin:1.2em 0 0.2em}svg{border:1px solid #ddd}.legend span{margin-right:1em}\
+             .ann{font-size:0.8em;color:#666}</style></head>\n<body>\n<h1>",
+        );
+        out.push_str(&html_escape(title));
+        out.push_str("</h1>\n<div class=\"legend\">");
+        let series = self.series_names();
+        for (i, s) in series.iter().enumerate() {
+            let _ = write!(
+                out,
+                "<span style=\"color:{}\">&#9632; {}</span>",
+                COLORS[i % COLORS.len()],
+                html_escape(s)
+            );
+        }
+        out.push_str("</div>\n");
+
+        for name in self.metric_names() {
+            let _ = writeln!(out, "<h2>{}</h2>", html_escape(&name));
+            let _ = writeln!(
+                out,
+                "<svg width=\"{W}\" height=\"{H}\" viewBox=\"0 0 {W} {H}\">"
+            );
+            // Shaded annotation bands behind the lines.
+            for ann in &self.annotations {
+                let fill = BAND_COLORS
+                    .iter()
+                    .find(|(k, _)| *k == ann.kind)
+                    .map(|(_, c)| *c)
+                    .unwrap_or("#88888822");
+                let x0 = x_of(ann.start_ns);
+                let x1 = x_of(ann.end_ns.max(ann.start_ns));
+                let _ = writeln!(
+                    out,
+                    "<rect x=\"{:.2}\" y=\"0\" width=\"{:.2}\" height=\"{H}\" fill=\"{}\"><title>{}</title></rect>",
+                    x0,
+                    (x1 - x0).max(1.0),
+                    fill,
+                    html_escape(&format!("[{}] {}: {}", ann.series, ann.kind, ann.label)),
+                );
+            }
+            // Scale over all series so the lines are comparable.
+            let (mut lo, mut hi) = (f64::INFINITY, f64::NEG_INFINITY);
+            for s in &self.samples {
+                if let Some(v) = s.value(&name) {
+                    lo = lo.min(v);
+                    hi = hi.max(v);
+                }
+            }
+            let range = if hi > lo { hi - lo } else { 1.0 };
+            let y_of = |v: f64| -> f64 { H - PAD - (H - 2.0 * PAD) * (v - lo) / range };
+            for (i, sname) in series.iter().enumerate() {
+                let pts = self.metric(sname, &name);
+                if pts.is_empty() {
+                    continue;
+                }
+                let mut path = String::new();
+                for (t, v) in &pts {
+                    let _ = write!(path, "{:.2},{:.2} ", x_of(*t), y_of(*v));
+                }
+                let _ = writeln!(
+                    out,
+                    "<polyline fill=\"none\" stroke=\"{}\" stroke-width=\"1.2\" points=\"{}\"/>",
+                    COLORS[i % COLORS.len()],
+                    path.trim_end(),
+                );
+            }
+            let _ = writeln!(
+                out,
+                "<text x=\"{:.0}\" y=\"12\" font-size=\"10\" fill=\"#666\">max {}</text>\
+                 <text x=\"{:.0}\" y=\"{:.0}\" font-size=\"10\" fill=\"#666\">min {}</text>",
+                PAD,
+                fmt_f64(round_sig(hi)),
+                PAD,
+                H - 2.0,
+                fmt_f64(round_sig(lo)),
+            );
+            out.push_str("</svg>\n");
+        }
+
+        if !self.annotations.is_empty() {
+            out.push_str("<h2>timeline events</h2>\n<ul class=\"ann\">\n");
+            let mut anns: Vec<&Annotation> = self.annotations.iter().collect();
+            anns.sort_by(|a, b| a.sort_key().cmp(&b.sort_key()));
+            for a in anns {
+                let _ = writeln!(
+                    out,
+                    "<li>t={}s..{}s [{}] {}: {}</li>",
+                    fmt_f64(round_sig(a.start_ns as f64 / 1e9)),
+                    fmt_f64(round_sig(a.end_ns as f64 / 1e9)),
+                    html_escape(&a.series),
+                    html_escape(&a.kind),
+                    html_escape(&a.label),
+                );
+            }
+            out.push_str("</ul>\n");
+        }
+        out.push_str("</body></html>\n");
+        out
+    }
+}
+
+/// Round to 4 significant digits for axis labels (keeps them short and
+/// deterministic without dragging full float precision into the HTML).
+fn round_sig(v: f64) -> f64 {
+    if v == 0.0 || !v.is_finite() {
+        return v;
+    }
+    let mag = v.abs().log10().floor();
+    let scale = 10f64.powf(3.0 - mag);
+    (v * scale).round() / scale
+}
+
+fn html_escape(s: &str) -> String {
+    let mut out = String::with_capacity(s.len());
+    for c in s.chars() {
+        match c {
+            '&' => out.push_str("&amp;"),
+            '<' => out.push_str("&lt;"),
+            '>' => out.push_str("&gt;"),
+            '"' => out.push_str("&quot;"),
+            c => out.push(c),
+        }
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn rec(series: &str, base: u64) -> TimeSeries {
+        let mut ts = TimeSeries::with_capacity(64);
+        for i in 0..4u64 {
+            ts.record(
+                base + i * 1_000,
+                series,
+                &[("hit_ratio", 0.9 + i as f64 * 0.01), ("cores", 2.0)],
+            );
+        }
+        ts
+    }
+
+    #[test]
+    fn ring_bound_drops_oldest() {
+        let mut ts = TimeSeries::with_capacity(2);
+        for i in 0..5u64 {
+            ts.record(i, "x", &[("v", i as f64)]);
+        }
+        assert_eq!(ts.len(), 2);
+        assert_eq!(ts.dropped(), 3);
+        let times: Vec<u64> = ts.samples().map(|s| s.t_ns).collect();
+        assert_eq!(times, vec![3, 4]);
+    }
+
+    #[test]
+    fn values_are_sorted_and_jsonl_is_deterministic() {
+        let mut ts = TimeSeries::with_capacity(8);
+        ts.record(5, "a", &[("z", 1.0), ("a", 2.0)]);
+        let line = ts.to_jsonl();
+        assert_eq!(
+            line,
+            "{\"t_ns\":5,\"series\":\"a\",\"values\":{\"a\":2,\"z\":1}}\n"
+        );
+    }
+
+    #[test]
+    fn merge_is_order_insensitive() {
+        let a = rec("linked", 0);
+        let b = rec("remote", 500);
+        let mut ab = TimeSeries::with_capacity(64);
+        ab.merge(&a);
+        ab.merge(&b);
+        let mut ba = TimeSeries::with_capacity(64);
+        ba.merge(&b);
+        ba.merge(&a);
+        assert_eq!(ab.to_jsonl(), ba.to_jsonl());
+        assert_eq!(ab.len(), 8);
+        // Interleaved by time.
+        let t: Vec<u64> = ab.samples().map(|s| s.t_ns).collect();
+        let mut sorted = t.clone();
+        sorted.sort();
+        assert_eq!(t, sorted);
+    }
+
+    #[test]
+    fn annotations_export_and_sort() {
+        let mut ts = rec("remote", 0);
+        ts.annotate(Annotation {
+            start_ns: 2_000,
+            end_ns: 3_000,
+            kind: "fault".into(),
+            series: "remote".into(),
+            label: "crash shard 0".into(),
+        });
+        ts.annotate(Annotation {
+            start_ns: 1_000,
+            end_ns: 1_500,
+            kind: "resize".into(),
+            series: "remote".into(),
+            label: "cache shrink".into(),
+        });
+        let jsonl = ts.to_jsonl();
+        let ann_lines: Vec<&str> = jsonl
+            .lines()
+            .filter(|l| l.contains("\"annotation\""))
+            .collect();
+        assert_eq!(ann_lines.len(), 2);
+        assert!(
+            ann_lines[0].contains("resize"),
+            "sorted by start: {ann_lines:?}"
+        );
+        let html = ts.to_dashboard_html("test run");
+        assert!(html.contains("<svg"));
+        assert!(html.contains("hit_ratio"));
+        assert!(html.contains("crash shard 0"));
+        assert_eq!(html, ts.to_dashboard_html("test run"));
+    }
+}

@@ -5,10 +5,10 @@
 //! cargo run --release --example consistent_cache
 //! ```
 
+use dcache_cost::sim::SimTime;
 use dcache_cost::study::consistency::{check_linearizable, delayed_write_scenario, HistoryOp};
 use dcache_cost::study::experiment::{run_kv_experiment, KvExperimentConfig};
 use dcache_cost::study::{ArchKind, DeploymentConfig};
-use dcache_cost::sim::SimTime;
 use dcache_cost::workload::{KvWorkloadConfig, SizeDist};
 
 fn main() {
@@ -35,6 +35,7 @@ fn main() {
             cache_fault_schedule: None,
             trace_sample_every: None,
             diurnal: None,
+            observability: None,
             pricing: Default::default(),
         };
         run_kv_experiment(&cfg).expect("run")
@@ -96,6 +97,12 @@ fn main() {
         HistoryOp::write(2, t(2), t(3)),
         HistoryOp::read(Some(1), t(4), t(5)),
     ];
-    println!("  write(1); read->1              linearizable: {}", check_linearizable(&good, None));
-    println!("  write(1); write(2); read->1    linearizable: {}", check_linearizable(&bad, None));
+    println!(
+        "  write(1); read->1              linearizable: {}",
+        check_linearizable(&good, None)
+    );
+    println!(
+        "  write(1); write(2); read->1    linearizable: {}",
+        check_linearizable(&bad, None)
+    );
 }

@@ -24,8 +24,12 @@ fn main() {
         churn_period: None,
     };
 
-    println!("workload: {} keys, Zipf({}), {:.0}% reads, 1KB values",
-        workload.keys, workload.alpha, workload.read_ratio * 100.0);
+    println!(
+        "workload: {} keys, Zipf({}), {:.0}% reads, 1KB values",
+        workload.keys,
+        workload.alpha,
+        workload.read_ratio * 100.0
+    );
     println!("deployment: 3 app servers, 3 SQL front-ends, 3 storage pods (RF=3)\n");
 
     let mut base_cost = None;
@@ -41,6 +45,7 @@ fn main() {
             cache_fault_schedule: None,
             trace_sample_every: None,
             diurnal: None,
+            observability: None,
             pricing: Pricing::default(),
         };
         let report = run_kv_experiment(&cfg).expect("experiment runs");

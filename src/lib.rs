@@ -48,6 +48,7 @@
 //!     cache_fault_schedule: None,
 //!     trace_sample_every: None,
 //!     diurnal: None,
+//!     observability: None,
 //!     pricing: Pricing::default(),
 //! };
 //! let report = run_kv_experiment(&cfg).unwrap();

@@ -1,7 +1,9 @@
 //! Cross-crate integration tests: whole-system runs through the public API.
 
 use dcache_cost::cost::Pricing;
-use dcache_cost::study::experiment::{compare_architectures, run_kv_experiment, KvExperimentConfig};
+use dcache_cost::study::experiment::{
+    compare_architectures, run_kv_experiment, KvExperimentConfig,
+};
 use dcache_cost::study::{ArchKind, DeploymentConfig};
 use dcache_cost::workload::{KvWorkloadConfig, SizeDist};
 
@@ -24,6 +26,7 @@ fn mid_cfg(arch: ArchKind) -> KvExperimentConfig {
         cache_fault_schedule: None,
         trace_sample_every: None,
         diurnal: None,
+        observability: None,
         pricing: Pricing::default(),
     }
 }
@@ -48,7 +51,10 @@ fn different_seeds_change_details_not_conclusions() {
     assert_ne!(a.total_cost.total(), b.total_cost.total());
     // But the cost is in the same ballpark (within 20%).
     let ratio = a.total_cost.total() / b.total_cost.total();
-    assert!((0.8..1.25).contains(&ratio), "seed sensitivity too high: {ratio}");
+    assert!(
+        (0.8..1.25).contains(&ratio),
+        "seed sensitivity too high: {ratio}"
+    );
 }
 
 #[test]
@@ -138,7 +144,10 @@ fn write_heavy_workloads_shrink_the_benefit() {
         read_heavy > write_heavy,
         "saving must grow with read ratio: {write_heavy:.2} vs {read_heavy:.2}"
     );
-    assert!(write_heavy > 1.0, "even at 50% writes the cache must not lose");
+    assert!(
+        write_heavy > 1.0,
+        "even at 50% writes the cache must not lose"
+    );
 }
 
 #[test]

@@ -10,6 +10,10 @@
 //!    all — the trace is identical across different RNG seeds, which is
 //!    what keeps fault-free experiment runs bit-equal to the seed runs.
 
+// The offline `proptest` stub swallows `proptest!` blocks, leaving the
+// strategy helpers (and some imports) unreferenced in offline builds.
+#![allow(dead_code, unused_imports)]
+
 use dcache_cost::sim::{
     Delivery, FaultDriver, FaultSchedule, Network, NodeId, SimDuration, SimTime,
 };

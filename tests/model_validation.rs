@@ -81,6 +81,7 @@ fn run_linked(per_server_cache_bytes: u64) -> dcache_cost::study::ExperimentRepo
         cache_fault_schedule: None,
         trace_sample_every: None,
         diurnal: None,
+        observability: None,
         pricing: Pricing::default(),
     };
     run_kv_experiment(&cfg).unwrap()
@@ -97,7 +98,11 @@ fn analytic_hit(entries: u64) -> f64 {
 fn simulated_hit_ratios_track_che_approximation() {
     let tolerance = calibrated("che_hit_tolerance");
     // Cache fractions from ~3% to 120% of the keyspace (3 servers).
-    for key in ["cache_fraction_small", "cache_fraction_mid", "cache_fraction_large"] {
+    for key in [
+        "cache_fraction_small",
+        "cache_fraction_mid",
+        "cache_fraction_large",
+    ] {
         let fraction = calibrated(key);
         let per_server = ((KEYS as f64 * fraction / 3.0) * ENTRY_BYTES as f64) as u64;
         let report = run_linked(per_server);

@@ -1,0 +1,141 @@
+//! Observability determinism and non-vacuousness, end to end.
+//!
+//! The PR-7 observability layer promises two things at once:
+//!
+//! 1. **Byte-determinism.** The timeline JSONL, the alert log and the tail
+//!    attribution are derived purely from the simulation's virtual clock
+//!    and fixed seeds, so a double run — and a `jobs = 1` vs `jobs = 4`
+//!    sweep — must reproduce every artifact byte for byte.
+//! 2. **Non-vacuousness.** The incident-day scenario actually exercises
+//!    the machinery: heartbeats land, fault windows annotate the timeline,
+//!    at least one SLO alert fires *and resolves*, every slowest-1%
+//!    request gets exactly one primary cause, and the per-cause excess
+//!    totals add up to the measured tail excess.
+//!
+//! Together these are what make `results/obs/` trustworthy: the artifacts
+//! cannot silently drift, and they cannot silently go empty either.
+
+use bench::obs::{run_sweep, ARCHS};
+use bench::sweep::SweepRunner;
+use dcache::obs::ObsArtifacts;
+
+/// A budget big enough to cross both scheduled incidents (the fault
+/// fractions are budget-proportional) while keeping the suite fast.
+const WARMUP: u64 = 8_000;
+const MEASURED: u64 = 16_000;
+
+/// The three deterministic artifacts, serialized exactly as `obs_report`
+/// writes them to disk.
+fn artifact_bytes(obs: &ObsArtifacts) -> (String, String, String) {
+    (
+        obs.timeseries.to_jsonl(),
+        obs.alerts_json(),
+        obs.tail.to_json(),
+    )
+}
+
+#[test]
+fn double_run_and_parallel_sweep_are_byte_identical() {
+    let seq = run_sweep(&SweepRunner::sequential(), WARMUP, MEASURED);
+    let seq2 = run_sweep(&SweepRunner::sequential(), WARMUP, MEASURED);
+    let par = run_sweep(&SweepRunner::new(4), WARMUP, MEASURED);
+    assert_eq!(seq.len(), ARCHS.len());
+
+    for (i, ((r1, b1), ((_, b2), (_, b3)))) in seq.iter().zip(seq2.iter().zip(&par)).enumerate() {
+        let label = r1.arch.label();
+        let a1 = artifact_bytes(b1.obs.as_ref().expect("obs enabled"));
+        let a2 = artifact_bytes(b2.obs.as_ref().expect("obs enabled"));
+        let a3 = artifact_bytes(b3.obs.as_ref().expect("obs enabled"));
+        assert_eq!(a1, a2, "{label} (spec {i}): double run diverged");
+        assert_eq!(a1, a3, "{label} (spec {i}): parallel sweep diverged");
+        // The report's observability summary fields ride along.
+        let (r2, r3) = (&seq2[i].0, &par[i].0);
+        assert_eq!(r1.slo_alerts_fired, r2.slo_alerts_fired);
+        assert_eq!(r1.tail_p99_threshold_us, r3.tail_p99_threshold_us);
+        assert_eq!(r1.tail_causes, r2.tail_causes);
+        assert_eq!(r1.tail_causes, r3.tail_causes);
+    }
+}
+
+#[test]
+fn incident_day_exercises_every_subsystem() {
+    let runs = run_sweep(&SweepRunner::sequential(), WARMUP, MEASURED);
+    for (report, bundle) in &runs {
+        let label = report.arch.label();
+        let obs = bundle.obs.as_ref().expect("obs enabled");
+
+        // Heartbeats and annotations landed on the timeline.
+        assert!(obs.timeseries.len() >= 4, "{label}: too few heartbeats");
+        assert!(
+            obs.timeseries
+                .annotations()
+                .iter()
+                .any(|a| a.kind == "fault"),
+            "{label}: no fault-window annotations"
+        );
+        assert!(
+            obs.timeseries
+                .annotations()
+                .iter()
+                .any(|a| a.kind == "resize"),
+            "{label}: elastic resizes should annotate the timeline"
+        );
+
+        // At least one alert fires — and the outage is bounded, so the
+        // burn-rate engine must also resolve it before the day ends.
+        assert!(!obs.alerts.is_empty(), "{label}: no SLO alert fired");
+        assert!(
+            obs.alerts.iter().any(|a| a.resolved_at_ns.is_some()),
+            "{label}: alerts never resolved"
+        );
+        assert_eq!(report.slo_alerts_fired, obs.alerts.len() as u64);
+
+        // Every slowest-1% request has exactly one primary cause, and the
+        // per-cause excess totals account for the whole measured tail.
+        let tail = &obs.tail;
+        assert!(tail.threshold_us > 0, "{label}: degenerate p99 threshold");
+        assert!(!tail.tail_requests.is_empty(), "{label}: empty tail");
+        let cause_count: u64 = tail.causes.iter().map(|c| c.count).sum();
+        assert_eq!(
+            cause_count,
+            tail.tail_requests.len() as u64,
+            "{label}: causes must partition the tail"
+        );
+        let cause_excess: u64 = tail.causes.iter().map(|c| c.excess_us).sum();
+        let slack = tail.causes.len() as u64; // µs rounding, 1 per cause
+        assert!(
+            cause_excess.abs_diff(tail.total_excess_us) <= slack,
+            "{label}: per-cause excess {cause_excess} µs vs total {} µs",
+            tail.total_excess_us
+        );
+        // The incident day must surface more than one mechanism overall.
+        assert!(
+            tail.causes.iter().filter(|c| c.count > 0).count() >= 1,
+            "{label}: attribution is vacuous"
+        );
+    }
+    // Across the two architectures the scenario separates causes: the
+    // remote tier's outage shows up as fault-window excess, the durable
+    // storage crash as WAL/recovery excess.
+    let all_causes: Vec<&str> = runs
+        .iter()
+        .flat_map(|(_, b)| {
+            b.obs
+                .as_ref()
+                .expect("obs enabled")
+                .tail
+                .causes
+                .iter()
+                .filter(|c| c.count > 0)
+                .map(|c| c.cause.label())
+        })
+        .collect();
+    assert!(
+        all_causes.contains(&"fault_window"),
+        "cache outage missing from tail: {all_causes:?}"
+    );
+    assert!(
+        all_causes.contains(&"wal_fsync_recovery"),
+        "storage crash recovery missing from tail: {all_causes:?}"
+    );
+}

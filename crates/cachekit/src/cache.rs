@@ -11,11 +11,63 @@
 //! reclaimed on access; `expire_sweep` supports proactive reclamation.
 
 use crate::admission::TinyLfu;
+use crate::fxhash::FxHashMap;
 use crate::policy::{Policy, PolicyImpl, PolicyKind};
 use crate::stats::CacheStats;
 use std::borrow::Borrow;
-use std::collections::HashMap;
 use std::hash::{Hash, Hasher};
+
+/// The admission-sketch hash the cache has always used: FNV-1a over the
+/// key's `std::hash::Hash` byte stream, finished with SplitMix64. Stable
+/// across runs and platforms for keys that hash deterministic bytes.
+pub(crate) fn legacy_sketch_hash<Q>(key: &Q) -> u64
+where
+    Q: Hash + ?Sized,
+{
+    struct Fnv(u64);
+    impl Hasher for Fnv {
+        fn finish(&self) -> u64 {
+            crate::ring::splitmix64(self.0)
+        }
+        fn write(&mut self, bytes: &[u8]) {
+            for &b in bytes {
+                self.0 ^= b as u64;
+                self.0 = self.0.wrapping_mul(0x100000001b3);
+            }
+        }
+    }
+    let mut h = Fnv(0xcbf29ce484222325);
+    key.hash(&mut h);
+    h.finish()
+}
+
+/// Keys a [`Cache`] can index: hashable, plus a stable admission-sketch
+/// hash. The provided method computes the sketch hash the cache has always
+/// used; implementors that already know their bytes' hash (interned keys)
+/// override it with the precomputed value — which must equal what the
+/// default would produce for the original byte key, or TinyLFU admission
+/// decisions change.
+///
+/// Implemented explicitly (no blanket impl) so a key type with a custom
+/// override can never be shadowed by a generic one.
+pub trait CacheKeyHash: Hash {
+    fn sketch_hash(&self) -> u64 {
+        legacy_sketch_hash(self)
+    }
+}
+
+impl CacheKeyHash for Vec<u8> {}
+impl CacheKeyHash for [u8] {}
+impl CacheKeyHash for Box<[u8]> {}
+impl CacheKeyHash for String {}
+impl CacheKeyHash for str {}
+impl CacheKeyHash for u8 {}
+impl CacheKeyHash for u16 {}
+impl CacheKeyHash for u32 {}
+impl CacheKeyHash for u64 {}
+impl CacheKeyHash for usize {}
+impl CacheKeyHash for i64 {}
+impl<A: CacheKeyHash, B: CacheKeyHash> CacheKeyHash for (A, B) {}
 
 /// Fixed per-entry metadata overhead added to every charge, approximating
 /// hash-table, policy and allocator bookkeeping (Memcached's item overhead is
@@ -48,7 +100,7 @@ pub enum InsertOutcome {
 /// Byte-bounded key-value cache. See module docs.
 #[derive(Debug, Clone)]
 pub struct Cache<K, V> {
-    map: HashMap<K, usize>,
+    map: FxHashMap<K, usize>,
     slab: Vec<Option<Entry<K, V>>>,
     free: Vec<usize>,
     policy: PolicyImpl,
@@ -60,11 +112,11 @@ pub struct Cache<K, V> {
     stats: CacheStats,
 }
 
-impl<K: Hash + Eq + Clone, V> Cache<K, V> {
+impl<K: CacheKeyHash + Eq + Clone, V> Cache<K, V> {
     /// Create a cache bounded to `capacity_bytes` with the given policy.
     pub fn new(capacity_bytes: u64, kind: PolicyKind) -> Self {
         Cache {
-            map: HashMap::new(),
+            map: FxHashMap::default(),
             slab: Vec::new(),
             free: Vec::new(),
             policy: kind.build(),
@@ -95,30 +147,6 @@ impl<K: Hash + Eq + Clone, V> Cache<K, V> {
     pub fn with_tinylfu(mut self, expected_entries: usize) -> Self {
         self.admission = Some(TinyLfu::new(expected_entries));
         self
-    }
-
-    fn key_hash<Q>(key: &Q) -> u64
-    where
-        Q: Hash + ?Sized,
-    {
-        // A stable, dependency-free hash for sketch indexing: FNV over the
-        // key's std-hash output would not be stable across runs for some
-        // types, so hash through a deterministic SipHash-free path.
-        struct Fnv(u64);
-        impl Hasher for Fnv {
-            fn finish(&self) -> u64 {
-                crate::ring::splitmix64(self.0)
-            }
-            fn write(&mut self, bytes: &[u8]) {
-                for &b in bytes {
-                    self.0 ^= b as u64;
-                    self.0 = self.0.wrapping_mul(0x100000001b3);
-                }
-            }
-        }
-        let mut h = Fnv(0xcbf29ce484222325);
-        key.hash(&mut h);
-        h.finish()
     }
 
     pub fn policy_kind(&self) -> PolicyKind {
@@ -215,7 +243,7 @@ impl<K: Hash + Eq + Clone, V> Cache<K, V> {
             return InsertOutcome::TooLarge;
         }
         let candidate_hash = if let Some(adm) = &mut self.admission {
-            let h = Self::key_hash(&key);
+            let h = key.sketch_hash();
             adm.record(h);
             Some(h)
         } else {
@@ -236,7 +264,7 @@ impl<K: Hash + Eq + Clone, V> Cache<K, V> {
                     .policy
                     .victim()
                     .and_then(|slot| self.slab[slot].as_ref())
-                    .map(|e| Self::key_hash(&e.key));
+                    .map(|e| e.key.sketch_hash());
                 if let Some(victim) = victim_hash {
                     if !adm.admit(cand, victim) {
                         self.stats.rejected += 1;
@@ -273,10 +301,10 @@ impl<K: Hash + Eq + Clone, V> Cache<K, V> {
     pub fn get<Q>(&mut self, key: &Q, now: u64) -> Option<&V>
     where
         K: Borrow<Q>,
-        Q: Hash + Eq + ?Sized,
+        Q: CacheKeyHash + Eq + ?Sized,
     {
         if let Some(adm) = &mut self.admission {
-            adm.record(Self::key_hash(key));
+            adm.record(key.sketch_hash());
         }
         let slot = match self.map.get(key) {
             Some(&s) => s,

@@ -1,0 +1,161 @@
+//! Key interning: resolve a byte key to a small copyable id once, then pass
+//! the id through the serve path instead of re-allocating and re-hashing
+//! the bytes at every layer.
+//!
+//! The simulated services address values by `table/key` byte strings. The
+//! pre-interning hot path built that `Vec<u8>` per request and hashed it
+//! separately in the sharder ring, the cache index, the admission sketch,
+//! and the single-flight table. An [`InternedKey`] carries the two hashes
+//! the serving layers need — the routing hash ([`stable_hash`] of the
+//! bytes, which consistent-hash rings and MRC profilers consume) and the
+//! admission-sketch hash (byte-identical to what the cache computed over
+//! the raw `Vec<u8>` key, so TinyLFU decisions are unchanged) — plus a
+//! dense u32 id that makes cache-index hashing a single word multiply.
+//!
+//! Interning is a pure wall-clock optimization: every hash an `InternedKey`
+//! exposes equals the hash the same byte key produced before, so routing,
+//! admission, eviction, and every simulated outcome stay byte-identical.
+
+use crate::cache::legacy_sketch_hash;
+use crate::fxhash::FxHashMap;
+use crate::ring::stable_hash;
+use crate::CacheKeyHash;
+use std::hash::{Hash, Hasher};
+
+/// A small, copyable stand-in for an interned byte key.
+///
+/// Equality and hashing go through the dense id (two interned keys are equal
+/// iff their bytes were equal, because the interner is bijective), so using
+/// `InternedKey` as a `HashMap`/[`crate::Cache`] key costs one word hash
+/// instead of a byte-string walk.
+#[derive(Debug, Clone, Copy)]
+pub struct InternedKey {
+    id: u32,
+    route_hash: u64,
+    sketch_hash: u64,
+}
+
+impl InternedKey {
+    /// Dense id in `[0, interner.len())`.
+    pub fn id(self) -> u32 {
+        self.id
+    }
+
+    /// [`stable_hash`] of the original bytes — feed to
+    /// [`crate::HashRing::shard_for_hashed`] and MRC profilers.
+    pub fn route_hash(self) -> u64 {
+        self.route_hash
+    }
+}
+
+impl PartialEq for InternedKey {
+    fn eq(&self, other: &Self) -> bool {
+        self.id == other.id
+    }
+}
+
+impl Eq for InternedKey {}
+
+impl Hash for InternedKey {
+    fn hash<H: Hasher>(&self, state: &mut H) {
+        state.write_u32(self.id);
+    }
+}
+
+impl CacheKeyHash for InternedKey {
+    fn sketch_hash(&self) -> u64 {
+        self.sketch_hash
+    }
+}
+
+/// Bijective bytes ↔ id table. Ids are handed out densely in first-intern
+/// order, so a given request stream always produces the same ids.
+#[derive(Debug, Default)]
+pub struct KeyInterner {
+    ids: FxHashMap<Box<[u8]>, u32>,
+    keys: Vec<InternedKey>,
+    bytes: Vec<Box<[u8]>>,
+}
+
+impl KeyInterner {
+    pub fn new() -> Self {
+        KeyInterner::default()
+    }
+
+    /// Number of distinct keys interned so far.
+    pub fn len(&self) -> usize {
+        self.keys.len()
+    }
+
+    pub fn is_empty(&self) -> bool {
+        self.keys.is_empty()
+    }
+
+    /// The id for `bytes`, interning on first sight. The returned key's
+    /// hashes equal `stable_hash(bytes)` and the cache's legacy sketch hash
+    /// of the same bytes, so downstream behaviour is unchanged.
+    pub fn intern(&mut self, bytes: &[u8]) -> InternedKey {
+        if let Some(&id) = self.ids.get(bytes) {
+            return self.keys[id as usize];
+        }
+        let id = u32::try_from(self.keys.len()).expect("interner overflow");
+        let key = InternedKey {
+            id,
+            route_hash: stable_hash(bytes),
+            sketch_hash: legacy_sketch_hash(bytes),
+        };
+        let owned: Box<[u8]> = bytes.into();
+        self.ids.insert(owned.clone(), id);
+        self.keys.push(key);
+        self.bytes.push(owned);
+        key
+    }
+
+    /// The id for `bytes` if it was interned before (no insertion).
+    pub fn get(&self, bytes: &[u8]) -> Option<InternedKey> {
+        self.ids.get(bytes).map(|&id| self.keys[id as usize])
+    }
+
+    /// The original bytes of an interned key.
+    pub fn resolve(&self, key: InternedKey) -> &[u8] {
+        &self.bytes[key.id as usize]
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn intern_is_bijective() {
+        let mut i = KeyInterner::new();
+        let a = i.intern(b"table/1");
+        let b = i.intern(b"table/2");
+        let a2 = i.intern(b"table/1");
+        assert_eq!(a, a2);
+        assert_ne!(a, b);
+        assert_eq!(i.resolve(a), b"table/1");
+        assert_eq!(i.resolve(b), b"table/2");
+        assert_eq!(i.len(), 2);
+    }
+
+    #[test]
+    fn hashes_match_the_byte_key_paths() {
+        let mut i = KeyInterner::new();
+        for bytes in [b"kv/abcdefg".as_slice(), b"".as_slice(), b"x".as_slice()] {
+            let k = i.intern(bytes);
+            assert_eq!(k.route_hash(), stable_hash(bytes));
+            assert_eq!(k.sketch_hash(), bytes.sketch_hash());
+            assert_eq!(k.sketch_hash(), bytes.to_vec().sketch_hash());
+        }
+    }
+
+    #[test]
+    fn get_does_not_intern() {
+        let mut i = KeyInterner::new();
+        assert_eq!(i.get(b"missing"), None);
+        let k = i.intern(b"present");
+        assert_eq!(i.get(b"present"), Some(k));
+        assert_eq!(i.len(), 1);
+    }
+}

@@ -25,6 +25,8 @@
 
 pub mod admission;
 pub mod cache;
+pub mod fxhash;
+pub mod intern;
 pub mod list;
 pub mod mrc;
 pub mod policy;
@@ -33,7 +35,9 @@ pub mod sharded;
 pub mod stats;
 
 pub use admission::TinyLfu;
-pub use cache::{Cache, InsertOutcome};
+pub use cache::{Cache, CacheKeyHash, InsertOutcome};
+pub use fxhash::{FxBuildHasher, FxHashMap, FxHasher};
+pub use intern::{InternedKey, KeyInterner};
 pub use mrc::{zipf_hit_ratio, MissRatioCurve, StackDistance};
 pub use policy::PolicyKind;
 pub use ring::HashRing;

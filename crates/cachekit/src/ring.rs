@@ -85,10 +85,33 @@ impl HashRing {
         if !self.shards.insert(shard) {
             return;
         }
-        for r in 0..self.vnodes {
-            let pos = Self::vnode_position(shard, r);
-            let idx = self.points.partition_point(|&(p, _)| p < pos);
-            self.points.insert(idx, (pos, shard));
+        // Single backward merge instead of vnodes × Vec::insert — the old
+        // per-replica insert was O(points) per vnode, which made building or
+        // rescaling a large ring quadratic (profiling flagged it at 10k+
+        // vnodes). Placement must stay byte-identical, including how ties
+        // resolve: the old loop inserted each new point *before* any
+        // existing point of equal position, and a later replica of this same
+        // call before an earlier one. Sorting new points by
+        // (position, descending replica) and letting a new point win ties
+        // against old ones reproduces exactly that order.
+        let mut fresh: Vec<(u64, u32)> = (0..self.vnodes)
+            .map(|r| (Self::vnode_position(shard, r), r))
+            .collect();
+        fresh.sort_unstable_by(|a, b| a.0.cmp(&b.0).then(b.1.cmp(&a.1)));
+        let old_len = self.points.len();
+        self.points.resize(old_len + fresh.len(), (0, 0));
+        let mut write = self.points.len();
+        let mut old = old_len;
+        let mut new = fresh.len();
+        while new > 0 {
+            write -= 1;
+            if old > 0 && self.points[old - 1].0 >= fresh[new - 1].0 {
+                self.points[write] = self.points[old - 1];
+                old -= 1;
+            } else {
+                new -= 1;
+                self.points[write] = (fresh[new].0, shard);
+            }
         }
     }
 
@@ -115,11 +138,16 @@ impl HashRing {
 
     /// The shard owning `key`, or `None` if the ring is empty.
     pub fn shard_for(&self, key: &[u8]) -> Option<u32> {
+        self.shard_for_hashed(stable_hash(key))
+    }
+
+    /// [`HashRing::shard_for`] for callers that already hold the key's
+    /// [`stable_hash`] (interned keys carry it), skipping the byte walk.
+    pub fn shard_for_hashed(&self, hash: u64) -> Option<u32> {
         if self.points.is_empty() {
             return None;
         }
-        let h = stable_hash(key);
-        let idx = self.points.partition_point(|&(p, _)| p < h);
+        let idx = self.points.partition_point(|&(p, _)| p < hash);
         let idx = if idx == self.points.len() { 0 } else { idx };
         Some(self.points[idx].1)
     }
@@ -289,6 +317,48 @@ mod tests {
         assert_eq!(ring.shard_count(), baseline.shard_count());
         for k in keys(5_000) {
             assert_eq!(ring.shard_for(&k), baseline.shard_for(&k));
+        }
+    }
+
+    #[test]
+    fn add_shard_matches_per_replica_insert_oracle() {
+        // Regression for the O(points × vnodes) add path: the merged insert
+        // must produce byte-identical point order to the old per-replica
+        // `Vec::insert` loop — including tie order (new point before an
+        // equal-positioned old one; later replica before an earlier one).
+        let naive_add = |points: &mut Vec<(u64, u32)>, shard: u32, vnodes: u32| {
+            for r in 0..vnodes {
+                let pos = HashRing::vnode_position(shard, r);
+                let idx = points.partition_point(|&(p, _)| p < pos);
+                points.insert(idx, (pos, shard));
+            }
+        };
+        let mut ring = HashRing::new(64);
+        let mut oracle: Vec<(u64, u32)> = Vec::new();
+        for shard in 0..40 {
+            ring.add_shard(shard);
+            naive_add(&mut oracle, shard, 64);
+            assert_eq!(ring.points, oracle, "diverged after shard {shard}");
+        }
+    }
+
+    #[test]
+    fn add_shard_scales_to_deep_rings() {
+        // 100 shards × 128 vnodes = 12.8k points. The old quadratic path
+        // made this build take O(points²) work; the merge path must keep the
+        // exact same placement while staying fast enough to run in tests.
+        let ring = HashRing::with_shards(100, 128);
+        assert_eq!(ring.points.len(), 12_800);
+        assert!(ring.points.windows(2).all(|w| w[0].0 <= w[1].0), "sorted");
+        let mut rebuilt = HashRing::new(128);
+        // Adding in a different order lands the same sorted point set.
+        for shard in (0..100).rev() {
+            rebuilt.add_shard(shard);
+        }
+        assert_eq!(ring.points, rebuilt.points);
+        for k in keys(1_000) {
+            assert_eq!(ring.shard_for(&k), rebuilt.shard_for(&k));
+            assert_eq!(ring.shard_for(&k), ring.shard_for_hashed(stable_hash(&k)));
         }
     }
 

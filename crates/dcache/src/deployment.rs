@@ -18,12 +18,12 @@
 
 use crate::config::{ArchKind, DeploymentConfig};
 use crate::lease::AutoSharder;
-use cachekit::Cache;
+use cachekit::{Cache, InternedKey, KeyInterner};
 use rand::rngs::StdRng;
 use rand::{Rng, SeedableRng};
 use simnet::{CpuCategory, CpuMeter, Delivery, MetricSet, Network, NodeId, SimDuration, SimTime};
 use std::collections::HashMap;
-use storekit::cluster::{QueryReceipt, SqlCluster};
+use storekit::cluster::{CachedStatement, QueryReceipt, SqlCluster};
 use storekit::error::{StoreError, StoreResult};
 use storekit::schema::Catalog;
 use storekit::value::Datum;
@@ -150,30 +150,30 @@ pub struct ServeOutcome {
 /// instead of issuing their own SQL statement.
 #[derive(Debug, Default)]
 struct SingleFlight {
-    inflight: HashMap<Vec<u8>, (SimTime, Option<CachedVal>)>,
+    inflight: cachekit::FxHashMap<InternedKey, (SimTime, Option<CachedVal>)>,
 }
 
 impl SingleFlight {
     /// If an identical fill completes after `now`, return its completion
     /// time and result; expired entries are dropped lazily.
-    fn check(&mut self, key: &[u8], now: SimTime) -> Option<(SimTime, Option<CachedVal>)> {
-        match self.inflight.get(key) {
+    fn check(&mut self, key: InternedKey, now: SimTime) -> Option<(SimTime, Option<CachedVal>)> {
+        match self.inflight.get(&key) {
             Some(&(done_at, val)) if done_at > now => Some((done_at, val)),
             Some(_) => {
-                self.inflight.remove(key);
+                self.inflight.remove(&key);
                 None
             }
             None => None,
         }
     }
 
-    fn record(&mut self, key: Vec<u8>, done_at: SimTime, val: Option<CachedVal>) {
+    fn record(&mut self, key: InternedKey, done_at: SimTime, val: Option<CachedVal>) {
         self.inflight.insert(key, (done_at, val));
     }
 
     /// A write or delete makes any in-flight result unsafe to share.
-    fn invalidate(&mut self, key: &[u8]) {
-        self.inflight.remove(key);
+    fn invalidate(&mut self, key: InternedKey) {
+        self.inflight.remove(&key);
     }
 }
 
@@ -186,9 +186,10 @@ pub struct Deployment {
     /// CPU meters, one per remote cache node (empty unless Remote).
     pub cache_cpu: Vec<CpuMeter>,
     /// Linked cache shards, one per app server (linked-family archs).
-    pub(crate) linked: Vec<Cache<Vec<u8>, CachedVal>>,
+    /// Keyed by interned key ids — see [`Deployment::intern_bytes`].
+    pub(crate) linked: Vec<Cache<InternedKey, CachedVal>>,
     /// Remote cache nodes (Remote only).
-    pub(crate) remote: Vec<Cache<Vec<u8>, CachedVal>>,
+    pub(crate) remote: Vec<Cache<InternedKey, CachedVal>>,
     /// Key → shard routing for both cache families, plus lease state.
     pub sharder: AutoSharder,
     remote_ring: cachekit::HashRing,
@@ -238,6 +239,39 @@ pub struct Deployment {
     /// byte-identical. The experiment runner drives decisions from its
     /// heartbeat and applies them via [`Deployment::apply_elastic_plan`].
     pub elastic: elastic::ElasticController,
+    /// Per-table KV statements parsed + planned once (first use) and reused
+    /// on every serve — a wall-clock-only optimization: cached executions
+    /// charge exactly what `SqlCluster::execute` would for the same text.
+    sql_stmts: HashMap<String, TableSql>,
+    /// Byte key ↔ interned id table shared by every cache/routing layer.
+    /// An interned key carries the same hashes the byte key produced, so
+    /// interning changes wall-clock only — never simulated behaviour.
+    pub(crate) interner: KeyInterner,
+    /// Reusable buffer for building `table/key` bytes before interning;
+    /// keeps the steady-state serve path allocation-free.
+    key_scratch: Vec<u8>,
+}
+
+/// The four statement shapes the KV serve paths issue, pre-planned per
+/// table (see [`storekit::cluster::CachedStatement`]). Each statement is
+/// prepared on first use: the KV-shaped trio (`... WHERE k = ?`) only
+/// validates against KV tables, while the version probe works for any
+/// table — rich-object paths only ever need the latter.
+#[derive(Default)]
+struct TableSql {
+    select: Option<CachedStatement>,
+    replace: Option<CachedStatement>,
+    delete: Option<CachedStatement>,
+    version: Option<CachedStatement>,
+}
+
+/// Selector into a [`TableSql`] entry.
+#[derive(Clone, Copy)]
+enum KvStmt {
+    Select,
+    Replace,
+    Delete,
+    Version,
 }
 
 /// Remote cache node `i` appears on the fault fabric as `CACHE_NODE_BASE+i`;
@@ -308,9 +342,74 @@ impl Deployment {
             crashed_storage_pods: std::collections::BTreeMap::new(),
             tracer: Tracer::disabled(),
             elastic: elastic::ElasticController::new(config.elastic),
+            sql_stmts: HashMap::new(),
+            interner: KeyInterner::new(),
+            key_scratch: Vec::new(),
             cluster,
             config,
         }
+    }
+
+    /// Intern an arbitrary cache-key byte string (rich-object paths build
+    /// their own key shapes).
+    pub(crate) fn intern_bytes(&mut self, bytes: &[u8]) -> InternedKey {
+        self.interner.intern(bytes)
+    }
+
+    /// Pre-populate the key interner with arbitrary byte keys, shifting the
+    /// dense ids later keys receive. Ids are an internal detail — serving
+    /// behavior must be a function of key *bytes* only; the interning
+    /// equivalence test uses this to prove it.
+    pub fn prewarm_interner(&mut self, keys: impl IntoIterator<Item = Vec<u8>>) {
+        for k in keys {
+            self.intern_bytes(&k);
+        }
+    }
+
+    /// Intern the `table/key` cache key for one KV request without
+    /// allocating: the bytes are built in a reusable scratch buffer and
+    /// only copied out on first sight of the key.
+    pub(crate) fn intern_kv_key(&mut self, table: &str, key: i64) -> InternedKey {
+        self.key_scratch.clear();
+        self.key_scratch.extend_from_slice(table.as_bytes());
+        self.key_scratch.push(b'/');
+        self.key_scratch.extend_from_slice(&key.to_be_bytes());
+        self.interner.intern(&self.key_scratch)
+    }
+
+    /// The pre-planned statement for `table`, built on first use. An
+    /// associated function over disjoint fields so callers can keep
+    /// borrowing `self.cluster` mutably while holding the result.
+    fn table_sql<'a>(
+        stmts: &'a mut HashMap<String, TableSql>,
+        cluster: &SqlCluster,
+        table: &str,
+        which: KvStmt,
+    ) -> StoreResult<&'a CachedStatement> {
+        if !stmts.contains_key(table) {
+            stmts.insert(table.to_string(), TableSql::default());
+        }
+        let entry = stmts.get_mut(table).unwrap();
+        let slot = match which {
+            KvStmt::Select => &mut entry.select,
+            KvStmt::Replace => &mut entry.replace,
+            KvStmt::Delete => &mut entry.delete,
+            KvStmt::Version => &mut entry.version,
+        };
+        if slot.is_none() {
+            let sql = match which {
+                KvStmt::Select => format!("SELECT v, _version FROM {table} WHERE k = ?"),
+                KvStmt::Replace => format!("REPLACE INTO {table} VALUES (?, ?)"),
+                KvStmt::Delete => format!("DELETE FROM {table} WHERE k = ?"),
+                KvStmt::Version => {
+                    let schema = cluster.catalog.get(table)?;
+                    let pk_col = &schema.columns[schema.primary_key].name;
+                    format!("SELECT _version FROM {table} WHERE {pk_col} = ?")
+                }
+            };
+            *slot = Some(cluster.prepare_cached(&sql)?);
+        }
+        Ok(slot.as_ref().unwrap())
     }
 
     /// Reset all CPU meters and cache statistics (between warmup and
@@ -414,8 +513,11 @@ impl Deployment {
     }
 
     /// The remote cache node owning `cache_key` on the hash ring.
-    fn remote_node_for(&self, cache_key: &[u8]) -> usize {
-        self.remote_ring.shard_for(cache_key).unwrap_or(0) as usize % self.remote.len().max(1)
+    fn remote_node_for(&self, cache_key: InternedKey) -> usize {
+        self.remote_ring
+            .shard_for_hashed(cache_key.route_hash())
+            .unwrap_or(0) as usize
+            % self.remote.len().max(1)
     }
 
     /// One attempted app→cache-node message on the fault fabric; `true` if
@@ -499,7 +601,7 @@ impl Deployment {
         app: usize,
         table: &str,
         key: i64,
-        cache_key: &[u8],
+        cache_key: InternedKey,
         now: SimTime,
         out: &mut ServeOutcome,
     ) -> StoreResult<Option<CachedVal>> {
@@ -530,7 +632,7 @@ impl Deployment {
         out.sql_statements += 1;
         out.latency += lat;
         if self.config.fault_tolerance.single_flight {
-            self.single_flight.record(cache_key.to_vec(), now + lat, val);
+            self.single_flight.record(cache_key, now + lat, val);
         }
         self.tracer.span(
             "storage.fill",
@@ -549,7 +651,7 @@ impl Deployment {
         app: usize,
         table: &str,
         key: i64,
-        cache_key: &[u8],
+        cache_key: InternedKey,
         now: SimTime,
         out: &mut ServeOutcome,
     ) -> StoreResult<()> {
@@ -610,13 +712,19 @@ impl Deployment {
     /// linked architectures (Slicer-style client routing), round-robin
     /// otherwise — including LinkedTtl, where every server caches its own
     /// replica of whatever it serves.
-    pub(crate) fn route_app(&mut self, cache_key: &[u8]) -> usize {
+    pub(crate) fn route_app(&mut self, cache_key: InternedKey) -> usize {
         if self.config.arch.has_linked_cache() && self.config.arch.linked_cache_is_sharded() {
-            self.sharder.owner(cache_key) as usize % self.config.app_servers
+            self.sharder.owner_hashed(cache_key.route_hash()) as usize % self.config.app_servers
         } else {
-            self.rr = self.rr.wrapping_add(1);
-            self.rr % self.config.app_servers
+            self.route_app_rr()
         }
+    }
+
+    /// Round-robin routing for requests with no key affinity (multi-key
+    /// batch requests, unsharded architectures).
+    pub(crate) fn route_app_rr(&mut self) -> usize {
+        self.rr = self.rr.wrapping_add(1);
+        self.rr % self.config.app_servers
     }
 
     pub(crate) fn charge_app(&mut self, app: usize, cat: CpuCategory, cost: SimDuration) {
@@ -658,8 +766,8 @@ impl Deployment {
         key: i64,
         now: SimTime,
     ) -> StoreResult<(Option<CachedVal>, SimDuration, QueryReceipt)> {
-        let sql = format!("SELECT v, _version FROM {table} WHERE k = ?");
-        let receipt = self.cluster.execute(&sql, &[Datum::Int(key)], now)?;
+        let stmt = Self::table_sql(&mut self.sql_stmts, &self.cluster, table, KvStmt::Select)?;
+        let receipt = self.cluster.execute_cached(stmt, &[Datum::Int(key)], now)?;
         let latency = self.charge_app_db_rpc(app, &receipt);
         let val = receipt.rows.first().map(|row| {
             let (bytes, seed) = payload_identity(row.get(0).unwrap_or(&Datum::Null));
@@ -686,8 +794,10 @@ impl Deployment {
         // The app serializes the value into the write request.
         let ser = self.config.app_cost.serialize_cost(bytes);
         self.charge_app(app, CpuCategory::Serialization, ser);
-        let sql = format!("REPLACE INTO {table} VALUES (?, ?)");
-        let receipt = self.cluster.execute(&sql, &[Datum::Int(key), value], now)?;
+        let stmt = Self::table_sql(&mut self.sql_stmts, &self.cluster, table, KvStmt::Replace)?;
+        let receipt = self
+            .cluster
+            .execute_cached(stmt, &[Datum::Int(key), value], now)?;
         let latency = ser + self.charge_app_db_rpc(app, &receipt);
         let version = receipt.write_version.unwrap_or(0);
         Ok((
@@ -792,7 +902,7 @@ impl Deployment {
     pub(crate) fn remote_lookup(
         &mut self,
         app: usize,
-        cache_key: &[u8],
+        cache_key: InternedKey,
         now: SimTime,
     ) -> (Option<CachedVal>, SimDuration) {
         self.remote_lookup_at(app, cache_key, now, now)
@@ -805,7 +915,7 @@ impl Deployment {
     pub(crate) fn remote_lookup_at(
         &mut self,
         app: usize,
-        cache_key: &[u8],
+        cache_key: InternedKey,
         now: SimTime,
         at: SimTime,
     ) -> (Option<CachedVal>, SimDuration) {
@@ -823,11 +933,11 @@ impl Deployment {
         &mut self,
         app: usize,
         node: usize,
-        cache_key: &[u8],
+        cache_key: InternedKey,
         now: SimTime,
         follower: bool,
     ) -> (Option<CachedVal>, SimDuration) {
-        let found = self.remote[node].get(cache_key, now.as_nanos()).copied();
+        let found = self.remote[node].get(&cache_key, now.as_nanos()).copied();
         let resp_bytes = found.map(|v| v.bytes).unwrap_or(8);
         let cost = self.config.app_cost;
         let app_rpc = if follower {
@@ -860,7 +970,7 @@ impl Deployment {
     pub(crate) fn remote_update(
         &mut self,
         app: usize,
-        cache_key: &[u8],
+        cache_key: InternedKey,
         value: Option<CachedVal>,
         now: SimTime,
     ) -> SimDuration {
@@ -872,7 +982,7 @@ impl Deployment {
     pub(crate) fn remote_update_at(
         &mut self,
         app: usize,
-        cache_key: &[u8],
+        cache_key: InternedKey,
         value: Option<CachedVal>,
         now: SimTime,
         at: SimTime,
@@ -888,7 +998,7 @@ impl Deployment {
         &mut self,
         app: usize,
         node: usize,
-        cache_key: &[u8],
+        cache_key: InternedKey,
         value: Option<CachedVal>,
         now: SimTime,
         follower: bool,
@@ -913,10 +1023,10 @@ impl Deployment {
         self.cache_cpu[node].charge(CpuCategory::CacheOp, op);
         match value {
             Some(v) => {
-                self.remote[node].insert(cache_key.to_vec(), v, v.bytes, now.as_nanos());
+                self.remote[node].insert(cache_key, v, v.bytes, now.as_nanos());
             }
             None => {
-                self.remote[node].remove(cache_key);
+                self.remote[node].remove(&cache_key);
             }
         }
         let link = &self.config.cluster.link;
@@ -937,10 +1047,11 @@ impl Deployment {
         key: i64,
         now: SimTime,
     ) -> StoreResult<ServeOutcome> {
-        let ckey = Self::cache_key(table, key);
-        let app = self.route_app(&ckey);
+        let _span = simnet::prof_span!("serve_kv_read");
+        let ckey = self.intern_kv_key(table, key);
+        let app = self.route_app(ckey);
         // Feed the MRC profiler (no-op unless elastic is enabled).
-        self.elastic.observe(&ckey);
+        self.elastic.observe_hashed(ckey.route_hash());
         let mut out = ServeOutcome::default();
 
         match self.config.arch {
@@ -951,10 +1062,10 @@ impl Deployment {
                 self.finish_read(app, val, now, &mut out);
             }
             ArchKind::Remote => {
-                let node = self.remote_node_for(&ckey);
+                let node = self.remote_node_for(ckey);
                 if self.reach_cache_node(app, node, now, &mut out) {
                     let lookup_start = now.as_nanos() + out.latency.as_nanos();
-                    let (hit, lat) = self.remote_lookup_at(app, &ckey, now, now + out.latency);
+                    let (hit, lat) = self.remote_lookup_at(app, ckey, now, now + out.latency);
                     out.latency += lat;
                     self.tracer.span(
                         "cache.lookup",
@@ -970,25 +1081,25 @@ impl Deployment {
                             self.finish_read(app, Some(v), now, &mut out);
                         }
                         None => {
-                            let val = self.storage_fill(app, table, key, &ckey, now, &mut out)?;
+                            let val = self.storage_fill(app, table, key, ckey, now, &mut out)?;
                             if !out.coalesced {
                                 if let Some(v) = val {
                                     let _ = self.cache_rpc_attempt(app, node);
                                     let at = now + out.latency;
                                     out.latency +=
-                                        self.remote_update_at(app, &ckey, Some(v), now, at);
+                                        self.remote_update_at(app, ckey, Some(v), now, at);
                                 }
                             }
                             self.finish_read(app, val, now, &mut out);
                         }
                     }
                 } else {
-                    self.degraded_read(app, table, key, &ckey, now, &mut out)?;
+                    self.degraded_read(app, table, key, ckey, now, &mut out)?;
                 }
             }
             ArchKind::Linked => {
                 if !self.linked_shard_up(app) {
-                    self.degraded_read(app, table, key, &ckey, now, &mut out)?;
+                    self.degraded_read(app, table, key, ckey, now, &mut out)?;
                     return Ok(out);
                 }
                 let lk_start = now.as_nanos() + out.latency.as_nanos();
@@ -1008,7 +1119,7 @@ impl Deployment {
                         self.finish_read(app, Some(v), now, &mut out);
                     }
                     None => {
-                        let val = self.storage_fill(app, table, key, &ckey, now, &mut out)?;
+                        let val = self.storage_fill(app, table, key, ckey, now, &mut out)?;
                         if !out.coalesced {
                             if let Some(v) = val {
                                 self.linked[app].insert(ckey, v, v.bytes, now.as_nanos());
@@ -1023,7 +1134,7 @@ impl Deployment {
                 // replica (another server wrote since). TTL bounds the
                 // staleness window; expiry shows up as a miss.
                 if !self.linked_shard_up(app) {
-                    self.degraded_read(app, table, key, &ckey, now, &mut out)?;
+                    self.degraded_read(app, table, key, ckey, now, &mut out)?;
                     return Ok(out);
                 }
                 let lk_start = now.as_nanos() + out.latency.as_nanos();
@@ -1043,7 +1154,7 @@ impl Deployment {
                         self.finish_read(app, Some(v), now, &mut out);
                     }
                     None => {
-                        let val = self.storage_fill(app, table, key, &ckey, now, &mut out)?;
+                        let val = self.storage_fill(app, table, key, ckey, now, &mut out)?;
                         if !out.coalesced {
                             if let Some(v) = val {
                                 let ttl = self.config.linked_ttl.as_nanos();
@@ -1063,7 +1174,7 @@ impl Deployment {
             ArchKind::LinkedVersion => {
                 if !self.linked_shard_up(app) {
                     // Reading storage directly is trivially consistent.
-                    self.degraded_read(app, table, key, &ckey, now, &mut out)?;
+                    self.degraded_read(app, table, key, ckey, now, &mut out)?;
                     return Ok(out);
                 }
                 let lk_start = now.as_nanos() + out.latency.as_nanos();
@@ -1100,7 +1211,7 @@ impl Deployment {
                         } else {
                             // Stale (or deleted): refresh from storage.
                             self.linked[app].remove(&ckey);
-                            let val = self.storage_fill(app, table, key, &ckey, now, &mut out)?;
+                            let val = self.storage_fill(app, table, key, ckey, now, &mut out)?;
                             if !out.coalesced {
                                 if let Some(fresh) = val {
                                     self.linked[app].insert(
@@ -1115,7 +1226,7 @@ impl Deployment {
                         }
                     }
                     None => {
-                        let val = self.storage_fill(app, table, key, &ckey, now, &mut out)?;
+                        let val = self.storage_fill(app, table, key, ckey, now, &mut out)?;
                         if !out.coalesced {
                             if let Some(v) = val {
                                 self.linked[app].insert(ckey, v, v.bytes, now.as_nanos());
@@ -1128,10 +1239,10 @@ impl Deployment {
             ArchKind::LeaseOwned => {
                 if !self.linked_shard_up(app) {
                     // No cached copy to fence; storage reads are linearizable.
-                    self.degraded_read(app, table, key, &ckey, now, &mut out)?;
+                    self.degraded_read(app, table, key, ckey, now, &mut out)?;
                     return Ok(out);
                 }
-                let shard = self.sharder.owner(&ckey);
+                let shard = self.sharder.owner_hashed(ckey.route_hash());
                 let lease_cost =
                     SimDuration::from_micros_f64(self.config.app_cost.lease_validate_us);
                 self.charge_app(app, CpuCategory::TxnLease, lease_cost);
@@ -1168,7 +1279,7 @@ impl Deployment {
                             self.finish_read(app, Some(v), now, &mut out);
                         } else {
                             self.linked[app].remove(&ckey);
-                            let val = self.storage_fill(app, table, key, &ckey, now, &mut out)?;
+                            let val = self.storage_fill(app, table, key, ckey, now, &mut out)?;
                             if !out.coalesced {
                                 if let Some(fresh) = val {
                                     self.linked[app].insert(
@@ -1183,7 +1294,7 @@ impl Deployment {
                         }
                     }
                     None => {
-                        let val = self.storage_fill(app, table, key, &ckey, now, &mut out)?;
+                        let val = self.storage_fill(app, table, key, ckey, now, &mut out)?;
                         if !lease_ok {
                             self.sharder.renew(shard, now);
                         }
@@ -1215,6 +1326,7 @@ impl Deployment {
         keys: &[i64],
         now: SimTime,
     ) -> StoreResult<Vec<ServeOutcome>> {
+        let _span = simnet::prof_span!("serve_kv_read_batch");
         if self.config.arch != ArchKind::Remote || !self.config.batching.enabled() {
             return keys
                 .iter()
@@ -1223,15 +1335,18 @@ impl Deployment {
         }
         let max_batch = self.config.batching.max_batch.max(1) as usize;
         // One app server fields the whole multi-key request (round-robin).
-        let app = self.route_app(&[]);
-        let ckeys: Vec<Vec<u8>> = keys.iter().map(|&k| Self::cache_key(table, k)).collect();
+        let app = self.route_app_rr();
+        let ckeys: Vec<InternedKey> = keys
+            .iter()
+            .map(|&k| self.intern_kv_key(table, k))
+            .collect();
         for ck in &ckeys {
-            self.elastic.observe(ck);
+            self.elastic.observe_hashed(ck.route_hash());
         }
         // Group key positions by owning cache node, preserving order
         // (vec-indexed, so grouping is deterministic).
         let mut groups: Vec<Vec<usize>> = vec![Vec::new(); self.remote.len().max(1)];
-        for (i, ck) in ckeys.iter().enumerate() {
+        for (i, &ck) in ckeys.iter().enumerate() {
             groups[self.remote_node_for(ck)].push(i);
         }
         let mut outcomes = vec![ServeOutcome::default(); keys.len()];
@@ -1270,12 +1385,12 @@ impl Deployment {
                         out.retries = probe.retries;
                     }
                     if !up {
-                        self.degraded_read(app, table, keys[i], &ckeys[i], now, &mut out)?;
+                        self.degraded_read(app, table, keys[i], ckeys[i], now, &mut out)?;
                         outcomes[i] = out;
                         continue;
                     }
                     let (hit, lat) =
-                        self.remote_lookup_role(app, node, &ckeys[i], now, pos > 0);
+                        self.remote_lookup_role(app, node, ckeys[i], now, pos > 0);
                     out.latency += lat;
                     match hit {
                         Some(v) => {
@@ -1284,13 +1399,13 @@ impl Deployment {
                         }
                         None => {
                             let val =
-                                self.storage_fill(app, table, keys[i], &ckeys[i], now, &mut out)?;
+                                self.storage_fill(app, table, keys[i], ckeys[i], now, &mut out)?;
                             if !out.coalesced {
                                 if let Some(v) = val {
                                     let _ = self.cache_rpc_attempt(app, node);
                                     let at = now + out.latency;
                                     out.latency +=
-                                        self.remote_update_at(app, &ckeys[i], Some(v), now, at);
+                                        self.remote_update_at(app, ckeys[i], Some(v), now, at);
                                 }
                             }
                             self.finish_read(app, val, now, &mut out);
@@ -1311,7 +1426,17 @@ impl Deployment {
         key: i64,
         now: SimTime,
     ) -> StoreResult<(Option<u64>, SimDuration)> {
-        let (version, receipt) = self.cluster.version_check(table, &Datum::Int(key), now)?;
+        let stmt = Self::table_sql(&mut self.sql_stmts, &self.cluster, table, KvStmt::Version)?;
+        let pk = Datum::Int(key);
+        let receipt = self
+            .cluster
+            .execute_cached(stmt, std::slice::from_ref(&pk), now)?;
+        let version = receipt
+            .rows
+            .first()
+            .and_then(|r| r.get(0))
+            .and_then(|d| d.as_int())
+            .map(|v| v as u64);
         let latency = self.charge_app_db_rpc(app, &receipt);
         Ok((version, latency))
     }
@@ -1355,8 +1480,9 @@ impl Deployment {
         value: Datum,
         now: SimTime,
     ) -> StoreResult<ServeOutcome> {
-        let ckey = Self::cache_key(table, key);
-        let app = self.route_app(&ckey);
+        let _span = simnet::prof_span!("serve_kv_write");
+        let ckey = self.intern_kv_key(table, key);
+        let app = self.route_app(ckey);
         let mut out = ServeOutcome::default();
 
         if self.config.arch == ArchKind::LeaseOwned {
@@ -1382,17 +1508,17 @@ impl Deployment {
         out.version = Some(written.version);
         out.bytes = written.bytes;
         // The row changed: any in-flight fill result is no longer shareable.
-        self.single_flight.invalidate(&ckey);
+        self.single_flight.invalidate(ckey);
 
         match self.config.arch {
             ArchKind::Base => {}
             ArchKind::Remote => {
                 // Classic lookaside: invalidate after write; the next read
                 // misses and refills.
-                let node = self.remote_node_for(&ckey);
+                let node = self.remote_node_for(ckey);
                 if self.cache_rpc_attempt(app, node) {
                     let at = now + out.latency;
-                    out.latency += self.remote_update_at(app, &ckey, None, now, at);
+                    out.latency += self.remote_update_at(app, ckey, None, now, at);
                 } else {
                     // A crashed shard lost the entry anyway (restart is
                     // cold), so skipping the invalidation is safe; record
@@ -1448,8 +1574,8 @@ impl Deployment {
         key: i64,
         now: SimTime,
     ) -> StoreResult<ServeOutcome> {
-        let ckey = Self::cache_key(table, key);
-        let app = self.route_app(&ckey);
+        let ckey = self.intern_kv_key(table, key);
+        let app = self.route_app(ckey);
         let mut out = ServeOutcome::default();
 
         if self.config.arch == ArchKind::LeaseOwned {
@@ -1458,20 +1584,20 @@ impl Deployment {
             out.latency += lease_cost;
         }
 
-        let sql = format!("DELETE FROM {table} WHERE k = ?");
-        let receipt = self.cluster.execute(&sql, &[Datum::Int(key)], now)?;
+        let stmt = Self::table_sql(&mut self.sql_stmts, &self.cluster, table, KvStmt::Delete)?;
+        let receipt = self.cluster.execute_cached(stmt, &[Datum::Int(key)], now)?;
         out.sql_statements += 1;
         out.version = receipt.write_version;
         out.latency += self.charge_app_db_rpc(app, &receipt);
-        self.single_flight.invalidate(&ckey);
+        self.single_flight.invalidate(ckey);
 
         match self.config.arch {
             ArchKind::Base => {}
             ArchKind::Remote => {
-                let node = self.remote_node_for(&ckey);
+                let node = self.remote_node_for(ckey);
                 if self.cache_rpc_attempt(app, node) {
                     let at = now + out.latency;
-                    out.latency += self.remote_update_at(app, &ckey, None, now, at);
+                    out.latency += self.remote_update_at(app, ckey, None, now, at);
                 } else {
                     self.metrics
                         .counter(fault_counters::INVALIDATIONS_SKIPPED)
@@ -1629,10 +1755,14 @@ impl Deployment {
     /// migration is deterministic.
     fn rebalance_remote(&mut self, now: SimTime) {
         for src in 0..self.remote.len() {
-            let mut keys: Vec<Vec<u8>> = self.remote[src].keys().cloned().collect();
-            keys.sort_unstable();
+            let mut keys: Vec<InternedKey> = self.remote[src].keys().copied().collect();
+            // Sorted by the keys' original *bytes* — the order the
+            // pre-interning implementation migrated in (interned ids are
+            // assigned in first-access order, which is not byte order).
+            let interner = &self.interner;
+            keys.sort_unstable_by(|&a, &b| interner.resolve(a).cmp(interner.resolve(b)));
             for k in keys {
-                let owner = self.remote_node_for(&k);
+                let owner = self.remote_node_for(k);
                 if owner == src {
                     continue;
                 }
@@ -2405,7 +2535,7 @@ mod tests {
         for node in 0..4 {
             let misplaced = d.remote[node]
                 .keys()
-                .filter(|k| d.remote_node_for(k) != node)
+                .filter(|&&k| d.remote_node_for(k) != node)
                 .count();
             assert_eq!(misplaced, 0, "node {node} holds keys it does not own");
         }

@@ -61,6 +61,14 @@ impl AutoSharder {
         self.ring.shard_for(key).expect("sharder always has shards")
     }
 
+    /// [`AutoSharder::owner`] by precomputed `stable_hash(key)` (interned
+    /// keys carry it), avoiding the per-request byte walk.
+    pub fn owner_hashed(&self, hash: u64) -> u32 {
+        self.ring
+            .shard_for_hashed(hash)
+            .expect("sharder always has shards")
+    }
+
     /// Current fencing epoch of a shard.
     pub fn epoch(&self, shard: u32) -> u64 {
         self.leases[shard as usize].epoch

@@ -84,8 +84,8 @@ fn serve_get_table(
     generation: u64,
     now: SimTime,
 ) -> StoreResult<ServeOutcome> {
-    let ckey = object_cache_key(t);
-    let app = dep.route_app(&ckey);
+    let ckey = dep.intern_bytes(&object_cache_key(t));
+    let app = dep.route_app(ckey);
     let mut out = ServeOutcome::default();
 
     let arch = dep.config.arch;
@@ -93,7 +93,7 @@ fn serve_get_table(
     let cached: Option<CachedVal> = match arch {
         ArchKind::Base => None,
         ArchKind::Remote => {
-            let (hit, lat) = dep.remote_lookup(app, &ckey, now);
+            let (hit, lat) = dep.remote_lookup(app, ckey, now);
             out.latency += lat;
             hit
         }
@@ -121,7 +121,7 @@ fn serve_get_table(
                 }
             }
             ArchKind::LeaseOwned => {
-                let shard = dep.sharder.owner(&ckey);
+                let shard = dep.sharder.owner_hashed(ckey.route_hash());
                 let lease_cost =
                     SimDuration::from_micros_f64(dep.config.app_cost.lease_validate_us);
                 dep.charge_app(app, CpuCategory::TxnLease, lease_cost);
@@ -188,7 +188,7 @@ fn serve_get_table(
     match arch {
         ArchKind::Base => {}
         ArchKind::Remote => {
-            out.latency += dep.remote_update(app, &ckey, Some(object), now);
+            out.latency += dep.remote_update(app, ckey, Some(object), now);
         }
         ArchKind::Linked | ArchKind::LinkedVersion | ArchKind::LeaseOwned => {
             out.latency += dep.charge_linked_op(app);
@@ -216,8 +216,8 @@ fn serve_update_table(
     generation: u64,
     now: SimTime,
 ) -> StoreResult<ServeOutcome> {
-    let ckey = object_cache_key(t);
-    let app = dep.route_app(&ckey);
+    let ckey = dep.intern_bytes(&object_cache_key(t));
+    let app = dep.route_app(ckey);
     let mut out = ServeOutcome::default();
 
     let (sql, params) = dataset.update_table_statement(t, generation);
@@ -236,7 +236,7 @@ fn serve_update_table(
     match dep.config.arch {
         ArchKind::Base => {}
         ArchKind::Remote => {
-            out.latency += dep.remote_update(app, &ckey, None, now);
+            out.latency += dep.remote_update(app, ckey, None, now);
         }
         ArchKind::Linked | ArchKind::LinkedVersion | ArchKind::LeaseOwned | ArchKind::LinkedTtl => {
             // Rich objects can't be patched in place: invalidate, and let

@@ -1,0 +1,104 @@
+//! Interning must be invisible: serving behavior is a function of cache-key
+//! *bytes*, never of the dense `u32` ids the interner hands out.
+//!
+//! The PR-8 speed overhaul threads `InternedKey` (id + precomputed route and
+//! sketch hashes) through the whole serve path instead of re-hashing byte
+//! keys per request. Ids are assigned in first-sight order, so two runs that
+//! intern keys in different orders hold completely different id spaces. This
+//! test drives two deployments through an identical splitmix64-derived
+//! operation sequence — one fresh, one whose interner was pre-warmed with
+//! thousands of unrelated keys so every real key's id is shifted — and
+//! asserts every `ServeOutcome` (latencies, hits, versions, bytes: the full
+//! debug form) is identical. Any dependence on id values, id ordering, or
+//! id-keyed iteration order would diverge here.
+
+use dcache::deployment::{kv_catalog, Deployment};
+use dcache::{ArchKind, DeploymentConfig};
+use simnet::{SimDuration, SimTime};
+use storekit::value::Datum;
+
+const KEYS: i64 = 64;
+
+fn splitmix64(state: &mut u64) -> u64 {
+    *state = state.wrapping_add(0x9E37_79B9_7F4A_7C15);
+    let mut z = *state;
+    z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+    z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+    z ^ (z >> 31)
+}
+
+fn deployment(arch: ArchKind) -> Deployment {
+    let mut d = Deployment::new(DeploymentConfig::test_small(arch), kv_catalog("kv"));
+    d.cluster
+        .bulk_load(
+            "kv",
+            (0..KEYS).map(|k| vec![Datum::Int(k), Datum::Payload { len: 128, seed: 7 }]),
+        )
+        .unwrap();
+    d
+}
+
+/// Run one deterministic op sequence, returning the outcome transcript.
+fn transcript(d: &mut Deployment, seed: u64, ops: usize) -> Vec<String> {
+    let mut rng = seed;
+    let mut log = Vec::with_capacity(ops);
+    let mut now = SimTime::ZERO;
+    for _ in 0..ops {
+        now += SimDuration::from_micros(100);
+        let key = (splitmix64(&mut rng) % KEYS as u64) as i64;
+        let out = match splitmix64(&mut rng) % 10 {
+            0..=6 => d.serve_kv_read("kv", key, now),
+            7..=8 => d.serve_kv_write(
+                "kv",
+                key,
+                Datum::Payload {
+                    len: 128,
+                    seed: splitmix64(&mut rng),
+                },
+                now,
+            ),
+            _ => d.serve_kv_delete("kv", key, now),
+        };
+        log.push(format!("{out:?}"));
+    }
+    log
+}
+
+#[test]
+fn shifted_interner_ids_leave_serving_byte_identical() {
+    for arch in ArchKind::PAPER {
+        let mut fresh = deployment(arch);
+        let mut shifted = deployment(arch);
+        // Shift every real key's dense id by thousands of positions (and
+        // scatter the interner's table layout) before any traffic.
+        shifted
+            .prewarm_interner((0..5_000u64).map(|i| format!("unrelated/{i}/padding").into_bytes()));
+
+        let a = transcript(&mut fresh, 42, 4_000);
+        let b = transcript(&mut shifted, 42, 4_000);
+        assert_eq!(
+            a, b,
+            "outcome transcripts diverged under shifted interner ids ({arch:?})"
+        );
+    }
+}
+
+#[test]
+fn interleaved_interning_order_is_invisible() {
+    // Same traffic, but one deployment has the real keyspace pre-interned
+    // in *reverse*, so id order is the exact opposite of first-touch order.
+    // The transcripts must still match.
+    for arch in [ArchKind::Remote, ArchKind::Linked] {
+        let mut forward = deployment(arch);
+        let mut reverse = deployment(arch);
+        reverse.prewarm_interner((0..KEYS).rev().map(|k| {
+            let mut v = b"kv/".to_vec();
+            v.extend_from_slice(&k.to_be_bytes());
+            v
+        }));
+
+        let a = transcript(&mut forward, 99, 2_000);
+        let b = transcript(&mut reverse, 99, 2_000);
+        assert_eq!(a, b, "id assignment order leaked into serving ({arch:?})");
+    }
+}

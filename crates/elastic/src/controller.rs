@@ -104,6 +104,16 @@ impl ElasticController {
         self.window_requests += 1;
     }
 
+    /// [`ElasticController::observe`] by precomputed `stable_hash(key)` —
+    /// callers that route by interned keys already hold the hash.
+    pub fn observe_hashed(&mut self, hash: u64) {
+        if !self.cfg.enabled() {
+            return;
+        }
+        self.profiler.observe_hashed(hash);
+        self.window_requests += 1;
+    }
+
     /// Run a decision if a full interval has elapsed since the last one.
     /// Returns the (possibly unchanged) plan when a decision fires.
     pub fn maybe_decide(&mut self, now_secs: f64, pricing: &Pricing) -> Option<Plan> {

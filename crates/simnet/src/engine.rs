@@ -1,10 +1,33 @@
 //! The discrete-event kernel.
 //!
-//! [`Sim<W>`] owns a virtual clock and a priority queue of events. An event
+//! [`Sim<W>`] owns a virtual clock and a pending-event structure. An event
 //! is a boxed `FnOnce(&mut W, &mut Sim<W>)` closure: it receives mutable
 //! access to the user's world and to the kernel itself (to read the clock,
 //! draw randomness, and schedule further events). Ties in time are broken by
 //! insertion sequence number, so execution order is fully deterministic.
+//!
+//! # Internals: hierarchical timer wheel + event arena
+//!
+//! The queue is a six-level hierarchical timer wheel (64 slots per level,
+//! one-nanosecond ticks) instead of a binary heap. Level `L` buckets events
+//! by the `L`-th base-64 digit of their absolute nanosecond timestamp, so a
+//! slot at level 0 holds events of exactly one instant and a slot at level
+//! `L` spans `64^L` ns. A per-level occupancy bitmap turns "find the next
+//! non-empty slot" into a `trailing_zeros`, scheduling appends to an
+//! intrusive singly-linked slot list, and expiring a higher-level slot
+//! re-distributes ("cascades") its list into lower levels. Events beyond
+//! the wheel's ~68 s horizon wait in an overflow heap ordered by
+//! `(time, seq)` and are promoted en masse when the wheel drains up to
+//! them. Every path preserves the exact `(time, seq)` pop order of the old
+//! heap — `tests/wheel_oracle.rs` checks that differentially against a
+//! `BinaryHeap` re-implementation.
+//!
+//! Event records live in a slab arena with an intrusive freelist: the
+//! steady-state schedule→fire cycle reuses arena slots instead of touching
+//! the allocator (the closure box is the only per-event allocation).
+//! [`Sim::schedule_at`] returns an [`EventId`] — a generation-checked
+//! arena handle — which [`Sim::cancel`] invalidates lazily, so cancels and
+//! reschedules are O(1) and never reshuffle the wheel.
 
 use crate::time::{SimDuration, SimTime};
 use rand::rngs::StdRng;
@@ -16,26 +39,71 @@ use std::collections::BinaryHeap;
 // to a sweep worker thread; each simulation still runs single-threaded.
 type BoxedEvent<W> = Box<dyn FnOnce(&mut W, &mut Sim<W>) + Send>;
 
-struct Scheduled<W> {
-    at: SimTime,
-    seq: u64,
-    event: BoxedEvent<W>,
+/// Wheel geometry: 6 levels × 64 slots of 1 ns ticks ⇒ a 64⁶ ns ≈ 68.7 s
+/// horizon; anything further sits in the overflow heap until promoted.
+const LEVELS: usize = 6;
+const SLOT_BITS: u32 = 6;
+const SLOTS: usize = 1 << SLOT_BITS;
+const SLOT_MASK: u64 = (SLOTS - 1) as u64;
+
+/// Sentinel for "no slot" in intrusive lists.
+const NIL: u32 = u32::MAX;
+
+/// Handle to a scheduled event, returned by [`Sim::schedule_at`] /
+/// [`Sim::schedule_in`] and consumed by [`Sim::cancel`]. Generation-checked:
+/// a handle goes stale (cancel returns `false`) once the event has fired or
+/// been cancelled, even if the arena slot is reused.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct EventId {
+    index: u32,
+    gen: u32,
 }
 
-impl<W> PartialEq for Scheduled<W> {
+/// One arena slot: timestamp, tie-break sequence, generation for handle
+/// validation, intrusive list link, and the event closure (`None` once the
+/// event is cancelled or fired).
+struct EventSlot<W> {
+    at: SimTime,
+    seq: u64,
+    gen: u32,
+    next: u32,
+    event: Option<BoxedEvent<W>>,
+}
+
+/// Head/tail of one wheel slot's intrusive list (append-to-tail keeps
+/// equal-time events in seq order).
+#[derive(Clone, Copy)]
+struct SlotList {
+    head: u32,
+    tail: u32,
+}
+
+impl SlotList {
+    const EMPTY: SlotList = SlotList {
+        head: NIL,
+        tail: NIL,
+    };
+}
+
+/// Overflow-heap entry: min-ordered by `(at, seq)`.
+struct Overflow {
+    at: u64,
+    seq: u64,
+    index: u32,
+}
+
+impl PartialEq for Overflow {
     fn eq(&self, other: &Self) -> bool {
         self.at == other.at && self.seq == other.seq
     }
 }
-impl<W> Eq for Scheduled<W> {}
-
-impl<W> PartialOrd for Scheduled<W> {
+impl Eq for Overflow {}
+impl PartialOrd for Overflow {
     fn partial_cmp(&self, other: &Self) -> Option<Ordering> {
         Some(self.cmp(other))
     }
 }
-
-impl<W> Ord for Scheduled<W> {
+impl Ord for Overflow {
     // BinaryHeap is a max-heap; invert so the earliest (time, seq) pops first.
     fn cmp(&self, other: &Self) -> Ordering {
         other
@@ -48,7 +116,16 @@ impl<W> Ord for Scheduled<W> {
 /// The simulation kernel. Generic over the world type `W` that events mutate.
 pub struct Sim<W> {
     clock: SimTime,
-    queue: BinaryHeap<Scheduled<W>>,
+    /// Wheel reference point in ticks. Always `>= clock` ticks and `<=` the
+    /// next pending event; slot digits are interpreted relative to this.
+    cursor: u64,
+    wheel: [[SlotList; SLOTS]; LEVELS],
+    occupied: [u64; LEVELS],
+    overflow: BinaryHeap<Overflow>,
+    arena: Vec<EventSlot<W>>,
+    free_head: u32,
+    /// Scheduled and not yet fired or cancelled.
+    live: usize,
     next_seq: u64,
     rng: StdRng,
     executed: u64,
@@ -61,7 +138,13 @@ impl<W> Sim<W> {
     pub fn new(seed: u64) -> Self {
         Sim {
             clock: SimTime::ZERO,
-            queue: BinaryHeap::new(),
+            cursor: 0,
+            wheel: [[SlotList::EMPTY; SLOTS]; LEVELS],
+            occupied: [0; LEVELS],
+            overflow: BinaryHeap::new(),
+            arena: Vec::new(),
+            free_head: NIL,
+            live: 0,
             next_seq: 0,
             rng: StdRng::seed_from_u64(seed),
             executed: 0,
@@ -79,9 +162,10 @@ impl<W> Sim<W> {
         self.executed
     }
 
-    /// Number of events still pending.
+    /// Number of events still pending (scheduled, not yet fired or
+    /// cancelled).
     pub fn pending(&self) -> usize {
-        self.queue.len()
+        self.live
     }
 
     /// The kernel's RNG. All randomness in a simulation must come from here
@@ -98,20 +182,22 @@ impl<W> Sim<W> {
 
     /// Schedule `event` to run at absolute time `at`. Scheduling in the past
     /// clamps to "now" (the event still runs, after already-queued events at
-    /// the current instant).
+    /// the current instant). Returns a handle for [`Sim::cancel`].
     pub fn schedule_at(
         &mut self,
         at: SimTime,
         event: impl FnOnce(&mut W, &mut Sim<W>) + Send + 'static,
-    ) {
+    ) -> EventId {
         let at = at.max(self.clock);
         let seq = self.next_seq;
         self.next_seq += 1;
-        self.queue.push(Scheduled {
-            at,
-            seq,
-            event: Box::new(event),
-        });
+        let index = self.alloc(at, seq, Box::new(event));
+        self.live += 1;
+        self.place(index);
+        EventId {
+            index,
+            gen: self.arena[index as usize].gen,
+        }
     }
 
     /// Schedule `event` to run `delay` after the current time.
@@ -119,8 +205,23 @@ impl<W> Sim<W> {
         &mut self,
         delay: SimDuration,
         event: impl FnOnce(&mut W, &mut Sim<W>) + Send + 'static,
-    ) {
-        self.schedule_at(self.clock + delay, event);
+    ) -> EventId {
+        self.schedule_at(self.clock + delay, event)
+    }
+
+    /// Cancel a pending event. Returns `true` if the handle was live (the
+    /// event will not run); `false` if it already fired, was already
+    /// cancelled, or the handle is stale. O(1): the record is tombstoned in
+    /// place and reclaimed when the wheel next sweeps past it.
+    pub fn cancel(&mut self, id: EventId) -> bool {
+        match self.arena.get_mut(id.index as usize) {
+            Some(slot) if slot.gen == id.gen && slot.event.is_some() => {
+                slot.event = None;
+                self.live -= 1;
+                true
+            }
+            _ => false,
+        }
     }
 
     /// Request that the run loop stop after the current event returns.
@@ -138,21 +239,214 @@ impl<W> Sim<W> {
     /// Events scheduled past the deadline stay queued.
     pub fn run_until(&mut self, world: &mut W, deadline: SimTime) {
         self.stopped = false;
-        while let Some(head) = self.queue.peek() {
-            if head.at > deadline {
-                break;
-            }
-            let scheduled = self.queue.pop().expect("peeked entry must pop");
-            debug_assert!(scheduled.at >= self.clock, "time must not run backwards");
-            self.clock = scheduled.at;
+        while let Some((at, index)) = self.pop_next(deadline) {
+            debug_assert!(at >= self.clock, "time must not run backwards");
+            self.clock = at;
+            self.cursor = at.as_nanos();
             self.executed += 1;
-            (scheduled.event)(world, self);
+            let event = self.arena[index as usize].event.take().expect("live event");
+            self.live -= 1;
+            self.release(index);
+            event(world, self);
             if self.stopped {
                 return;
             }
         }
         if deadline != SimTime::MAX {
             self.clock = self.clock.max(deadline);
+        }
+    }
+
+    // ---- arena ----
+
+    fn alloc(&mut self, at: SimTime, seq: u64, event: BoxedEvent<W>) -> u32 {
+        if self.free_head != NIL {
+            let index = self.free_head;
+            let slot = &mut self.arena[index as usize];
+            self.free_head = slot.next;
+            slot.at = at;
+            slot.seq = seq;
+            slot.next = NIL;
+            slot.event = Some(event);
+            index
+        } else {
+            let index = u32::try_from(self.arena.len()).expect("arena capacity");
+            self.arena.push(EventSlot {
+                at,
+                seq,
+                gen: 0,
+                next: NIL,
+                event: Some(event),
+            });
+            index
+        }
+    }
+
+    /// Return an unlinked record to the freelist, invalidating handles.
+    fn release(&mut self, index: u32) {
+        let slot = &mut self.arena[index as usize];
+        slot.gen = slot.gen.wrapping_add(1);
+        slot.event = None;
+        slot.next = self.free_head;
+        self.free_head = index;
+    }
+
+    // ---- wheel ----
+
+    /// File an unlinked record into the wheel (or overflow) based on its
+    /// timestamp relative to the cursor.
+    fn place(&mut self, index: u32) {
+        let at = self.arena[index as usize].at.as_nanos();
+        debug_assert!(at >= self.cursor, "placement behind the wheel cursor");
+        let diff = at ^ self.cursor;
+        let level = if diff == 0 {
+            0
+        } else {
+            ((63 - diff.leading_zeros()) / SLOT_BITS) as usize
+        };
+        if level >= LEVELS {
+            let seq = self.arena[index as usize].seq;
+            self.overflow.push(Overflow { at, seq, index });
+            return;
+        }
+        let slot = ((at >> (SLOT_BITS as u64 * level as u64)) & SLOT_MASK) as usize;
+        self.arena[index as usize].next = NIL;
+        let list = &mut self.wheel[level][slot];
+        if list.head == NIL {
+            list.head = index;
+        } else {
+            self.arena[list.tail as usize].next = index;
+        }
+        list.tail = index;
+        self.occupied[level] |= 1 << slot;
+    }
+
+    /// Drop tombstoned (cancelled) records off the front of a slot list,
+    /// clearing the occupancy bit if the list empties. Returns the surviving
+    /// head, if any.
+    fn clean_list_head(&mut self, level: usize, slot: usize) -> Option<u32> {
+        loop {
+            let head = self.wheel[level][slot].head;
+            if head == NIL {
+                self.wheel[level][slot] = SlotList::EMPTY;
+                self.occupied[level] &= !(1 << slot);
+                return None;
+            }
+            if self.arena[head as usize].event.is_some() {
+                return Some(head);
+            }
+            let next = self.arena[head as usize].next;
+            self.wheel[level][slot].head = next;
+            if next == NIL {
+                self.wheel[level][slot].tail = NIL;
+            }
+            self.release(head);
+        }
+    }
+
+    /// Find (and commit the wheel to) the next live event with
+    /// `at <= deadline`, unlinking it. The cursor never advances past an
+    /// event that stays queued, so later insertions remain well-placed.
+    fn pop_next(&mut self, deadline: SimTime) -> Option<(SimTime, u32)> {
+        loop {
+            // Level 0: a slot is a single instant, so the lowest occupied
+            // slot's head (cancelled entries swept) is the global minimum.
+            if self.occupied[0] != 0 {
+                let slot = self.occupied[0].trailing_zeros() as usize;
+                match self.clean_list_head(0, slot) {
+                    None => continue,
+                    Some(head) => {
+                        let at = self.arena[head as usize].at;
+                        if at > deadline {
+                            return None;
+                        }
+                        let next = self.arena[head as usize].next;
+                        self.wheel[0][slot].head = next;
+                        if next == NIL {
+                            self.wheel[0][slot] = SlotList::EMPTY;
+                            self.occupied[0] &= !(1 << slot);
+                        }
+                        return Some((at, head));
+                    }
+                }
+            }
+
+            // Higher levels: cascade the lowest occupied slot of the lowest
+            // occupied level — every pending wheel event at or below that
+            // window sits inside it (digits above are shared with the
+            // cursor), so redistribution is safe and order-preserving.
+            if let Some(level) = (1..LEVELS).find(|&l| self.occupied[l] != 0) {
+                let slot = self.occupied[level].trailing_zeros() as usize;
+                // Peek the slot's minimum live timestamp before committing
+                // the cursor, so a deadline in the middle of an idle gap
+                // leaves the wheel untouched for pre-deadline insertions.
+                let mut min_at: Option<SimTime> = None;
+                let mut cur = self.wheel[level][slot].head;
+                while cur != NIL {
+                    let rec = &self.arena[cur as usize];
+                    if rec.event.is_some() && min_at.map_or(true, |m| rec.at < m) {
+                        min_at = Some(rec.at);
+                    }
+                    cur = rec.next;
+                }
+                let Some(min_at) = min_at else {
+                    // Entirely tombstones: sweep and retry.
+                    self.clean_list_head(level, slot);
+                    continue;
+                };
+                if min_at > deadline {
+                    return None;
+                }
+                // Advance the cursor to the slot's window base and cascade.
+                let shift = SLOT_BITS as u64 * level as u64;
+                let window = SLOT_BITS as u64 * (level as u64 + 1);
+                self.cursor = ((self.cursor >> window) << window) | ((slot as u64) << shift);
+                let mut cur = self.wheel[level][slot].head;
+                self.wheel[level][slot] = SlotList::EMPTY;
+                self.occupied[level] &= !(1 << slot);
+                while cur != NIL {
+                    let next = self.arena[cur as usize].next;
+                    if self.arena[cur as usize].event.is_some() {
+                        self.place(cur);
+                    } else {
+                        self.release(cur);
+                    }
+                    cur = next;
+                }
+                continue;
+            }
+
+            // Wheel empty: promote from overflow. Wheel windows are aligned,
+            // so every overflow event is later than every wheel event was —
+            // rebasing the cursor on the overflow minimum is safe.
+            match self.overflow.peek() {
+                None => return None,
+                Some(top) => {
+                    if self.arena[top.index as usize].event.is_none() {
+                        let dead = self.overflow.pop().expect("peeked").index;
+                        self.release(dead);
+                        continue;
+                    }
+                    if SimTime::from_nanos(top.at) > deadline {
+                        return None;
+                    }
+                    self.cursor = top.at;
+                    // Pull every event now inside the horizon, in (at, seq)
+                    // order so same-instant promotions stay seq-ordered.
+                    while let Some(top) = self.overflow.peek() {
+                        if (top.at ^ self.cursor) >> (SLOT_BITS as u64 * LEVELS as u64) != 0 {
+                            break;
+                        }
+                        let of = self.overflow.pop().expect("peeked");
+                        if self.arena[of.index as usize].event.is_some() {
+                            self.place(of.index);
+                        } else {
+                            self.release(of.index);
+                        }
+                    }
+                    continue;
+                }
+            }
         }
     }
 }
@@ -281,5 +575,74 @@ mod tests {
         let mut f2 = sim2.fork_rng();
         let b: u64 = f2.gen();
         assert_eq!(a, b);
+    }
+
+    #[test]
+    fn cancel_prevents_execution_and_reports_liveness() {
+        let mut sim: Sim<World> = Sim::new(1);
+        let mut w = World { log: vec![] };
+        let keep = sim.schedule_in(SimDuration::from_millis(1), |w: &mut World, _| {
+            w.log.push((1, "keep"))
+        });
+        let drop_ = sim.schedule_in(SimDuration::from_millis(2), |w: &mut World, _| {
+            w.log.push((2, "dropped"))
+        });
+        assert_eq!(sim.pending(), 2);
+        assert!(sim.cancel(drop_));
+        assert!(!sim.cancel(drop_), "double cancel is stale");
+        assert_eq!(sim.pending(), 1);
+        sim.run(&mut w);
+        assert_eq!(w.log, vec![(1, "keep")]);
+        assert!(!sim.cancel(keep), "fired handle is stale");
+    }
+
+    #[test]
+    fn stale_handles_do_not_cancel_recycled_slots() {
+        let mut sim: Sim<World> = Sim::new(1);
+        let mut w = World { log: vec![] };
+        let first = sim.schedule_in(SimDuration::from_millis(1), |_, _| {});
+        sim.run(&mut w);
+        // The arena slot is recycled for a new event; the old handle's
+        // generation no longer matches.
+        let _second = sim.schedule_in(SimDuration::from_millis(1), |w: &mut World, _| {
+            w.log.push((2, "second"))
+        });
+        assert!(!sim.cancel(first));
+        sim.run(&mut w);
+        assert_eq!(w.log, vec![(2, "second")]);
+    }
+
+    #[test]
+    fn events_beyond_the_wheel_horizon_promote_in_order() {
+        // 64^6 ns ≈ 68.7 s horizon: schedule far past it, plus a tie there.
+        let mut sim: Sim<World> = Sim::new(1);
+        let mut w = World { log: vec![] };
+        let far = SimTime::from_nanos(500_000_000_000); // 500 s
+        sim.schedule_at(far, |w: &mut World, _| w.log.push((500, "x")));
+        sim.schedule_at(far, |w: &mut World, _| w.log.push((500, "y")));
+        sim.schedule_in(SimDuration::from_millis(1), |w: &mut World, _| {
+            w.log.push((0, "near"))
+        });
+        sim.run(&mut w);
+        assert_eq!(w.log, vec![(0, "near"), (500, "x"), (500, "y")]);
+    }
+
+    #[test]
+    fn deadline_in_an_idle_gap_keeps_later_events_intact() {
+        let mut sim: Sim<World> = Sim::new(1);
+        let mut w = World { log: vec![] };
+        sim.schedule_at(SimTime::from_nanos(200_000_000_000), |w: &mut World, _| {
+            w.log.push((200, "late"))
+        });
+        // Deadline long before the only event: nothing fires, and an event
+        // scheduled afterwards — earlier than the queued one — still runs
+        // first.
+        sim.run_until(&mut w, SimTime::from_nanos(1_000_000_000));
+        assert!(w.log.is_empty());
+        sim.schedule_at(SimTime::from_nanos(2_000_000_000), |w: &mut World, _| {
+            w.log.push((2, "early"))
+        });
+        sim.run(&mut w);
+        assert_eq!(w.log, vec![(2, "early"), (200, "late")]);
     }
 }

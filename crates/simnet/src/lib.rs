@@ -40,11 +40,12 @@ pub mod fault;
 pub mod metrics;
 pub mod net;
 pub mod node;
+pub mod prof;
 pub mod queueing;
 pub mod time;
 
 pub use cpu::{CpuCategory, CpuMeter};
-pub use engine::Sim;
+pub use engine::{EventId, Sim};
 pub use fault::{FaultDriver, FaultEvent, FaultKind, FaultSchedule};
 pub use metrics::{Counter, Histogram, MetricSet};
 pub use net::{Delivery, FaultPlan, LinkClass, Network};

@@ -21,6 +21,8 @@ use serde::{Deserialize, Serialize};
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
 pub struct BlockId(pub u64);
 
+impl cachekit::CacheKeyHash for BlockId {}
+
 /// Outcome of one row access against the block cache.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub enum BlockAccess {
@@ -104,6 +106,13 @@ impl BlockCache {
     /// Hit ratio observed so far.
     pub fn hit_ratio(&self) -> f64 {
         self.cache.stats().hit_ratio()
+    }
+
+    /// Raw `(hits, misses)` counters — the mergeable form of
+    /// [`BlockCache::hit_ratio`] for sharded experiment runs.
+    pub fn counts(&self) -> (u64, u64) {
+        let s = self.cache.stats();
+        (s.hits, s.misses)
     }
 
     /// Number of DRAM-resident blocks right now.

@@ -287,11 +287,18 @@ fn escape_bytes(out: &mut Vec<u8>, bytes: &[u8]) {
 /// Record-space key for a row: `t/<table>/<pk>`.
 pub fn record_key(table: &str, pk: &Datum) -> Key {
     let mut k = Vec::with_capacity(table.len() + 16);
+    record_key_into(&mut k, table, pk);
+    k
+}
+
+/// [`record_key`] into a caller-owned buffer (cleared first), so the serve
+/// path can reuse one scratch allocation across requests.
+pub fn record_key_into(k: &mut Key, table: &str, pk: &Datum) {
+    k.clear();
     k.extend_from_slice(b"t/");
     k.extend_from_slice(table.as_bytes());
     k.push(b'/');
-    encode_key_datum(&mut k, pk);
-    k
+    encode_key_datum(k, pk);
 }
 
 /// Prefix covering all rows of a table.

@@ -87,14 +87,19 @@ impl Row {
             message: format!("row decode: {message}"),
         };
         let mut pos = 0usize;
-        let take = |pos: &mut usize, n: usize, bytes: &[u8]| -> StoreResult<Vec<u8>> {
-            if *pos + n > bytes.len() {
-                return Err(err(*pos, "truncated"));
-            }
-            let out = bytes[*pos..*pos + n].to_vec();
+        // Borrowing cursor: field bytes are sliced in place (this runs once
+        // per row fetched on the serve path; the only allocations are the
+        // owned payloads of Text/Bytes datums and the datum vector itself).
+        fn take<'a>(pos: &mut usize, n: usize, bytes: &'a [u8]) -> StoreResult<&'a [u8]> {
+            let Some(out) = bytes.get(*pos..*pos + n) else {
+                return Err(StoreError::Syntax {
+                    pos: *pos,
+                    message: "row decode: truncated".to_string(),
+                });
+            };
             *pos += n;
             Ok(out)
-        };
+        }
         let count_bytes = take(&mut pos, 2, bytes)?;
         let count = u16::from_le_bytes([count_bytes[0], count_bytes[1]]) as usize;
         let mut values = Vec::with_capacity(count);
@@ -115,12 +120,13 @@ impl Row {
                     let l = take(&mut pos, 4, bytes)?;
                     let len = u32::from_le_bytes(l.try_into().unwrap()) as usize;
                     let s = take(&mut pos, len, bytes)?;
-                    Datum::Text(String::from_utf8(s).map_err(|_| err(pos, "bad utf8"))?)
+                    let s = std::str::from_utf8(s).map_err(|_| err(pos, "bad utf8"))?;
+                    Datum::Text(s.to_string())
                 }
                 5 => {
                     let l = take(&mut pos, 4, bytes)?;
                     let len = u32::from_le_bytes(l.try_into().unwrap()) as usize;
-                    Datum::Bytes(take(&mut pos, len, bytes)?)
+                    Datum::Bytes(take(&mut pos, len, bytes)?.to_vec())
                 }
                 6 => {
                     let l = take(&mut pos, 8, bytes)?;

@@ -32,6 +32,7 @@ const BINS: &[&str] = &[
     "ablation_failover",
     "ablation_faults",
     "ablation_batching",
+    "ablation_hotkey",
     "ablation_elastic",
     "ablation_recovery",
     "exp_sessions",

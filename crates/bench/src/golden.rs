@@ -222,6 +222,7 @@ pub fn all_figures(runner: &SweepRunner) -> Vec<GoldenFigure> {
         fig7_rich_objects(runner),
         fig8_delayed_writes(),
         ablation_batching(runner),
+        ablation_hotkey(runner),
         ablation_elastic(runner),
         ablation_recovery(runner),
         obs_report(runner),
@@ -554,6 +555,58 @@ pub fn ablation_batching(runner: &SweepRunner) -> GoldenFigure {
         .collect();
     GoldenFigure {
         name: "ablation_batching".into(),
+        points,
+    }
+}
+
+/// The hot-key L0 ablation at golden budget: a reduced cut of the
+/// `ablation_hotkey` sweep (per arch: tier off, the 4 MB production
+/// corner, and — for Remote — the low-skew and serve-stale variants). The
+/// off cells pin the defaults-off invariant — every `l0_*` counter must
+/// stay exactly zero, which is also what keeps fig4–fig7 byte-stable: the
+/// L0 tier off is the default everywhere else.
+pub fn ablation_hotkey(runner: &SweepRunner) -> GoldenFigure {
+    use crate::hotkey::{cpu_us_per_request, l0_absorption, run_sweep, HotkeySpec};
+    let cell = |arch, l0_bytes, alpha, serve_stale| HotkeySpec {
+        arch,
+        l0_bytes,
+        alpha,
+        value_bytes: 1024,
+        serve_stale,
+    };
+    let specs: Vec<HotkeySpec> = vec![
+        cell(ArchKind::Remote, 0, 1.2, false),
+        cell(ArchKind::Remote, 4 << 20, 1.2, false),
+        cell(ArchKind::Remote, 4 << 20, 0.8, false),
+        cell(ArchKind::Remote, 4 << 20, 1.2, true),
+        cell(ArchKind::Linked, 0, 1.2, false),
+        cell(ArchKind::Linked, 4 << 20, 1.2, false),
+    ];
+    let reports = run_sweep(runner, &specs, 2_000, 4_000);
+    let points = specs
+        .iter()
+        .zip(&reports)
+        .map(|(spec, r)| {
+            GoldenPoint::new(
+                spec.label(),
+                vec![
+                    ("cost_total".into(), r.total_cost.total()),
+                    ("cores_cpu_us_per_request".into(), cpu_us_per_request(r)),
+                    ("hit_cache".into(), r.cache_hit_ratio),
+                    ("hit_l0".into(), r.l0_hit_ratio),
+                    ("frac_l0_absorption".into(), l0_absorption(r)),
+                    ("count_l0_admitted".into(), r.l0_admitted as f64),
+                    ("count_l0_invalidations".into(), r.l0_invalidations as f64),
+                    ("count_l0_stale_serves".into(), r.l0_stale_serves as f64),
+                    ("count_stale_reads".into(), r.stale_reads as f64),
+                    ("lat_read_p50_us".into(), r.read_latency_p50_us as f64),
+                    ("lat_l0_age_p99_us".into(), r.l0_age_p99_us as f64),
+                ],
+            )
+        })
+        .collect();
+    GoldenFigure {
+        name: "ablation_hotkey".into(),
         points,
     }
 }

@@ -12,6 +12,7 @@ use std::path::PathBuf;
 pub mod batching;
 pub mod elastic;
 pub mod golden;
+pub mod hotkey;
 pub mod obs;
 pub mod recovery;
 pub mod sweep;

@@ -60,21 +60,31 @@ impl FrequencySketch {
     }
 
     /// Record one occurrence of `hash`.
+    ///
+    /// Conservative update (Estan & Varghese): only the rows currently at
+    /// the minimum are bumped. Rows above the minimum already overestimate
+    /// this key — they carry some colliding neighbour's counts — so raising
+    /// them again would only inflate *that* neighbour's estimate further.
+    /// The minimum (which is what [`FrequencySketch::estimate`] reads)
+    /// still advances by exactly one, so no estimate gets less accurate.
     pub fn increment(&mut self, hash: u64) {
-        let mut incremented = false;
-        for row in 0..ROWS {
-            let (index, shift) = self.slot_of(hash, row);
-            let current = self.counter_at(index, shift);
-            if current < COUNTER_MAX {
+        let mut slots = [(0usize, 0u32); ROWS as usize];
+        let mut min = COUNTER_MAX;
+        for (row, slot) in slots.iter_mut().enumerate() {
+            *slot = self.slot_of(hash, row as u64);
+            min = min.min(self.counter_at(slot.0, slot.1));
+        }
+        if min >= COUNTER_MAX {
+            return; // all rows saturated: nothing to record
+        }
+        for &(index, shift) in &slots {
+            if self.counter_at(index, shift) == min {
                 self.table[index] += 1u64 << shift;
-                incremented = true;
             }
         }
-        if incremented {
-            self.additions += 1;
-            if self.additions >= self.sample_size {
-                self.age();
-            }
+        self.additions += 1;
+        if self.additions >= self.sample_size {
+            self.age();
         }
     }
 
@@ -138,11 +148,29 @@ impl Doorkeeper {
                 self.set_count += 1;
             }
         }
+        // Backstop only: the primary reset rides the sketch's aging cycle
+        // (see `TinyLfu::record`), but a filter saturating between cycles
+        // would stop absorbing one-hit wonders, so clear it here too.
         if self.set_count >= self.reset_at {
-            self.bits.iter_mut().for_each(|w| *w = 0);
-            self.set_count = 0;
+            self.reset();
         }
         present
+    }
+
+    /// Membership test (no mutation): true if both probe bits are set.
+    pub fn contains(&self, hash: u64) -> bool {
+        (0..2u64).all(|i| {
+            let bit = spread(hash, 100 + i) & self.mask;
+            let (word, offset) = ((bit / 64) as usize, bit % 64);
+            self.bits[word] >> offset & 1 == 1
+        })
+    }
+
+    /// Clear every bit — called on each sketch aging cycle so doorkeeper
+    /// history decays on the same clock as the counters.
+    pub fn reset(&mut self) {
+        self.bits.iter_mut().for_each(|w| *w = 0);
+        self.set_count = 0;
     }
 }
 
@@ -162,15 +190,26 @@ impl TinyLfu {
     }
 
     /// Record one access to `hash` (call on every lookup and insert).
+    ///
+    /// The first occurrence only sets doorkeeper bits; repeats reach the
+    /// sketch. When the sketch ages (detected by its additions counter
+    /// halving), the doorkeeper resets with it, keeping both histories on
+    /// the same decay clock.
     pub fn record(&mut self, hash: u64) {
         if self.doorkeeper.insert(hash) {
+            let before = self.sketch.additions();
             self.sketch.increment(hash);
+            if self.sketch.additions() < before {
+                self.doorkeeper.reset();
+            }
         }
     }
 
-    /// Frequency estimate including the doorkeeper's implicit +1.
+    /// Frequency estimate including the doorkeeper's implicit +1: a key
+    /// whose only sighting lives in the doorkeeper still counts as seen
+    /// once, so it can displace a victim with no history at all.
     pub fn estimate(&self, hash: u64) -> u64 {
-        self.sketch.estimate(hash)
+        self.sketch.estimate(hash) + self.doorkeeper.contains(hash) as u64
     }
 
     /// Should `candidate` displace `victim`? Admit ties in favor of the
@@ -227,10 +266,103 @@ mod tests {
     fn doorkeeper_absorbs_first_touch() {
         let mut tl = TinyLfu::new(256);
         tl.record(h("one-hit"));
-        // First touch lives only in the doorkeeper; sketch stays clean.
-        assert_eq!(tl.estimate(h("one-hit")), 0);
+        // First touch lives only in the doorkeeper: the sketch stays clean
+        // but the estimate still reflects the implicit +1.
+        assert_eq!(tl.sketch.estimate(h("one-hit")), 0);
+        assert_eq!(tl.estimate(h("one-hit")), 1);
         tl.record(h("one-hit"));
-        assert!(tl.estimate(h("one-hit")) >= 1, "second touch reaches the sketch");
+        assert!(tl.estimate(h("one-hit")) >= 2, "second touch reaches the sketch");
+    }
+
+    #[test]
+    fn once_seen_candidate_beats_never_seen_victim() {
+        // Regression: `estimate` used to drop the doorkeeper's implicit +1,
+        // so a key seen exactly once tied a key never seen at all and the
+        // tie-rejecting `admit` kept it out.
+        let mut tl = TinyLfu::new(256);
+        tl.record(h("seen-once"));
+        assert_eq!(tl.estimate(h("never")), 0);
+        assert_eq!(tl.estimate(h("seen-once")), 1);
+        assert!(
+            tl.admit(h("seen-once"), h("never")),
+            "a once-seen candidate must displace a victim with no history"
+        );
+        assert!(!tl.admit(h("never"), h("seen-once")));
+    }
+
+    #[test]
+    fn aging_resets_the_doorkeeper() {
+        // Regression: the doorkeeper used to reset only at its own 25%-fill
+        // threshold, never on the sketch's aging cycle as documented.
+        let mut tl = TinyLfu::new(16); // sample_size = 160 additions/cycle
+        tl.record(h("resident"));
+        assert_eq!(tl.estimate(h("resident")), 1, "doorkeeper holds the first touch");
+        // Drive the sketch through an aging cycle: a dozen keys recorded
+        // past the doorkeeper, each adding ~15 additions before saturating
+        // — far too few distinct keys to trip the 25%-fill backstop.
+        for i in 0..12 {
+            let key = h(&format!("driver{i}"));
+            for _ in 0..16 {
+                tl.record(key);
+            }
+        }
+        assert_eq!(
+            tl.estimate(h("resident")),
+            0,
+            "aging must clear doorkeeper bits along with halving the sketch"
+        );
+        // The sketch survives aging (halved), so real history remains.
+        assert!(tl.estimate(h("driver0")) >= 1);
+    }
+
+    /// The pre-fix full update: bump every unsaturated row, minimum or not.
+    fn full_update(sk: &mut FrequencySketch, hash: u64) {
+        for row in 0..ROWS {
+            let (index, shift) = sk.slot_of(hash, row);
+            if sk.counter_at(index, shift) < COUNTER_MAX {
+                sk.table[index] += 1u64 << shift;
+            }
+        }
+    }
+
+    #[test]
+    fn conservative_update_never_less_accurate_than_full_update() {
+        // Property vs an exact-count oracle, over deterministic pseudo-random
+        // streams: for every key, min(true, 15) <= conservative <= full.
+        // The left inequality is the count-min guarantee (estimates never
+        // undershoot); the right says conservative update only ever removes
+        // overestimation error, never adds it.
+        let mut seed = 0x9E37u64;
+        let mut next = move || {
+            seed = crate::ring::splitmix64(seed);
+            seed
+        };
+        for _trial in 0..20 {
+            let mut cons = FrequencySketch::new(256);
+            let mut full = FrequencySketch::new(256);
+            let mut exact: std::collections::HashMap<u64, u64> = std::collections::HashMap::new();
+            // Short streams: stay below sample_size so aging never fires
+            // and the exact oracle stays comparable.
+            for _ in 0..800 {
+                let key = next() % 64; // small domain forces collisions
+                let hash = crate::ring::splitmix64(key);
+                cons.increment(hash);
+                full_update(&mut full, hash);
+                *exact.entry(hash).or_insert(0) += 1;
+            }
+            for (&hash, &count) in &exact {
+                let c = cons.estimate(hash);
+                let f = full.estimate(hash);
+                assert!(
+                    c >= count.min(COUNTER_MAX),
+                    "conservative undershoots: {c} < {count}"
+                );
+                assert!(
+                    c <= f,
+                    "conservative overestimate {c} exceeds full-update {f}"
+                );
+            }
+        }
     }
 
     #[test]

@@ -12,6 +12,9 @@
 //!   (the eviction ablation bench sweeps these),
 //! * [`admission`] — optional TinyLFU admission (count-min sketch +
 //!   doorkeeper) gating what may enter a full cache,
+//! * [`l0::L0Cache`] — the in-process hot-key tier: a few MB of
+//!   TinyLFU-admitted, version-invalidated cache inside each app server
+//!   that absorbs the Zipf head at near-zero CPU,
 //! * [`ring::HashRing`] — consistent hashing used to shard linked caches
 //!   across application servers (§2.4: "linked caches are typically
 //!   sharded"),
@@ -27,6 +30,7 @@ pub mod admission;
 pub mod cache;
 pub mod fxhash;
 pub mod intern;
+pub mod l0;
 pub mod list;
 pub mod mrc;
 pub mod policy;
@@ -38,6 +42,7 @@ pub use admission::TinyLfu;
 pub use cache::{Cache, CacheKeyHash, InsertOutcome};
 pub use fxhash::{FxBuildHasher, FxHashMap, FxHasher};
 pub use intern::{InternedKey, KeyInterner};
+pub use l0::{L0Cache, L0Hit, L0Mode, L0Params, L0Stats};
 pub use mrc::{zipf_hit_ratio, MissRatioCurve, StackDistance};
 pub use policy::PolicyKind;
 pub use ring::HashRing;

@@ -79,6 +79,14 @@ impl ArchKind {
             ArchKind::Base | ArchKind::LinkedVersion | ArchKind::LeaseOwned
         )
     }
+
+    /// Whether the in-process L0 hot-key tier can front this architecture.
+    /// Base has no cache to front; the version-checked/leased families
+    /// derive their consistency from checks the L0 would bypass, so the
+    /// tier composes only with plain Remote and sharded Linked.
+    pub const fn supports_l0(self) -> bool {
+        matches!(self, ArchKind::Remote | ArchKind::Linked)
+    }
 }
 
 impl std::fmt::Display for ArchKind {
@@ -259,6 +267,78 @@ impl BatchingConfig {
     }
 }
 
+/// Consistency mode for the in-process L0 hot-key tier.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub enum L0Consistency {
+    /// Writers invalidate every app server's L0 before acknowledging, so
+    /// L0 hits are always fresh — coherence paid for in invalidation CPU.
+    InvalidateFirst,
+    /// Writers skip the L0; entries expire `stale_after_us` after being
+    /// filled, so hits may be stale but never beyond the declared bound.
+    ServeStale,
+}
+
+/// The in-process L0 hot-key tier (HybridKV-style): a few MB of
+/// TinyLFU-admitted, version-invalidated cache *inside* each app server,
+/// consulted before the Remote or Linked lookup. The Zipf head is served
+/// for one in-process hash probe instead of an RPC (Remote) or a sharded
+/// local op (Linked) — the third point on the paper's CPU-tax vs
+/// DRAM-duplication curve. **Off by default** (`None` on
+/// [`DeploymentConfig::l0`]); the fig2–fig8 goldens are byte-identical
+/// only while it stays disabled.
+#[derive(Debug, Clone, Copy, Serialize, Deserialize)]
+pub struct L0Config {
+    /// Hard byte cap per app server (entry overhead included).
+    pub bytes_per_server: u64,
+    pub consistency: L0Consistency,
+    /// Staleness bound in microseconds (serve-stale mode only).
+    pub stale_after_us: f64,
+    /// CPU for an L0 probe that hits: one in-process hash lookup, no RPC,
+    /// no serialization, no shard routing.
+    pub hit_us: f64,
+    /// CPU to admit a fetched value into the L0 on the fill path.
+    pub insert_us: f64,
+    /// CPU per app server to apply one write-path invalidation.
+    pub invalidate_us: f64,
+    /// Mean hot-entry bytes — sizes the TinyLFU sketch.
+    pub mean_entry_bytes: u64,
+}
+
+impl Default for L0Config {
+    fn default() -> Self {
+        L0Config {
+            bytes_per_server: 4 << 20,
+            consistency: L0Consistency::InvalidateFirst,
+            stale_after_us: 10_000.0,
+            hit_us: 0.15,
+            insert_us: 0.3,
+            invalidate_us: 0.2,
+            mean_entry_bytes: 1_024,
+        }
+    }
+}
+
+impl L0Config {
+    /// The `cachekit` parameters for one app server's tier.
+    pub fn params(&self) -> cachekit::L0Params {
+        cachekit::L0Params {
+            capacity_bytes: self.bytes_per_server,
+            expected_entries: (self.bytes_per_server / self.mean_entry_bytes.max(1))
+                .clamp(64, 1 << 20) as usize,
+            mode: match self.consistency {
+                L0Consistency::InvalidateFirst => cachekit::L0Mode::InvalidateFirst,
+                L0Consistency::ServeStale => cachekit::L0Mode::ServeStale {
+                    stale_after_nanos: (self.stale_after_us.max(0.0) * 1_000.0) as u64,
+                },
+            },
+        }
+    }
+
+    pub fn serve_stale(&self) -> bool {
+        self.consistency == L0Consistency::ServeStale
+    }
+}
+
 /// How the request path behaves when a cache shard is crashed, partitioned
 /// away, or slow: detection timeouts, retries, degraded fallback to storage,
 /// and single-flight coalescing of the resulting storage fills.
@@ -322,6 +402,9 @@ pub struct DeploymentConfig {
     pub fault_tolerance: FaultToleranceConfig,
     /// App-side RPC coalescing for the remote-cache path (default off).
     pub batching: BatchingConfig,
+    /// In-process L0 hot-key tier in front of the Remote/Linked lookup
+    /// (default `None` = off; see [`L0Config`]).
+    pub l0: Option<L0Config>,
     /// Online MRC profiling + cost-aware elastic provisioning (default
     /// off: `decision_interval_secs == 0`). When enabled, the deployment
     /// embeds an [`elastic::ElasticController`] that watches the read key
@@ -350,6 +433,7 @@ impl DeploymentConfig {
             cluster: ClusterConfig::default(),
             fault_tolerance: FaultToleranceConfig::default(),
             batching: BatchingConfig::default(),
+            l0: None,
             elastic: elastic::ElasticConfig::default(),
             seed: 42,
         }
@@ -510,6 +594,37 @@ mod tests {
         // batching would amortize nothing.
         let c = AppCostConfig::default();
         assert!(c.rpc_batched_side_cost(1024) < c.rpc_side_cost(1024));
+    }
+
+    #[test]
+    fn l0_defaults_off_and_maps_to_cachekit_params() {
+        // Off by default everywhere: goldens are byte-identical only while
+        // the L0 tier stays disabled.
+        assert!(DeploymentConfig::paper(ArchKind::Remote).l0.is_none());
+        assert!(DeploymentConfig::test_small(ArchKind::Linked).l0.is_none());
+
+        let cfg = L0Config::default();
+        assert!(!cfg.serve_stale());
+        let p = cfg.params();
+        assert_eq!(p.capacity_bytes, 4 << 20);
+        assert!(matches!(p.mode, cachekit::L0Mode::InvalidateFirst));
+        // Sketch sized to capacity / mean entry.
+        assert_eq!(p.expected_entries, (4 << 20) / 1_024);
+
+        let stale = L0Config {
+            consistency: L0Consistency::ServeStale,
+            stale_after_us: 1_000.0,
+            ..L0Config::default()
+        };
+        assert!(stale.serve_stale());
+        assert!(matches!(
+            stale.params().mode,
+            cachekit::L0Mode::ServeStale {
+                stale_after_nanos: 1_000_000
+            }
+        ));
+        // An L0 probe must be far cheaper than the ops it short-circuits.
+        assert!(cfg.hit_us < AppCostConfig::default().local_cache_op_us);
     }
 
     #[test]

@@ -89,6 +89,27 @@ pub mod elastic_counters {
     ];
 }
 
+/// Registry names under which the L0 tier's aggregated
+/// [`cachekit::L0Stats`] are exported when [`crate::config::L0Config`] is
+/// enabled. The whole family is absent from default runs, so their
+/// registries stay byte-identical.
+pub mod l0_counters {
+    /// Reads served straight from the in-process L0 tier.
+    pub const HITS: &str = "dcache_l0_hits_total";
+    /// L0 probes that fell through to the authoritative path.
+    pub const MISSES: &str = "dcache_l0_misses_total";
+    /// Values accepted by the TinyLFU admission gate.
+    pub const ADMITTED: &str = "dcache_l0_admitted_total";
+    /// Values the gate judged colder than the resident victim.
+    pub const REJECTED: &str = "dcache_l0_rejected_total";
+    /// Admits dropped because the resident entry was already newer.
+    pub const STALE_ADMITS_DROPPED: &str = "dcache_l0_stale_admits_dropped_total";
+    /// Entries removed by write-path versioned invalidations.
+    pub const INVALIDATIONS: &str = "dcache_l0_invalidations_total";
+    /// Invalidations that found nothing older to remove.
+    pub const INVALIDATION_MISSES: &str = "dcache_l0_invalidation_misses_total";
+}
+
 /// One open coalescing frame on an (app server, cache node) pair: requests
 /// admitted within `[opened_at, departs_at)` ride the same wire frame, up
 /// to `max_batch` occupants. The lower bound matters: admission times are
@@ -143,6 +164,12 @@ pub struct ServeOutcome {
     pub coalesced: bool,
     /// Cache-RPC retries this request performed.
     pub retries: u64,
+    /// True when the in-process L0 hot-key tier served the value (implies
+    /// `cache_hit`).
+    pub l0_hit: bool,
+    /// Age of the L0 entry at serve time, nanoseconds (0 unless `l0_hit`).
+    /// Under serve-stale this is the request's staleness upper bound.
+    pub l0_age_nanos: u64,
 }
 
 /// In-flight storage fills keyed by cache key: while a fill is outstanding
@@ -190,6 +217,10 @@ pub struct Deployment {
     pub(crate) linked: Vec<Cache<InternedKey, CachedVal>>,
     /// Remote cache nodes (Remote only).
     pub(crate) remote: Vec<Cache<InternedKey, CachedVal>>,
+    /// In-process L0 hot-key tiers, one per app server. Empty unless
+    /// `config.l0` is set *and* the architecture supports the tier
+    /// ([`ArchKind::supports_l0`]), so default runs never touch it.
+    pub(crate) l0: Vec<cachekit::L0Cache<InternedKey, CachedVal>>,
     /// Key → shard routing for both cache families, plus lease state.
     pub sharder: AutoSharder,
     remote_ring: cachekit::HashRing,
@@ -311,6 +342,12 @@ impl Deployment {
         } else {
             Vec::new()
         };
+        let l0 = match &config.l0 {
+            Some(c) if config.arch.supports_l0() => (0..config.app_servers)
+                .map(|_| cachekit::L0Cache::new(c.params()))
+                .collect(),
+            _ => Vec::new(),
+        };
         let sharder = AutoSharder::new(
             config.app_servers as u32,
             SimDuration::from_secs(10),
@@ -328,6 +365,7 @@ impl Deployment {
                 .collect(),
             linked,
             remote,
+            l0,
             sharder,
             remote_ring,
             rr: 0,
@@ -427,6 +465,9 @@ impl Deployment {
         for c in &mut self.remote {
             c.reset_stats();
         }
+        for c in &mut self.l0 {
+            c.reset_stats();
+        }
         self.cluster.reset_metrics();
         // Provisioning lifecycle counters survive the warmup reset: a shard
         // drained or a cache resized during convergence is still a
@@ -487,6 +528,10 @@ impl Deployment {
         {
             self.linked_up[i] = false;
             self.linked[i].clear();
+            // The L0 lives in the same process: a crashed server loses it.
+            if let Some(l0) = self.l0.get_mut(i) {
+                l0.clear();
+            }
             self.metrics.counter(fault_counters::CACHE_CRASHES).inc();
         }
     }
@@ -1040,6 +1085,111 @@ impl Deployment {
         op
     }
 
+    /// Whether this deployment runs an active L0 tier.
+    pub fn l0_enabled(&self) -> bool {
+        !self.l0.is_empty()
+    }
+
+    /// Aggregated L0 statistics across every app server's tier.
+    pub fn l0_stats_total(&self) -> cachekit::L0Stats {
+        let mut total = cachekit::L0Stats::default();
+        for c in &self.l0 {
+            let s = c.stats();
+            total.hits += s.hits;
+            total.misses += s.misses;
+            total.admitted += s.admitted;
+            total.rejected += s.rejected;
+            total.stale_admits_dropped += s.stale_admits_dropped;
+            total.invalidations += s.invalidations;
+            total.invalidation_misses += s.invalidation_misses;
+        }
+        total
+    }
+
+    /// Probe app server `app`'s L0 for `ckey`. Every probe — hit or miss —
+    /// charges the in-process lookup cost; the serve paths call this before
+    /// any cache/storage work, so an L0 hit pays *only* this. A `None`
+    /// falls open to the authoritative path. No-op (free) when the tier is
+    /// off, keeping default runs byte-identical.
+    fn l0_lookup(
+        &mut self,
+        app: usize,
+        ckey: InternedKey,
+        now: SimTime,
+        out: &mut ServeOutcome,
+    ) -> Option<CachedVal> {
+        if self.l0.is_empty() {
+            return None;
+        }
+        let probe =
+            SimDuration::from_micros_f64(self.config.l0.as_ref().map_or(0.0, |c| c.hit_us));
+        self.charge_app(app, CpuCategory::CacheOp, probe);
+        let start = now.as_nanos() + out.latency.as_nanos();
+        out.latency += probe;
+        match self.l0[app].get(&ckey, now.as_nanos()) {
+            Some(hit) => {
+                out.l0_hit = true;
+                out.l0_age_nanos = hit.age_nanos;
+                let v = *hit.value;
+                self.tracer.span(
+                    "cache.l0_hit",
+                    "app",
+                    start,
+                    now.as_nanos() + out.latency.as_nanos(),
+                    0,
+                    SpanStatus::Ok,
+                );
+                Some(v)
+            }
+            None => None,
+        }
+    }
+
+    /// Offer a freshly-fetched value to `app`'s L0 (no-op when the tier is
+    /// off). The TinyLFU gate decides residency; strict versioning drops
+    /// offers older than the resident entry.
+    fn l0_admit(
+        &mut self,
+        app: usize,
+        ckey: InternedKey,
+        v: CachedVal,
+        now: SimTime,
+        out: &mut ServeOutcome,
+    ) {
+        if self.l0.is_empty() {
+            return;
+        }
+        let cost =
+            SimDuration::from_micros_f64(self.config.l0.as_ref().map_or(0.0, |c| c.insert_us));
+        self.charge_app(app, CpuCategory::CacheOp, cost);
+        out.latency += cost;
+        self.l0[app].admit(ckey, v, v.version, v.bytes, now.as_nanos());
+    }
+
+    /// Writer-side L0 maintenance. Under invalidate-first the new version
+    /// is broadcast to every server's tier before the ack — the writer
+    /// cannot know which servers cached the key, so each pays the
+    /// invalidation CPU (that fan-out, proportional to servers × write
+    /// rate, is the coherence cost the hot-key ablation measures). The ack
+    /// waits one invalidation op: the fan-out itself is parallel. Under
+    /// serve-stale writers leave the tier alone; entries age out at the
+    /// declared bound.
+    fn l0_on_write(&mut self, ckey: InternedKey, new_version: u64, out: &mut ServeOutcome) {
+        if self.l0.is_empty() {
+            return;
+        }
+        let c = self.config.l0.as_ref().expect("l0 vec implies config");
+        if c.serve_stale() {
+            return;
+        }
+        let cost = SimDuration::from_micros_f64(c.invalidate_us);
+        for i in 0..self.l0.len() {
+            self.charge_app(i, CpuCategory::CacheOp, cost);
+            self.l0[i].invalidate(&ckey, new_version);
+        }
+        out.latency += cost;
+    }
+
     /// Serve one read. See module docs for the per-architecture paths.
     pub fn serve_kv_read(
         &mut self,
@@ -1062,6 +1212,13 @@ impl Deployment {
                 self.finish_read(app, val, now, &mut out);
             }
             ArchKind::Remote => {
+                // L0 front check: a hit skips the cache-node RPC entirely
+                // (and doesn't care whether that node is even up).
+                if let Some(v) = self.l0_lookup(app, ckey, now, &mut out) {
+                    out.cache_hit = true;
+                    self.finish_read(app, Some(v), now, &mut out);
+                    return Ok(out);
+                }
                 let node = self.remote_node_for(ckey);
                 if self.reach_cache_node(app, node, now, &mut out) {
                     let lookup_start = now.as_nanos() + out.latency.as_nanos();
@@ -1078,6 +1235,9 @@ impl Deployment {
                     match hit {
                         Some(v) => {
                             out.cache_hit = true;
+                            // A remote hit is the L0's fill source for hot
+                            // keys: offer it (TinyLFU decides residency).
+                            self.l0_admit(app, ckey, v, now, &mut out);
                             self.finish_read(app, Some(v), now, &mut out);
                         }
                         None => {
@@ -1088,6 +1248,7 @@ impl Deployment {
                                     let at = now + out.latency;
                                     out.latency +=
                                         self.remote_update_at(app, ckey, Some(v), now, at);
+                                    self.l0_admit(app, ckey, v, now, &mut out);
                                 }
                             }
                             self.finish_read(app, val, now, &mut out);
@@ -1100,6 +1261,12 @@ impl Deployment {
             ArchKind::Linked => {
                 if !self.linked_shard_up(app) {
                     self.degraded_read(app, table, key, ckey, now, &mut out)?;
+                    return Ok(out);
+                }
+                // L0 front check before the sharded linked lookup.
+                if let Some(v) = self.l0_lookup(app, ckey, now, &mut out) {
+                    out.cache_hit = true;
+                    self.finish_read(app, Some(v), now, &mut out);
                     return Ok(out);
                 }
                 let lk_start = now.as_nanos() + out.latency.as_nanos();
@@ -1116,6 +1283,7 @@ impl Deployment {
                 match hit {
                     Some(v) => {
                         out.cache_hit = true;
+                        self.l0_admit(app, ckey, v, now, &mut out);
                         self.finish_read(app, Some(v), now, &mut out);
                     }
                     None => {
@@ -1123,6 +1291,7 @@ impl Deployment {
                         if !out.coalesced {
                             if let Some(v) = val {
                                 self.linked[app].insert(ckey, v, v.bytes, now.as_nanos());
+                                self.l0_admit(app, ckey, v, now, &mut out);
                             }
                         }
                         self.finish_read(app, val, now, &mut out);
@@ -1343,13 +1512,23 @@ impl Deployment {
         for ck in &ckeys {
             self.elastic.observe_hashed(ck.route_hash());
         }
-        // Group key positions by owning cache node, preserving order
+        // L0 front check per key: hits serve locally and never enter a
+        // frame; misses (everything, when the tier is off) proceed to the
+        // batched remote path carrying their probe charge.
+        let mut outcomes = vec![ServeOutcome::default(); keys.len()];
+        // Group miss positions by owning cache node, preserving order
         // (vec-indexed, so grouping is deterministic).
         let mut groups: Vec<Vec<usize>> = vec![Vec::new(); self.remote.len().max(1)];
         for (i, &ck) in ckeys.iter().enumerate() {
-            groups[self.remote_node_for(ck)].push(i);
+            let mut out = ServeOutcome::default();
+            if let Some(v) = self.l0_lookup(app, ck, now, &mut out) {
+                out.cache_hit = true;
+                self.finish_read(app, Some(v), now, &mut out);
+            } else {
+                groups[self.remote_node_for(ck)].push(i);
+            }
+            outcomes[i] = out;
         }
-        let mut outcomes = vec![ServeOutcome::default(); keys.len()];
         for (node, members) in groups.iter().enumerate() {
             for frame in members.chunks(max_batch) {
                 // Frame-level connectivity: one reachability check (with
@@ -1375,10 +1554,11 @@ impl Deployment {
                     );
                 }
                 for (pos, &i) in frame.iter().enumerate() {
-                    let mut out = ServeOutcome {
-                        latency: probe.latency,
-                        ..ServeOutcome::default()
-                    };
+                    // Start from the (possibly L0-probe-charged) outcome
+                    // recorded at grouping time, plus the frame's
+                    // reachability latency.
+                    let mut out = outcomes[i];
+                    out.latency += probe.latency;
                     if pos == 0 {
                         // Retry accounting belongs to the frame, not to
                         // every rider: charge it once.
@@ -1395,6 +1575,7 @@ impl Deployment {
                     match hit {
                         Some(v) => {
                             out.cache_hit = true;
+                            self.l0_admit(app, ckeys[i], v, now, &mut out);
                             self.finish_read(app, Some(v), now, &mut out);
                         }
                         None => {
@@ -1406,6 +1587,7 @@ impl Deployment {
                                     let at = now + out.latency;
                                     out.latency +=
                                         self.remote_update_at(app, ckeys[i], Some(v), now, at);
+                                    self.l0_admit(app, ckeys[i], v, now, &mut out);
                                 }
                             }
                             self.finish_read(app, val, now, &mut out);
@@ -1561,6 +1743,9 @@ impl Deployment {
                 }
             }
         }
+        // Invalidate-first L0 coherence: broadcast before the ack (no-op
+        // when the tier is off or in serve-stale mode).
+        self.l0_on_write(ckey, written.version, &mut out);
         // Ack to the client.
         out.latency += self.charge_client_reply(app, 16);
         Ok(out)
@@ -1619,6 +1804,9 @@ impl Deployment {
                 }
             }
         }
+        // A delete removes the row outright: every resident L0 entry is
+        // older than "gone", so invalidate unconditionally.
+        self.l0_on_write(ckey, u64::MAX, &mut out);
         out.latency += self.charge_client_reply(app, 16);
         Ok(out)
     }

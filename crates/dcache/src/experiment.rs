@@ -12,7 +12,9 @@
 //! paper measures steady state.
 
 use crate::config::{ArchKind, DeploymentConfig};
-use crate::deployment::{batch_counters, elastic_counters, fault_counters, kv_catalog, Deployment};
+use crate::deployment::{
+    batch_counters, elastic_counters, fault_counters, kv_catalog, l0_counters, Deployment,
+};
 use costmodel::{CostBreakdown, Pricing, ResourceUsage};
 use serde::Serialize;
 use simnet::{
@@ -191,6 +193,28 @@ pub struct ExperimentReport {
     /// tail request carries exactly one cause, so the excess columns sum to
     /// the total measured tail excess.
     pub tail_causes: Vec<(String, u64, u64)>,
+    /// In-process L0 hot-key tier activity (all zero unless
+    /// [`crate::config::L0Config`] is enabled on the deployment).
+    pub l0_hits: u64,
+    pub l0_misses: u64,
+    /// Fraction of measured reads served straight from the L0 tier.
+    pub l0_hit_ratio: f64,
+    /// Values accepted / refused by the L0's TinyLFU admission gate.
+    pub l0_admitted: u64,
+    pub l0_rejected: u64,
+    /// Write-path invalidations that removed an older resident entry.
+    pub l0_invalidations: u64,
+    /// Refills dropped because the resident entry was already newer.
+    pub l0_stale_admits_dropped: u64,
+    /// L0-served reads whose value was older than the latest committed
+    /// write. Invalidate-first keeps this at zero by construction;
+    /// serve-stale trades these for invalidation CPU.
+    pub l0_stale_serves: u64,
+    /// Age of L0-served entries at serve time, microseconds. Under
+    /// serve-stale the p99 is (within expiry granularity) the measured
+    /// staleness bound.
+    pub l0_age_p50_us: u64,
+    pub l0_age_p99_us: u64,
 }
 
 impl ExperimentReport {
@@ -367,6 +391,12 @@ pub(crate) struct RunMetrics {
     pub sql_statements: u64,
     pub failovers: u64,
     pub deadline_exceeded: u64,
+    /// Measured reads served by the L0 tier (0 unless the tier is on).
+    pub l0_hits: u64,
+    /// L0-served reads that returned a stale value (serve-stale mode).
+    pub l0_stale_serves: u64,
+    /// Age of L0-served entries at serve time, nanoseconds.
+    pub l0_age: Histogram,
 }
 
 impl RunMetrics {
@@ -382,6 +412,9 @@ impl RunMetrics {
             sql_statements: 0,
             failovers: 0,
             deadline_exceeded: 0,
+            l0_hits: 0,
+            l0_stale_serves: 0,
+            l0_age: Histogram::new(),
         }
     }
 
@@ -409,6 +442,12 @@ pub(crate) fn build_report(
         * (cfg.app_base_mem_bytes
             + if cfg.arch.has_linked_cache() {
                 cfg.linked_cache_bytes_per_server
+            } else {
+                0
+            }
+            // The L0 duplicates its few MB in every app server; bill them.
+            + if cfg.arch.supports_l0() {
+                cfg.l0.as_ref().map_or(0, |c| c.bytes_per_server)
             } else {
                 0
             });
@@ -475,6 +514,7 @@ pub(crate) fn build_report(
     let total_mem_gb: f64 = tiers.iter().map(|t| t.mem_gb).sum();
 
     let durability = dep.cluster.durability_stats();
+    let l0 = dep.l0_stats_total();
     let rpc_batches = dep.metrics.counter_value(batch_counters::RPC_BATCHES);
     let batched_rpc_keys = dep.metrics.counter_value(batch_counters::BATCHED_RPC_KEYS);
     let mut batch_size_counts: Vec<(u32, u64)> = dep
@@ -555,6 +595,20 @@ pub(crate) fn build_report(
         slo_alerts_fired: 0,
         tail_p99_threshold_us: 0,
         tail_causes: Vec::new(),
+        l0_hits: l0.hits,
+        l0_misses: l0.misses,
+        l0_hit_ratio: if l0.hits + l0.misses == 0 {
+            0.0
+        } else {
+            l0.hits as f64 / (l0.hits + l0.misses) as f64
+        },
+        l0_admitted: l0.admitted,
+        l0_rejected: l0.rejected,
+        l0_invalidations: l0.invalidations,
+        l0_stale_admits_dropped: l0.stale_admits_dropped,
+        l0_stale_serves: metrics.l0_stale_serves,
+        l0_age_p50_us: metrics.l0_age.p50() / 1_000,
+        l0_age_p99_us: metrics.l0_age.p99() / 1_000,
     }
 }
 
@@ -953,6 +1007,53 @@ fn export_registry(
         );
     }
 
+    // L0 hot-key-tier telemetry, only when the tier is on (so default runs
+    // export byte-identical registries).
+    if dep.l0_enabled() {
+        let l0 = dep.l0_stats_total();
+        reg.describe(
+            l0_counters::HITS,
+            Counter,
+            "Reads served straight from the in-process L0 hot-key tier.",
+        );
+        reg.set_counter(l0_counters::HITS, labels, l0.hits);
+        reg.set_counter(l0_counters::MISSES, labels, l0.misses);
+        reg.set_counter(l0_counters::ADMITTED, labels, l0.admitted);
+        reg.set_counter(l0_counters::REJECTED, labels, l0.rejected);
+        reg.set_counter(
+            l0_counters::STALE_ADMITS_DROPPED,
+            labels,
+            l0.stale_admits_dropped,
+        );
+        reg.set_counter(l0_counters::INVALIDATIONS, labels, l0.invalidations);
+        reg.set_counter(
+            l0_counters::INVALIDATION_MISSES,
+            labels,
+            l0.invalidation_misses,
+        );
+        reg.set_gauge("dcache_l0_hit_ratio", labels, report.l0_hit_ratio);
+        reg.describe(
+            "dcache_l0_stale_serves_total",
+            Counter,
+            "L0-served reads older than the latest committed write.",
+        );
+        reg.set_counter(
+            "dcache_l0_stale_serves_total",
+            labels,
+            report.l0_stale_serves,
+        );
+        reg.set_gauge("dcache_l0_age_p50_us", labels, report.l0_age_p50_us as f64);
+        reg.set_gauge("dcache_l0_age_p99_us", labels, report.l0_age_p99_us as f64);
+        if !metrics.l0_age.is_empty() {
+            reg.describe(
+                "dcache_l0_age_ns",
+                Summary,
+                "Age of L0-served entries at serve time (nanoseconds).",
+            );
+            reg.set_summary("dcache_l0_age_ns", labels, metrics.l0_age.summary());
+        }
+    }
+
     // Fault/degraded-path counters straight off the deployment.
     dep.metrics.export(&mut reg, "dcache_fault_", labels);
     // External-cache statistics (hits/misses/evictions/...).
@@ -1169,6 +1270,13 @@ fn run_kv_experiment_core(cfg: &KvExperimentConfig) -> StoreResult<(ExperimentRe
                     if out.seed != Some(expect) {
                         metrics.stale_reads += 1;
                     }
+                    if out.l0_hit {
+                        metrics.l0_hits += 1;
+                        metrics.l0_age.record(out.l0_age_nanos);
+                        if out.seed != Some(expect) {
+                            metrics.l0_stale_serves += 1;
+                        }
+                    }
                     if let Some(o) = obs.as_mut() {
                         o.observe(crate::obs::RequestSample {
                             trace_id: tid,
@@ -1360,10 +1468,11 @@ pub fn run_kv_shard(
         || cfg.trace_sample_every.is_some()
         || cfg.diurnal.is_some()
         || cfg.observability.is_some()
+        || cfg.deployment.l0.is_some()
     {
         return Err(StoreError::Unsupported(
             "sharded runs support only the plain fixed-rate KV experiment \
-             (no faults, tracing, diurnal load, or observability)"
+             (no faults, tracing, diurnal load, observability, or L0 tier)"
                 .to_string(),
         ));
     }
@@ -1718,6 +1827,18 @@ pub fn merge_kv_shards(
         slo_alerts_fired: 0,
         tail_p99_threshold_us: 0,
         tail_causes: Vec::new(),
+        // Sharded runs refuse the L0 tier, so its section is structurally
+        // zero too.
+        l0_hits: 0,
+        l0_misses: 0,
+        l0_hit_ratio: 0.0,
+        l0_admitted: 0,
+        l0_rejected: 0,
+        l0_invalidations: 0,
+        l0_stale_admits_dropped: 0,
+        l0_stale_serves: 0,
+        l0_age_p50_us: 0,
+        l0_age_p99_us: 0,
     })
 }
 
@@ -1781,6 +1902,13 @@ pub fn run_trace_experiment(
                     let expect = generation.get(&req.key).copied().unwrap_or(0);
                     if out.seed != Some(expect) {
                         metrics.stale_reads += 1;
+                    }
+                    if out.l0_hit {
+                        metrics.l0_hits += 1;
+                        metrics.l0_age.record(out.l0_age_nanos);
+                        if out.seed != Some(expect) {
+                            metrics.l0_stale_serves += 1;
+                        }
                     }
                 }
             }
@@ -1986,6 +2114,114 @@ mod tests {
                 );
             }
         }
+    }
+
+    #[test]
+    fn default_runs_report_no_l0_activity() {
+        // With `l0: None` (every default config) the tier must be
+        // structurally absent: no hits, no misses, no admissions, no
+        // invalidations, no age distribution.
+        for arch in [ArchKind::Remote, ArchKind::Linked] {
+            let r = run_kv_experiment(&tiny_cfg(arch)).unwrap();
+            assert_eq!(r.l0_hits, 0, "{arch}");
+            assert_eq!(r.l0_misses, 0, "{arch}");
+            assert_eq!(r.l0_hit_ratio, 0.0, "{arch}");
+            assert_eq!(r.l0_admitted, 0, "{arch}");
+            assert_eq!(r.l0_rejected, 0, "{arch}");
+            assert_eq!(r.l0_invalidations, 0, "{arch}");
+            assert_eq!(r.l0_stale_admits_dropped, 0, "{arch}");
+            assert_eq!(r.l0_stale_serves, 0, "{arch}");
+            assert_eq!(r.l0_age_p50_us, 0, "{arch}");
+            assert_eq!(r.l0_age_p99_us, 0, "{arch}");
+        }
+    }
+
+    #[test]
+    fn remote_l0_serves_the_head_coherently() {
+        let mut cfg = tiny_cfg(ArchKind::Remote);
+        cfg.deployment.l0 = Some(crate::config::L0Config::default());
+        let with = run_kv_experiment(&cfg).unwrap();
+        let without = run_kv_experiment(&tiny_cfg(ArchKind::Remote)).unwrap();
+        assert!(with.l0_hits > 0, "the Zipf head must land in the L0");
+        assert!(with.l0_hit_ratio > 0.5, "{}", with.l0_hit_ratio);
+        assert_eq!(
+            with.stale_reads, 0,
+            "invalidate-first L0 hits are always fresh"
+        );
+        assert_eq!(with.l0_stale_serves, 0);
+        assert!(
+            with.l0_invalidations > 0,
+            "writes to resident hot keys must invalidate"
+        );
+        // The head is served in-process, so the remote tier's RPC CPU (and
+        // the bill) drops; the few MB of duplicated L0 DRAM can't offset it.
+        assert!(
+            with.total_cost.total() < without.total_cost.total(),
+            "L0 {:.2}$ must undercut plain Remote {:.2}$",
+            with.total_cost.total(),
+            without.total_cost.total()
+        );
+        assert!(
+            with.read_latency_p50_us < without.read_latency_p50_us,
+            "an in-process hit beats a cache-node RPC on latency"
+        );
+    }
+
+    #[test]
+    fn linked_l0_composes_and_stays_coherent() {
+        let mut cfg = tiny_cfg(ArchKind::Linked);
+        cfg.deployment.l0 = Some(crate::config::L0Config::default());
+        let r = run_kv_experiment(&cfg).unwrap();
+        assert!(r.l0_hits > 0);
+        assert!(r.l0_admitted > 0);
+        assert_eq!(r.stale_reads, 0, "invalidate-first keeps Linked+L0 coherent");
+        assert_eq!(r.l0_stale_serves, 0);
+    }
+
+    #[test]
+    fn serve_stale_l0_bounds_staleness() {
+        let mut cfg = tiny_cfg(ArchKind::Remote);
+        // Write-heavy to surface staleness within the run.
+        cfg.workload.read_ratio = 0.5;
+        let bound_us = 5_000.0;
+        cfg.deployment.l0 = Some(crate::config::L0Config {
+            consistency: crate::config::L0Consistency::ServeStale,
+            stale_after_us: bound_us,
+            ..crate::config::L0Config::default()
+        });
+        let r = run_kv_experiment(&cfg).unwrap();
+        assert!(r.l0_hits > 0);
+        assert!(
+            r.l0_stale_serves > 0,
+            "serve-stale under writes must be *observed* as stale serves"
+        );
+        assert!(
+            r.stale_reads >= r.l0_stale_serves,
+            "every stale L0 serve is a stale read"
+        );
+        assert_eq!(
+            r.l0_invalidations, 0,
+            "serve-stale writers leave the tier alone"
+        );
+        // Entries expire at the declared bound, so the measured age
+        // distribution sits at or below it (histogram-bucket slack: 2x).
+        assert!(r.l0_age_p99_us > 0);
+        assert!(
+            (r.l0_age_p99_us as f64) <= 2.0 * bound_us,
+            "p99 age {}us must respect the {}us bound",
+            r.l0_age_p99_us,
+            bound_us
+        );
+    }
+
+    #[test]
+    fn sharded_runs_refuse_the_l0_tier() {
+        let mut cfg = tiny_cfg(ArchKind::Remote);
+        cfg.deployment.l0 = Some(crate::config::L0Config::default());
+        assert!(matches!(
+            run_kv_shard(&cfg, 0, 2),
+            Err(StoreError::Unsupported(_))
+        ));
     }
 
     #[test]

@@ -41,7 +41,10 @@ pub mod sessionapp;
 pub mod unityapp;
 
 pub use config::{
-    AppCostConfig, ArchKind, BatchingConfig, DeploymentConfig, FaultToleranceConfig, RetryPolicy,
+    AppCostConfig, ArchKind, BatchingConfig, DeploymentConfig, FaultToleranceConfig, L0Config,
+    L0Consistency, RetryPolicy,
 };
-pub use deployment::{batch_counters, elastic_counters, fault_counters, Deployment, ServeOutcome};
+pub use deployment::{
+    batch_counters, elastic_counters, fault_counters, l0_counters, Deployment, ServeOutcome,
+};
 pub use experiment::{run_kv_experiment, ExperimentReport, KvExperimentConfig};

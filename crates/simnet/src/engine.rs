@@ -384,7 +384,7 @@ impl<W> Sim<W> {
                 let mut cur = self.wheel[level][slot].head;
                 while cur != NIL {
                     let rec = &self.arena[cur as usize];
-                    if rec.event.is_some() && min_at.map_or(true, |m| rec.at < m) {
+                    if rec.event.is_some() && min_at.is_none_or(|m| rec.at < m) {
                         min_at = Some(rec.at);
                     }
                     cur = rec.next;

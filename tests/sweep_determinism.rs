@@ -135,6 +135,47 @@ fn parallel_batching_sweep_is_byte_identical_to_sequential() {
 }
 
 #[test]
+fn parallel_hotkey_sweep_is_byte_identical_to_sequential() {
+    // The hot-key ablation layers the in-process L0 tier (TinyLFU sketch
+    // state, per-server LRU, version invalidation, staleness histograms)
+    // onto the serve path. All of that state must stay inside each
+    // experiment: jobs=1 and jobs=4 over the same specs must serialize to
+    // the same bytes, L0 counters and age percentiles included.
+    use bench::hotkey::{run_sweep, sweep_specs};
+    let specs = sweep_specs();
+    let seq = run_sweep(&SweepRunner::sequential(), &specs, 500, 1_000);
+    let par = run_sweep(&SweepRunner::new(4), &specs, 500, 1_000);
+
+    assert_eq!(seq.len(), par.len());
+    let mut absorbing_cells = 0;
+    let mut stale_cells = 0;
+    for (i, (s, p)) in seq.iter().zip(&par).enumerate() {
+        assert_eq!(
+            format!("{s:?}"),
+            format!("{p:?}"),
+            "hotkey spec {i} ({}): parallel diverged",
+            specs[i].label()
+        );
+        if s.l0_hits > 0 {
+            absorbing_cells += 1;
+        }
+        if s.l0_stale_serves > 0 {
+            stale_cells += 1;
+        }
+    }
+    // The sweep must actually exercise the tier and both consistency
+    // modes, not just the off baselines.
+    assert!(
+        absorbing_cells > 0,
+        "no cell hit the L0; the determinism check would be vacuous"
+    );
+    assert!(
+        stale_cells > 0,
+        "no serve-stale cell served stale; the staleness path went untested"
+    );
+}
+
+#[test]
 fn parallel_elastic_sweep_is_byte_identical_to_sequential() {
     // The elastic ablation adds the most run-local state yet: a SHARDS
     // profiler, planner hysteresis, live resizes and ring drains with

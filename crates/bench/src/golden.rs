@@ -225,6 +225,7 @@ pub fn all_figures(runner: &SweepRunner) -> Vec<GoldenFigure> {
         ablation_hotkey(runner),
         ablation_elastic(runner),
         ablation_recovery(runner),
+        ablation_ttl(runner),
         obs_report(runner),
     ]
 }
@@ -716,6 +717,83 @@ pub fn ablation_recovery(runner: &SweepRunner) -> GoldenFigure {
         .collect();
     GoldenFigure {
         name: "ablation_recovery".into(),
+        points,
+    }
+}
+
+/// The TTL-control-plane ablation at golden budget: a reduced cut of the
+/// `ablation_ttl` sweep (the Remote diurnal triplet pins all three planes
+/// side by side; single TTL cells cover churn, storms and the Linked
+/// push-down; the isolation pair pins the two-tenant machinery). The
+/// static cell's TTL counters must stay exactly zero — the same
+/// default-off invariant that keeps every other figure byte-stable.
+/// Warmup spans four decision intervals so the first adopted TTL (and its
+/// expiry churn) lands before the measured window.
+pub fn ablation_ttl(runner: &SweepRunner) -> GoldenFigure {
+    use crate::ttl::{
+        isolation_experiment, isolation_label, run_sweep, tenant_hit, Plane, Schedule, TtlSpec,
+    };
+    let cell = |arch, schedule, plane| TtlSpec {
+        arch,
+        schedule,
+        plane,
+    };
+    let grid: Vec<TtlSpec> = vec![
+        cell(ArchKind::Remote, Schedule::Diurnal, Plane::Static),
+        cell(ArchKind::Remote, Schedule::Diurnal, Plane::Mrc),
+        cell(ArchKind::Remote, Schedule::Diurnal, Plane::Ttl),
+        cell(ArchKind::Remote, Schedule::Churn, Plane::Ttl),
+        cell(ArchKind::Remote, Schedule::Storm, Plane::Ttl),
+        cell(ArchKind::Linked, Schedule::Diurnal, Plane::Ttl),
+    ];
+    let reports = run_sweep(runner, &grid, 8_000, 12_000);
+    let mut points: Vec<GoldenPoint> = grid
+        .iter()
+        .zip(&reports)
+        .map(|(spec, r)| {
+            GoldenPoint::new(
+                spec.label(),
+                vec![
+                    ("cost_total".into(), r.total_cost.total()),
+                    ("cost_memory".into(), r.total_cost.memory),
+                    ("hit_cache".into(), r.cache_hit_ratio),
+                    ("count_ttl_decisions".into(), r.ttl_decisions as f64),
+                    ("count_ttl_changes".into(), r.ttl_changes as f64),
+                    ("count_expired".into(), r.expired_entries as f64),
+                    (
+                        "mean_resident_mb".into(),
+                        r.ttl_mean_resident_bytes / 1e6,
+                    ),
+                ],
+            )
+        })
+        .collect();
+    let iso_specs = [false, true];
+    let iso = runner.run_map(&iso_specs, |_, &storm| {
+        run_kv_experiment(&isolation_experiment(storm, 8_000, 12_000)).expect("isolation run")
+    });
+    for (&storm, r) in iso_specs.iter().zip(&iso) {
+        let agg = r
+            .tenants
+            .iter()
+            .find(|t| t.label == "aggressor")
+            .expect("aggressor tenant");
+        points.push(GoldenPoint::new(
+            isolation_label(storm),
+            vec![
+                ("hit_victim".into(), tenant_hit(r, "victim")),
+                ("hit_aggressor".into(), tenant_hit(r, "aggressor")),
+                (
+                    "frac_aggressor_writes".into(),
+                    agg.writes as f64 / agg.requests as f64,
+                ),
+                ("count_ttl_decisions".into(), r.ttl_decisions as f64),
+                ("count_expired".into(), r.expired_entries as f64),
+            ],
+        ));
+    }
+    GoldenFigure {
+        name: "ablation_ttl".into(),
         points,
     }
 }

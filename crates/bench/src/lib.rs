@@ -16,6 +16,7 @@ pub mod hotkey;
 pub mod obs;
 pub mod recovery;
 pub mod sweep;
+pub mod ttl;
 
 /// Parse the common CLI convention: `--quick` shrinks the run.
 pub fn quick_mode() -> bool {

@@ -15,6 +15,7 @@ use crate::fxhash::FxHashMap;
 use crate::policy::{Policy, PolicyImpl, PolicyKind};
 use crate::stats::CacheStats;
 use std::borrow::Borrow;
+use std::collections::BTreeSet;
 use std::hash::{Hash, Hasher};
 
 /// The admission-sketch hash the cache has always used: FNV-1a over the
@@ -110,6 +111,11 @@ pub struct Cache<K, V> {
     default_ttl_nanos: Option<u64>,
     admission: Option<TinyLfu>,
     stats: CacheStats,
+    /// Expiry index over entries with a finite deadline, ordered by
+    /// `(expires_at, slot)`. Entries with `expires_at == u64::MAX` (never)
+    /// are not indexed, so caches that never use TTLs pay nothing beyond a
+    /// branch per insert/remove and `expire_sweep` on them is O(1).
+    expiry: BTreeSet<(u64, usize)>,
 }
 
 impl<K: CacheKeyHash + Eq + Clone, V> Cache<K, V> {
@@ -126,6 +132,7 @@ impl<K: CacheKeyHash + Eq + Clone, V> Cache<K, V> {
             default_ttl_nanos: None,
             admission: None,
             stats: CacheStats::default(),
+            expiry: BTreeSet::new(),
         }
     }
 
@@ -138,6 +145,18 @@ impl<K: CacheKeyHash + Eq + Clone, V> Cache<K, V> {
     pub fn with_default_ttl(mut self, ttl_nanos: u64) -> Self {
         self.default_ttl_nanos = Some(ttl_nanos);
         self
+    }
+
+    /// Change the default TTL at runtime (the TTL control plane's knob).
+    /// Applies to future inserts only; resident entries keep the deadline
+    /// they were stored with. `None` disables the default TTL.
+    pub fn set_default_ttl(&mut self, ttl_nanos: Option<u64>) {
+        self.default_ttl_nanos = ttl_nanos;
+    }
+
+    /// The default TTL currently applied to inserts, if any.
+    pub fn default_ttl_nanos(&self) -> Option<u64> {
+        self.default_ttl_nanos
     }
 
     /// Enable TinyLFU admission: when the cache is full, a new entry only
@@ -193,6 +212,9 @@ impl<K: CacheKeyHash + Eq + Clone, V> Cache<K, V> {
         self.map.remove(&entry.key);
         self.policy.on_remove(slot);
         self.used_bytes -= entry.charge;
+        if entry.expires_at != u64::MAX {
+            self.expiry.remove(&(entry.expires_at, slot));
+        }
         entry
     }
 
@@ -288,6 +310,9 @@ impl<K: CacheKeyHash + Eq + Clone, V> Cache<K, V> {
         self.map.insert(key, slot);
         self.policy.on_insert(slot);
         self.used_bytes += charge;
+        if expires_at != u64::MAX {
+            self.expiry.insert((expires_at, slot));
+        }
         self.stats.inserts += 1;
         if replaced {
             InsertOutcome::Replaced { evicted }
@@ -378,23 +403,37 @@ impl<K: CacheKeyHash + Eq + Clone, V> Cache<K, V> {
             .unwrap_or(false)
     }
 
-    /// Drop every expired entry; returns how many were reclaimed.
+    /// Drop every expired entry; returns how many were reclaimed. O(k log n)
+    /// in the number reclaimed via the expiry index — a sweep over a cache
+    /// with nothing expired (or no finite TTLs at all) touches no entries.
     pub fn expire_sweep(&mut self, now: u64) -> usize {
-        let expired: Vec<usize> = self
-            .slab
-            .iter()
-            .enumerate()
-            .filter_map(|(i, e)| match e {
-                Some(entry) if entry.expires_at <= now => Some(i),
-                _ => None,
-            })
-            .collect();
-        let n = expired.len();
-        for slot in expired {
+        let mut n = 0;
+        while let Some(&(deadline, slot)) = self.expiry.iter().next() {
+            if deadline > now {
+                break;
+            }
             self.drop_slot(slot);
             self.stats.expired += 1;
+            n += 1;
         }
         n
+    }
+
+    /// Bytes held by entries still alive at `now`: `used_bytes` minus the
+    /// charges of entries whose deadline has lapsed but which no sweep or
+    /// access has reclaimed yet. This is what memory billing and profilers
+    /// should read — expired residents are ghosts, not working set.
+    pub fn resident_bytes(&self, now: u64) -> u64 {
+        let mut lapsed = 0u64;
+        for &(deadline, slot) in self.expiry.iter() {
+            if deadline > now {
+                break;
+            }
+            if let Some(e) = self.slab[slot].as_ref() {
+                lapsed += e.charge;
+            }
+        }
+        self.used_bytes - lapsed
     }
 
     /// Resize the cache to `capacity_bytes`, evicting (policy order) until
@@ -680,6 +719,130 @@ mod tests {
         assert_eq!(c.take("k"), None);
         assert_eq!(*c.stats(), before, "take must not move any counter");
         assert_eq!(c.used_bytes(), 0);
+    }
+
+    #[test]
+    fn ttl_boundary_expires_exactly_at_deadline() {
+        // `expires_at == now` is a miss: an entry with TTL t inserted at
+        // time 0 serves through t-1 and not at t (pinned above in
+        // ttl_expires_entries_lazily too; this one also checks contains()).
+        let mut c = cache(10_000);
+        c.insert_with_ttl("k".into(), 1, 10, T0, 1_000);
+        assert!(c.contains("k", 999));
+        assert!(!c.contains("k", 1_000));
+        assert_eq!(c.get("k", 1_000), None);
+    }
+
+    #[test]
+    fn zero_ttl_is_an_immediate_miss_without_panicking() {
+        let mut c = cache(10_000);
+        c.insert_with_ttl("k".into(), 1, 10, 500, 0);
+        assert_eq!(c.get("k", 500), None);
+        assert_eq!(c.stats().expired, 1);
+        let mut d = cache(10_000).with_default_ttl(0);
+        d.insert("k".into(), 1, 10, 500);
+        assert_eq!(d.get("k", 500), None);
+    }
+
+    #[test]
+    fn overflowing_ttl_saturates_to_never_expires() {
+        let mut c = cache(10_000);
+        c.insert_with_ttl("k".into(), 1, 10, 5, u64::MAX);
+        assert!(c.contains("k", u64::MAX - 1));
+        assert_eq!(c.get("k", u64::MAX - 1), Some(&1));
+        assert_eq!(c.expire_sweep(u64::MAX - 1), 0);
+        let mut d = cache(10_000).with_default_ttl(u64::MAX);
+        d.insert("k".into(), 2, 10, 7);
+        assert!(d.contains("k", u64::MAX - 1));
+    }
+
+    #[test]
+    fn overwrite_resets_ttl() {
+        let mut c = cache(10_000);
+        c.insert_with_ttl("k".into(), 1, 10, T0, 100);
+        // Re-insert at t=50 with a fresh TTL: the old deadline is gone.
+        c.insert_with_ttl("k".into(), 2, 10, 50, 100);
+        assert_eq!(c.get("k", 120), Some(&2));
+        assert_eq!(c.get("k", 150), None);
+        // And a TTL'd entry overwritten without a TTL never expires.
+        c.insert_with_ttl("k".into(), 3, 10, 200, 100);
+        c.insert("k".into(), 4, 10, 250);
+        assert_eq!(c.get("k", 100_000), Some(&4));
+        assert_eq!(c.expire_sweep(u64::MAX - 1), 0);
+    }
+
+    #[test]
+    fn set_default_ttl_applies_to_future_inserts_only() {
+        let mut c = cache(10_000);
+        c.insert("old".into(), 1, 10, T0);
+        c.set_default_ttl(Some(100));
+        assert_eq!(c.default_ttl_nanos(), Some(100));
+        c.insert("new".into(), 2, 10, T0);
+        assert!(c.contains("old", 1_000), "pre-change entries keep their deadline");
+        assert!(!c.contains("new", 1_000));
+        c.set_default_ttl(None);
+        c.insert("later".into(), 3, 10, T0);
+        assert!(c.contains("later", 1_000));
+    }
+
+    #[test]
+    fn resident_bytes_drops_the_moment_entries_lapse() {
+        let mut c = cache(10_000);
+        c.insert_with_ttl("a".into(), 1, 100, T0, 1_000);
+        c.insert("b".into(), 2, 100, T0);
+        let charge = 100 + ENTRY_OVERHEAD_BYTES;
+        assert_eq!(c.resident_bytes(999), 2 * charge);
+        // At the deadline "a" is a ghost: still in used_bytes (not yet
+        // reclaimed) but out of resident_bytes.
+        assert_eq!(c.used_bytes(), 2 * charge);
+        assert_eq!(c.resident_bytes(1_000), charge);
+        assert_eq!(c.expire_sweep(1_000), 1);
+        assert_eq!(c.used_bytes(), charge);
+        assert_eq!(c.resident_bytes(1_000), charge);
+    }
+
+    #[test]
+    fn expire_sweep_matches_full_scan_semantics() {
+        // The indexed sweep must reclaim exactly the entries a full slab
+        // scan would, across interleaved inserts/overwrites/removes.
+        let mut c: Cache<u64, u64> = Cache::lru(1 << 20);
+        let mut x = 42u64;
+        let mut rng = move || {
+            x ^= x << 13;
+            x ^= x >> 7;
+            x ^= x << 17;
+            x
+        };
+        for step in 0..2_000u64 {
+            let k = rng() % 64;
+            match rng() % 4 {
+                0 => {
+                    c.insert_with_ttl(k, step, 32, step, 1 + rng() % 500);
+                }
+                1 => {
+                    c.insert(k, step, 32, step);
+                }
+                2 => {
+                    c.remove(&k);
+                }
+                _ => {
+                    c.get(&k, step);
+                }
+            }
+            if step % 97 == 0 {
+                let expected: Vec<u64> = c
+                    .keys()
+                    .copied()
+                    .filter(|k| !c.contains(k, step))
+                    .collect();
+                assert_eq!(c.expire_sweep(step), expected.len(), "step {step}");
+                for k in expected {
+                    assert!(c.peek(&k).is_none(), "step {step}: {k} survived sweep");
+                }
+            }
+        }
+        // Non-vacuous: the run actually expired and evicted things.
+        assert!(c.stats().expired > 0);
     }
 
     #[test]

@@ -21,4 +21,4 @@ pub mod theory;
 
 pub use pricing::{CostBreakdown, Pricing, ResourceUsage};
 pub use ssd::{HybridModel, SsdTier};
-pub use theory::{RpcTax, TheoryModel, TheoryParams};
+pub use theory::{RpcTax, TheoryModel, TheoryParams, TtlTheory};

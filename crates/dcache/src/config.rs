@@ -87,6 +87,17 @@ impl ArchKind {
     pub const fn supports_l0(self) -> bool {
         matches!(self, ArchKind::Remote | ArchKind::Linked)
     }
+
+    /// Whether the adaptive TTL control plane can drive this architecture.
+    /// The plane works by adjusting the caches' *default* TTL at runtime;
+    /// Base has no cache to expire, LinkedTtl's TTL is its consistency
+    /// contract (a controller shortening it silently changes the staleness
+    /// bound), and the version-checked/leased families get freshness from
+    /// checks, not expiry — so the plane composes with Remote and sharded
+    /// Linked only, mirroring [`Self::supports_l0`].
+    pub const fn supports_ttl_plane(self) -> bool {
+        matches!(self, ArchKind::Remote | ArchKind::Linked)
+    }
 }
 
 impl std::fmt::Display for ArchKind {
@@ -131,6 +142,10 @@ pub struct AppCostConfig {
     pub object_assemble_per_byte_ns: f64,
     /// Validating a local ownership lease (LeaseOwned reads).
     pub lease_validate_us: f64,
+    /// Reclaiming one expired entry during a TTL expiry sweep (ordered-index
+    /// pop + hash removal + free-list push) — cheaper than a full cache op
+    /// because there is no probe, policy touch, or admission decision.
+    pub expiry_sweep_entry_us: f64,
 }
 
 impl Default for AppCostConfig {
@@ -149,6 +164,7 @@ impl Default for AppCostConfig {
             object_assemble_per_part_us: 6.0,
             object_assemble_per_byte_ns: 0.3,
             lease_validate_us: 0.4,
+            expiry_sweep_entry_us: 0.3,
         }
     }
 }
@@ -411,6 +427,13 @@ pub struct DeploymentConfig {
     /// stream and periodically resizes the external cache tier to the
     /// dollar-minimizing capacity.
     pub elastic: elastic::ElasticConfig,
+    /// Cost-aware adaptive TTL control plane (default off:
+    /// `decision_interval_secs == 0`). When enabled on an architecture with
+    /// [`ArchKind::supports_ttl_plane`], the deployment embeds one
+    /// [`elastic::TtlController`] per tenant that learns the hit-ratio-vs-TTL
+    /// curve from reference ages and periodically pushes the
+    /// dollar-minimizing default TTL into the live caches.
+    pub ttl: elastic::TtlConfig,
     /// Deterministic seed for the deployment's internals.
     pub seed: u64,
 }
@@ -435,6 +458,7 @@ impl DeploymentConfig {
             batching: BatchingConfig::default(),
             l0: None,
             elastic: elastic::ElasticConfig::default(),
+            ttl: elastic::TtlConfig::default(),
             seed: 42,
         }
     }
@@ -635,6 +659,25 @@ mod tests {
         assert!(!d.elastic.enabled());
         let t = DeploymentConfig::test_small(ArchKind::Remote);
         assert!(!t.elastic.enabled());
+    }
+
+    #[test]
+    fn ttl_defaults_off() {
+        // Same contract as elastic/L0: every pre-existing golden is
+        // byte-identical only while the TTL control plane stays disabled.
+        let d = DeploymentConfig::paper(ArchKind::Remote);
+        assert!(!d.ttl.enabled());
+        let t = DeploymentConfig::test_small(ArchKind::Linked);
+        assert!(!t.ttl.enabled());
+        // Plane gating mirrors supports_l0.
+        assert!(ArchKind::Remote.supports_ttl_plane());
+        assert!(ArchKind::Linked.supports_ttl_plane());
+        assert!(!ArchKind::Base.supports_ttl_plane());
+        assert!(!ArchKind::LinkedTtl.supports_ttl_plane());
+        assert!(!ArchKind::LinkedVersion.supports_ttl_plane());
+        // Sweep reclamation must be cheaper than a policy-touching cache op.
+        let c = AppCostConfig::default();
+        assert!(c.expiry_sweep_entry_us < c.local_cache_op_us);
     }
 
     #[test]

@@ -110,6 +110,25 @@ pub mod l0_counters {
     pub const INVALIDATION_MISSES: &str = "dcache_l0_invalidation_misses_total";
 }
 
+/// Names of the TTL-control-plane counters a deployment maintains in its
+/// [`MetricSet`] when [`elastic::TtlConfig`] is enabled; the experiment
+/// runner lifts them into `ExperimentReport`. All stay absent (zero) while
+/// the plane is off, so default runs export identical metrics.
+pub mod ttl_counters {
+    /// TTL planning rounds run, summed over every tenant controller.
+    pub const DECISIONS: &str = "ttl_decisions";
+    /// Decisions that changed some tenant's adopted TTL.
+    pub const TTL_CHANGES: &str = "ttl_changes";
+    /// Entries reclaimed by heartbeat expiry sweeps.
+    pub const EXPIRED_ENTRIES: &str = "ttl_expired_entries";
+    /// CPU charged for those sweeps, in nanoseconds (integer so it can
+    /// live in the counter set; reports convert to µs).
+    pub const SWEEP_CPU_NANOS: &str = "ttl_expiry_sweep_cpu_nanos";
+
+    /// Every TTL counter, for bulk snapshot/carry-over.
+    pub const ALL: &[&str] = &[DECISIONS, TTL_CHANGES, EXPIRED_ENTRIES, SWEEP_CPU_NANOS];
+}
+
 /// One open coalescing frame on an (app server, cache node) pair: requests
 /// admitted within `[opened_at, departs_at)` ride the same wire frame, up
 /// to `max_batch` occupants. The lower bound matters: admission times are
@@ -270,6 +289,14 @@ pub struct Deployment {
     /// byte-identical. The experiment runner drives decisions from its
     /// heartbeat and applies them via [`Deployment::apply_elastic_plan`].
     pub elastic: elastic::ElasticController,
+    /// Per-tenant TTL controllers (see [`elastic::TtlController`]); index =
+    /// tenant id, and single-tenant runs use entry 0. Disabled by default:
+    /// every entry point checks [`Deployment::ttl_enabled`] first, so
+    /// baseline runs stay byte-identical. The experiment runner feeds
+    /// accesses via [`Deployment::ttl_observe`], drives decisions from its
+    /// heartbeat, and the adopted TTLs reach the caches through
+    /// [`Deployment::ttl_begin_request`].
+    pub ttl: Vec<elastic::TtlController>,
     /// Per-table KV statements parsed + planned once (first use) and reused
     /// on every serve — a wall-clock-only optimization: cached executions
     /// charge exactly what `SqlCluster::execute` would for the same text.
@@ -380,6 +407,7 @@ impl Deployment {
             crashed_storage_pods: std::collections::BTreeMap::new(),
             tracer: Tracer::disabled(),
             elastic: elastic::ElasticController::new(config.elastic),
+            ttl: vec![elastic::TtlController::new(config.ttl)],
             sql_stmts: HashMap::new(),
             interner: KeyInterner::new(),
             key_scratch: Vec::new(),
@@ -473,7 +501,7 @@ impl Deployment {
         // drained or a cache resized during convergence is still a
         // control-plane action the report must account for, and the
         // controller's own decisions()/plan_changes() are cumulative too.
-        let carried: Vec<(&'static str, u64)> = if self.elastic.enabled() {
+        let mut carried: Vec<(&'static str, u64)> = if self.elastic.enabled() {
             elastic_counters::ALL
                 .iter()
                 .map(|&n| (n, self.metrics.counter_value(n)))
@@ -482,6 +510,14 @@ impl Deployment {
         } else {
             Vec::new()
         };
+        if self.ttl_enabled() {
+            carried.extend(
+                ttl_counters::ALL
+                    .iter()
+                    .map(|&n| (n, self.metrics.counter_value(n)))
+                    .filter(|&(_, v)| v > 0),
+            );
+        }
         self.metrics = MetricSet::new();
         for (n, v) in carried {
             self.metrics.counter(n).add(v);
@@ -743,6 +779,123 @@ impl Deployment {
     pub fn cache_resident_bytes(&self) -> u64 {
         self.linked.iter().map(|c| c.used_bytes()).sum::<u64>()
             + self.remote.iter().map(|c| c.used_bytes()).sum::<u64>()
+    }
+
+    /// Bytes resident in the external caches *at* `now`: like
+    /// [`Self::cache_resident_bytes`], but entries whose TTL has lapsed and
+    /// that no sweep has reclaimed yet are excluded — they hold no live
+    /// value. TTL billing integrates this over time.
+    pub fn cache_resident_bytes_at(&self, now: SimTime) -> u64 {
+        let nanos = now.as_nanos();
+        self.linked.iter().map(|c| c.resident_bytes(nanos)).sum::<u64>()
+            + self.remote.iter().map(|c| c.resident_bytes(nanos)).sum::<u64>()
+    }
+
+    /// Whether the adaptive TTL control plane is live: configured on, the
+    /// architecture supports runtime default-TTL adjustment, and a cache
+    /// tier exists to expire.
+    pub fn ttl_enabled(&self) -> bool {
+        self.config.ttl.enabled()
+            && self.config.arch.supports_ttl_plane()
+            && (!self.linked.is_empty() || !self.remote.is_empty())
+    }
+
+    /// Size the per-tenant controller set (tenant 0 always exists). Called
+    /// by the experiment runner before traffic starts; never shrinks.
+    pub fn set_ttl_tenants(&mut self, tenants: usize) {
+        while self.ttl.len() < tenants.max(1) {
+            self.ttl.push(elastic::TtlController::new(self.config.ttl));
+        }
+    }
+
+    /// Apply `tenant`'s adopted TTL as every cache's default before serving
+    /// one of its requests — the whole push-down mechanism: inserts on the
+    /// fill path pick the default up, so the serve paths need no changes.
+    /// A handful of `Option` stores per request when the plane is on; a
+    /// no-op (and no RNG, no metrics) when off.
+    pub fn ttl_begin_request(&mut self, tenant: usize) {
+        if !self.ttl_enabled() {
+            return;
+        }
+        let ttl = self.ttl.get(tenant).and_then(|c| c.current_ttl_nanos());
+        for c in &mut self.linked {
+            c.set_default_ttl(ttl);
+        }
+        for c in &mut self.remote {
+            c.set_default_ttl(ttl);
+        }
+    }
+
+    /// Feed one access to `tenant`'s age histogram. `key` is the workload's
+    /// (namespaced) key id; hashing happens here so callers never worry
+    /// about distribution quality.
+    pub fn ttl_observe(&mut self, tenant: usize, key: u64, bytes: u64, now: SimTime) {
+        if !self.ttl_enabled() {
+            return;
+        }
+        if let Some(ctl) = self.ttl.get_mut(tenant) {
+            ctl.observe_hashed(cachekit::ring::splitmix64(key), bytes, now.as_nanos());
+        }
+    }
+
+    /// Run every tenant controller's decision check (each no-ops until its
+    /// interval elapses) and mirror the outcomes into the metric set.
+    pub fn ttl_maybe_decide(&mut self, now_secs: f64, pricing: &costmodel::Pricing) {
+        if !self.ttl_enabled() {
+            return;
+        }
+        let mut decisions = 0;
+        let mut changes = 0;
+        for ctl in &mut self.ttl {
+            let before = (ctl.decisions(), ctl.ttl_changes());
+            ctl.maybe_decide(now_secs, pricing);
+            decisions += ctl.decisions() - before.0;
+            changes += ctl.ttl_changes() - before.1;
+        }
+        if decisions > 0 {
+            self.metrics.counter(ttl_counters::DECISIONS).add(decisions);
+        }
+        if changes > 0 {
+            self.metrics.counter(ttl_counters::TTL_CHANGES).add(changes);
+        }
+    }
+
+    /// Reclaim expired entries from every cache shard, charging the owning
+    /// tier per entry scanned ([`crate::config::AppCostConfig::expiry_sweep_entry_us`]).
+    /// Linked shards bill their app server; remote shards bill the cache
+    /// node. Returns entries reclaimed. Driven from the experiment
+    /// heartbeat, like elastic decisions.
+    pub fn expire_sweep_tick(&mut self, now: SimTime) -> u64 {
+        if !self.ttl_enabled() {
+            return 0;
+        }
+        let per_entry_us = self.config.app_cost.expiry_sweep_entry_us;
+        let nanos = now.as_nanos();
+        let mut reclaimed = 0u64;
+        let mut cpu_nanos = 0u64;
+        for i in 0..self.linked.len() {
+            let n = self.linked[i].expire_sweep(nanos) as u64;
+            if n > 0 {
+                let cost = SimDuration::from_micros_f64(per_entry_us * n as f64);
+                self.app_cpu[i].charge(CpuCategory::CacheOp, cost);
+                reclaimed += n;
+                cpu_nanos += cost.as_nanos();
+            }
+        }
+        for i in 0..self.remote.len() {
+            let n = self.remote[i].expire_sweep(nanos) as u64;
+            if n > 0 {
+                let cost = SimDuration::from_micros_f64(per_entry_us * n as f64);
+                self.cache_cpu[i].charge(CpuCategory::CacheOp, cost);
+                reclaimed += n;
+                cpu_nanos += cost.as_nanos();
+            }
+        }
+        if reclaimed > 0 {
+            self.metrics.counter(ttl_counters::EXPIRED_ENTRIES).add(reclaimed);
+            self.metrics.counter(ttl_counters::SWEEP_CPU_NANOS).add(cpu_nanos);
+        }
+        reclaimed
     }
 
     pub(crate) fn cache_key(table: &str, key: i64) -> Vec<u8> {

@@ -13,7 +13,8 @@
 
 use crate::config::{ArchKind, DeploymentConfig};
 use crate::deployment::{
-    batch_counters, elastic_counters, fault_counters, kv_catalog, l0_counters, Deployment,
+    batch_counters, elastic_counters, fault_counters, kv_catalog, l0_counters, ttl_counters,
+    Deployment,
 };
 use costmodel::{CostBreakdown, Pricing, ResourceUsage};
 use serde::Serialize;
@@ -23,7 +24,8 @@ use simnet::{
 };
 use storekit::error::{StoreError, StoreResult};
 use storekit::value::Datum;
-use workloads::{KvOp, KvWorkloadConfig};
+use workloads::tenants::namespaced_key;
+use workloads::{KvOp, KvWorkload, KvWorkloadConfig};
 
 /// vCPUs per VM used when translating steady-state cores into concrete
 /// machine counts (§5.1 notes platforms provision to peak CPU; GCP's
@@ -95,6 +97,29 @@ impl TierReport {
             cpu_fractions,
         }
     }
+}
+
+/// Per-tenant slice of a multi-tenant run's accounting.
+#[derive(Debug, Clone, Serialize)]
+pub struct TenantReport {
+    pub label: String,
+    /// Measured requests attributed to this tenant.
+    pub requests: u64,
+    pub reads: u64,
+    pub writes: u64,
+    pub cache_hits: u64,
+    /// External-cache hit ratio over this tenant's measured reads.
+    pub hit_ratio: f64,
+    pub stale_reads: u64,
+    /// Adopted TTL at run end, seconds (0.0 = no decision yet / plane off).
+    pub ttl_secs: f64,
+    /// TTL planning rounds this tenant's controller ran.
+    pub ttl_decisions: u64,
+    /// Decisions that changed this tenant's adopted TTL.
+    pub ttl_changes: u64,
+    /// This tenant's share of the monthly bill, apportioned by request
+    /// share — a simple deterministic showback split.
+    pub monthly_dollars: f64,
 }
 
 /// Everything a run produced.
@@ -215,6 +240,24 @@ pub struct ExperimentReport {
     /// staleness bound.
     pub l0_age_p50_us: u64,
     pub l0_age_p99_us: u64,
+    /// TTL control-plane activity (all zero while the plane is off).
+    pub ttl_decisions: u64,
+    /// Decisions that changed some tenant's adopted TTL.
+    pub ttl_changes: u64,
+    /// Entries reclaimed by heartbeat expiry sweeps.
+    pub expired_entries: u64,
+    /// CPU charged for those sweeps, microseconds.
+    pub expiry_sweep_cpu_us: u64,
+    /// Adopted TTL per tenant at run end, seconds (0.0 = no decision yet);
+    /// empty while the plane is off.
+    pub ttl_current_secs: Vec<f64>,
+    /// Time-averaged TTL-aware resident cache bytes over the measured run
+    /// (0.0 unless the plane tracked windows) — the memory basis TTL
+    /// billing charges for.
+    pub ttl_mean_resident_bytes: f64,
+    /// Per-tenant accounting (empty unless the run had a
+    /// [`workloads::TenantMix`]).
+    pub tenants: Vec<TenantReport>,
 }
 
 impl ExperimentReport {
@@ -300,6 +343,12 @@ pub struct KvExperimentConfig {
     /// run; `Some` additionally captures per-bucket latency exemplars for
     /// traced requests and fills the report's `slo_*`/`tail_*` fields.
     pub observability: Option<crate::obs::ObsConfig>,
+    /// Multi-tenant request mix: each tenant drives its own workload over a
+    /// namespaced slice of the key space, with optional churn/storm stress
+    /// schedules, and the TTL plane (when on) tunes each tenant separately.
+    /// `None` (the default everywhere) keeps the classic single-workload
+    /// request stream byte-for-byte; `cfg.workload` is ignored when set.
+    pub tenants: Option<workloads::TenantMix>,
     pub pricing: Pricing,
 }
 
@@ -323,6 +372,7 @@ impl KvExperimentConfig {
             trace_sample_every: None,
             diurnal: None,
             observability: None,
+            tenants: None,
             pricing: Pricing::default(),
         }
     }
@@ -609,6 +659,23 @@ pub(crate) fn build_report(
         l0_stale_serves: metrics.l0_stale_serves,
         l0_age_p50_us: metrics.l0_age.p50() / 1_000,
         l0_age_p99_us: metrics.l0_age.p99() / 1_000,
+        ttl_decisions: dep.metrics.counter_value(ttl_counters::DECISIONS),
+        ttl_changes: dep.metrics.counter_value(ttl_counters::TTL_CHANGES),
+        expired_entries: dep.metrics.counter_value(ttl_counters::EXPIRED_ENTRIES),
+        expiry_sweep_cpu_us: dep.metrics.counter_value(ttl_counters::SWEEP_CPU_NANOS) / 1_000,
+        ttl_current_secs: if dep.ttl_enabled() {
+            dep.ttl
+                .iter()
+                .map(|c| c.current_plan().map_or(0.0, |p| p.ttl_secs))
+                .collect()
+        } else {
+            Vec::new()
+        },
+        // Window-derived; filled post-hoc by the KV runner, like the
+        // elastic figures above.
+        ttl_mean_resident_bytes: 0.0,
+        // Filled post-hoc by the KV runner when the run had a tenant mix.
+        tenants: Vec::new(),
     }
 }
 
@@ -632,6 +699,33 @@ fn apply_elastic_billing(
     };
     if let Some(t) = report.tiers.iter_mut().find(|t| t.name == tier_name) {
         t.mem_gb = (base_mem as f64 + mean_cache_bytes) / 1e9;
+        t.cost = pricing.monthly(&ResourceUsage::new(t.cores, t.mem_gb, t.disk_gb));
+    }
+    report.total_cost = report.tiers.iter().map(|t| t.cost).sum();
+    report.total_mem_gb = report.tiers.iter().map(|t| t.mem_gb).sum();
+}
+
+/// Re-bill the cache tier's memory at the time-averaged *resident* bytes —
+/// what a TTL-governed cache actually holds live. Mirrors
+/// [`apply_elastic_billing`]: with expiry in play, configured capacity
+/// overstates the footprint (expired entries hold no value, and sweeps
+/// return their bytes), so time-averaged residency is the honest basis.
+fn apply_ttl_billing(
+    report: &mut ExperimentReport,
+    dep: &Deployment,
+    mean_resident_bytes: f64,
+    pricing: &Pricing,
+) {
+    let cfg = &dep.config;
+    let (tier_name, base_mem) = match cfg.arch {
+        ArchKind::Remote => ("remote_cache", cfg.remote_cache_nodes as u64 * (1 << 30)),
+        _ if cfg.arch.has_linked_cache() => {
+            ("app", cfg.app_servers as u64 * cfg.app_base_mem_bytes)
+        }
+        _ => return,
+    };
+    if let Some(t) = report.tiers.iter_mut().find(|t| t.name == tier_name) {
+        t.mem_gb = (base_mem as f64 + mean_resident_bytes) / 1e9;
         t.cost = pricing.monthly(&ResourceUsage::new(t.cores, t.mem_gb, t.disk_gb));
     }
     report.total_cost = report.tiers.iter().map(|t| t.cost).sum();
@@ -1054,6 +1148,79 @@ fn export_registry(
         }
     }
 
+    // TTL-control-plane telemetry, only when the plane is on (so default
+    // runs export byte-identical registries).
+    if dep.ttl_enabled() {
+        reg.describe(
+            "dcache_ttl_decisions_total",
+            Counter,
+            "TTL planning rounds run across all tenant controllers.",
+        );
+        reg.set_counter("dcache_ttl_decisions_total", labels, report.ttl_decisions);
+        reg.set_counter("dcache_ttl_changes_total", labels, report.ttl_changes);
+        reg.describe(
+            "dcache_ttl_expired_entries_total",
+            Counter,
+            "Entries reclaimed by heartbeat expiry sweeps.",
+        );
+        reg.set_counter(
+            "dcache_ttl_expired_entries_total",
+            labels,
+            report.expired_entries,
+        );
+        reg.set_counter(
+            "dcache_ttl_expiry_sweep_cpu_us_total",
+            labels,
+            report.expiry_sweep_cpu_us,
+        );
+        reg.set_gauge(
+            "dcache_ttl_mean_resident_bytes",
+            labels,
+            report.ttl_mean_resident_bytes,
+        );
+        reg.describe(
+            "dcache_ttl_current_secs",
+            Gauge,
+            "Adopted TTL per tenant at run end (0 = no decision yet).",
+        );
+        for (t, ctl) in dep.ttl.iter().enumerate() {
+            let tenant_label = report
+                .tenants
+                .get(t)
+                .map_or_else(|| t.to_string(), |tr| tr.label.clone());
+            let tl: &[(&str, &str)] = &[("arch", arch), ("tenant", &tenant_label)];
+            reg.set_gauge(
+                "dcache_ttl_current_secs",
+                tl,
+                ctl.current_plan().map_or(0.0, |p| p.ttl_secs),
+            );
+            reg.set_gauge(
+                "dcache_ttl_tracked_keys",
+                tl,
+                ctl.histogram().tracked_keys() as f64,
+            );
+        }
+    }
+
+    // Per-tenant accounting, only when the run had a tenant mix (so
+    // single-workload runs export byte-identical registries).
+    if !report.tenants.is_empty() {
+        reg.describe(
+            "dcache_tenant_requests_total",
+            Counter,
+            "Measured requests attributed to each tenant.",
+        );
+        for tr in &report.tenants {
+            let tl: &[(&str, &str)] = &[("arch", arch), ("tenant", &tr.label)];
+            reg.set_counter("dcache_tenant_requests_total", tl, tr.requests);
+            reg.set_counter("dcache_tenant_cache_hits_total", tl, tr.cache_hits);
+            reg.set_counter("dcache_tenant_stale_reads_total", tl, tr.stale_reads);
+            reg.set_gauge("dcache_tenant_hit_ratio", tl, tr.hit_ratio);
+            reg.set_gauge("dcache_tenant_monthly_dollars", tl, tr.monthly_dollars);
+            reg.set_gauge("dcache_tenant_ttl_secs", tl, tr.ttl_secs);
+        }
+    }
+
     // Fault/degraded-path counters straight off the deployment.
     dep.metrics.export(&mut reg, "dcache_fault_", labels);
     // External-cache statistics (hits/misses/evictions/...).
@@ -1099,31 +1266,109 @@ fn run_kv_experiment_core(cfg: &KvExperimentConfig) -> StoreResult<(ExperimentRe
         dep.tracer = telemetry::Tracer::with_capacity(TRACE_SINK_CAPACITY);
     }
 
-    // Seed the dataset: every key at generation 0.
+    // Seed the dataset: every key at generation 0. Multi-tenant runs load
+    // each tenant's namespaced slice of the key space; the classic
+    // single-workload path is byte-for-byte untouched.
     let wl_cfg = &cfg.workload;
-    dep.cluster.bulk_load(
-        "kv",
-        (0..wl_cfg.keys).map(|k| {
-            vec![
-                Datum::Int(k as i64),
-                Datum::Payload {
-                    len: wl_cfg.size_of(k),
-                    seed: 0,
-                },
-            ]
-        }),
-    )?;
+    match &cfg.tenants {
+        None => {
+            dep.cluster.bulk_load(
+                "kv",
+                (0..wl_cfg.keys).map(|k| {
+                    vec![
+                        Datum::Int(k as i64),
+                        Datum::Payload {
+                            len: wl_cfg.size_of(k),
+                            seed: 0,
+                        },
+                    ]
+                }),
+            )?;
+        }
+        Some(mix) => {
+            for (t, spec) in mix.tenants.iter().enumerate() {
+                let w = &spec.workload;
+                dep.cluster.bulk_load(
+                    "kv",
+                    (0..w.keys).map(|k| {
+                        vec![
+                            Datum::Int(namespaced_key(t, k) as i64),
+                            Datum::Payload {
+                                len: w.size_of(k),
+                                seed: 0,
+                            },
+                        ]
+                    }),
+                )?;
+            }
+        }
+    }
 
     if cfg.prewarm {
         // One pass over the keyspace fills the external caches and heats
         // the storage block caches; none of it is billed (meters reset at
         // the measurement boundary below).
-        for k in 0..wl_cfg.keys {
-            dep.serve_kv_read("kv", k as i64, SimTime::ZERO)?;
+        match &cfg.tenants {
+            None => {
+                for k in 0..wl_cfg.keys {
+                    dep.serve_kv_read("kv", k as i64, SimTime::ZERO)?;
+                }
+            }
+            Some(mix) => {
+                for (t, spec) in mix.tenants.iter().enumerate() {
+                    for k in 0..spec.workload.keys {
+                        dep.serve_kv_read("kv", namespaced_key(t, k) as i64, SimTime::ZERO)?;
+                    }
+                }
+            }
         }
     }
 
-    let mut workload = wl_cfg.build();
+    // One request-stream driver per tenant. Single-workload runs get one
+    // driver, no picker, and no schedules, so their request sequence (and
+    // RNG state) is exactly the classic path's.
+    struct TenantRt {
+        wl: KvWorkload,
+        churn: Option<workloads::ChurnSchedule>,
+        storm: Option<workloads::StormSchedule>,
+        base_read_ratio: f64,
+        requests: u64,
+        reads: u64,
+        writes: u64,
+        cache_hits: u64,
+        stale_reads: u64,
+    }
+    impl TenantRt {
+        fn new(
+            wl: KvWorkload,
+            base_read_ratio: f64,
+            churn: Option<workloads::ChurnSchedule>,
+            storm: Option<workloads::StormSchedule>,
+        ) -> Self {
+            TenantRt {
+                wl,
+                churn,
+                storm,
+                base_read_ratio,
+                requests: 0,
+                reads: 0,
+                writes: 0,
+                cache_hits: 0,
+                stale_reads: 0,
+            }
+        }
+    }
+    let mut tenants_rt: Vec<TenantRt> = match &cfg.tenants {
+        None => vec![TenantRt::new(wl_cfg.build(), wl_cfg.read_ratio, None, None)],
+        Some(mix) => mix
+            .tenants
+            .iter()
+            .map(|s| TenantRt::new(s.workload.build(), s.workload.read_ratio, s.churn, s.storm))
+            .collect(),
+    };
+    let mut picker = cfg.tenants.as_ref().map(|m| m.picker());
+    let multi_tenant = cfg.tenants.is_some();
+    dep.set_ttl_tenants(tenants_rt.len());
     // Per-key write generation; reads expect the latest generation.
     let mut generation: std::collections::HashMap<u64, u64> = std::collections::HashMap::new();
     let base_dt = SimDuration::from_secs_f64(1.0 / cfg.qps.max(1.0));
@@ -1149,12 +1394,14 @@ fn run_kv_experiment_core(cfg: &KvExperimentConfig) -> StoreResult<(ExperimentRe
     // (what elastic provisioning pays for). Only tracked when a run can
     // actually vary — diurnal load or an enabled controller — so the
     // default fixed-rate path stays untouched.
-    let track_windows = cfg.diurnal.is_some() || dep.elastic.enabled() || obs.is_some();
+    let track_windows =
+        cfg.diurnal.is_some() || dep.elastic.enabled() || dep.ttl_enabled() || obs.is_some();
     let mut peak_window_cores = 0.0f64;
     let mut window_busy_anchor = 0u64; // busy nanos at window start
     let mut window_start = SimTime::ZERO;
     let mut cap_integral = 0.0f64; // bytes · seconds
     let mut cap_peak = 0u64;
+    let mut ttl_res_integral = 0.0f64; // TTL-aware resident bytes · seconds
     let total_busy = |dep: &Deployment| -> u64 {
         (dep.app_cpu_total().total()
             + dep.cache_cpu_total().total()
@@ -1178,6 +1425,14 @@ fn run_kv_experiment_core(cfg: &KvExperimentConfig) -> StoreResult<(ExperimentRe
         if i % heartbeat_every == 0 {
             dep.cluster.tick(now);
             dep.sharder.renew_all(now);
+            // TTL plane housekeeping rides the same heartbeat: reclaim
+            // expired entries (billing the sweeping tier per entry), then
+            // give each tenant controller its decision check. Both are
+            // no-ops while the plane is off.
+            if dep.ttl_enabled() {
+                dep.expire_sweep_tick(now);
+                dep.ttl_maybe_decide(now.as_secs_f64(), &cfg.pricing);
+            }
             if track_windows {
                 if measuring && now > window_start {
                     let busy = total_busy(&dep);
@@ -1187,6 +1442,10 @@ fn run_kv_experiment_core(cfg: &KvExperimentConfig) -> StoreResult<(ExperimentRe
                     let cap = dep.elastic_cache_capacity_bytes();
                     cap_integral += cap as f64 * window.as_secs_f64();
                     cap_peak = cap_peak.max(cap);
+                    if dep.ttl_enabled() {
+                        ttl_res_integral +=
+                            dep.cache_resident_bytes_at(now) as f64 * window.as_secs_f64();
+                    }
                     window_busy_anchor = busy;
                     window_start = now;
                     if let Some(o) = obs.as_mut() {
@@ -1236,9 +1495,31 @@ fn run_kv_experiment_core(cfg: &KvExperimentConfig) -> StoreResult<(ExperimentRe
         if sampled {
             dep.tracer.start_request(tid);
         }
-        let req = workload.next_request();
+        // Pick the tenant (a dedicated RNG stream; single-workload runs
+        // skip the draw), apply its stress schedules, and stamp its adopted
+        // TTL onto the caches before serving.
+        let tenant = picker.as_mut().map_or(0, |p| p.pick());
+        let rt = &mut tenants_rt[tenant];
+        if let Some(churn) = rt.churn {
+            rt.wl.set_epoch(churn.epoch(now.as_secs_f64()));
+        }
+        if let Some(storm) = rt.storm {
+            rt.wl
+                .set_read_ratio(storm.read_ratio_at(now.as_secs_f64()).unwrap_or(rt.base_read_ratio));
+        }
+        let mut req = rt.wl.next_request();
+        if multi_tenant {
+            req.key = namespaced_key(tenant, req.key);
+        }
+        dep.ttl_begin_request(tenant);
+        if measuring {
+            rt.requests += 1;
+        }
         match req.op {
             KvOp::Read => {
+                // Feed the tenant's age histogram (no-op while the TTL
+                // plane is off).
+                dep.ttl_observe(tenant, req.key, req.value_bytes, now);
                 let (out, penalty) =
                     with_failover(&mut dep, now, &mut metrics, measuring, |d, t| {
                         d.serve_kv_read("kv", req.key as i64, t)
@@ -1266,9 +1547,12 @@ fn run_kv_experiment_core(cfg: &KvExperimentConfig) -> StoreResult<(ExperimentRe
                     metrics.version_checks += out.version_checks;
                     metrics.sql_statements += out.sql_statements;
                     metrics.check_deadline(out.latency + penalty, deadline);
+                    rt.reads += 1;
+                    rt.cache_hits += out.cache_hit as u64;
                     let expect = generation.get(&req.key).copied().unwrap_or(0);
                     if out.seed != Some(expect) {
                         metrics.stale_reads += 1;
+                        rt.stale_reads += 1;
                     }
                     if out.l0_hit {
                         metrics.l0_hits += 1;
@@ -1318,6 +1602,7 @@ fn run_kv_experiment_core(cfg: &KvExperimentConfig) -> StoreResult<(ExperimentRe
                 if measuring {
                     let latency_ns = (out.latency + penalty).as_nanos();
                     metrics.writes += 1;
+                    rt.writes += 1;
                     if obs.is_some() && sampled {
                         metrics.write_latency.record_with_exemplar(latency_ns, tid);
                     } else {
@@ -1376,6 +1661,9 @@ fn run_kv_experiment_core(cfg: &KvExperimentConfig) -> StoreResult<(ExperimentRe
             let cap = dep.elastic_cache_capacity_bytes();
             cap_integral += cap as f64 * window.as_secs_f64();
             cap_peak = cap_peak.max(cap);
+            if dep.ttl_enabled() {
+                ttl_res_integral += dep.cache_resident_bytes_at(now) as f64 * window.as_secs_f64();
+            }
         }
         report.peak_window_cores = peak_window_cores;
         report.elastic_mean_cache_bytes = cap_integral / duration.as_secs_f64().max(1e-9);
@@ -1384,6 +1672,51 @@ fn run_kv_experiment_core(cfg: &KvExperimentConfig) -> StoreResult<(ExperimentRe
             let mean = report.elastic_mean_cache_bytes;
             apply_elastic_billing(&mut report, &dep, mean, &cfg.pricing);
         }
+        if dep.ttl_enabled() {
+            // TTL billing refines elastic billing when both are on: the
+            // time-averaged *resident* footprint is never more than the
+            // configured capacity, and it is what expiry actually frees.
+            report.ttl_mean_resident_bytes =
+                ttl_res_integral / duration.as_secs_f64().max(1e-9);
+            let mean = report.ttl_mean_resident_bytes;
+            apply_ttl_billing(&mut report, &dep, mean, &cfg.pricing);
+        }
+    }
+    if let Some(mix) = &cfg.tenants {
+        let total_requests: u64 = tenants_rt.iter().map(|t| t.requests).sum();
+        let total_dollars = report.total_cost.total();
+        report.tenants = mix
+            .tenants
+            .iter()
+            .zip(&tenants_rt)
+            .enumerate()
+            .map(|(t, (spec, rt))| {
+                let ctl = dep.ttl.get(t).filter(|_| dep.ttl_enabled());
+                TenantReport {
+                    label: spec.label.clone(),
+                    requests: rt.requests,
+                    reads: rt.reads,
+                    writes: rt.writes,
+                    cache_hits: rt.cache_hits,
+                    hit_ratio: if rt.reads == 0 {
+                        0.0
+                    } else {
+                        rt.cache_hits as f64 / rt.reads as f64
+                    },
+                    stale_reads: rt.stale_reads,
+                    ttl_secs: ctl
+                        .and_then(|c| c.current_plan())
+                        .map_or(0.0, |p| p.ttl_secs),
+                    ttl_decisions: ctl.map_or(0, |c| c.decisions()),
+                    ttl_changes: ctl.map_or(0, |c| c.ttl_changes()),
+                    monthly_dollars: if total_requests == 0 {
+                        0.0
+                    } else {
+                        total_dollars * rt.requests as f64 / total_requests as f64
+                    },
+                }
+            })
+            .collect();
     }
     let obs_artifacts = obs.map(|o| {
         let spans: Vec<telemetry::SpanRecord> = dep.tracer.sink().iter().cloned().collect();
@@ -1469,18 +1802,22 @@ pub fn run_kv_shard(
         || cfg.diurnal.is_some()
         || cfg.observability.is_some()
         || cfg.deployment.l0.is_some()
+        || cfg.tenants.is_some()
     {
         return Err(StoreError::Unsupported(
             "sharded runs support only the plain fixed-rate KV experiment \
-             (no faults, tracing, diurnal load, observability, or L0 tier)"
+             (no faults, tracing, diurnal load, observability, L0 tier, or \
+             tenant mixes)"
                 .to_string(),
         ));
     }
 
     let mut dep = Deployment::new(cfg.deployment.clone(), kv_catalog("kv"));
-    if dep.elastic.enabled() || dep.cluster.durability_enabled() {
+    if dep.elastic.enabled() || dep.ttl_enabled() || dep.cluster.durability_enabled() {
         return Err(StoreError::Unsupported(
-            "sharded runs support neither elastic provisioning nor durable storage".to_string(),
+            "sharded runs support neither elastic provisioning, the TTL \
+             control plane, nor durable storage"
+                .to_string(),
         ));
     }
 
@@ -1839,6 +2176,15 @@ pub fn merge_kv_shards(
         l0_stale_serves: 0,
         l0_age_p50_us: 0,
         l0_age_p99_us: 0,
+        // Sharded runs refuse the TTL plane and tenant mixes, so their
+        // sections are structurally zero/empty as well.
+        ttl_decisions: 0,
+        ttl_changes: 0,
+        expired_entries: 0,
+        expiry_sweep_cpu_us: 0,
+        ttl_current_secs: Vec::new(),
+        ttl_mean_resident_bytes: 0.0,
+        tenants: Vec::new(),
     })
 }
 
@@ -1966,7 +2312,7 @@ pub fn category_fraction(report: &ExperimentReport, tier: &str, category: CpuCat
 #[cfg(test)]
 mod tests {
     use super::*;
-    use workloads::SizeDist;
+    use workloads::{SizeDist, TenantSpec};
 
     fn tiny_cfg(arch: ArchKind) -> KvExperimentConfig {
         KvExperimentConfig {
@@ -1988,6 +2334,7 @@ mod tests {
             trace_sample_every: None,
             diurnal: None,
             observability: None,
+            tenants: None,
             pricing: Pricing::default(),
         }
     }
@@ -2580,6 +2927,185 @@ mod tests {
             fixed.cache_hit_ratio,
             flexed.cache_hit_ratio
         );
+    }
+
+    /// tiny_cfg slowed to ~1 heartbeat per virtual second with the TTL
+    /// control plane deciding every 2 virtual seconds. The candidate grid
+    /// is capped well below the 7-day default so the adopted TTL is short
+    /// enough for entries to lapse (and the sweeper to reclaim them)
+    /// within the few virtual seconds the test simulates.
+    fn ttl_cfg(arch: ArchKind) -> KvExperimentConfig {
+        let mut cfg = tiny_cfg(arch);
+        cfg.qps = 2_000.0;
+        // Warmup spans several decision intervals so the first adopted TTL
+        // (and the expiry churn it causes) lands pre-measurement.
+        cfg.warmup_requests = 8_000;
+        cfg.requests = 12_000;
+        cfg.deployment.ttl = elastic::TtlConfig {
+            decision_interval_secs: 2.0,
+            max_ttl_secs: 8.0,
+            ..elastic::TtlConfig::default()
+        };
+        cfg
+    }
+
+    #[test]
+    fn default_runs_report_no_ttl_activity() {
+        for arch in [ArchKind::Remote, ArchKind::Linked] {
+            let r = run_kv_experiment(&tiny_cfg(arch)).unwrap();
+            assert_eq!(r.ttl_decisions, 0);
+            assert_eq!(r.ttl_changes, 0);
+            assert_eq!(r.expired_entries, 0);
+            assert_eq!(r.expiry_sweep_cpu_us, 0);
+            assert!(r.ttl_current_secs.is_empty());
+            assert_eq!(r.ttl_mean_resident_bytes, 0.0);
+            assert!(r.tenants.is_empty());
+        }
+    }
+
+    #[test]
+    fn ttl_plane_is_gated_to_plain_cache_archs() {
+        // LinkedTtl's fixed TTL *is* its consistency contract; the adaptive
+        // plane must refuse to fight it even when configured on.
+        let mut cfg = ttl_cfg(ArchKind::LinkedTtl);
+        let with_plane = run_kv_experiment(&cfg).unwrap();
+        assert_eq!(with_plane.ttl_decisions, 0);
+        assert_eq!(with_plane.expired_entries, 0);
+        cfg.deployment.ttl = elastic::TtlConfig::default();
+        let without = run_kv_experiment(&cfg).unwrap();
+        assert_eq!(
+            serde_json::to_string(&with_plane).unwrap(),
+            serde_json::to_string(&without).unwrap(),
+            "an unsupported arch must ignore the TTL config entirely"
+        );
+    }
+
+    #[test]
+    fn ttl_run_is_deterministic_and_decides() {
+        let a = run_kv_experiment(&ttl_cfg(ArchKind::Remote)).unwrap();
+        let b = run_kv_experiment(&ttl_cfg(ArchKind::Remote)).unwrap();
+        assert_eq!(
+            serde_json::to_string(&a).unwrap(),
+            serde_json::to_string(&b).unwrap(),
+            "TTL control loop must be fully deterministic"
+        );
+        assert!(a.ttl_decisions > 0, "{a:?}");
+        assert!(a.ttl_changes > 0, "the first adoption counts as a change");
+        assert_eq!(a.ttl_current_secs.len(), 1, "one controller, no tenants");
+        let ttl = a.ttl_current_secs[0];
+        assert!(
+            (0.004..=8.0).contains(&ttl),
+            "adopted TTL {ttl}s must respect the configured bounds"
+        );
+        assert!(a.expired_entries > 0, "short TTLs must lapse entries");
+        assert!(a.expiry_sweep_cpu_us > 0, "reclaim work must be billed");
+        assert!(a.ttl_mean_resident_bytes > 0.0);
+    }
+
+    #[test]
+    fn ttl_plane_trims_the_memory_bill_and_keeps_hits() {
+        let mut static_cfg = ttl_cfg(ArchKind::Remote);
+        static_cfg.deployment.ttl = elastic::TtlConfig::default();
+        let fixed = run_kv_experiment(&static_cfg).unwrap();
+        let flexed = run_kv_experiment(&ttl_cfg(ArchKind::Remote)).unwrap();
+        assert!(
+            flexed.ttl_mean_resident_bytes
+                < static_cfg.deployment.total_remote_bytes() as f64,
+            "mean resident {} must undercut the configured {} bytes",
+            flexed.ttl_mean_resident_bytes,
+            static_cfg.deployment.total_remote_bytes()
+        );
+        assert!(
+            flexed.total_cost.memory < fixed.total_cost.memory,
+            "resident-byte billing {} must beat capacity billing {}",
+            flexed.total_cost.memory,
+            fixed.total_cost.memory
+        );
+        assert!(
+            (fixed.cache_hit_ratio - flexed.cache_hit_ratio).abs() <= 0.02,
+            "hit ratio must stay within 2 points: static {} vs ttl {}",
+            fixed.cache_hit_ratio,
+            flexed.cache_hit_ratio
+        );
+    }
+
+    fn tenant_cfg(arch: ArchKind) -> KvExperimentConfig {
+        let mut cfg = ttl_cfg(arch);
+        let quiet = TenantSpec::new(
+            "quiet",
+            3.0,
+            KvWorkloadConfig {
+                keys: 400,
+                alpha: 1.2,
+                read_ratio: 0.95,
+                sizes: SizeDist::Fixed(1_000),
+                seed: 11,
+                churn_period: None,
+            },
+        );
+        let stormy = TenantSpec::new(
+            "stormy",
+            1.0,
+            KvWorkloadConfig {
+                keys: 400,
+                alpha: 1.1,
+                read_ratio: 0.9,
+                sizes: SizeDist::Fixed(1_000),
+                seed: 13,
+                churn_period: None,
+            },
+        )
+        .with_storm(3.0, 1.0, 0.2);
+        cfg.tenants = Some(workloads::TenantMix::new(vec![quiet, stormy], 99));
+        cfg
+    }
+
+    #[test]
+    fn tenant_mix_reports_per_tenant_accounting() {
+        let a = run_kv_experiment(&tenant_cfg(ArchKind::Remote)).unwrap();
+        let b = run_kv_experiment(&tenant_cfg(ArchKind::Remote)).unwrap();
+        assert_eq!(
+            serde_json::to_string(&a).unwrap(),
+            serde_json::to_string(&b).unwrap(),
+            "tenant mixes must be fully deterministic"
+        );
+        assert_eq!(a.tenants.len(), 2);
+        assert_eq!(a.tenants[0].label, "quiet");
+        assert_eq!(a.tenants[1].label, "stormy");
+        // Per-tenant tallies partition the run-level totals exactly.
+        assert_eq!(
+            a.tenants.iter().map(|t| t.requests).sum::<u64>(),
+            a.requests
+        );
+        let reads: u64 = a.tenants.iter().map(|t| t.reads).sum();
+        let hits: u64 = a.tenants.iter().map(|t| t.cache_hits).sum();
+        assert!(
+            (hits as f64 / reads as f64 - a.cache_hit_ratio).abs() < 1e-12,
+            "tenant hit tallies must re-derive the run-level hit ratio"
+        );
+        let dollars: f64 = a.tenants.iter().map(|t| t.monthly_dollars).sum();
+        assert!(
+            (dollars - a.total_cost.total()).abs() < 1e-6 * a.total_cost.total(),
+            "showback split {dollars} must re-sum to the bill {}",
+            a.total_cost.total()
+        );
+        for t in &a.tenants {
+            assert_eq!(t.reads + t.writes, t.requests, "{}", t.label);
+            assert!((0.0..=1.0).contains(&t.hit_ratio), "{}", t.label);
+            assert!(t.ttl_decisions > 0, "{} controller never decided", t.label);
+            assert!(t.ttl_secs > 0.0, "{} has no adopted TTL", t.label);
+        }
+        // The storm really happened: the write-heavy tenant writes a far
+        // larger share of its traffic than the quiet one.
+        let write_share = |t: &TenantReport| t.writes as f64 / t.requests as f64;
+        assert!(
+            write_share(&a.tenants[1]) > write_share(&a.tenants[0]) + 0.05,
+            "storm tenant write share {} vs quiet {}",
+            write_share(&a.tenants[1]),
+            write_share(&a.tenants[0])
+        );
+        // Per-tenant controllers ⇒ per-tenant TTLs exported.
+        assert_eq!(a.ttl_current_secs.len(), 2);
     }
 
     #[test]

@@ -37,6 +37,7 @@ fn traced_cfg(arch: ArchKind) -> KvExperimentConfig {
         trace_sample_every: Some(1),
         diurnal: None,
         observability: None,
+        tenants: None,
         pricing: Default::default(),
     }
 }

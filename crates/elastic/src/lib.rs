@@ -27,7 +27,9 @@
 pub mod controller;
 pub mod planner;
 pub mod shards;
+pub mod ttl;
 
 pub use controller::{ElasticConfig, ElasticController};
 pub use planner::{plan, Plan, PlannerConfig};
 pub use shards::{ShardsConfig, ShardsProfiler};
+pub use ttl::{plan_ttl, AgeHistogram, TtlConfig, TtlController, TtlPlan};

@@ -75,6 +75,7 @@ impl KvWorkloadConfig {
             churn_period: self.churn_period,
             emitted: 0,
             epoch: 0,
+            epoch_override: None,
         }
     }
 
@@ -99,6 +100,7 @@ pub struct KvWorkload {
     churn_period: Option<u64>,
     emitted: u64,
     epoch: u64,
+    epoch_override: Option<u64>,
 }
 
 impl KvWorkload {
@@ -107,8 +109,27 @@ impl KvWorkload {
         self.epoch
     }
 
+    /// Pin the churn epoch from outside — how a time-driven
+    /// [`crate::tenants::ChurnSchedule`] rotates the hot set on the
+    /// simulator's clock rather than a request count. Consumes no RNG
+    /// draws, so flipping it mid-stream never perturbs the request
+    /// sequence beyond the rank→key mapping it exists to change.
+    pub fn set_epoch(&mut self, epoch: u64) {
+        self.epoch_override = Some(epoch);
+        self.epoch = epoch;
+    }
+
+    /// Override the read ratio mid-stream (invalidation storms). RNG-
+    /// neutral: the Bernoulli draw consumes one draw regardless of the
+    /// ratio, so the key sequence is untouched.
+    pub fn set_read_ratio(&mut self, read_ratio: f64) {
+        self.read_ratio = read_ratio.clamp(0.0, 1.0);
+    }
+
     pub fn next_request(&mut self) -> KvRequest {
-        if let Some(period) = self.churn_period {
+        if let Some(epoch) = self.epoch_override {
+            self.epoch = epoch;
+        } else if let Some(period) = self.churn_period {
             let epoch = self.emitted / period;
             self.epoch = epoch;
         }

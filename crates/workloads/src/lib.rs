@@ -22,6 +22,8 @@
 //!
 //! [`diurnal`] modulates any of them over simulated time (day/night
 //! sinusoid plus explicit phase shifts) for the elastic-provisioning study,
+//! [`tenants`] composes weighted multi-tenant KV mixes with working-set
+//! churn and invalidation-storm schedules for the TTL control plane,
 //! [`zipf`] provides the O(1) scrambled-Zipfian sampler underneath,
 //! [`sizes`] the per-key deterministic value-size model, and [`trace`]
 //! capture/replay so real production traces can drive the experiments.
@@ -31,6 +33,7 @@ pub mod kv;
 pub mod meta;
 pub mod sessions;
 pub mod sizes;
+pub mod tenants;
 pub mod trace;
 pub mod twitter;
 pub mod unity;
@@ -38,6 +41,7 @@ pub mod zipf;
 
 pub use diurnal::DiurnalSchedule;
 pub use kv::{KvOp, KvRequest, KvWorkload, KvWorkloadConfig};
+pub use tenants::{ChurnSchedule, StormSchedule, TenantMix, TenantPicker, TenantSpec};
 pub use sessions::{SessionOp, SessionWorkload, SessionWorkloadConfig};
 pub use trace::{TraceRecord, TraceStats};
 pub use sizes::SizeDist;

@@ -36,6 +36,7 @@ fn main() {
             trace_sample_every: None,
             diurnal: None,
             observability: None,
+            tenants: None,
             pricing: Default::default(),
         };
         run_kv_experiment(&cfg).expect("run")

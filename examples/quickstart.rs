@@ -46,6 +46,7 @@ fn main() {
             trace_sample_every: None,
             diurnal: None,
             observability: None,
+            tenants: None,
             pricing: Pricing::default(),
         };
         let report = run_kv_experiment(&cfg).expect("experiment runs");

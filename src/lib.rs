@@ -49,6 +49,7 @@
 //!     trace_sample_every: None,
 //!     diurnal: None,
 //!     observability: None,
+//!     tenants: None,
 //!     pricing: Pricing::default(),
 //! };
 //! let report = run_kv_experiment(&cfg).unwrap();

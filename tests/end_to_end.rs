@@ -27,6 +27,7 @@ fn mid_cfg(arch: ArchKind) -> KvExperimentConfig {
         trace_sample_every: None,
         diurnal: None,
         observability: None,
+        tenants: None,
         pricing: Pricing::default(),
     }
 }

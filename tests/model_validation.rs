@@ -82,6 +82,7 @@ fn run_linked(per_server_cache_bytes: u64) -> dcache_cost::study::ExperimentRepo
         trace_sample_every: None,
         diurnal: None,
         observability: None,
+        tenants: None,
         pricing: Pricing::default(),
     };
     run_kv_experiment(&cfg).unwrap()

@@ -209,6 +209,47 @@ fn parallel_elastic_sweep_is_byte_identical_to_sequential() {
 }
 
 #[test]
+fn parallel_ttl_sweep_is_byte_identical_to_sequential() {
+    // The TTL ablation threads yet more run-local state through each
+    // experiment: per-tenant age histograms and TTL controllers, tenant
+    // pickers, churn/storm schedule evaluation, expiry sweeps with their
+    // CPU charges, and resident-byte billing. jobs=1 and jobs=4 over the
+    // same specs must serialize to the same bytes, per-tenant reports and
+    // TTL counters included.
+    use bench::ttl::{run_sweep, sweep_specs};
+    let specs = sweep_specs();
+    let seq = run_sweep(&SweepRunner::sequential(), &specs, 6_000, 6_000);
+    let par = run_sweep(&SweepRunner::new(4), &specs, 6_000, 6_000);
+
+    assert_eq!(seq.len(), par.len());
+    let mut adopting_cells = 0;
+    let mut expiring_cells = 0;
+    for (i, (s, p)) in seq.iter().zip(&par).enumerate() {
+        assert_eq!(
+            format!("{s:?}"),
+            format!("{p:?}"),
+            "ttl spec {i} ({}): parallel diverged",
+            specs[i].label()
+        );
+        if s.ttl_changes > 0 {
+            adopting_cells += 1;
+        }
+        if s.expired_entries > 0 {
+            expiring_cells += 1;
+        }
+    }
+    // The sweep must actually exercise the plane, not just baselines.
+    assert!(
+        adopting_cells > 0,
+        "no cell adopted a TTL; the determinism check would be vacuous"
+    );
+    assert!(
+        expiring_cells > 0,
+        "no cell expired entries; the sweep path went untested"
+    );
+}
+
+#[test]
 fn four_workers_give_at_least_2x_speedup() {
     // Scheduling-only check with uniform synthetic jobs, so it holds even
     // on a loaded CI box: 8 sleeps of 50 ms are ≥400 ms sequentially and
